@@ -1,0 +1,15 @@
+//===- bench/bench_fig5_sgi.cpp - Reproduces Figure 5(a) ------------------===//
+//
+// Jacobi on the (scaled) SGI R10000: ECO vs Native. Expected shape: both
+// fluctuate (no copying — conflict misses at unlucky sizes, exactly the
+// paper's observation), ECO above Native on average.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig5Common.h"
+
+int main() {
+  ecobench::runFig5(ecobench::sgi(), eco::NativeCompilerFlavor::Aggressive,
+                    "Figure 5(a): Jacobi on SGI R10000 (scaled)");
+  return 0;
+}

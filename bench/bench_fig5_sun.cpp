@@ -1,0 +1,13 @@
+//===- bench/bench_fig5_sun.cpp - Reproduces Figure 5(b) ------------------===//
+//
+// Jacobi on the (scaled) Sun UltraSparc IIe: ECO vs Native.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig5Common.h"
+
+int main() {
+  ecobench::runFig5(ecobench::sun(), eco::NativeCompilerFlavor::Basic,
+                    "Figure 5(b): Jacobi on Sun UltraSparc IIe (scaled)");
+  return 0;
+}

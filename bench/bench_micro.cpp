@@ -1,0 +1,78 @@
+//===- bench/bench_micro.cpp - google-benchmark micro suite ----------------===//
+//
+// Microbenchmarks of the substrate itself (simulator access throughput,
+// executor interpretation rate, variant derivation and instantiation
+// cost) — the quantities that bound how large a parameter search the
+// harness can afford.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeriveVariants.h"
+#include "core/Search.h"
+#include "exec/Run.h"
+#include "kernels/Kernels.h"
+#include "machine/MachineDesc.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace eco;
+
+static void BM_SimSequentialAccess(benchmark::State &State) {
+  MemHierarchySim Sim(MachineDesc::sgiR10000());
+  uint64_t Addr = 1 << 20;
+  double Now = 0;
+  for (auto _ : State) {
+    Now += Sim.access(Addr, false, Now);
+    Addr += 8;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SimSequentialAccess);
+
+static void BM_SimStridedAccess(benchmark::State &State) {
+  MemHierarchySim Sim(MachineDesc::sgiR10000());
+  uint64_t Addr = 1 << 20;
+  double Now = 0;
+  for (auto _ : State) {
+    Now += Sim.access(Addr, false, Now);
+    Addr += 4096; // page-hostile
+    if (Addr > (64u << 20))
+      Addr = 1 << 20;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SimStridedAccess);
+
+static void BM_ExecutorMatMul(benchmark::State &State) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = MachineDesc::sgiR10000().scaledBy(16);
+  int64_t N = State.range(0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simulateNest(MM, {{"N", N}}, M).Cycles);
+  State.SetItemsProcessed(State.iterations() * N * N * N);
+}
+BENCHMARK(BM_ExecutorMatMul)->Arg(32)->Arg(64);
+
+static void BM_DeriveVariants(benchmark::State &State) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = MachineDesc::sgiR10000();
+  for (auto _ : State) {
+    auto Vs = deriveVariants(MM, M);
+    benchmark::DoNotOptimize(Vs.size());
+  }
+}
+BENCHMARK(BM_DeriveVariants);
+
+static void BM_InstantiateVariant(benchmark::State &State) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = MachineDesc::sgiR10000();
+  auto Vs = deriveVariants(MM, M);
+  Env Cfg = initialConfig(Vs.front(), M, {{"N", 256}});
+  for (auto _ : State) {
+    LoopNest Nest = Vs.front().instantiate(Cfg, M);
+    benchmark::DoNotOptimize(Nest.NumRegs);
+  }
+}
+BENCHMARK(BM_InstantiateVariant);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+//===- bench/bench_search_cost.cpp - Reproduces Section 4.3 ---------------===//
+//
+// "Cost of Search": how many points each search visits and how long it
+// takes, for both kernels on both machines — ECO's model-guided search
+// vs the ATLAS-style grid (no models). The paper: ECO searched 60 points
+// (MM/SGI) in ~8 minutes vs ATLAS's 35 minutes — 2-4x faster. Expected
+// shape here: ECO visits a small, similar number of points; the
+// ATLAS-style grid visits several times more.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baselines/MiniAtlas.h"
+#include "core/Tuner.h"
+#include "kernels/Kernels.h"
+
+using namespace eco;
+using namespace ecobench;
+
+int main() {
+  banner("Section 4.3: cost of the empirical search");
+  Table T({"Search", "Machine", "Kernel", "Points", "Seconds",
+           "Best cost (cycles)"});
+
+  struct Target {
+    const char *Name;
+    MachineDesc M;
+  };
+  const Target Targets[] = {{"SGI", sgi()}, {"Sun", sun()}};
+
+  for (const Target &Tg : Targets) {
+    SimEvalBackend Backend(Tg.M);
+
+    LoopNest MM = makeMatMul();
+    TuneResult EcoMM = tune(MM, Backend, {{"N", 160}});
+    T.addRow({"ECO (guided)", Tg.Name, "MatMul",
+              std::to_string(EcoMM.TotalPoints),
+              strformat("%.1f", EcoMM.TotalSeconds),
+              withCommas(static_cast<uint64_t>(EcoMM.BestCost))});
+
+    MiniAtlasResult Atlas = tuneMiniAtlas(Backend, 160);
+    T.addRow({"ATLAS-style grid", Tg.Name, "MatMul",
+              std::to_string(Atlas.Trace.numEvaluations()),
+              strformat("%.1f", Atlas.Trace.Seconds),
+              withCommas(static_cast<uint64_t>(Atlas.BestCost))});
+
+    LoopNest Jac = makeJacobi();
+    TuneResult EcoJ = tune(Jac, Backend, {{"N", 96}});
+    T.addRow({"ECO (guided)", Tg.Name, "Jacobi",
+              std::to_string(EcoJ.TotalPoints),
+              strformat("%.1f", EcoJ.TotalSeconds),
+              withCommas(static_cast<uint64_t>(EcoJ.BestCost))});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("\n(paper: ECO searched 60 MM points on the SGI / 44 on the "
+              "Sun, Jacobi 94 / 148; the ATLAS search took 2-4x longer)\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+//===- examples/eco_cli.cpp - Command-line autotuner -----------------------===//
+//
+// A small driver exposing the whole pipeline from the command line:
+//
+//   eco_cli [--kernel=matmul|jacobi|matvec] [--machine=sgi|sun|host]
+//           [--n=SIZE] [--scale=K] [--native] [--emit-c] [--variants]
+//           [--trace]
+//
+//   --variants   print the derived variant set (Table 4 style) and exit
+//   --emit-c     print the winning variant as C source
+//   --native     tune with the compile-and-run backend on this machine
+//   --trace      dump every evaluated search point (CSV: config,cost)
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "core/Report.h"
+#include "core/Tuner.h"
+#include "exec/Run.h"
+#include "kernels/Kernels.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace eco;
+
+namespace {
+
+struct CliOptions {
+  std::string Kernel = "matmul";
+  std::string Machine = "sgi";
+  int64_t N = 160;
+  unsigned Scale = 16;
+  bool Native = false;
+  bool EmitC = false;
+  bool VariantsOnly = false;
+  bool Trace = false;
+  bool Report = false;
+};
+
+bool parseArg(CliOptions &Opts, const std::string &Arg) {
+  auto valueOf = [&Arg](const char *Key) -> const char * {
+    size_t Len = std::strlen(Key);
+    if (Arg.compare(0, Len, Key) == 0)
+      return Arg.c_str() + Len;
+    return nullptr;
+  };
+  if (const char *V = valueOf("--kernel=")) {
+    Opts.Kernel = V;
+    return true;
+  }
+  if (const char *V = valueOf("--machine=")) {
+    Opts.Machine = V;
+    return true;
+  }
+  if (const char *V = valueOf("--n=")) {
+    Opts.N = std::atoll(V);
+    return Opts.N > 0;
+  }
+  if (const char *V = valueOf("--scale=")) {
+    Opts.Scale = static_cast<unsigned>(std::atoi(V));
+    return Opts.Scale > 0;
+  }
+  if (Arg == "--native") {
+    Opts.Native = true;
+    return true;
+  }
+  if (Arg == "--emit-c") {
+    Opts.EmitC = true;
+    return true;
+  }
+  if (Arg == "--variants") {
+    Opts.VariantsOnly = true;
+    return true;
+  }
+  if (Arg == "--trace") {
+    Opts.Trace = true;
+    return true;
+  }
+  if (Arg == "--report") {
+    Opts.Report = true;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  for (int A = 1; A < Argc; ++A) {
+    if (!parseArg(Opts, Argv[A])) {
+      std::fprintf(stderr,
+                   "usage: %s [--kernel=matmul|jacobi|matvec] "
+                   "[--machine=sgi|sun|host] [--n=SIZE] [--scale=K] "
+                   "[--native] [--emit-c] [--variants] [--trace] "
+                   "[--report]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  LoopNest Nest;
+  if (Opts.Kernel == "matmul")
+    Nest = makeMatMul();
+  else if (Opts.Kernel == "jacobi")
+    Nest = makeJacobi();
+  else if (Opts.Kernel == "matvec")
+    Nest = makeMatVec();
+  else {
+    std::fprintf(stderr, "error: unknown kernel '%s'\n",
+                 Opts.Kernel.c_str());
+    return 2;
+  }
+
+  MachineDesc Machine;
+  if (Opts.Machine == "sgi")
+    Machine = MachineDesc::sgiR10000().scaledBy(Opts.Scale);
+  else if (Opts.Machine == "sun")
+    Machine = MachineDesc::ultraSparcIIe().scaledBy(Opts.Scale);
+  else if (Opts.Machine == "host")
+    Machine = MachineDesc::genericHost();
+  else {
+    std::fprintf(stderr, "error: unknown machine '%s'\n",
+                 Opts.Machine.c_str());
+    return 2;
+  }
+
+  std::printf("kernel %s on %s, N=%lld\n\n%s\n", Opts.Kernel.c_str(),
+              Machine.summary().c_str(),
+              static_cast<long long>(Opts.N), Nest.print().c_str());
+
+  if (Opts.VariantsOnly) {
+    for (const DerivedVariant &V : deriveVariants(Nest, Machine))
+      std::printf("%s\n", V.describe().c_str());
+    return 0;
+  }
+
+  SimEvalBackend SimBackend(Machine);
+  NativeEvalBackend NativeBackend(Machine, 2);
+  EvalBackend &Backend =
+      Opts.Native ? static_cast<EvalBackend &>(NativeBackend)
+                  : static_cast<EvalBackend &>(SimBackend);
+
+  TuneResult R = tune(Nest, Backend, {{"N", Opts.N}});
+  if (R.BestVariant < 0) {
+    std::fprintf(stderr, "error: tuning produced no feasible variant\n");
+    return 1;
+  }
+
+  if (Opts.Report) {
+    ReportOptions ROpts;
+    ROpts.CostUnit = Opts.Native ? "seconds" : "cycles";
+    std::printf("%s", renderReport(R, Machine, ROpts).c_str());
+    return 0;
+  }
+
+  std::printf("searched %zu points in %.1fs\n", R.TotalPoints,
+              R.TotalSeconds);
+  for (const VariantSummary &S : R.Summaries)
+    std::printf("  %-4s heuristic %.3g %s\n", S.Name.c_str(),
+                S.HeuristicCost,
+                S.Searched
+                    ? strformat("-> best %.3g after %zu points (%s)",
+                                S.BestCost, S.Points,
+                                S.BestConfig.c_str())
+                          .c_str()
+                    : "(pruned by model ranking)");
+  std::printf("\nwinner: %s  cost %.6g %s\n",
+              R.best().configString(R.BestConfig).c_str(), R.BestCost,
+              Opts.Native ? "seconds" : "cycles");
+  std::printf("\noptimized code:\n%s", R.BestExecutable.print().c_str());
+
+  if (Opts.EmitC)
+    std::printf("\n--- emitted C ---\n%s",
+                emitC(R.BestExecutable, "eco_kernel").c_str());
+
+  if (Opts.Trace) {
+    // Re-run the winning variant's search to dump its full trace.
+    VariantSearchResult SR =
+        searchVariant(R.best(), Backend, {{"N", Opts.N}});
+    std::printf("\nconfig,cost\n");
+    for (const SearchPoint &P : SR.Trace.Points)
+      std::printf("\"%s\",%.6g\n", P.Config.c_str(), P.Cost);
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+//===- analysis/Dependence.cpp - Lightweight dependence testing ----------===//
+
+#include "analysis/Dependence.h"
+#include "support/StringUtils.h"
+
+using namespace eco;
+
+namespace {
+
+/// Solves offset = sum_v t_v * coeffvec(v) for per-loop distances t_v,
+/// greedily resolving each variable from a dimension it alone drives.
+/// Returns false if no unique solution is found that way.
+bool solveDistances(const ArrayRef &Rep,
+                    const std::vector<SymbolId> &Loops,
+                    std::vector<int64_t> Offset,
+                    std::vector<int64_t> &Distance) {
+  Distance.assign(Loops.size(), 0);
+  std::vector<bool> Solved(Loops.size(), false);
+
+  for (size_t Round = 0; Round < Loops.size(); ++Round) {
+    bool Progress = false;
+    for (size_t L = 0; L < Loops.size(); ++L) {
+      if (Solved[L])
+        continue;
+      // Find a dimension where this variable is the only unsolved one.
+      for (unsigned D = 0; D < Rep.rank(); ++D) {
+        int64_t Coeff = Rep.Subs[D].coeff(Loops[L]);
+        if (Coeff == 0)
+          continue;
+        bool Alone = true;
+        for (size_t O = 0; O < Loops.size(); ++O)
+          if (O != L && !Solved[O] && Rep.Subs[D].coeff(Loops[O]) != 0)
+            Alone = false;
+        if (!Alone)
+          continue;
+        if (Offset[D] % Coeff != 0)
+          return false; // no integer solution: no dependence, treat as 0
+        Distance[L] = Offset[D] / Coeff;
+        // Subtract this variable's contribution everywhere.
+        for (unsigned D2 = 0; D2 < Rep.rank(); ++D2)
+          Offset[D2] -= Distance[L] * Rep.Subs[D2].coeff(Loops[L]);
+        Solved[L] = true;
+        Progress = true;
+        break;
+      }
+      // Variables absent from all subscripts: distance unconstrained,
+      // treat as 0 ("=" / "*" direction).
+      if (!Solved[L]) {
+        bool Appears = false;
+        for (unsigned D = 0; D < Rep.rank(); ++D)
+          if (Rep.Subs[D].coeff(Loops[L]) != 0)
+            Appears = true;
+        if (!Appears) {
+          Solved[L] = true;
+          Progress = true;
+        }
+      }
+    }
+    if (!Progress)
+      break;
+  }
+
+  for (bool S : Solved)
+    if (!S)
+      return false;
+  // Verify the residual is zero.
+  for (unsigned D = 0; D < Rep.rank(); ++D)
+    if (Offset[D] != 0)
+      return false;
+  return true;
+}
+
+} // namespace
+
+DependenceInfo eco::analyzeDependences(const LoopNest &Nest) {
+  DependenceInfo Info;
+  for (const Loop *L : Nest.spine())
+    Info.Loops.push_back(L->Var);
+
+  // Gather all references.
+  std::vector<std::pair<ArrayRef, bool>> Refs;
+  Nest.forEachStmt([&](const Stmt &S) {
+    S.forEachRef([&](const ArrayRef &Ref, bool IsWrite) {
+      Refs.push_back({Ref, IsWrite});
+    });
+  });
+
+  for (size_t A = 0; A < Refs.size(); ++A) {
+    for (size_t B = A; B < Refs.size(); ++B) {
+      if (Refs[A].first.Array != Refs[B].first.Array)
+        continue;
+      if (!Refs[A].second && !Refs[B].second)
+        continue; // read-read
+      if (A == B && !Refs[A].second)
+        continue;
+
+      Dependence Dep;
+      Dep.Src = Refs[A].first;
+      Dep.Dst = Refs[B].first;
+
+      auto Offset = Refs[A].first.constOffsetTo(Refs[B].first);
+      if (!Offset) {
+        Dep.Unknown = true;
+        Info.FullyPermutable = false;
+        Info.Notes.push_back("non-uniform conflicting pair on array " +
+                             Nest.array(Refs[A].first.Array).Name);
+        Info.Deps.push_back(std::move(Dep));
+        continue;
+      }
+
+      if (!solveDistances(Refs[A].first, Info.Loops, *Offset,
+                          Dep.Distance)) {
+        // Either no integer solution (independent) or unsolvable system.
+        bool AllZeroOffset = true;
+        for (int64_t O : *Offset)
+          if (O != 0)
+            AllZeroOffset = false;
+        if (!AllZeroOffset) {
+          Dep.Unknown = true;
+          Info.FullyPermutable = false;
+          Info.Notes.push_back("unsolvable subscript system on array " +
+                               Nest.array(Refs[A].first.Array).Name);
+          Info.Deps.push_back(std::move(Dep));
+        }
+        continue;
+      }
+
+      // Sign consistency check.
+      bool AnyPos = false, AnyNeg = false;
+      for (int64_t T : Dep.Distance) {
+        AnyPos |= T > 0;
+        AnyNeg |= T < 0;
+      }
+      if (AnyPos && AnyNeg) {
+        Info.FullyPermutable = false;
+        Info.Notes.push_back("sign-mixed dependence distance on array " +
+                             Nest.array(Refs[A].first.Array).Name);
+      }
+      Info.Deps.push_back(std::move(Dep));
+    }
+  }
+  return Info;
+}

@@ -1,0 +1,59 @@
+//===- analysis/Dependence.h - Lightweight dependence testing --*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight data-dependence test sufficient for the dense kernels the
+/// paper targets. For every pair of references to the same array in which
+/// at least one writes, the test classifies the dependence:
+///
+///  * different uniformly-generated families or non-affine relation:
+///    conservatively "unknown" — the nest is reported not permutable;
+///  * same family: the constant subscript offset is solved into a
+///    per-loop distance; a nest is fully permutable (and hence freely
+///    tileable / interchangeable / unroll-and-jammable) when every
+///    dependence's per-loop distances are sign-consistent (all >= 0 or
+///    all <= 0) — e.g. Matrix Multiply's C read/write at distance zero.
+///
+/// Loops whose variable does not appear in the family's subscripts carry
+/// the dependence at every distance ("="/"*" direction, the reduction loop
+/// K in Matrix Multiply); these do not block permutation or tiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_ANALYSIS_DEPENDENCE_H
+#define ECO_ANALYSIS_DEPENDENCE_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// One detected dependence between two references.
+struct Dependence {
+  ArrayRef Src;
+  ArrayRef Dst;
+  /// Distance per spine loop (parallel to loops()); 0 for "=" and for
+  /// loops absent from the subscripts.
+  std::vector<int64_t> Distance;
+  bool Unknown = false; ///< could not be analyzed precisely
+};
+
+/// Result of analyzing a nest.
+struct DependenceInfo {
+  std::vector<SymbolId> Loops; ///< spine loop variables, outermost first
+  std::vector<Dependence> Deps;
+  bool FullyPermutable = true;
+  std::vector<std::string> Notes;
+};
+
+/// Analyzes all pairs of conflicting references in \p Nest.
+DependenceInfo analyzeDependences(const LoopNest &Nest);
+
+} // namespace eco
+
+#endif // ECO_ANALYSIS_DEPENDENCE_H

@@ -1,0 +1,84 @@
+//===- analysis/Footprint.cpp - Footprint models and constraints ---------===//
+
+#include "analysis/Footprint.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace eco;
+
+std::string ProductTerm::str(const SymbolTable &Syms) const {
+  std::vector<std::string> Parts;
+  if (Coeff != 1 || Params.empty())
+    Parts.push_back(std::to_string(Coeff));
+  for (SymbolId P : Params)
+    Parts.push_back(Syms.name(P));
+  return join(Parts, "*");
+}
+
+std::string Constraint::str(const SymbolTable &Syms) const {
+  std::vector<std::string> Parts;
+  for (const ProductTerm &T : Terms)
+    Parts.push_back(T.str(Syms));
+  std::string Out = join(Parts, " + ") + " <= " + std::to_string(Limit);
+  if (!Note.empty())
+    Out += "   (" + Note + ")";
+  return Out;
+}
+
+ProductTerm eco::familyFootprintElems(const ArrayRef &Representative,
+                                      const ExtentMap &Extents) {
+  ProductTerm Term;
+  for (const AffineExpr &Sub : Representative.Subs) {
+    for (SymbolId Var : Sub.symbols()) {
+      auto It = Extents.find(Var);
+      if (It == Extents.end())
+        continue; // variable fixed within the region: extent 1
+      Term *= It->second;
+    }
+  }
+  return Term;
+}
+
+ProductTerm eco::familyFootprintPages(const ArrayRef &Representative,
+                                      const ArrayDecl &Decl,
+                                      const ExtentMap &Extents,
+                                      const Env &SizeEnv,
+                                      uint64_t PageBytes) {
+  // Contiguous dimension: 0 for column-major, rank-1 for row-major.
+  unsigned ContigDim =
+      Decl.Order == Layout::ColMajor ? 0 : Representative.rank() - 1;
+
+  ProductTerm Term;
+  for (unsigned D = 0; D < Representative.rank(); ++D) {
+    if (D == ContigDim)
+      continue;
+    for (SymbolId Var : Representative.Subs[D].symbols()) {
+      auto It = Extents.find(Var);
+      if (It == Extents.end())
+        continue;
+      Term *= It->second;
+    }
+  }
+  // Pages per contiguous run: at least 1; if the whole column is resident
+  // (extent covers the full dimension), scale by column bytes / page.
+  int64_t ColElems = 1;
+  for (SymbolId Var : Representative.Subs[ContigDim].symbols()) {
+    auto It = Extents.find(Var);
+    if (It != Extents.end() && !It->second.isParam())
+      ColElems = std::max(ColElems, It->second.eval(SizeEnv));
+  }
+  int64_t RunPages = std::max<int64_t>(
+      1, (ColElems * Decl.ElemBytes + PageBytes - 1) /
+             static_cast<int64_t>(PageBytes));
+  Term.Coeff *= RunPages;
+  return Term;
+}
+
+int64_t eco::effectiveCapacityElems(const CacheLevelDesc &Cache,
+                                    unsigned ElemBytes) {
+  int64_t Elems = static_cast<int64_t>(Cache.CapacityBytes / ElemBytes);
+  if (Cache.Assoc <= 1)
+    return Elems;
+  return Elems * (Cache.Assoc - 1) / Cache.Assoc;
+}

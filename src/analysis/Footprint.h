@@ -1,0 +1,119 @@
+//===- analysis/Footprint.h - Footprint models and constraints -*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic footprint models and the constraint language of the paper's
+/// Figure 3. A tile's cache footprint is a product of tile-size parameters
+/// (e.g. the B tile in Matrix Multiply occupies TJ*TK doubles), and the
+/// derived constraints are exactly the paper's Table 4 forms:
+///
+///     UI * UJ <= 32        (register file)
+///     TJ * TK <= 2048      ((n-1)/n of a 2-way 32 KB L1, in doubles)
+///
+/// Constraints are sums of products of parameters bounded by a limit, so
+/// the empirical search can check candidate parameter values in O(#terms).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_ANALYSIS_FOOTPRINT_H
+#define ECO_ANALYSIS_FOOTPRINT_H
+
+#include "ir/Array.h"
+#include "machine/MachineDesc.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// The extent a loop variable covers inside the region being modeled:
+/// either a tile-size parameter (symbolic) or a constant (e.g. an unroll
+/// factor, or 1 for loops outside the region).
+struct VarExtent {
+  SymbolId Param = -1; ///< >= 0: extent is this parameter's value
+  int64_t Const = 1;   ///< otherwise this constant
+
+  static VarExtent param(SymbolId P) { return {P, 1}; }
+  static VarExtent constant(int64_t C) { return {-1, C}; }
+
+  int64_t eval(const Env &E) const { return Param >= 0 ? E.get(Param) : Const; }
+  bool isParam() const { return Param >= 0; }
+};
+
+/// Map from loop variable to its extent within the modeled region.
+using ExtentMap = std::map<SymbolId, VarExtent>;
+
+/// Coeff * product of parameters (parameters may repeat).
+struct ProductTerm {
+  int64_t Coeff = 1;
+  std::vector<SymbolId> Params;
+
+  int64_t eval(const Env &E) const {
+    int64_t V = Coeff;
+    for (SymbolId P : Params)
+      V *= E.get(P);
+    return V;
+  }
+
+  ProductTerm &operator*=(const VarExtent &X) {
+    if (X.isParam())
+      Params.push_back(X.Param);
+    else
+      Coeff *= X.Const;
+    return *this;
+  }
+
+  std::string str(const SymbolTable &Syms) const;
+};
+
+/// Sum of product terms <= Limit.
+struct Constraint {
+  std::vector<ProductTerm> Terms;
+  int64_t Limit = 0;
+  std::string Note; ///< e.g. "L1 footprint of B tile"
+
+  bool satisfied(const Env &E) const {
+    int64_t Total = 0;
+    for (const ProductTerm &T : Terms)
+      Total += T.eval(E);
+    return Total <= Limit;
+  }
+
+  int64_t lhs(const Env &E) const {
+    int64_t Total = 0;
+    for (const ProductTerm &T : Terms)
+      Total += T.eval(E);
+    return Total;
+  }
+
+  std::string str(const SymbolTable &Syms) const;
+};
+
+/// Footprint, in array elements, of one uniformly-generated reference
+/// family over the region described by \p Extents: the product over
+/// dimensions of the extents of the loop variables each subscript uses
+/// (variables absent from \p Extents contribute 1).
+ProductTerm familyFootprintElems(const ArrayRef &Representative,
+                                 const ExtentMap &Extents);
+
+/// Footprint of the same family in memory pages, approximated as the
+/// product of the extents of every non-contiguous dimension (each distinct
+/// "column" of the tile starts a new page run) times the pages one
+/// contiguous run covers.
+ProductTerm familyFootprintPages(const ArrayRef &Representative,
+                                 const ArrayDecl &Decl,
+                                 const ExtentMap &Extents,
+                                 const Env &SizeEnv, uint64_t PageBytes);
+
+/// The paper's effective cache capacity heuristic: a full direct-mapped
+/// cache, (n-1)/n of an n-way cache (Section 3.1.1), in elements.
+int64_t effectiveCapacityElems(const CacheLevelDesc &Cache,
+                               unsigned ElemBytes);
+
+} // namespace eco
+
+#endif // ECO_ANALYSIS_FOOTPRINT_H

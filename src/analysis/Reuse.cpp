@@ -1,0 +1,294 @@
+//===- analysis/Reuse.cpp - Wolf/Lam-style reuse analysis -----------------===//
+
+#include "analysis/Reuse.h"
+
+#include <algorithm>
+
+using namespace eco;
+
+namespace {
+
+/// If Diff == t * Coeffs for a (possibly zero) integer t, returns t;
+/// otherwise nullopt. All-zero Coeffs matches only an all-zero Diff.
+std::optional<int64_t> solveAligned(const std::vector<int64_t> &Diff,
+                                    const std::vector<int64_t> &Coeffs) {
+  std::optional<int64_t> T;
+  for (size_t D = 0; D < Diff.size(); ++D) {
+    if (Coeffs[D] == 0) {
+      if (Diff[D] != 0)
+        return std::nullopt;
+      continue;
+    }
+    if (Diff[D] % Coeffs[D] != 0)
+      return std::nullopt;
+    int64_t Cand = Diff[D] / Coeffs[D];
+    if (T && *T != Cand)
+      return std::nullopt;
+    T = Cand;
+  }
+  return T ? T : std::optional<int64_t>(0);
+}
+
+} // namespace
+
+ReuseAnalysis::ReuseAnalysis(const LoopNest &N, const Env &SizeEnv,
+                             int64_t LineElemsIn)
+    : Nest(N), LineElems(LineElemsIn) {
+  // Collect references from every statement.
+  Nest.forEachStmt([&](const Stmt &S) {
+    S.forEachRef([&](const ArrayRef &Ref, bool IsWrite) {
+      Refs.push_back({Ref, IsWrite, -1});
+    });
+  });
+
+  // Partition into uniformly generated families.
+  std::vector<std::vector<int64_t>> RepOffsets; // rep has offset 0
+  for (size_t R = 0; R < Refs.size(); ++R) {
+    for (int F = 0; F < NumFamilies; ++F) {
+      const ArrayRef &Rep = Refs[FamilyMembers[F].front()].Ref;
+      if (Rep.constOffsetTo(Refs[R].Ref)) {
+        Refs[R].Family = F;
+        FamilyMembers[F].push_back(static_cast<int>(R));
+        break;
+      }
+    }
+    if (Refs[R].Family < 0) {
+      Refs[R].Family = NumFamilies++;
+      FamilyMembers.push_back({static_cast<int>(R)});
+    }
+  }
+  FamilyAccesses.assign(NumFamilies, 0);
+  for (const RefInfo &RI : Refs)
+    ++FamilyAccesses[RI.Family];
+
+  // Per-member offsets relative to the representative.
+  FamilyOffsets.resize(Refs.size());
+  for (int F = 0; F < NumFamilies; ++F) {
+    const ArrayRef &Rep = Refs[FamilyMembers[F].front()].Ref;
+    for (int M : FamilyMembers[F])
+      FamilyOffsets[M] = *Rep.constOffsetTo(Refs[M].Ref);
+  }
+
+  // Spine loops and trip counts.
+  for (const Loop *L : Nest.spine()) {
+    LoopVars.push_back(L->Var);
+    int64_t Trip = L->Upper.eval(SizeEnv) - L->Lower.eval(SizeEnv) + 1;
+    Trips.push_back(std::max<int64_t>(Trip, 0));
+  }
+}
+
+bool ReuseAnalysis::familyOffsetsAllZero(int F) const {
+  assert(F >= 0 && F < NumFamilies && "bad family");
+  for (int M : FamilyMembers[F])
+    for (int64_t Off : FamilyOffsets[M])
+      if (Off != 0)
+        return false;
+  return true;
+}
+
+const ArrayRef &ReuseAnalysis::familyRep(int F) const {
+  assert(F >= 0 && F < NumFamilies && "bad family");
+  return Refs[FamilyMembers[F].front()].Ref;
+}
+
+int64_t ReuseAnalysis::tripCount(SymbolId Var) const {
+  for (size_t L = 0; L < LoopVars.size(); ++L)
+    if (LoopVars[L] == Var)
+      return Trips[L];
+  assert(false && "unknown loop variable");
+  return 0;
+}
+
+std::vector<int64_t> ReuseAnalysis::coeffVec(int F, SymbolId Var) const {
+  const ArrayRef &Rep = familyRep(F);
+  std::vector<int64_t> Coeffs;
+  Coeffs.reserve(Rep.rank());
+  for (const AffineExpr &Sub : Rep.Subs)
+    Coeffs.push_back(Sub.coeff(Var));
+  return Coeffs;
+}
+
+FamilyReuse ReuseAnalysis::reuse(int F, SymbolId Var) const {
+  FamilyReuse R;
+  const ArrayRef &Rep = familyRep(F);
+  std::vector<int64_t> Coeffs = coeffVec(F, Var);
+  bool UsesVar =
+      std::any_of(Coeffs.begin(), Coeffs.end(),
+                  [](int64_t C) { return C != 0; });
+
+  int64_t Trip = tripCount(Var);
+
+  if (!UsesVar) {
+    R.SelfTemporal = true;
+    R.Amount = static_cast<double>(Trip);
+  } else {
+    // Self-spatial: Var drives only the contiguous dimension, with unit
+    // coefficient.
+    const ArrayDecl &Decl = Nest.array(Rep.Array);
+    unsigned ContigDim = Decl.Order == Layout::ColMajor ? 0 : Rep.rank() - 1;
+    bool OnlyContig = true;
+    for (unsigned D = 0; D < Coeffs.size(); ++D)
+      if (Coeffs[D] != 0 && D != ContigDim)
+        OnlyContig = false;
+    if (OnlyContig && (Coeffs[ContigDim] == 1 || Coeffs[ContigDim] == -1)) {
+      R.SelfSpatial = true;
+      R.Amount = static_cast<double>(LineElems);
+    }
+  }
+
+  // Group-temporal: two members aligned along Var's direction.
+  if (UsesVar && FamilyMembers[F].size() > 1) {
+    const std::vector<int> &Members = FamilyMembers[F];
+    for (size_t A = 0; A < Members.size() && !R.GroupTemporal; ++A) {
+      for (size_t B = A + 1; B < Members.size(); ++B) {
+        std::vector<int64_t> Diff = FamilyOffsets[Members[B]];
+        for (size_t D = 0; D < Diff.size(); ++D)
+          Diff[D] -= FamilyOffsets[Members[A]][D];
+        auto T = solveAligned(Diff, Coeffs);
+        if (T && *T != 0) {
+          R.GroupTemporal = true;
+          R.Amount = std::max(R.Amount, static_cast<double>(Trip));
+          break;
+        }
+      }
+    }
+  }
+  return R;
+}
+
+/// Accesses saved per iteration of \p Var by exploiting family \p F's
+/// temporal reuse there: all of the family's accesses for self-temporal
+/// (the data stays put across iterations); one access per merged pair for
+/// group-temporal.
+static double perIterTemporalSavings(const ReuseAnalysis &RA, int F,
+                                     SymbolId Var, const FamilyReuse &R,
+                                     int MergedPairs) {
+  if (R.SelfTemporal)
+    return RA.familyAccessCount(F);
+  if (R.GroupTemporal)
+    return MergedPairs;
+  (void)Var;
+  return 0;
+}
+
+double
+ReuseAnalysis::temporalWeight(SymbolId Var,
+                              const std::set<int> &Exploited) const {
+  double W = 0;
+  for (int F = 0; F < NumFamilies; ++F) {
+    if (Exploited.count(F))
+      continue;
+    FamilyReuse R = reuse(F, Var);
+    if (!R.SelfTemporal && !R.GroupTemporal)
+      continue;
+    // Count merged alignment classes for group reuse.
+    int Merged = 0;
+    if (R.GroupTemporal) {
+      std::vector<int64_t> Coeffs = coeffVec(F, Var);
+      const std::vector<int> &Members = FamilyMembers[F];
+      std::vector<int> ClassOf(Members.size(), -1);
+      int Classes = 0;
+      for (size_t A = 0; A < Members.size(); ++A) {
+        if (ClassOf[A] >= 0)
+          continue;
+        ClassOf[A] = Classes++;
+        for (size_t B = A + 1; B < Members.size(); ++B) {
+          if (ClassOf[B] >= 0)
+            continue;
+          std::vector<int64_t> Diff = FamilyOffsets[Members[B]];
+          for (size_t D = 0; D < Diff.size(); ++D)
+            Diff[D] -= FamilyOffsets[Members[A]][D];
+          if (solveAligned(Diff, Coeffs))
+            ClassOf[B] = ClassOf[A];
+        }
+      }
+      Merged = static_cast<int>(Members.size()) - Classes;
+    }
+    W += perIterTemporalSavings(*this, F, Var, R, Merged) *
+         static_cast<double>(tripCount(Var));
+  }
+  return W;
+}
+
+double
+ReuseAnalysis::spatialWeight(SymbolId Var,
+                             const std::set<int> &Exploited) const {
+  double W = 0;
+  for (int F = 0; F < NumFamilies; ++F) {
+    if (Exploited.count(F))
+      continue;
+    FamilyReuse R = reuse(F, Var);
+    if (!R.SelfSpatial)
+      continue;
+    W += familyAccessCount(F) * static_cast<double>(tripCount(Var)) *
+         (static_cast<double>(LineElems) - 1) / LineElems;
+  }
+  return W;
+}
+
+std::vector<SymbolId> ReuseAnalysis::mostProfitableLoops(
+    const std::vector<SymbolId> &Candidates,
+    const std::set<int> &Exploited, bool SpatialTieBreak) const {
+  assert(!Candidates.empty() && "no candidate loops");
+  std::vector<double> TW, SW;
+  for (SymbolId V : Candidates) {
+    TW.push_back(temporalWeight(V, Exploited));
+    SW.push_back(spatialWeight(V, Exploited));
+  }
+  double MaxT = *std::max_element(TW.begin(), TW.end());
+
+  std::vector<SymbolId> Best;
+  if (MaxT > 0) {
+    for (size_t C = 0; C < Candidates.size(); ++C)
+      if (TW[C] == MaxT)
+        Best.push_back(Candidates[C]);
+    if (Best.size() <= 1 || !SpatialTieBreak)
+      return Best;
+    // Break the temporal tie by the spatial reuse each loop's *retained*
+    // families enjoy under it (reuse the loop can actually keep in this
+    // cache level).
+    std::vector<double> RetainedSW;
+    for (SymbolId V : Best) {
+      double W = 0;
+      for (int F : mostProfitableRefs(V, Exploited))
+        if (reuse(F, V).SelfSpatial)
+          W += familyAccessCount(F);
+      RetainedSW.push_back(W);
+    }
+    double MaxRS = *std::max_element(RetainedSW.begin(), RetainedSW.end());
+    std::vector<SymbolId> Narrowed;
+    for (size_t C = 0; C < Best.size(); ++C)
+      if (RetainedSW[C] == MaxRS)
+        Narrowed.push_back(Best[C]);
+    return Narrowed;
+  }
+  // No temporal reuse anywhere: fall back to spatial.
+  double MaxS = *std::max_element(SW.begin(), SW.end());
+  for (size_t C = 0; C < Candidates.size(); ++C)
+    if (SW[C] == MaxS)
+      Best.push_back(Candidates[C]);
+  return Best;
+}
+
+std::vector<int>
+ReuseAnalysis::mostProfitableRefs(SymbolId Var,
+                                  const std::set<int> &Exploited) const {
+  std::vector<double> W(NumFamilies, 0);
+  for (int F = 0; F < NumFamilies; ++F) {
+    if (Exploited.count(F))
+      continue;
+    FamilyReuse R = reuse(F, Var);
+    if (R.SelfTemporal)
+      W[F] = static_cast<double>(familyAccessCount(F)) * R.Amount;
+    else if (R.GroupTemporal)
+      W[F] = R.Amount;
+  }
+  double Max = *std::max_element(W.begin(), W.end());
+  std::vector<int> Best;
+  if (Max <= 0)
+    return Best;
+  for (int F = 0; F < NumFamilies; ++F)
+    if (W[F] == Max)
+      Best.push_back(F);
+  return Best;
+}

@@ -1,0 +1,129 @@
+//===- analysis/Reuse.h - Wolf/Lam-style reuse analysis --------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reuse analysis over uniformly generated reference families, following
+/// the framework the paper cites (Wolf, "Improving Locality and
+/// Parallelism in Nested Loops", 1992):
+///
+///  * self-temporal reuse of r in loop l: no subscript of r uses l, so the
+///    same element is touched every iteration (R_l(r) = N_l);
+///  * self-spatial reuse: l drives only the contiguous dimension with
+///    coefficient +-1, so the same cache line is touched CLS times;
+///  * group-temporal reuse: two references in the same family touch the
+///    same element a fixed number of l-iterations apart (the Jacobi
+///    B[I-1]/B[I]/B[I+1] pattern).
+///
+/// The profitability queries used by the variant-derivation algorithm
+/// (Figure 3's MostProfitableLoops / MostProfitableRefs) rank loops by the
+/// unexploited temporal reuse they carry, breaking ties with spatial reuse
+/// and returning multiple loops when genuinely tied — ties are what create
+/// multiple variants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_ANALYSIS_REUSE_H
+#define ECO_ANALYSIS_REUSE_H
+
+#include "ir/Loop.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// One reference occurrence in the nest.
+struct RefInfo {
+  ArrayRef Ref;
+  bool IsWrite = false;
+  int Family = -1; ///< uniformly-generated equivalence class
+};
+
+/// Reuse of one family in one loop.
+struct FamilyReuse {
+  bool SelfTemporal = false;
+  bool SelfSpatial = false;
+  bool GroupTemporal = false;
+  double Amount = 1; ///< R_l: trip count, line length, or 1
+};
+
+/// Reuse analysis of an (untransformed) loop nest.
+class ReuseAnalysis {
+public:
+  /// \p SizeEnv must bind the nest's problem sizes; it supplies the trip
+  /// counts N_l. \p LineElems is the cache-line length in elements used to
+  /// weight spatial reuse.
+  ReuseAnalysis(const LoopNest &Nest, const Env &SizeEnv,
+                int64_t LineElems = 8);
+
+  const std::vector<RefInfo> &refs() const { return Refs; }
+  int numFamilies() const { return NumFamilies; }
+
+  /// A representative reference of family \p F (first occurrence).
+  const ArrayRef &familyRep(int F) const;
+
+  /// Number of accesses (reads + writes) in family \p F per iteration.
+  int familyAccessCount(int F) const { return FamilyAccesses[F]; }
+
+  /// True if every member of family \p F has the same subscripts (no
+  /// constant offsets) — a requirement for the copy optimization's simple
+  /// tile regions.
+  bool familyOffsetsAllZero(int F) const;
+
+  /// The loop variables of the nest's spine, outermost first.
+  const std::vector<SymbolId> &loops() const { return LoopVars; }
+
+  /// Trip count of loop \p Var under the size environment.
+  int64_t tripCount(SymbolId Var) const;
+
+  /// Reuse of family \p F in loop \p Var.
+  FamilyReuse reuse(int F, SymbolId Var) const;
+
+  /// Temporal-reuse weight loop \p Var carries over families not in
+  /// \p Exploited: sum of accesses-saved-per-iteration * trip count.
+  double temporalWeight(SymbolId Var, const std::set<int> &Exploited) const;
+
+  /// Spatial analogue (used as a tie-breaker).
+  double spatialWeight(SymbolId Var, const std::set<int> &Exploited) const;
+
+  /// Figure 3's MostProfitableLoops: among \p Candidates, the loops
+  /// carrying maximal unexploited temporal reuse; remaining ties returned
+  /// together (=> multiple variants).
+  ///
+  /// When \p SpatialTieBreak is set (cache levels), a temporal tie is
+  /// first narrowed by the spatial reuse of each loop's retained families.
+  /// The register level passes false — registers exploit only temporal
+  /// reuse (Section 3.1.1), which is how Jacobi keeps its three-way tie
+  /// and produces variants with different loop orders.
+  std::vector<SymbolId>
+  mostProfitableLoops(const std::vector<SymbolId> &Candidates,
+                      const std::set<int> &Exploited,
+                      bool SpatialTieBreak = true) const;
+
+  /// Figure 3's MostProfitableRefs: the families with maximal temporal
+  /// reuse carried by \p Var, excluding \p Exploited.
+  std::vector<int> mostProfitableRefs(SymbolId Var,
+                                      const std::set<int> &Exploited) const;
+
+private:
+  /// Per-dimension coefficients of \p Var in family \p F's subscripts.
+  std::vector<int64_t> coeffVec(int F, SymbolId Var) const;
+
+  const LoopNest &Nest;
+  int64_t LineElems;
+  std::vector<RefInfo> Refs;
+  int NumFamilies = 0;
+  std::vector<int> FamilyAccesses;
+  std::vector<std::vector<int64_t>> FamilyOffsets; ///< flattened per member
+  std::vector<std::vector<int>> FamilyMembers;     ///< ref indices
+  std::vector<SymbolId> LoopVars;
+  std::vector<int64_t> Trips; ///< parallel to LoopVars
+};
+
+} // namespace eco
+
+#endif // ECO_ANALYSIS_REUSE_H

@@ -1,0 +1,61 @@
+//===- baselines/MiniAtlas.h - ATLAS-style self-tuning dgemm ---*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature ATLAS (Whaley/Petitet/Dongarra): the empirical-search
+/// baseline the paper compares against. Differences from ECO that this
+/// model preserves:
+///
+///  * one fixed code skeleton — a square NB x NB x NB L1 block with an
+///    MU x NU register tile (no multi-level/TLB-aware variants);
+///  * packing (copying) of the A and B blocks applied only above a size
+///    threshold — the source of ATLAS's small-size fluctuation in
+///    Figure 4(a);
+///  * an orthogonal-line/grid search over (NB, MU, NU, KU) that simply
+///    executes every candidate — no model pruning, hence several times
+///    more points than ECO's guided search (Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_BASELINES_MINIATLAS_H
+#define ECO_BASELINES_MINIATLAS_H
+
+#include "core/Search.h"
+#include "ir/Loop.h"
+
+namespace eco {
+
+/// A concrete mini-ATLAS kernel configuration.
+struct MiniAtlasConfig {
+  int64_t NB = 32;
+  int MU = 4, NU = 4, KU = 1;
+  bool Copy = true;
+};
+
+/// Result of the mini-ATLAS search.
+struct MiniAtlasResult {
+  MiniAtlasConfig Best;
+  double BestCost = 0;
+  SearchTrace Trace;
+};
+
+/// Builds the executable mini-ATLAS dgemm nest for \p Config (NB stays a
+/// symbolic parameter named "NB"; bind it when executing).
+LoopNest buildMiniAtlasNest(const MiniAtlasConfig &Config);
+
+/// Runs the ATLAS-style grid search on \p Backend at problem size \p N.
+/// \p CopyMinSize: packing is enabled only when N >= this (ATLAS's
+/// small-size behavior).
+MiniAtlasResult tuneMiniAtlas(EvalBackend &Backend, int64_t N,
+                              int64_t CopyMinSize = 96);
+
+/// Executes \p Config at size \p N on \p Backend and returns its cost.
+double evalMiniAtlas(EvalBackend &Backend, const MiniAtlasConfig &Config,
+                     int64_t N);
+
+} // namespace eco
+
+#endif // ECO_BASELINES_MINIATLAS_H

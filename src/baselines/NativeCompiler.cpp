@@ -1,0 +1,54 @@
+//===- baselines/NativeCompiler.cpp - Native-compiler models --------------===//
+
+#include "baselines/NativeCompiler.h"
+#include "analysis/Dependence.h"
+#include "analysis/Reuse.h"
+#include "transform/Permute.h"
+#include "transform/ScalarReplace.h"
+#include "transform/UnrollJam.h"
+
+#include <algorithm>
+
+using namespace eco;
+
+LoopNest eco::nativeCompiledNest(const LoopNest &Original,
+                                 NativeCompilerFlavor Flavor,
+                                 const MachineDesc &Machine) {
+  LoopNest Nest = Original.clone();
+  if (Flavor == NativeCompilerFlavor::Basic)
+    return Nest;
+
+  DependenceInfo DI = analyzeDependences(Original);
+  if (!DI.FullyPermutable)
+    return Nest; // the modeled compiler gives up too
+
+  Env SizeEnv(Original.Syms.size());
+  for (size_t S = 0; S < Original.Syms.size(); ++S)
+    if (Original.Syms.kind(static_cast<SymbolId>(S)) ==
+        SymbolKind::ProblemSize)
+      SizeEnv.set(static_cast<SymbolId>(S), 256);
+  int64_t LineElems = std::max<int64_t>(Machine.cache(0).LineBytes / 8, 1);
+  ReuseAnalysis RA(Original, SizeEnv, LineElems);
+
+  // Register-reuse loop innermost, everything else in spine order.
+  std::vector<SymbolId> Spine = RA.loops();
+  std::vector<SymbolId> Best =
+      RA.mostProfitableLoops(Spine, {}, /*SpatialTieBreak=*/true);
+  SymbolId Inner = Best.front();
+  std::vector<SymbolId> Order;
+  for (SymbolId V : Spine)
+    if (V != Inner)
+      Order.push_back(V);
+  Order.push_back(Inner);
+  permuteSpine(Nest, Order);
+
+  // Fixed modest register blocking: 4 on the loop just outside the
+  // innermost, 2 on the next one out (when they exist).
+  if (Order.size() >= 2)
+    unrollAndJam(Nest, Order[Order.size() - 2], 4);
+  if (Order.size() >= 3)
+    unrollAndJam(Nest, Order[Order.size() - 3], 2);
+  scalarReplaceInvariant(Nest, Inner);
+  rotatingScalarReplace(Nest, Inner);
+  return Nest;
+}

@@ -1,0 +1,62 @@
+//===- baselines/VendorBlas.cpp - Hand-tuned BLAS stand-in ----------------===//
+
+#include "baselines/VendorBlas.h"
+#include "analysis/Footprint.h"
+#include "kernels/Kernels.h"
+#include "transform/Copy.h"
+#include "transform/Permute.h"
+#include "transform/Prefetch.h"
+#include "transform/ScalarReplace.h"
+#include "transform/Tile.h"
+#include "transform/UnrollJam.h"
+
+#include <cmath>
+
+using namespace eco;
+
+VendorBlasKernel eco::vendorBlasMatMul(const MachineDesc &Machine) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+
+  // Paper-v1 structure: tile K and J for L1, copy the B tile, order
+  // KK JJ I J K, 4x4 register block on I/J, prefetch A.
+  TileResult TK = tileLoop(Nest, Ids.K, "KK", "TK");
+  TileResult TJ = tileLoop(Nest, Ids.J, "JJ", "TJ");
+  permuteSpine(Nest, {TK.ControlVar, TJ.ControlVar, Ids.I, Ids.J, Ids.K});
+
+  std::vector<CopyDimSpec> Dims(2);
+  Dims[0] = {AffineExpr::sym(TK.ControlVar), TK.TileParam,
+             Bound::min(AffineExpr::sym(TK.TileParam),
+                        AffineExpr::sym(Ids.N) -
+                            AffineExpr::sym(TK.ControlVar))};
+  Dims[1] = {AffineExpr::sym(TJ.ControlVar), TJ.TileParam,
+             Bound::min(AffineExpr::sym(TJ.TileParam),
+                        AffineExpr::sym(Ids.N) -
+                            AffineExpr::sym(TJ.ControlVar))};
+  applyCopy(Nest, Ids.B, /*BeforeLoopVar=*/Ids.I, "P", Dims);
+
+  unrollAndJam(Nest, Ids.I, 4);
+  unrollAndJam(Nest, Ids.J, 8);
+  scalarReplaceInvariant(Nest, Ids.K);
+  rotatingScalarReplace(Nest, Ids.K);
+
+  int LineElems =
+      std::max<int>(static_cast<int>(Machine.cache(0).LineBytes / 8), 1);
+  insertPrefetch(Nest, Ids.A, Ids.K, /*Distance=*/2 * LineElems,
+                 LineElems);
+
+  // Frozen tile sizes: the B tile fills the effective L1 capacity,
+  // biased toward TJ (long panels of B) the way the vendor libraries
+  // were tuned.
+  int64_t Cap = effectiveCapacityElems(Machine.cache(0), 8);
+  int64_t TKVal = 1, TJVal = 1;
+  while (TKVal * TJVal < Cap) {
+    if (TKVal <= 2 * TJVal)
+      TKVal *= 2;
+    else
+      TJVal *= 2;
+  }
+  VendorBlasKernel Kernel{std::move(Nest),
+                          {{"TK", TKVal}, {"TJ", TJVal}}};
+  return Kernel;
+}

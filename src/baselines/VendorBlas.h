@@ -1,0 +1,41 @@
+//===- baselines/VendorBlas.h - Hand-tuned BLAS stand-in -------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stand-in for the vendor BLAS libraries (SCSL on the SGI, SunPerf on
+/// the Sun): a dgemm tuned once by hand for each machine and then frozen.
+/// The paper treats these as the product of a manual empirical search
+/// ("on the order of days of a programmer's time"); here the frozen
+/// configuration is an ECO-style tiled + copied + register-blocked +
+/// prefetched kernel whose parameters are fixed functions of the machine
+/// description — excellent on average, but with the blind spots fixed
+/// parameters bring at unlucky problem sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_BASELINES_VENDORBLAS_H
+#define ECO_BASELINES_VENDORBLAS_H
+
+#include "exec/Run.h"
+#include "ir/Loop.h"
+#include "machine/MachineDesc.h"
+
+namespace eco {
+
+/// The frozen vendor kernel for \p Machine: the executable nest plus the
+/// fixed parameter bindings (problem size "N" still to be added by the
+/// caller).
+struct VendorBlasKernel {
+  LoopNest Nest;
+  ParamBindings FixedParams;
+};
+
+/// Builds the hand-tuned dgemm for \p Machine.
+VendorBlasKernel vendorBlasMatMul(const MachineDesc &Machine);
+
+} // namespace eco
+
+#endif // ECO_BASELINES_VENDORBLAS_H

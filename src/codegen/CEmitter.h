@@ -1,0 +1,41 @@
+//===- codegen/CEmitter.h - C code generation ------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a transformed LoopNest as a self-contained C function, mirroring
+/// the paper's SUIF source-to-source flow: ECO produced Fortran that the
+/// native compiler then compiled. The emitted function has the uniform
+/// signature
+///
+///     void <name>(const long *params, double **arrays);
+///
+/// where params is indexed by SymbolId (problem sizes and tile parameters;
+/// loop-variable slots unused) and arrays by ArrayId (the caller allocates
+/// every array, including copy buffers, at the extents implied by params).
+///
+/// Registers become local doubles, RegRotate becomes plain assignments,
+/// CopyIn becomes nested copy loops, and Prefetch becomes
+/// __builtin_prefetch — so the generated code really executes the same
+/// schedule natively that the simulator executes in model space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CODEGEN_CEMITTER_H
+#define ECO_CODEGEN_CEMITTER_H
+
+#include "ir/Loop.h"
+
+#include <string>
+
+namespace eco {
+
+/// Emits \p Nest as a complete C translation unit defining
+/// `void FnName(const long *params, double **arrays)`.
+std::string emitC(const LoopNest &Nest, const std::string &FnName);
+
+} // namespace eco
+
+#endif // ECO_CODEGEN_CEMITTER_H

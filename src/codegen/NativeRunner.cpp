@@ -1,0 +1,114 @@
+//===- codegen/NativeRunner.cpp - Compile-and-run backend -----------------===//
+
+#include "codegen/NativeRunner.h"
+#include "codegen/CEmitter.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <unistd.h>
+
+using namespace eco;
+
+static std::atomic<int> UniqueId{0};
+
+std::unique_ptr<NativeKernel> NativeKernel::compile(const LoopNest &Nest,
+                                                    std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return nullptr;
+  };
+
+  std::string Tag = std::to_string(getpid()) + "_" +
+                    std::to_string(UniqueId.fetch_add(1));
+  std::string CPath = "/tmp/eco_native_" + Tag + ".c";
+  std::string SoPath = "/tmp/eco_native_" + Tag + ".so";
+
+  auto Kernel = std::unique_ptr<NativeKernel>(new NativeKernel());
+  Kernel->Source = emitC(Nest, "eco_kernel");
+  {
+    std::ofstream OS(CPath);
+    if (!OS)
+      return Fail("cannot write " + CPath);
+    OS << Kernel->Source;
+  }
+
+  std::string Cmd = "cc -O2 -shared -fPIC -o " + SoPath + " " + CPath +
+                    " 2> " + CPath + ".log";
+  int RC = std::system(Cmd.c_str());
+  if (RC != 0) {
+    std::ifstream Log(CPath + ".log");
+    std::string Msg((std::istreambuf_iterator<char>(Log)),
+                    std::istreambuf_iterator<char>());
+    std::remove(CPath.c_str());
+    std::remove((CPath + ".log").c_str());
+    return Fail("native compile failed: " + Msg);
+  }
+  std::remove(CPath.c_str());
+  std::remove((CPath + ".log").c_str());
+
+  Kernel->Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Kernel->Handle) {
+    std::remove(SoPath.c_str());
+    return Fail(std::string("dlopen failed: ") + dlerror());
+  }
+  Kernel->Fn = reinterpret_cast<FnType>(dlsym(Kernel->Handle, "eco_kernel"));
+  if (!Kernel->Fn) {
+    std::remove(SoPath.c_str());
+    return Fail("dlsym failed");
+  }
+  Kernel->SoPath = SoPath;
+  return Kernel;
+}
+
+NativeKernel::~NativeKernel() {
+  if (Handle)
+    dlclose(Handle);
+  if (!SoPath.empty())
+    std::remove(SoPath.c_str());
+}
+
+NativeRunResult eco::runNative(const LoopNest &Nest,
+                               const ParamBindings &Bindings, double Flops,
+                               int Repeats) {
+  NativeRunResult Result;
+  std::string Error;
+  std::unique_ptr<NativeKernel> Kernel = NativeKernel::compile(Nest, &Error);
+  if (!Kernel) {
+    Result.Error = std::move(Error);
+    return Result;
+  }
+  Result.CompileOk = true;
+
+  Env E = makeEnv(Nest, Bindings);
+  std::vector<long> Params(Nest.Syms.size(), 0);
+  for (size_t S = 0; S < Params.size(); ++S)
+    Params[S] = static_cast<long>(E.get(static_cast<SymbolId>(S)));
+
+  // Allocate and deterministically fill every array.
+  std::vector<std::vector<double>> Storage;
+  std::vector<double *> Arrays;
+  Rng R(12345);
+  for (size_t A = 0; A < Nest.Arrays.size(); ++A) {
+    int64_t Elems = Nest.Arrays[A].numElements(E);
+    Storage.emplace_back(static_cast<size_t>(Elems));
+    for (double &V : Storage.back())
+      V = R.nextDouble();
+    Arrays.push_back(Storage.back().data());
+  }
+
+  double Best = 1e100;
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    Timer T;
+    Kernel->run(Params.data(), Arrays.data());
+    Best = std::min(Best, T.seconds());
+  }
+  Result.Seconds = Best;
+  Result.Mflops = Best > 0 ? Flops / Best / 1e6 : 0;
+  return Result;
+}

@@ -1,0 +1,72 @@
+//===- codegen/NativeRunner.h - Compile-and-run backend --------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a transformed LoopNest natively on the build host: emit C (the
+/// paper emitted Fortran from SUIF), compile it with the system C compiler
+/// into a shared object, dlopen it, and time the call. This is the "real
+/// hardware" counterpart to the simulator backend — the same two-phase
+/// ECO search can drive either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CODEGEN_NATIVERUNNER_H
+#define ECO_CODEGEN_NATIVERUNNER_H
+
+#include "exec/Run.h"
+#include "ir/Loop.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// A compiled-and-loaded kernel with the uniform emitC signature.
+class NativeKernel {
+public:
+  using FnType = void (*)(const long *Params, double **Arrays);
+
+  /// Emits, compiles (cc -O2 -shared), and loads \p Nest. Returns nullptr
+  /// and fills \p Error on failure.
+  static std::unique_ptr<NativeKernel> compile(const LoopNest &Nest,
+                                               std::string *Error = nullptr);
+
+  ~NativeKernel();
+  NativeKernel(const NativeKernel &) = delete;
+  NativeKernel &operator=(const NativeKernel &) = delete;
+
+  /// Invokes the kernel. \p Params indexed by SymbolId, \p Arrays by
+  /// ArrayId (see emitC).
+  void run(const long *Params, double **Arrays) const { Fn(Params, Arrays); }
+
+  const std::string &source() const { return Source; }
+
+private:
+  NativeKernel() = default;
+  void *Handle = nullptr;
+  FnType Fn = nullptr;
+  std::string Source;
+  std::string SoPath;
+};
+
+/// Result of one timed native execution.
+struct NativeRunResult {
+  double Seconds = 0;   ///< best-of-repeats wall time of one kernel call
+  double Mflops = 0;    ///< using \p Flops from the caller
+  bool CompileOk = false;
+  std::string Error;
+};
+
+/// Convenience: compile \p Nest, allocate its arrays (deterministically
+/// filled), run \p Repeats times, and report the best time.
+/// \p Flops is the kernel's FP-operation count for the MFLOPS rate.
+NativeRunResult runNative(const LoopNest &Nest, const ParamBindings &Bindings,
+                          double Flops, int Repeats = 3);
+
+} // namespace eco
+
+#endif // ECO_CODEGEN_NATIVERUNNER_H

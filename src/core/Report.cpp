@@ -1,0 +1,59 @@
+//===- core/Report.cpp - Human-readable tuning reports ---------------------===//
+
+#include "core/Report.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+using namespace eco;
+
+std::string eco::renderReport(const TuneResult &Result,
+                              const MachineDesc &Machine,
+                              const ReportOptions &Opts) {
+  std::string Out;
+  Out += "ECO tuning report\n";
+  Out += "=================\n\n";
+  Out += "machine: " + Machine.summary() + "\n";
+  Out += strformat("variants derived: %zu   points evaluated: %zu   "
+                   "wall time: %.1fs\n\n",
+                   Result.Variants.size(), Result.TotalPoints,
+                   Result.TotalSeconds);
+
+  // Phase 1 inventory.
+  if (Opts.IncludeVariantDetails) {
+    Out += "Phase 1 - derived variants and constraints\n";
+    Out += "------------------------------------------\n";
+    for (const DerivedVariant &V : Result.Variants)
+      Out += V.describe() + "\n";
+  }
+
+  // Phase 2 summary table.
+  Out += "Phase 2 - model ranking and guided search\n";
+  Out += "-----------------------------------------\n";
+  Table T({"Variant", "Heuristic " + Opts.CostUnit, "Searched", "Best",
+           "Points", "Seconds", "Best configuration"});
+  for (const VariantSummary &S : Result.Summaries) {
+    T.addRow({S.Name, strformat("%.6g", S.HeuristicCost),
+              S.Searched ? "yes" : "pruned",
+              S.Searched ? strformat("%.6g", S.BestCost) : "-",
+              S.Searched ? std::to_string(S.Points) : "-",
+              S.Searched ? strformat("%.1f", S.Seconds) : "-",
+              S.Searched ? S.BestConfig : ""});
+  }
+  Out += T.render() + "\n";
+
+  if (Result.BestVariant < 0) {
+    Out += "RESULT: no feasible variant found\n";
+    return Out;
+  }
+
+  Out += strformat("winner: %s at %.6g %s\n",
+                   Result.best().configString(Result.BestConfig).c_str(),
+                   Result.BestCost, Opts.CostUnit.c_str());
+
+  if (Opts.IncludeOptimizedCode) {
+    Out += "\nOptimized code (tile parameters symbolic)\n";
+    Out += "------------------------------------------\n";
+    Out += Result.BestExecutable.print();
+  }
+  return Out;
+}

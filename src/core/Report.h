@@ -1,0 +1,39 @@
+//===- core/Report.h - Human-readable tuning reports -----------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a TuneResult into a self-contained plain-text report: machine,
+/// variant inventory with constraints (Table 4 style), model-ranking
+/// outcome, per-variant search summaries, the winning configuration, and
+/// the optimized code. Used by the CLI (--report) and by downstream users
+/// who want an audit trail of what the tuner did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CORE_REPORT_H
+#define ECO_CORE_REPORT_H
+
+#include "core/Tuner.h"
+
+#include <string>
+
+namespace eco {
+
+/// Options controlling report contents.
+struct ReportOptions {
+  bool IncludeVariantDetails = true; ///< full Table 4 style descriptions
+  bool IncludeOptimizedCode = true;  ///< pseudo-code of the winner
+  std::string CostUnit = "cycles";
+};
+
+/// Renders \p Result (produced by tune()) for \p Machine.
+std::string renderReport(const TuneResult &Result,
+                         const MachineDesc &Machine,
+                         const ReportOptions &Opts = {});
+
+} // namespace eco
+
+#endif // ECO_CORE_REPORT_H

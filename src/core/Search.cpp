@@ -1,0 +1,471 @@
+//===- core/Search.cpp - Phase 2: model-guided empirical search ----------===//
+
+#include "core/Search.h"
+#include "codegen/CEmitter.h"
+#include "codegen/NativeRunner.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace eco;
+
+double SimEvalBackend::evaluate(const LoopNest &Executable,
+                                const Env &Config) {
+  MemHierarchySim Sim(Machine);
+  Executor Exec(Executable, Config, Sim);
+  Exec.run();
+  return Sim.counters().cycles();
+}
+
+double NativeEvalBackend::evaluate(const LoopNest &Executable,
+                                   const Env &Config) {
+  // Compiled kernels are cached by source text: tile-size changes reuse
+  // the binary (tiles are runtime parameters of the emitted function).
+  static std::map<std::string, std::unique_ptr<NativeKernel>> KernelCache;
+  std::string Src = emitC(Executable, "eco_kernel");
+  auto It = KernelCache.find(Src);
+  if (It == KernelCache.end()) {
+    std::string Error;
+    std::unique_ptr<NativeKernel> Fresh =
+        NativeKernel::compile(Executable, &Error);
+    if (!Fresh)
+      return std::numeric_limits<double>::infinity();
+    It = KernelCache.emplace(Src, std::move(Fresh)).first;
+  }
+  NativeKernel *Kernel = It->second.get();
+
+  std::vector<long> Params(Executable.Syms.size(), 0);
+  for (size_t S = 0; S < Params.size(); ++S)
+    if (S < Config.size())
+      Params[S] = static_cast<long>(Config.get(static_cast<SymbolId>(S)));
+
+  std::vector<std::vector<double>> Storage;
+  std::vector<double *> Arrays;
+  Rng R(99);
+  for (size_t A = 0; A < Executable.Arrays.size(); ++A) {
+    int64_t Elems = Executable.Arrays[A].numElements(Config);
+    Storage.emplace_back(static_cast<size_t>(Elems));
+    for (double &V : Storage.back())
+      V = R.nextDouble();
+    Arrays.push_back(Storage.back().data());
+  }
+
+  double Best = std::numeric_limits<double>::infinity();
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    Timer T;
+    Kernel->run(Params.data(), Arrays.data());
+    Best = std::min(Best, T.seconds());
+  }
+  return Best;
+}
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// Largest power of two <= max(V, 1).
+int64_t floorPow2(int64_t V) {
+  int64_t P = 1;
+  while (P * 2 <= std::max<int64_t>(V, 1))
+    P *= 2;
+  return P;
+}
+
+/// The tile parameters a cache level's stage searches: its newly tiled
+/// loops plus every tile parameter in its capacity constraint.
+std::vector<SymbolId> stageTileParams(const DerivedVariant &V,
+                                      const CacheLevelPlan &CL) {
+  std::vector<SymbolId> Params;
+  auto add = [&Params](SymbolId P) {
+    if (std::find(Params.begin(), Params.end(), P) == Params.end())
+      Params.push_back(P);
+  };
+  for (SymbolId Var : CL.NewTiledLoops)
+    add(V.TileParamOf.at(Var));
+  if (CL.CapConstraintIdx >= 0) {
+    std::set<SymbolId> TileParams;
+    for (const auto &[Var, Param] : V.TileParamOf)
+      TileParams.insert(Param);
+    for (const ProductTerm &T :
+         V.Constraints[CL.CapConstraintIdx].Terms)
+      for (SymbolId P : T.Params)
+        if (TileParams.count(P))
+          add(P);
+  }
+  return Params;
+}
+
+} // namespace
+
+std::vector<std::vector<SymbolId>>
+eco::searchStages(const DerivedVariant &V) {
+  std::vector<std::vector<SymbolId>> Stages;
+  for (const CacheLevelPlan &CL : V.Spec.CacheLevels) {
+    std::vector<SymbolId> Params = stageTileParams(V, CL);
+    if (Params.empty())
+      continue;
+    // Merge with any existing stage sharing a parameter.
+    bool Merged = false;
+    for (std::vector<SymbolId> &Stage : Stages) {
+      bool Shares = false;
+      for (SymbolId P : Params)
+        if (std::find(Stage.begin(), Stage.end(), P) != Stage.end())
+          Shares = true;
+      if (!Shares)
+        continue;
+      for (SymbolId P : Params)
+        if (std::find(Stage.begin(), Stage.end(), P) == Stage.end())
+          Stage.push_back(P);
+      Merged = true;
+      break;
+    }
+    if (!Merged)
+      Stages.push_back(std::move(Params));
+  }
+  return Stages;
+}
+
+Env eco::initialConfig(const DerivedVariant &V, const MachineDesc &Machine,
+                       const ParamBindings &Problem) {
+  const LoopNest &Nest = V.Skeleton;
+  Env E(Nest.Syms.size());
+  for (const auto &[Name, Value] : Problem) {
+    SymbolId Id = Nest.Syms.lookup(Name);
+    assert(Id >= 0 && "problem binding names an unknown symbol");
+    E.set(Id, Value);
+  }
+
+  // Register stage: the initial register tile is the register file.
+  int64_t RegLimit = V.RegConstraintIdx >= 0
+                         ? V.Constraints[V.RegConstraintIdx].Limit
+                         : Machine.FpRegisters;
+  size_t NumUnrolls = V.Spec.Unrolls.size();
+  if (NumUnrolls > 0) {
+    int Bits = 0;
+    while ((1 << (Bits + 1)) <= RegLimit)
+      ++Bits;
+    for (size_t U = 0; U < NumUnrolls; ++U) {
+      int Share = Bits / static_cast<int>(NumUnrolls) +
+                  (U < Bits % NumUnrolls ? 1 : 0);
+      int64_t Factor = std::min<int64_t>(int64_t(1) << Share, 16);
+      E.set(V.Spec.Unrolls[U].FactorParam, std::max<int64_t>(Factor, 1));
+    }
+  }
+
+  // Cache stages: footprint = effective capacity, split evenly in log
+  // space across the stage's unset parameters.
+  std::set<SymbolId> Assigned;
+  for (const CacheLevelPlan &CL : V.Spec.CacheLevels) {
+    std::vector<SymbolId> Params;
+    for (SymbolId P : stageTileParams(V, CL))
+      if (!Assigned.count(P))
+        Params.push_back(P);
+    if (Params.empty())
+      continue;
+    int64_t Limit = CL.CapConstraintIdx >= 0
+                        ? V.Constraints[CL.CapConstraintIdx].Limit
+                        : effectiveCapacityElems(Machine.cache(CL.Level), 8);
+    // Base: the constraint's LHS with these parameters forced to 1.
+    int64_t Base = 1;
+    if (CL.CapConstraintIdx >= 0) {
+      Env Probe = E;
+      for (SymbolId P : Params)
+        Probe.set(P, 1);
+      Base = std::max<int64_t>(
+          V.Constraints[CL.CapConstraintIdx].lhs(Probe), 1);
+    }
+    int64_t Residual = std::max<int64_t>(Limit / Base, 1);
+    int Bits = 0;
+    while ((int64_t(1) << (Bits + 1)) <= Residual)
+      ++Bits;
+    for (size_t P = 0; P < Params.size(); ++P) {
+      int Share = Bits / static_cast<int>(Params.size()) +
+                  (P < Bits % Params.size() ? 1 : 0);
+      E.set(Params[P], std::max<int64_t>(int64_t(1) << Share, 1));
+      Assigned.insert(Params[P]);
+    }
+  }
+
+  // Any tile parameter not covered above (no constraint) gets the L1
+  // heuristic size; prefetch distances start at 0 (off).
+  for (const auto &[Var, Param] : V.TileParamOf)
+    if (!Assigned.count(Param) && E.get(Param) == 0)
+      E.set(Param, floorPow2(static_cast<int64_t>(std::sqrt(
+                       effectiveCapacityElems(Machine.cache(0), 8)))));
+  for (const PrefetchSpec &P : V.Prefetch)
+    E.set(P.DistanceParam, 0);
+
+  // Repair: halve the largest tile until every constraint holds.
+  for (int Guard = 0; Guard < 64 && !V.feasible(E); ++Guard) {
+    SymbolId Largest = -1;
+    int64_t LargestVal = 1;
+    for (const auto &[Var, Param] : V.TileParamOf)
+      if (E.get(Param) > LargestVal) {
+        LargestVal = E.get(Param);
+        Largest = Param;
+      }
+    if (Largest < 0)
+      break;
+    E.set(Largest, LargestVal / 2);
+  }
+  return E;
+}
+
+namespace {
+
+/// Drives the Section 3.2 search for one variant.
+class Searcher {
+public:
+  Searcher(const DerivedVariant &V, EvalBackend &B,
+           const ParamBindings &Problem, const SearchOptions &Opts)
+      : V(V), B(B), Opts(Opts) {
+    Cur = initialConfig(V, B.machine(), Problem);
+    for (const auto &[Var, Param] : V.TileParamOf)
+      TileParams.push_back(Param);
+    for (const UnrollSpec &U : V.Spec.Unrolls)
+      UnrollParams.push_back(U.FactorParam);
+    for (const PrefetchSpec &P : V.Prefetch)
+      PfParams.push_back(P.DistanceParam);
+  }
+
+  VariantSearchResult run() {
+    Timer Elapsed;
+    CurCost = eval(Cur);
+    // If even the heuristic point is infeasible something is off; bail
+    // with what we have.
+    if (CurCost < Inf) {
+      // Stage 1: register factors.
+      if (!UnrollParams.empty()) {
+        shapeSearch(UnrollParams);
+        linearRefine(UnrollParams, 1);
+      }
+      // Stage 2..: tile stages.
+      for (const std::vector<SymbolId> &Stage : searchStages(V)) {
+        footprintSearch(Stage);
+        linearRefine(Stage, lineElems());
+      }
+      // Stage 3: prefetch, one structure at a time.
+      if (Opts.SearchPrefetch)
+        prefetchSearch();
+      // Stage 4: post-prefetch tile adjustment.
+      if (Opts.AdjustAfterPrefetch && anyPrefetchOn())
+        adjustInnermostTile();
+    }
+
+    VariantSearchResult R;
+    R.BestConfig = Cur;
+    R.BestCost = CurCost;
+    R.Trace = std::move(Trace);
+    R.Trace.Seconds = Elapsed.seconds();
+    return R;
+  }
+
+private:
+  int64_t lineElems() const {
+    return std::max<int64_t>(B.machine().cache(0).LineBytes / 8, 1);
+  }
+
+  bool withinBounds(const Env &E) const {
+    for (SymbolId P : UnrollParams) {
+      int64_t F = E.get(P);
+      if (F < 1 || F > Opts.MaxUnroll)
+        return false;
+    }
+    for (SymbolId P : TileParams) {
+      int64_t T = E.get(P);
+      if (T < 1 || T > Opts.MaxTile)
+        return false;
+    }
+    for (SymbolId P : PfParams) {
+      int64_t D = E.get(P);
+      if (D < 0 || D > Opts.MaxPrefetchDistance)
+        return false;
+    }
+    return true;
+  }
+
+  double eval(const Env &E) {
+    if (!withinBounds(E) || !V.feasible(E))
+      return Inf;
+    std::string Key = V.configString(E);
+    auto Cached = CostCache.find(Key);
+    if (Cached != CostCache.end())
+      return Cached->second;
+
+    // Instantiation depends only on unroll factors and prefetch
+    // distances; tiles stay symbolic.
+    std::string InstKey;
+    for (SymbolId P : UnrollParams)
+      InstKey += std::to_string(E.get(P)) + ",";
+    for (SymbolId P : PfParams)
+      InstKey += std::to_string(E.get(P)) + ",";
+    auto InstIt = InstCache.find(InstKey);
+    if (InstIt == InstCache.end())
+      InstIt = InstCache.emplace(InstKey, V.instantiate(E, B.machine()))
+                   .first;
+
+    double Cost = B.evaluate(InstIt->second, E);
+    CostCache[Key] = Cost;
+    Trace.Points.push_back({Key, Cost});
+    return Cost;
+  }
+
+  /// Evaluates \p Cand; adopts it when strictly better.
+  bool tryAccept(const Env &Cand) {
+    double Cost = eval(Cand);
+    if (Cost < CurCost) {
+      Cur = Cand;
+      CurCost = Cost;
+      return true;
+    }
+    return false;
+  }
+
+  /// Binary tile-shape search at (roughly) constant footprint.
+  void shapeSearch(const std::vector<SymbolId> &Params) {
+    if (Params.size() < 2)
+      return;
+    bool Improved = true;
+    while (Improved) {
+      Improved = false;
+      for (SymbolId Up : Params) {
+        for (SymbolId Down : Params) {
+          if (Up == Down)
+            continue;
+          Env Cand = Cur;
+          int64_t NewDown = std::max<int64_t>(Cur.get(Down) / 2, 1);
+          if (NewDown == Cur.get(Down))
+            continue;
+          Cand.set(Up, Cur.get(Up) * 2);
+          Cand.set(Down, NewDown);
+          if (tryAccept(Cand))
+            Improved = true;
+        }
+      }
+    }
+  }
+
+  /// Shape search, then halve the footprint (largest parameter) while
+  /// the re-searched smaller footprint keeps winning.
+  void footprintSearch(const std::vector<SymbolId> &Params) {
+    shapeSearch(Params);
+    while (true) {
+      // Halve the largest parameter.
+      SymbolId Largest = -1;
+      int64_t LargestVal = 1;
+      for (SymbolId P : Params)
+        if (Cur.get(P) > LargestVal) {
+          LargestVal = Cur.get(P);
+          Largest = P;
+        }
+      if (Largest < 0)
+        return;
+      Env Shrunk = Cur;
+      Shrunk.set(Largest, LargestVal / 2);
+
+      Env PrevBest = Cur;
+      double PrevCost = CurCost;
+      double ShrunkCost = eval(Shrunk);
+      if (ShrunkCost >= Inf)
+        return;
+      Cur = Shrunk;
+      CurCost = ShrunkCost;
+      shapeSearch(Params);
+      if (CurCost >= PrevCost) {
+        Cur = PrevBest;
+        CurCost = PrevCost;
+        return;
+      }
+    }
+  }
+
+  /// Small +-step walk on each parameter.
+  void linearRefine(const std::vector<SymbolId> &Params, int64_t Step) {
+    for (SymbolId P : Params) {
+      for (int64_t Dir : {+1, -1}) {
+        for (int S = 0; S < Opts.LinearRefineSteps; ++S) {
+          Env Cand = Cur;
+          Cand.set(P, Cur.get(P) + Dir * Step);
+          if (!tryAccept(Cand))
+            break;
+        }
+      }
+    }
+  }
+
+  /// Try prefetching each data structure, one at a time: distance 1,
+  /// then climb while improving; keep or drop (Section 3.2).
+  void prefetchSearch() {
+    for (SymbolId P : PfParams) {
+      Env Cand = Cur;
+      Cand.set(P, 1);
+      if (!tryAccept(Cand))
+        continue; // no benefit: leave off
+      for (int64_t D = 2; D <= Opts.MaxPrefetchDistance; D *= 2) {
+        Env Climb = Cur;
+        Climb.set(P, D);
+        if (!tryAccept(Climb))
+          break;
+      }
+    }
+  }
+
+  bool anyPrefetchOn() const {
+    for (SymbolId P : PfParams)
+      if (Cur.get(P) > 0)
+        return true;
+    return false;
+  }
+
+  /// Grow the innermost loop's tile (prefetch works better with longer
+  /// inner streams), shrinking other tiles to stay feasible.
+  void adjustInnermostTile() {
+    auto It = V.TileParamOf.find(V.Spec.RegLoop);
+    if (It == V.TileParamOf.end())
+      return;
+    SymbolId Inner = It->second;
+    while (true) {
+      Env Cand = Cur;
+      Cand.set(Inner, Cur.get(Inner) * 2);
+      // Restore feasibility by halving the largest other tile.
+      for (int Guard = 0; Guard < 32 && !V.feasible(Cand); ++Guard) {
+        SymbolId Largest = -1;
+        int64_t LargestVal = 1;
+        for (SymbolId P : TileParams)
+          if (P != Inner && Cand.get(P) > LargestVal) {
+            LargestVal = Cand.get(P);
+            Largest = P;
+          }
+        if (Largest < 0)
+          break;
+        Cand.set(Largest, LargestVal / 2);
+      }
+      if (!tryAccept(Cand))
+        return;
+    }
+  }
+
+  const DerivedVariant &V;
+  EvalBackend &B;
+  SearchOptions Opts;
+
+  Env Cur;
+  double CurCost = Inf;
+  SearchTrace Trace;
+  std::map<std::string, double> CostCache;
+  std::map<std::string, LoopNest> InstCache;
+  std::vector<SymbolId> TileParams, UnrollParams, PfParams;
+};
+
+} // namespace
+
+VariantSearchResult eco::searchVariant(const DerivedVariant &Variant,
+                                       EvalBackend &Backend,
+                                       const ParamBindings &Problem,
+                                       const SearchOptions &Opts) {
+  return Searcher(Variant, Backend, Problem, Opts).run();
+}

@@ -1,0 +1,173 @@
+//===- core/Search.h - Phase 2: model-guided empirical search --*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 3.2 search, per variant:
+///
+///  1. staged tiling search — stages follow the memory levels (register
+///     factors first, then each cache level's tile parameters; parameters
+///     shared between levels merge their stages). Each stage starts from
+///     the model heuristic (footprint = effective capacity, register tile
+///     = register file), then runs a binary tile-shape search (double one
+///     dimension, halve another at constant footprint), halves the
+///     footprint while that helps, and finishes with a small linear
+///     refinement;
+///  2. prefetch search — one data structure at a time: try distance 1,
+///     climb while improving, keep or drop;
+///  3. post-prefetch tile adjustment — grow the innermost loop's tile
+///     (shrinking others to stay within constraints) while it helps.
+///
+/// Every evaluation instantiates the variant for the configuration's
+/// unroll/prefetch values (cached), binds the tile parameters, and runs it
+/// on an EvalBackend: the memory-hierarchy simulator (cycles) or the
+/// native compile-and-run backend (seconds). Infeasible configurations
+/// (violating any model constraint) are rejected without execution —
+/// that is how the models prune the search space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CORE_SEARCH_H
+#define ECO_CORE_SEARCH_H
+
+#include "core/Variant.h"
+#include "exec/Run.h"
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// Where variants get executed and measured.
+class EvalBackend {
+public:
+  virtual ~EvalBackend() = default;
+
+  /// Executes \p Executable under \p Config (which binds problem sizes
+  /// and tile parameters) and returns a cost — lower is better.
+  virtual double evaluate(const LoopNest &Executable, const Env &Config) = 0;
+
+  virtual const MachineDesc &machine() const = 0;
+};
+
+/// Runs variants on the memory-hierarchy simulator; cost = cycles.
+class SimEvalBackend : public EvalBackend {
+public:
+  explicit SimEvalBackend(MachineDesc M) : Machine(std::move(M)) {}
+
+  double evaluate(const LoopNest &Executable, const Env &Config) override;
+  const MachineDesc &machine() const override { return Machine; }
+
+private:
+  MachineDesc Machine;
+};
+
+/// Wraps another backend to evaluate each configuration at several
+/// problem sizes and sum the costs. The paper executes variants "with
+/// representative input data sets" (plural); summing over a small size
+/// set keeps the search from overfitting one size's cache-aliasing
+/// accidents — important on the scaled machines, where many sizes are
+/// near-pathological.
+class MultiSizeEvalBackend : public EvalBackend {
+public:
+  /// \p SizeName names the problem-size symbol (e.g. "N").
+  MultiSizeEvalBackend(EvalBackend &Inner, std::string SizeName,
+                       std::vector<int64_t> Sizes)
+      : Inner(Inner), SizeName(std::move(SizeName)),
+        Sizes(std::move(Sizes)) {
+    assert(!this->Sizes.empty() && "need at least one size");
+  }
+
+  double evaluate(const LoopNest &Executable, const Env &Config) override {
+    SymbolId Id = Executable.Syms.lookup(SizeName);
+    assert(Id >= 0 && "size symbol not found");
+    double Total = 0;
+    for (int64_t N : Sizes) {
+      Env E = Config;
+      E.set(Id, N);
+      Total += Inner.evaluate(Executable, E);
+    }
+    return Total;
+  }
+
+  const MachineDesc &machine() const override { return Inner.machine(); }
+
+private:
+  EvalBackend &Inner;
+  std::string SizeName;
+  std::vector<int64_t> Sizes;
+};
+
+/// Runs variants natively (emit C + cc + dlopen); cost = seconds.
+/// Requires a working host C compiler.
+class NativeEvalBackend : public EvalBackend {
+public:
+  /// \p Machine describes the host (used for line sizes / heuristics).
+  /// \p Repeats: best-of timing repetitions.
+  NativeEvalBackend(MachineDesc M, int Repeats = 3)
+      : Machine(std::move(M)), Repeats(Repeats) {}
+
+  double evaluate(const LoopNest &Executable, const Env &Config) override;
+  const MachineDesc &machine() const override { return Machine; }
+
+private:
+  MachineDesc Machine;
+  int Repeats;
+};
+
+/// Search knobs.
+struct SearchOptions {
+  int MaxUnroll = 16;
+  int MaxPrefetchDistance = 64;
+  int64_t MaxTile = 1 << 16;
+  bool SearchPrefetch = true;
+  bool AdjustAfterPrefetch = true;
+  int LinearRefineSteps = 2; ///< +-step attempts per parameter
+};
+
+/// One evaluated point.
+struct SearchPoint {
+  std::string Config;
+  double Cost;
+};
+
+/// The paper reports search cost as points visited and wall time (4.3).
+struct SearchTrace {
+  std::vector<SearchPoint> Points; ///< unique evaluations, in order
+  double Seconds = 0;
+  size_t numEvaluations() const { return Points.size(); }
+};
+
+/// Outcome of searching one variant.
+struct VariantSearchResult {
+  Env BestConfig;
+  double BestCost = std::numeric_limits<double>::infinity();
+  SearchTrace Trace;
+};
+
+/// The model heuristic's initial configuration for \p Variant (stage
+/// initial values; prefetch off). Public so the Tuner can rank variants
+/// by their heuristic point before committing to full searches.
+Env initialConfig(const DerivedVariant &Variant, const MachineDesc &Machine,
+                  const ParamBindings &Problem);
+
+/// The tile-parameter stages the search will walk, in order: one stage
+/// per cache level, with stages merged when they share a parameter (the
+/// paper's rule for parameters like TK that affect both L1 and L2 — "the
+/// search of tiling parameters for both levels is performed in the same
+/// stage"). Exposed for diagnostics and tests.
+std::vector<std::vector<SymbolId>> searchStages(const DerivedVariant &V);
+
+/// Runs the full Section 3.2 search for one variant.
+VariantSearchResult searchVariant(const DerivedVariant &Variant,
+                                  EvalBackend &Backend,
+                                  const ParamBindings &Problem,
+                                  const SearchOptions &Opts = {});
+
+} // namespace eco
+
+#endif // ECO_CORE_SEARCH_H

@@ -1,0 +1,84 @@
+//===- core/Tuner.cpp - The two-phase ECO facade ---------------------------===//
+
+#include "core/Tuner.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace eco;
+
+TuneResult eco::tune(const LoopNest &Original, EvalBackend &Backend,
+                     const ParamBindings &Problem, const TuneOptions &Opts) {
+  Timer Total;
+  TuneResult Result;
+
+  // Use the actual problem size as the representative size for the
+  // reuse/footprint models when the caller did not override it.
+  DeriveOptions DOpts = Opts.Derive;
+  for (const auto &[Name, Value] : Problem) {
+    SymbolId Id = Original.Syms.lookup(Name);
+    if (Id >= 0 && Original.Syms.kind(Id) == SymbolKind::ProblemSize)
+      DOpts.RepresentativeSize = std::max(DOpts.RepresentativeSize == 256
+                                              ? Value
+                                              : DOpts.RepresentativeSize,
+                                          Value);
+  }
+
+  Result.Variants = deriveVariants(Original, Backend.machine(), DOpts);
+
+  // Rank variants by their model-heuristic initial point (one evaluation
+  // each) — the models' second pruning role.
+  struct Ranked {
+    size_t Index;
+    double Cost;
+  };
+  std::vector<Ranked> Ranking;
+  Result.Summaries.resize(Result.Variants.size());
+  for (size_t VI = 0; VI < Result.Variants.size(); ++VI) {
+    const DerivedVariant &V = Result.Variants[VI];
+    Env Init = initialConfig(V, Backend.machine(), Problem);
+    double Cost = std::numeric_limits<double>::infinity();
+    if (V.feasible(Init)) {
+      LoopNest Inst = V.instantiate(Init, Backend.machine());
+      Cost = Backend.evaluate(Inst, Init);
+    }
+    ++Result.TotalPoints;
+    Ranking.push_back({VI, Cost});
+    Result.Summaries[VI].Name = V.Spec.Name;
+    Result.Summaries[VI].HeuristicCost = Cost;
+  }
+  std::stable_sort(Ranking.begin(), Ranking.end(),
+                   [](const Ranked &A, const Ranked &B) {
+                     return A.Cost < B.Cost;
+                   });
+
+  // Full search on the top candidates.
+  Result.BestCost = std::numeric_limits<double>::infinity();
+  size_t ToSearch =
+      std::min<size_t>(Opts.MaxVariantsToSearch, Ranking.size());
+  for (size_t R = 0; R < ToSearch; ++R) {
+    size_t VI = Ranking[R].Index;
+    const DerivedVariant &V = Result.Variants[VI];
+    VariantSearchResult SR = searchVariant(V, Backend, Problem, Opts.Search);
+
+    VariantSummary &Sum = Result.Summaries[VI];
+    Sum.Searched = true;
+    Sum.BestCost = SR.BestCost;
+    Sum.BestConfig = V.configString(SR.BestConfig);
+    Sum.Points = SR.Trace.numEvaluations();
+    Sum.Seconds = SR.Trace.Seconds;
+    Result.TotalPoints += Sum.Points;
+
+    if (SR.BestCost < Result.BestCost) {
+      Result.BestCost = SR.BestCost;
+      Result.BestVariant = static_cast<int>(VI);
+      Result.BestConfig = SR.BestConfig;
+    }
+  }
+
+  if (Result.BestVariant >= 0)
+    Result.BestExecutable = Result.Variants[Result.BestVariant].instantiate(
+        Result.BestConfig, Backend.machine());
+  Result.TotalSeconds = Total.seconds();
+  return Result;
+}

@@ -1,0 +1,80 @@
+//===- core/Tuner.h - The two-phase ECO facade -----------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level entry point tying the two phases together:
+///
+///   phase 1  deriveVariants  — models propose few variants + constraints
+///   (model pruning)          — variants ranked at their heuristic initial
+///                              configuration; only the most promising get
+///                              a full search
+///   phase 2  searchVariant   — guided empirical search per variant
+///   select                   — best measured configuration wins
+///
+/// Typical use:
+/// \code
+///   LoopNest MM = makeMatMul();
+///   SimEvalBackend Backend(MachineDesc::sgiR10000().scaledBy(16));
+///   TuneResult R = tune(MM, Backend, {{"N", 128}});
+///   // R.BestExecutable + R.BestConfig reproduce the winning schedule.
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CORE_TUNER_H
+#define ECO_CORE_TUNER_H
+
+#include "core/DeriveVariants.h"
+#include "core/Search.h"
+
+namespace eco {
+
+/// Knobs for the full pipeline.
+struct TuneOptions {
+  DeriveOptions Derive;
+  SearchOptions Search;
+  /// Model pruning: how many variants (ranked by their heuristic initial
+  /// point) receive a full empirical search.
+  unsigned MaxVariantsToSearch = 4;
+};
+
+/// Per-variant reporting.
+struct VariantSummary {
+  std::string Name;
+  double HeuristicCost = 0; ///< cost at the model's initial configuration
+  bool Searched = false;
+  double BestCost = 0;
+  std::string BestConfig;
+  size_t Points = 0;
+  double Seconds = 0;
+};
+
+/// Outcome of a full tuning run.
+struct TuneResult {
+  std::vector<DerivedVariant> Variants;
+  int BestVariant = -1;
+  Env BestConfig;
+  double BestCost = 0;
+  LoopNest BestExecutable; ///< instantiated winner (tiles still symbolic)
+
+  std::vector<VariantSummary> Summaries;
+  size_t TotalPoints = 0; ///< evaluations across all searches (Section 4.3)
+  double TotalSeconds = 0;
+
+  const DerivedVariant &best() const {
+    assert(BestVariant >= 0 && "tuning failed");
+    return Variants[BestVariant];
+  }
+};
+
+/// Runs the complete two-phase optimization of \p Original for the
+/// backend's machine at the given problem size(s).
+TuneResult tune(const LoopNest &Original, EvalBackend &Backend,
+                const ParamBindings &Problem, const TuneOptions &Opts = {});
+
+} // namespace eco
+
+#endif // ECO_CORE_TUNER_H

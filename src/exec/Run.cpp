@@ -1,0 +1,30 @@
+//===- exec/Run.cpp - One-call simulation entry point ---------------------===//
+
+#include "exec/Run.h"
+
+using namespace eco;
+
+Env eco::makeEnv(const LoopNest &Nest, const ParamBindings &Bindings) {
+  Env E(Nest.Syms.size());
+  for (const auto &[Name, Value] : Bindings) {
+    SymbolId Id = Nest.Syms.lookup(Name);
+    assert(Id >= 0 && "binding names an unknown symbol");
+    assert(Nest.Syms.kind(Id) != SymbolKind::LoopVar &&
+           "cannot bind a loop variable");
+    E.set(Id, Value);
+  }
+  return E;
+}
+
+RunResult eco::simulateNest(const LoopNest &Nest,
+                            const ParamBindings &Bindings,
+                            const MachineDesc &Machine, ExecOptions Opts) {
+  MemHierarchySim Sim(Machine);
+  Executor Exec(Nest, makeEnv(Nest, Bindings), Sim, Opts);
+  Exec.run();
+  RunResult R;
+  R.Counters = Sim.counters();
+  R.Cycles = R.Counters.cycles();
+  R.Mflops = R.Counters.Flops > 0 ? R.Counters.mflops(Machine.ClockMHz) : 0;
+  return R;
+}

@@ -1,0 +1,97 @@
+//===- ir/AffineExpr.cpp - Affine expressions and min-bounds -------------===//
+
+#include "ir/AffineExpr.h"
+#include "support/StringUtils.h"
+
+using namespace eco;
+
+void AffineExpr::addTerm(SymbolId Sym, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), Sym,
+      [](const Term &T, SymbolId S) { return T.Sym < S; });
+  if (It != Terms.end() && It->Sym == Sym) {
+    It->Coeff += Coeff;
+    if (It->Coeff == 0)
+      Terms.erase(It);
+    return;
+  }
+  Terms.insert(It, {Sym, Coeff});
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &O) const {
+  AffineExpr Result = *this;
+  Result.Const += O.Const;
+  for (const Term &T : O.Terms)
+    Result.addTerm(T.Sym, T.Coeff);
+  return Result;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &O) const {
+  return *this + O.scaled(-1);
+}
+
+AffineExpr AffineExpr::operator+(int64_t C) const {
+  AffineExpr Result = *this;
+  Result.Const += C;
+  return Result;
+}
+
+AffineExpr AffineExpr::operator-(int64_t C) const { return *this + (-C); }
+
+AffineExpr AffineExpr::scaled(int64_t Factor) const {
+  if (Factor == 0)
+    return AffineExpr();
+  AffineExpr Result;
+  Result.Const = Const * Factor;
+  for (const Term &T : Terms)
+    Result.Terms.push_back({T.Sym, T.Coeff * Factor});
+  return Result;
+}
+
+AffineExpr AffineExpr::substitute(SymbolId Sym,
+                                  const AffineExpr &Replacement) const {
+  int64_t C = coeff(Sym);
+  if (C == 0)
+    return *this;
+  AffineExpr Result = *this;
+  Result.addTerm(Sym, -C); // remove the term
+  return Result + Replacement.scaled(C);
+}
+
+std::string AffineExpr::str(const SymbolTable &Syms) const {
+  if (Terms.empty())
+    return std::to_string(Const);
+  std::string Out;
+  bool First = true;
+  for (const Term &T : Terms) {
+    int64_t C = T.Coeff;
+    if (First) {
+      if (C < 0)
+        Out += "-";
+    } else {
+      Out += C < 0 ? "-" : "+";
+    }
+    int64_t Mag = C < 0 ? -C : C;
+    if (Mag != 1)
+      Out += std::to_string(Mag) + "*";
+    Out += Syms.name(T.Sym);
+    First = false;
+  }
+  if (Const > 0)
+    Out += "+" + std::to_string(Const);
+  else if (Const < 0)
+    Out += std::to_string(Const);
+  return Out;
+}
+
+std::string Bound::str(const SymbolTable &Syms) const {
+  assert(!Exprs.empty() && "empty bound");
+  if (Exprs.size() == 1)
+    return Exprs.front().str(Syms);
+  std::vector<std::string> Parts;
+  for (const AffineExpr &E : Exprs)
+    Parts.push_back(E.str(Syms));
+  return "min(" + join(Parts, ",") + ")";
+}

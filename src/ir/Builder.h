@@ -1,0 +1,178 @@
+//===- ir/Builder.h - Fluent loop-nest construction ------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent API for building perfect loop nests, so user kernels
+/// read like the pseudo-code they implement:
+///
+/// \code
+///   NestBuilder B("saxpy2d");
+///   auto N = B.size("N");
+///   auto [I, J] = B.loops2("I", "J", 0, N - 1);
+///   auto A = B.array("A", {N, N});
+///   auto X = B.array("X", {N, N});
+///   B.compute(A(I, J), A(I, J) + 2.0 * X(I, J));
+///   LoopNest Nest = B.take();
+/// \endcode
+///
+/// Expression syntax: ArrayHandle::operator() builds reads/LHS;
+/// ValueExpr overloads +, -, * over reads and doubles. The builder owns
+/// the nest until take().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_IR_BUILDER_H
+#define ECO_IR_BUILDER_H
+
+#include "ir/Loop.h"
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace eco {
+
+class NestBuilder;
+
+/// A floating-point expression under construction (move-only tree).
+class ValueExpr {
+public:
+  /*implicit*/ ValueExpr(double Constant)
+      : E(ScalarExpr::makeConst(Constant)) {}
+  explicit ValueExpr(std::unique_ptr<ScalarExpr> Expr) : E(std::move(Expr)) {}
+
+  ValueExpr(ValueExpr &&) = default;
+  ValueExpr &operator=(ValueExpr &&) = default;
+
+  std::unique_ptr<ScalarExpr> take() && { return std::move(E); }
+
+private:
+  std::unique_ptr<ScalarExpr> E;
+};
+
+/// A subscripted array element: usable as a compute LHS or, implicitly,
+/// as a read in a ValueExpr.
+class ElementHandle {
+public:
+  ElementHandle(ArrayRef Ref) : Ref(std::move(Ref)) {}
+
+  /*implicit*/ operator ValueExpr() const {
+    return ValueExpr(ScalarExpr::makeRead(Ref));
+  }
+
+  const ArrayRef &ref() const { return Ref; }
+
+private:
+  ArrayRef Ref;
+};
+
+// Namespace-scope arithmetic so ADL finds these for any mix of
+// ElementHandle, ValueExpr, and double operands (each converts to
+// ValueExpr in a single implicit step).
+inline ValueExpr operator+(ValueExpr L, ValueExpr R) {
+  return ValueExpr(ScalarExpr::makeBinary(
+      ScalarExprKind::Add, std::move(L).take(), std::move(R).take()));
+}
+inline ValueExpr operator-(ValueExpr L, ValueExpr R) {
+  return ValueExpr(ScalarExpr::makeBinary(
+      ScalarExprKind::Sub, std::move(L).take(), std::move(R).take()));
+}
+inline ValueExpr operator*(ValueExpr L, ValueExpr R) {
+  return ValueExpr(ScalarExpr::makeBinary(
+      ScalarExprKind::Mul, std::move(L).take(), std::move(R).take()));
+}
+
+/// An array declared through the builder; call it with affine subscripts.
+class ArrayHandle {
+public:
+  ArrayHandle() = default;
+  ArrayHandle(ArrayId Id) : Id(Id) {}
+
+  template <typename... Subs> ElementHandle operator()(Subs... S) const {
+    return ElementHandle(ArrayRef(Id, {AffineExpr(S)...}));
+  }
+
+  ArrayId id() const { return Id; }
+
+private:
+  ArrayId Id = -1;
+};
+
+/// Builds one perfect nest. Loops are opened outermost-first; compute()
+/// appends a statement to the innermost open loop (or top level).
+class NestBuilder {
+public:
+  explicit NestBuilder(std::string Name) { Nest.Name = std::move(Name); }
+
+  /// Declares a problem size and returns it as an expression.
+  AffineExpr size(const std::string &Name) {
+    return AffineExpr::sym(Nest.declareProblemSize(Name));
+  }
+
+  /// Declares an array with the given extents.
+  ArrayHandle array(const std::string &Name,
+                    std::vector<AffineExpr> Extents,
+                    Layout Order = Layout::ColMajor) {
+    return ArrayHandle(
+        Nest.declareArray({Name, std::move(Extents), 8, Order}));
+  }
+
+  /// Opens a loop Name from Lo to Hi (inclusive); returns its variable.
+  AffineExpr loop(const std::string &Name, AffineExpr Lo, AffineExpr Hi) {
+    SymbolId Var = Nest.declareLoopVar(Name);
+    auto L = std::make_unique<Loop>(Var, std::move(Lo),
+                                    Bound(std::move(Hi)));
+    Loop *Raw = L.get(); // heap object: stable across the ownership move
+    pendingBody().push_back(BodyItem(std::move(L)));
+    OpenLoops.push_back(Raw);
+    return AffineExpr::sym(Var);
+  }
+
+  /// Convenience: two nested loops with a shared range.
+  std::pair<AffineExpr, AffineExpr> loops2(const std::string &Outer,
+                                           const std::string &Inner,
+                                           AffineExpr Lo, AffineExpr Hi) {
+    AffineExpr O = loop(Outer, Lo, Hi);
+    AffineExpr I = loop(Inner, Lo, Hi);
+    return {O, I};
+  }
+
+  /// Three nested loops with a shared range.
+  std::tuple<AffineExpr, AffineExpr, AffineExpr>
+  loops3(const std::string &L0, const std::string &L1,
+         const std::string &L2, AffineExpr Lo, AffineExpr Hi) {
+    AffineExpr A = loop(L0, Lo, Hi);
+    AffineExpr B = loop(L1, Lo, Hi);
+    AffineExpr C = loop(L2, Lo, Hi);
+    return {A, B, C};
+  }
+
+  /// Appends LHS = RHS at the current innermost level.
+  NestBuilder &compute(ElementHandle Lhs, ValueExpr Rhs) {
+    pendingBody().push_back(BodyItem(
+        Stmt::makeCompute(Lhs.ref(), std::move(Rhs).take())));
+    return *this;
+  }
+
+  /// Finishes construction and releases the nest.
+  LoopNest take() {
+    OpenLoops.clear();
+    return std::move(Nest);
+  }
+
+private:
+  Body &pendingBody() {
+    return OpenLoops.empty() ? Nest.Items : OpenLoops.back()->Items;
+  }
+
+  LoopNest Nest;
+  std::vector<Loop *> OpenLoops;
+};
+
+} // namespace eco
+
+#endif // ECO_IR_BUILDER_H

@@ -1,0 +1,163 @@
+//===- ir/Loop.cpp - Loops and loop nests ---------------------------------===//
+
+#include "ir/Loop.h"
+
+using namespace eco;
+
+BodyItem BodyItem::clone() const {
+  if (isLoop())
+    return BodyItem(loop().clone());
+  return BodyItem(stmt().clone());
+}
+
+Body eco::cloneBody(const Body &B) {
+  Body Result;
+  Result.reserve(B.size());
+  for (const BodyItem &Item : B)
+    Result.push_back(Item.clone());
+  return Result;
+}
+
+std::unique_ptr<Loop> Loop::clone() const {
+  auto L = std::make_unique<Loop>();
+  L->Var = Var;
+  L->Lower = Lower;
+  L->Upper = Upper;
+  L->Step = Step;
+  L->StepSym = StepSym;
+  L->Unroll = Unroll;
+  L->IsTileControl = IsTileControl;
+  L->Items = cloneBody(Items);
+  L->Epilogue = cloneBody(Epilogue);
+  return L;
+}
+
+LoopNest LoopNest::clone() const {
+  LoopNest N;
+  N.Syms = Syms;
+  N.Arrays = Arrays;
+  N.Items = cloneBody(Items);
+  N.NumRegs = NumRegs;
+  N.MaxLiveRegs = MaxLiveRegs;
+  N.Name = Name;
+  return N;
+}
+
+void eco::forEachLoopIn(Body &B, const std::function<void(Loop &)> &F) {
+  for (BodyItem &Item : B) {
+    if (!Item.isLoop())
+      continue;
+    Loop &L = Item.loop();
+    F(L);
+    forEachLoopIn(L.Items, F);
+    forEachLoopIn(L.Epilogue, F);
+  }
+}
+
+void eco::forEachLoopIn(const Body &B,
+                        const std::function<void(const Loop &)> &F) {
+  for (const BodyItem &Item : B) {
+    if (!Item.isLoop())
+      continue;
+    const Loop &L = Item.loop();
+    F(L);
+    forEachLoopIn(L.Items, F);
+    forEachLoopIn(L.Epilogue, F);
+  }
+}
+
+void eco::forEachStmtIn(Body &B, const std::function<void(Stmt &)> &F) {
+  for (BodyItem &Item : B) {
+    if (Item.isStmt()) {
+      F(Item.stmt());
+      continue;
+    }
+    forEachStmtIn(Item.loop().Items, F);
+    forEachStmtIn(Item.loop().Epilogue, F);
+  }
+}
+
+void eco::forEachStmtIn(const Body &B,
+                        const std::function<void(const Stmt &)> &F) {
+  for (const BodyItem &Item : B) {
+    if (Item.isStmt()) {
+      F(Item.stmt());
+      continue;
+    }
+    forEachStmtIn(Item.loop().Items, F);
+    forEachStmtIn(Item.loop().Epilogue, F);
+  }
+}
+
+void eco::substituteInBody(Body &B, SymbolId Sym,
+                           const AffineExpr &Replacement) {
+  for (BodyItem &Item : B) {
+    if (Item.isStmt()) {
+      Item.stmt().substitute(Sym, Replacement);
+      continue;
+    }
+    Loop &L = Item.loop();
+    assert(L.Var != Sym && "substituting a variable bound by an inner loop");
+    L.Lower = L.Lower.substitute(Sym, Replacement);
+    L.Upper = L.Upper.map(
+        [&](const AffineExpr &E) { return E.substitute(Sym, Replacement); });
+    substituteInBody(L.Items, Sym, Replacement);
+    substituteInBody(L.Epilogue, Sym, Replacement);
+  }
+}
+
+void LoopNest::forEachLoop(const std::function<void(Loop &)> &F) {
+  forEachLoopIn(Items, F);
+}
+void LoopNest::forEachLoop(
+    const std::function<void(const Loop &)> &F) const {
+  forEachLoopIn(Items, F);
+}
+void LoopNest::forEachStmt(const std::function<void(Stmt &)> &F) {
+  forEachStmtIn(Items, F);
+}
+void LoopNest::forEachStmt(
+    const std::function<void(const Stmt &)> &F) const {
+  forEachStmtIn(Items, F);
+}
+
+Loop *LoopNest::findLoop(SymbolId Var) {
+  // After unroll-and-jam one variable can name several occurrences (main
+  // and epilogue paths); return the first in preorder.
+  Loop *Found = nullptr;
+  forEachLoop([&](Loop &L) {
+    if (L.Var == Var && !Found)
+      Found = &L;
+  });
+  return Found;
+}
+
+const Loop *LoopNest::findLoop(SymbolId Var) const {
+  return const_cast<LoopNest *>(this)->findLoop(Var);
+}
+
+std::vector<Loop *> LoopNest::spine() {
+  std::vector<Loop *> Result;
+  Body *Current = &Items;
+  while (true) {
+    Loop *Next = nullptr;
+    for (BodyItem &Item : *Current) {
+      if (Item.isLoop()) {
+        Next = &Item.loop();
+        break;
+      }
+    }
+    if (!Next)
+      break;
+    Result.push_back(Next);
+    Current = &Next->Items;
+  }
+  return Result;
+}
+
+std::vector<const Loop *> LoopNest::spine() const {
+  std::vector<const Loop *> Result;
+  for (Loop *L : const_cast<LoopNest *>(this)->spine())
+    Result.push_back(L);
+  return Result;
+}

@@ -1,0 +1,204 @@
+//===- ir/Loop.h - Loops and loop nests ------------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loops (Fortran-style DO with inclusive bounds), bodies mixing loops and
+/// statements, and the LoopNest container that owns the symbol table and
+/// array declarations. Unroll-and-jam is represented natively: an unrolled
+/// loop steps by its (concrete) unroll factor over a jammed body and runs a
+/// separate epilogue body for leftover iterations, so non-divisible trip
+/// counts stay exact without needing floor expressions in the IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_IR_LOOP_H
+#define ECO_IR_LOOP_H
+
+#include "ir/Stmt.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <variant>
+#include <vector>
+
+namespace eco {
+
+struct Loop;
+
+/// Either a nested loop or a statement.
+class BodyItem {
+public:
+  /*implicit*/ BodyItem(std::unique_ptr<Loop> L) : Item(std::move(L)) {}
+  /*implicit*/ BodyItem(std::unique_ptr<Stmt> S) : Item(std::move(S)) {}
+
+  bool isLoop() const {
+    return std::holds_alternative<std::unique_ptr<Loop>>(Item);
+  }
+  bool isStmt() const { return !isLoop(); }
+
+  Loop &loop() {
+    assert(isLoop());
+    return *std::get<std::unique_ptr<Loop>>(Item);
+  }
+  const Loop &loop() const {
+    assert(isLoop());
+    return *std::get<std::unique_ptr<Loop>>(Item);
+  }
+  Stmt &stmt() {
+    assert(isStmt());
+    return *std::get<std::unique_ptr<Stmt>>(Item);
+  }
+  const Stmt &stmt() const {
+    assert(isStmt());
+    return *std::get<std::unique_ptr<Stmt>>(Item);
+  }
+
+  /// Releases ownership of the contained loop.
+  std::unique_ptr<Loop> takeLoop() {
+    assert(isLoop());
+    return std::move(std::get<std::unique_ptr<Loop>>(Item));
+  }
+
+  BodyItem clone() const;
+
+private:
+  std::variant<std::unique_ptr<Loop>, std::unique_ptr<Stmt>> Item;
+};
+
+using Body = std::vector<BodyItem>;
+
+/// A DO loop: Var runs from Lower to Upper (inclusive) by Step.
+///
+/// When Unroll > 1 the Body holds the jammed copies and executes while
+/// Var + Unroll - 1 <= Upper with Var advancing by Unroll; the Epilogue
+/// then runs the remaining iterations one at a time. Tile-control loops
+/// step by a parameter symbol instead of a constant.
+struct Loop {
+  SymbolId Var = -1;
+  AffineExpr Lower;
+  Bound Upper;
+
+  int64_t Step = 1;      ///< concrete step (used when StepSym < 0)
+  SymbolId StepSym = -1; ///< parameter step, e.g. TJ for a control loop
+
+  int Unroll = 1;        ///< >1: Body is jammed, Epilogue handles leftovers
+  bool IsTileControl = false;
+
+  Body Items;
+  Body Epilogue; ///< only used when Unroll > 1
+
+  Loop() = default;
+  Loop(SymbolId V, AffineExpr Lo, Bound Up)
+      : Var(V), Lower(std::move(Lo)), Upper(std::move(Up)) {}
+
+  bool hasParamStep() const { return StepSym >= 0; }
+
+  std::unique_ptr<Loop> clone() const;
+};
+
+/// Walk order marker for traversals.
+enum class WalkOrder { Pre, Post };
+
+/// A complete kernel: symbols, arrays, register count, and the top-level
+/// body. This is both the input to analysis (the untransformed nest) and
+/// the executable result of the transformation pipeline.
+class LoopNest {
+public:
+  SymbolTable Syms;
+  std::vector<ArrayDecl> Arrays;
+  Body Items;
+
+  /// Register slots allocated by scalar-replacement passes (sizes the
+  /// executor's register file; slots of disjoint loops are not shared).
+  int NumRegs = 0;
+
+  /// Largest number of registers simultaneously live in any one loop —
+  /// the quantity to compare against the machine's register file for
+  /// spill modeling.
+  int MaxLiveRegs = 0;
+
+  /// Records that \p Count registers are live together in some loop.
+  void noteLiveRegs(int Count) {
+    MaxLiveRegs = std::max(MaxLiveRegs, Count);
+  }
+
+  /// Human-readable kernel name ("matmul", "jacobi").
+  std::string Name;
+
+  LoopNest() = default;
+  LoopNest(const LoopNest &) = delete;
+  LoopNest &operator=(const LoopNest &) = delete;
+  LoopNest(LoopNest &&) = default;
+  LoopNest &operator=(LoopNest &&) = default;
+
+  /// Deep copy (the transform pipeline derives variants from copies).
+  LoopNest clone() const;
+
+  // -- declaration helpers -------------------------------------------------
+  SymbolId declareLoopVar(const std::string &Name) {
+    return Syms.declare(Name, SymbolKind::LoopVar);
+  }
+  SymbolId declareParam(const std::string &Name) {
+    return Syms.declare(Name, SymbolKind::Param);
+  }
+  SymbolId declareProblemSize(const std::string &Name) {
+    return Syms.declare(Name, SymbolKind::ProblemSize);
+  }
+  ArrayId declareArray(ArrayDecl Decl) {
+    Arrays.push_back(std::move(Decl));
+    return static_cast<ArrayId>(Arrays.size()) - 1;
+  }
+
+  /// Allocates a fresh register slot.
+  int allocReg() { return NumRegs++; }
+
+  const ArrayDecl &array(ArrayId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Arrays.size());
+    return Arrays[Id];
+  }
+
+  // -- traversal -----------------------------------------------------------
+
+  /// Visits every loop (including epilogue-nested ones) in preorder.
+  void forEachLoop(const std::function<void(Loop &)> &F);
+  void forEachLoop(const std::function<void(const Loop &)> &F) const;
+
+  /// Visits every statement (including epilogues).
+  void forEachStmt(const std::function<void(Stmt &)> &F);
+  void forEachStmt(const std::function<void(const Stmt &)> &F) const;
+
+  /// Finds the first (preorder) loop with induction variable \p Var, or
+  /// nullptr. After unroll-and-jam a variable can name several
+  /// occurrences; use transform/Utils.h findLoopOccurrences for all.
+  Loop *findLoop(SymbolId Var);
+  const Loop *findLoop(SymbolId Var) const;
+
+  /// The loops along the path from the root to the innermost loop,
+  /// following the first loop at each level (a perfect nest's spine).
+  std::vector<Loop *> spine();
+  std::vector<const Loop *> spine() const;
+
+  /// Renders the whole nest as paper-style pseudo-code.
+  std::string print() const;
+};
+
+/// Helpers shared by passes: visit loops/stmts within a Body.
+void forEachLoopIn(Body &B, const std::function<void(Loop &)> &F);
+void forEachLoopIn(const Body &B, const std::function<void(const Loop &)> &F);
+void forEachStmtIn(Body &B, const std::function<void(Stmt &)> &F);
+void forEachStmtIn(const Body &B, const std::function<void(const Stmt &)> &F);
+
+/// Deep-copies a body.
+Body cloneBody(const Body &B);
+
+/// Applies a substitution to every loop bound and statement in \p B.
+/// (Does not rename loop variables themselves.)
+void substituteInBody(Body &B, SymbolId Sym, const AffineExpr &Replacement);
+
+} // namespace eco
+
+#endif // ECO_IR_LOOP_H

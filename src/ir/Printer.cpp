@@ -1,0 +1,76 @@
+//===- ir/Printer.cpp - Paper-style pseudo-code printer -------------------===//
+
+#include "ir/Loop.h"
+#include "support/StringUtils.h"
+
+using namespace eco;
+
+namespace {
+
+class Printer {
+public:
+  Printer(const SymbolTable &Syms, const std::vector<ArrayDecl> &Arrays)
+      : Syms(Syms), Arrays(Arrays) {}
+
+  void printBody(const Body &B, unsigned Indent) {
+    for (const BodyItem &Item : B) {
+      if (Item.isStmt()) {
+        line(Indent, Item.stmt().str(Syms, Arrays));
+        continue;
+      }
+      printLoop(Item.loop(), Indent);
+    }
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  void printLoop(const Loop &L, unsigned Indent) {
+    std::string Step;
+    if (L.hasParamStep())
+      Step = "," + Syms.name(L.StepSym);
+    else if (L.Step != 1)
+      Step = "," + std::to_string(L.Step);
+    std::string Annot;
+    if (L.Unroll > 1)
+      Annot = strformat("   ! unroll %d", L.Unroll);
+    else if (L.IsTileControl)
+      Annot = "   ! tile control";
+    line(Indent, strformat("DO %s = %s,%s%s%s", Syms.name(L.Var).c_str(),
+                           L.Lower.str(Syms).c_str(),
+                           L.Upper.str(Syms).c_str(), Step.c_str(),
+                           Annot.c_str()));
+    printBody(L.Items, Indent + 1);
+    if (!L.Epilogue.empty()) {
+      line(Indent, strformat("DO %s = ...,%s   ! epilogue",
+                             Syms.name(L.Var).c_str(),
+                             L.Upper.str(Syms).c_str()));
+      printBody(L.Epilogue, Indent + 1);
+    }
+  }
+
+  void line(unsigned Indent, const std::string &Text) {
+    Out += repeat("  ", Indent) + Text + "\n";
+  }
+
+  const SymbolTable &Syms;
+  const std::vector<ArrayDecl> &Arrays;
+  std::string Out;
+};
+
+} // namespace
+
+std::string LoopNest::print() const {
+  Printer P(Syms, Arrays);
+  std::string Header;
+  for (const ArrayDecl &A : Arrays) {
+    if (A.Role != ArrayRole::CopyBuffer)
+      continue;
+    std::vector<std::string> Dims;
+    for (const AffineExpr &E : A.Extents)
+      Dims.push_back(E.str(Syms));
+    Header += "new " + A.Name + "[" + join(Dims, ",") + "]\n";
+  }
+  P.printBody(Items, 0);
+  return Header + P.take();
+}

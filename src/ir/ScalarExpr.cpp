@@ -1,0 +1,74 @@
+//===- ir/ScalarExpr.cpp - Right-hand-side expression trees --------------===//
+
+#include "ir/ScalarExpr.h"
+#include "support/StringUtils.h"
+
+using namespace eco;
+
+std::unique_ptr<ScalarExpr> ScalarExpr::clone() const {
+  auto E = std::make_unique<ScalarExpr>(Kind);
+  E->ConstVal = ConstVal;
+  E->Ref = Ref;
+  E->Reg = Reg;
+  if (Lhs)
+    E->Lhs = Lhs->clone();
+  if (Rhs)
+    E->Rhs = Rhs->clone();
+  return E;
+}
+
+unsigned ScalarExpr::flops() const {
+  switch (Kind) {
+  case ScalarExprKind::Const:
+  case ScalarExprKind::Read:
+  case ScalarExprKind::RegRead:
+    return 0;
+  case ScalarExprKind::Add:
+  case ScalarExprKind::Sub:
+  case ScalarExprKind::Mul:
+    return 1 + Lhs->flops() + Rhs->flops();
+  }
+  return 0;
+}
+
+unsigned ScalarExpr::numReads() const {
+  unsigned Count = 0;
+  forEachRead([&Count](const ScalarExpr &) { ++Count; });
+  return Count;
+}
+
+void ScalarExpr::substitute(SymbolId Sym, const AffineExpr &Replacement) {
+  forEachRead([&](ScalarExpr &Leaf) {
+    Leaf.Ref = Leaf.Ref.substitute(Sym, Replacement);
+  });
+}
+
+/// Precedence: Mul binds tighter than Add/Sub.
+static std::string strImpl(const ScalarExpr &E, const SymbolTable &Syms,
+                           const std::vector<ArrayDecl> &Arrays,
+                           bool ParenthesizeAdd) {
+  switch (E.Kind) {
+  case ScalarExprKind::Const:
+    return strformat("%g", E.ConstVal);
+  case ScalarExprKind::Read:
+    return E.Ref.str(Syms, Arrays);
+  case ScalarExprKind::RegRead:
+    return "r" + std::to_string(E.Reg);
+  case ScalarExprKind::Add:
+  case ScalarExprKind::Sub: {
+    std::string Out = strImpl(*E.Lhs, Syms, Arrays, false) +
+                      (E.Kind == ScalarExprKind::Add ? "+" : "-") +
+                      strImpl(*E.Rhs, Syms, Arrays, true);
+    return ParenthesizeAdd ? "(" + Out + ")" : Out;
+  }
+  case ScalarExprKind::Mul:
+    return strImpl(*E.Lhs, Syms, Arrays, true) + "*" +
+           strImpl(*E.Rhs, Syms, Arrays, true);
+  }
+  return "?";
+}
+
+std::string ScalarExpr::str(const SymbolTable &Syms,
+                            const std::vector<ArrayDecl> &Arrays) const {
+  return strImpl(*this, Syms, Arrays, false);
+}

@@ -1,0 +1,71 @@
+//===- ir/Stmt.cpp - Statements -------------------------------------------===//
+
+#include "ir/Stmt.h"
+#include "support/StringUtils.h"
+
+using namespace eco;
+
+std::unique_ptr<Stmt> Stmt::clone() const {
+  auto S = std::make_unique<Stmt>(Kind);
+  S->LhsRef = LhsRef;
+  S->LhsReg = LhsReg;
+  if (Rhs)
+    S->Rhs = Rhs->clone();
+  S->Reg = Reg;
+  S->MemRef = MemRef;
+  S->Moves = Moves;
+  S->CopyDst = CopyDst;
+  S->CopySrc = CopySrc;
+  S->Region = Region;
+  S->PrefetchRef = PrefetchRef;
+  return S;
+}
+
+void Stmt::substitute(SymbolId Sym, const AffineExpr &Replacement) {
+  if (LhsRef)
+    *LhsRef = LhsRef->substitute(Sym, Replacement);
+  if (Rhs)
+    Rhs->substitute(Sym, Replacement);
+  if (MemRef)
+    *MemRef = MemRef->substitute(Sym, Replacement);
+  if (PrefetchRef)
+    *PrefetchRef = PrefetchRef->substitute(Sym, Replacement);
+  for (CopyRegionDim &Dim : Region) {
+    Dim.Start = Dim.Start.substitute(Sym, Replacement);
+    Dim.Size = Dim.Size.map([&](const AffineExpr &E) {
+      return E.substitute(Sym, Replacement);
+    });
+  }
+}
+
+std::string Stmt::str(const SymbolTable &Syms,
+                      const std::vector<ArrayDecl> &Arrays) const {
+  switch (Kind) {
+  case StmtKind::Compute: {
+    std::string Lhs = LhsRef ? LhsRef->str(Syms, Arrays)
+                             : "r" + std::to_string(LhsReg);
+    return Lhs + " = " + Rhs->str(Syms, Arrays);
+  }
+  case StmtKind::RegLoad:
+    return "r" + std::to_string(Reg) + " = " + MemRef->str(Syms, Arrays);
+  case StmtKind::RegStore:
+    return MemRef->str(Syms, Arrays) + " = r" + std::to_string(Reg);
+  case StmtKind::RegRotate: {
+    std::vector<std::string> Parts;
+    for (const auto &[Dst, Src] : Moves)
+      Parts.push_back(strformat("r%d=r%d", Dst, Src));
+    return "rotate " + join(Parts, ", ");
+  }
+  case StmtKind::CopyIn: {
+    std::vector<std::string> Ranges;
+    for (const CopyRegionDim &Dim : Region)
+      Ranges.push_back(Dim.Start.str(Syms) + ".." + Dim.Start.str(Syms) +
+                       "+" + Dim.Size.str(Syms) + "-1");
+    return "copy " + Arrays[CopySrc].Name + "[" + join(Ranges, ",") +
+           "] to " + Arrays[CopyDst].Name;
+  }
+  case StmtKind::Prefetch:
+    return "prefetch " + PrefetchRef->str(Syms, Arrays);
+  }
+  return "?";
+}

@@ -1,0 +1,106 @@
+//===- ir/Symbols.h - Symbol table for loop nests --------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbols name the integer quantities a loop nest is written over: loop
+/// induction variables (I, J, K, ...), optimization parameters (UI, TJ, TK,
+/// prefetch distances), and problem sizes (N). Affine expressions are
+/// linear combinations of symbols; an Env binds every symbol to a value
+/// during execution or model evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_IR_SYMBOLS_H
+#define ECO_IR_SYMBOLS_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// Index of a symbol within its SymbolTable.
+using SymbolId = int;
+
+/// What role a symbol plays.
+enum class SymbolKind {
+  LoopVar,     ///< loop induction variable
+  Param,       ///< tunable optimization parameter (unroll factor, tile size)
+  ProblemSize, ///< problem-size constant (N)
+};
+
+/// A declared symbol.
+struct Symbol {
+  std::string Name;
+  SymbolKind Kind;
+};
+
+/// Names and kinds for every symbol used by one LoopNest.
+class SymbolTable {
+public:
+  /// Declares a new symbol; names need not be unique but should be for
+  /// readable printing.
+  SymbolId declare(std::string Name, SymbolKind Kind) {
+    Syms.push_back({std::move(Name), Kind});
+    return static_cast<SymbolId>(Syms.size()) - 1;
+  }
+
+  size_t size() const { return Syms.size(); }
+
+  const Symbol &get(SymbolId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Syms.size() &&
+           "symbol id out of range");
+    return Syms[Id];
+  }
+
+  const std::string &name(SymbolId Id) const { return get(Id).Name; }
+  SymbolKind kind(SymbolId Id) const { return get(Id).Kind; }
+
+  /// Finds a symbol by name; returns -1 if absent.
+  SymbolId lookup(const std::string &Name) const {
+    for (size_t I = 0; I < Syms.size(); ++I)
+      if (Syms[I].Name == Name)
+        return static_cast<SymbolId>(I);
+    return -1;
+  }
+
+private:
+  std::vector<Symbol> Syms;
+};
+
+/// A value binding for every symbol; indexed by SymbolId.
+class Env {
+public:
+  Env() = default;
+  explicit Env(size_t NumSymbols) : Values(NumSymbols, 0) {}
+
+  int64_t get(SymbolId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Values.size() &&
+           "unbound symbol");
+    return Values[Id];
+  }
+
+  void set(SymbolId Id, int64_t Value) {
+    assert(Id >= 0 && "invalid symbol");
+    if (static_cast<size_t>(Id) >= Values.size())
+      Values.resize(Id + 1, 0);
+    Values[Id] = Value;
+  }
+
+  size_t size() const { return Values.size(); }
+
+  /// Raw pointer for the executor's hot loop.
+  const int64_t *data() const { return Values.data(); }
+  int64_t *data() { return Values.data(); }
+
+private:
+  std::vector<int64_t> Values;
+};
+
+} // namespace eco
+
+#endif // ECO_IR_SYMBOLS_H

@@ -1,0 +1,213 @@
+//===- ir/Verifier.cpp - LoopNest well-formedness checks ------------------===//
+
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace eco;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const LoopNest &Nest) : Nest(Nest) {}
+
+  std::vector<std::string> run() {
+    std::set<SymbolId> Bound;
+    // Parameters and problem sizes are always in scope.
+    for (size_t S = 0; S < Nest.Syms.size(); ++S)
+      if (Nest.Syms.kind(static_cast<SymbolId>(S)) != SymbolKind::LoopVar)
+        Bound.insert(static_cast<SymbolId>(S));
+    walkBody(Nest.Items, Bound, /*InUnrolled=*/false);
+    return std::move(Problems);
+  }
+
+private:
+  void problem(std::string Msg) { Problems.push_back(std::move(Msg)); }
+
+  bool validSymbol(SymbolId S) const {
+    return S >= 0 && static_cast<size_t>(S) < Nest.Syms.size();
+  }
+
+  void checkExpr(const AffineExpr &E, const std::set<SymbolId> &Bound,
+                 const char *What) {
+    for (SymbolId S : E.symbols()) {
+      if (!validSymbol(S)) {
+        problem(strformat("%s references undeclared symbol %d", What, S));
+        continue;
+      }
+      if (!Bound.count(S))
+        problem(strformat("%s reads '%s' outside its binding loop", What,
+                          Nest.Syms.name(S).c_str()));
+    }
+  }
+
+  void checkBound(const Bound &B, const std::set<SymbolId> &BoundSyms,
+                  const char *What) {
+    if (B.exprs().empty()) {
+      problem(strformat("%s has an empty bound", What));
+      return;
+    }
+    for (const AffineExpr &E : B.exprs())
+      checkExpr(E, BoundSyms, What);
+  }
+
+  void checkRef(const ArrayRef &Ref, const std::set<SymbolId> &Bound,
+                const char *What) {
+    if (Ref.Array < 0 ||
+        static_cast<size_t>(Ref.Array) >= Nest.Arrays.size()) {
+      problem(strformat("%s references undeclared array %d", What,
+                        Ref.Array));
+      return;
+    }
+    const ArrayDecl &Decl = Nest.array(Ref.Array);
+    if (Ref.rank() != Decl.rank())
+      problem(strformat("%s: rank %u reference into rank-%u array %s",
+                        What, Ref.rank(), Decl.rank(),
+                        Decl.Name.c_str()));
+    for (const AffineExpr &S : Ref.Subs)
+      checkExpr(S, Bound, What);
+  }
+
+  void checkReg(int Reg, const char *What) {
+    if (Reg < 0 || Reg >= Nest.NumRegs)
+      problem(strformat("%s uses register r%d outside [0, %d)", What, Reg,
+                        Nest.NumRegs));
+  }
+
+  void checkStmt(const Stmt &S, const std::set<SymbolId> &Bound) {
+    switch (S.Kind) {
+    case StmtKind::Compute:
+      if (!S.Rhs) {
+        problem("Compute statement without an RHS");
+        return;
+      }
+      if (S.LhsRef && S.LhsReg >= 0)
+        problem("Compute statement with both array and register LHS");
+      if (!S.LhsRef && S.LhsReg < 0)
+        problem("Compute statement without any LHS");
+      if (S.LhsRef)
+        checkRef(*S.LhsRef, Bound, "Compute LHS");
+      if (S.LhsReg >= 0)
+        checkReg(S.LhsReg, "Compute LHS");
+      S.Rhs->forEachRead([&](const ScalarExpr &Leaf) {
+        checkRef(Leaf.Ref, Bound, "Compute read");
+      });
+      {
+        // Register reads in the tree.
+        std::function<void(const ScalarExpr &)> Walk =
+            [&](const ScalarExpr &E) {
+              if (E.Kind == ScalarExprKind::RegRead)
+                checkReg(E.Reg, "RegRead");
+              if (E.Lhs)
+                Walk(*E.Lhs);
+              if (E.Rhs)
+                Walk(*E.Rhs);
+            };
+        Walk(*S.Rhs);
+      }
+      return;
+    case StmtKind::RegLoad:
+    case StmtKind::RegStore:
+      if (!S.MemRef) {
+        problem("RegLoad/RegStore without a memory reference");
+        return;
+      }
+      checkRef(*S.MemRef, Bound, "RegLoad/RegStore");
+      checkReg(S.Reg, "RegLoad/RegStore");
+      return;
+    case StmtKind::RegRotate:
+      for (const auto &[Dst, Src] : S.Moves) {
+        checkReg(Dst, "RegRotate dst");
+        checkReg(Src, "RegRotate src");
+      }
+      return;
+    case StmtKind::CopyIn: {
+      if (S.CopySrc < 0 ||
+          static_cast<size_t>(S.CopySrc) >= Nest.Arrays.size() ||
+          S.CopyDst < 0 ||
+          static_cast<size_t>(S.CopyDst) >= Nest.Arrays.size()) {
+        problem("CopyIn with undeclared arrays");
+        return;
+      }
+      const ArrayDecl &Src = Nest.array(S.CopySrc);
+      const ArrayDecl &Dst = Nest.array(S.CopyDst);
+      if (Dst.Role != ArrayRole::CopyBuffer)
+        problem("CopyIn destination is not a CopyBuffer");
+      if (S.Region.size() != Src.rank() || Dst.rank() != Src.rank())
+        problem(strformat("CopyIn rank mismatch: region %zu, src %u, "
+                          "dst %u",
+                          S.Region.size(), Src.rank(), Dst.rank()));
+      for (const CopyRegionDim &Dim : S.Region) {
+        checkExpr(Dim.Start, Bound, "CopyIn start");
+        checkBound(Dim.Size, Bound, "CopyIn size");
+      }
+      return;
+    }
+    case StmtKind::Prefetch:
+      if (!S.PrefetchRef) {
+        problem("Prefetch without a target reference");
+        return;
+      }
+      checkRef(*S.PrefetchRef, Bound, "Prefetch");
+      return;
+    }
+  }
+
+  void walkBody(const Body &B, std::set<SymbolId> Bound, bool InUnrolled) {
+    (void)InUnrolled;
+    for (const BodyItem &Item : B) {
+      if (Item.isStmt()) {
+        checkStmt(Item.stmt(), Bound);
+        continue;
+      }
+      const Loop &L = Item.loop();
+      if (!validSymbol(L.Var)) {
+        problem(strformat("loop binds undeclared symbol %d", L.Var));
+        continue;
+      }
+      if (Nest.Syms.kind(L.Var) != SymbolKind::LoopVar)
+        problem(strformat("loop variable '%s' is not of LoopVar kind",
+                          Nest.Syms.name(L.Var).c_str()));
+      if (Bound.count(L.Var))
+        problem(strformat("loop variable '%s' rebound within its own "
+                          "scope",
+                          Nest.Syms.name(L.Var).c_str()));
+      checkExpr(L.Lower, Bound, "loop lower bound");
+      checkBound(L.Upper, Bound, "loop upper bound");
+      if (L.hasParamStep()) {
+        if (!validSymbol(L.StepSym) ||
+            Nest.Syms.kind(L.StepSym) != SymbolKind::Param)
+          problem("parameterized step is not a Param symbol");
+        if (L.Unroll > 1)
+          problem("unrolled loop cannot have a parameterized step");
+      } else if (L.Step < 1) {
+        problem(strformat("loop '%s' has non-positive step",
+                          Nest.Syms.name(L.Var).c_str()));
+      }
+      if (L.Unroll > 1 && L.Step != L.Unroll)
+        problem(strformat("unrolled loop '%s' steps by %lld, not its "
+                          "unroll factor %d",
+                          Nest.Syms.name(L.Var).c_str(),
+                          static_cast<long long>(L.Step), L.Unroll));
+      if (L.Unroll <= 1 && !L.Epilogue.empty())
+        problem(strformat("non-unrolled loop '%s' has an epilogue",
+                          Nest.Syms.name(L.Var).c_str()));
+
+      std::set<SymbolId> Inner = Bound;
+      Inner.insert(L.Var);
+      walkBody(L.Items, Inner, InUnrolled || L.Unroll > 1);
+      walkBody(L.Epilogue, Inner, InUnrolled);
+    }
+  }
+
+  const LoopNest &Nest;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> eco::verify(const LoopNest &Nest) {
+  return VerifierImpl(Nest).run();
+}

@@ -1,0 +1,47 @@
+//===- ir/Verifier.h - LoopNest well-formedness checks ---------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of a LoopNest — the invariants every pass must
+/// preserve. verify() returns a list of human-readable problems (empty =
+/// well-formed); transformation tests call it after every pass, and
+/// DerivedVariant::instantiate verifies its output in assert builds.
+///
+/// Checked invariants:
+///  * every symbol referenced by bounds/steps/subscripts is declared, and
+///    loop variables are only read inside the loop that binds them;
+///  * loop variables are bound by loops of LoopVar kind; steps by Param;
+///  * reference ranks match their arrays' ranks;
+///  * register ids are within [0, NumRegs);
+///  * Epilogue bodies appear only on unrolled loops, and unrolled loops
+///    step by their unroll factor;
+///  * CopyIn regions have one dimension per source dimension and target a
+///    CopyBuffer of equal rank;
+///  * statement kinds carry the fields they require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_IR_VERIFIER_H
+#define ECO_IR_VERIFIER_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// Returns every invariant violation found (empty when well-formed).
+std::vector<std::string> verify(const LoopNest &Nest);
+
+/// Convenience: true iff verify() reports nothing.
+inline bool isWellFormed(const LoopNest &Nest) {
+  return verify(Nest).empty();
+}
+
+} // namespace eco
+
+#endif // ECO_IR_VERIFIER_H

@@ -1,0 +1,131 @@
+//===- kernels/Kernels.cpp - The paper's two case-study kernels -----------===//
+
+#include "kernels/Kernels.h"
+
+using namespace eco;
+
+LoopNest eco::makeMatMul(MatMulIds *Ids) {
+  LoopNest Nest;
+  Nest.Name = "matmul";
+  SymbolId N = Nest.declareProblemSize("N");
+  SymbolId K = Nest.declareLoopVar("K");
+  SymbolId J = Nest.declareLoopVar("J");
+  SymbolId I = Nest.declareLoopVar("I");
+
+  AffineExpr NExpr = AffineExpr::sym(N);
+  ArrayId A = Nest.declareArray({"A", {NExpr, NExpr}});
+  ArrayId B = Nest.declareArray({"B", {NExpr, NExpr}});
+  ArrayId C = Nest.declareArray({"C", {NExpr, NExpr}});
+
+  AffineExpr IE = AffineExpr::sym(I), JE = AffineExpr::sym(J),
+             KE = AffineExpr::sym(K);
+  ArrayRef RefC(C, {IE, JE});
+  ArrayRef RefA(A, {IE, KE});
+  ArrayRef RefB(B, {KE, JE});
+
+  // C[I,J] = C[I,J] + A[I,K]*B[K,J]
+  auto Rhs = ScalarExpr::makeBinary(
+      ScalarExprKind::Add, ScalarExpr::makeRead(RefC),
+      ScalarExpr::makeBinary(ScalarExprKind::Mul, ScalarExpr::makeRead(RefA),
+                             ScalarExpr::makeRead(RefB)));
+  auto Compute = Stmt::makeCompute(RefC, std::move(Rhs));
+
+  AffineExpr Zero = AffineExpr::constant(0);
+  AffineExpr NMinus1 = NExpr - 1;
+  auto LoopI = std::make_unique<Loop>(I, Zero, Bound(NMinus1));
+  LoopI->Items.push_back(BodyItem(std::move(Compute)));
+  auto LoopJ = std::make_unique<Loop>(J, Zero, Bound(NMinus1));
+  LoopJ->Items.push_back(BodyItem(std::move(LoopI)));
+  auto LoopK = std::make_unique<Loop>(K, Zero, Bound(NMinus1));
+  LoopK->Items.push_back(BodyItem(std::move(LoopJ)));
+  Nest.Items.push_back(BodyItem(std::move(LoopK)));
+
+  if (Ids)
+    *Ids = {N, I, J, K, A, B, C};
+  return Nest;
+}
+
+LoopNest eco::makeJacobi(JacobiIds *Ids) {
+  LoopNest Nest;
+  Nest.Name = "jacobi";
+  SymbolId N = Nest.declareProblemSize("N");
+  SymbolId K = Nest.declareLoopVar("K");
+  SymbolId J = Nest.declareLoopVar("J");
+  SymbolId I = Nest.declareLoopVar("I");
+
+  AffineExpr NExpr = AffineExpr::sym(N);
+  ArrayId A = Nest.declareArray({"A", {NExpr, NExpr, NExpr}});
+  ArrayId B = Nest.declareArray({"B", {NExpr, NExpr, NExpr}});
+
+  AffineExpr IE = AffineExpr::sym(I), JE = AffineExpr::sym(J),
+             KE = AffineExpr::sym(K);
+
+  auto Read = [&](AffineExpr Si, AffineExpr Sj, AffineExpr Sk) {
+    return ScalarExpr::makeRead(ArrayRef(B, {std::move(Si), std::move(Sj),
+                                             std::move(Sk)}));
+  };
+  auto Sum = [&](std::unique_ptr<ScalarExpr> L,
+                 std::unique_ptr<ScalarExpr> R) {
+    return ScalarExpr::makeBinary(ScalarExprKind::Add, std::move(L),
+                                  std::move(R));
+  };
+
+  // B[I-1,J,K] + B[I+1,J,K] + B[I,J-1,K] + B[I,J+1,K]
+  //            + B[I,J,K-1] + B[I,J,K+1]
+  auto Neighbors =
+      Sum(Sum(Sum(Read(IE - 1, JE, KE), Read(IE + 1, JE, KE)),
+              Sum(Read(IE, JE - 1, KE), Read(IE, JE + 1, KE))),
+          Sum(Read(IE, JE, KE - 1), Read(IE, JE, KE + 1)));
+  auto Rhs = ScalarExpr::makeBinary(ScalarExprKind::Mul,
+                                    ScalarExpr::makeConst(JacobiCoeff),
+                                    std::move(Neighbors));
+  auto Compute = Stmt::makeCompute(ArrayRef(A, {IE, JE, KE}),
+                                   std::move(Rhs));
+
+  AffineExpr One = AffineExpr::constant(1);
+  AffineExpr NMinus2 = NExpr - 2;
+  auto LoopI = std::make_unique<Loop>(I, One, Bound(NMinus2));
+  LoopI->Items.push_back(BodyItem(std::move(Compute)));
+  auto LoopJ = std::make_unique<Loop>(J, One, Bound(NMinus2));
+  LoopJ->Items.push_back(BodyItem(std::move(LoopI)));
+  auto LoopK = std::make_unique<Loop>(K, One, Bound(NMinus2));
+  LoopK->Items.push_back(BodyItem(std::move(LoopJ)));
+  Nest.Items.push_back(BodyItem(std::move(LoopK)));
+
+  if (Ids)
+    *Ids = {N, I, J, K, A, B};
+  return Nest;
+}
+
+LoopNest eco::makeMatVec(MatVecIds *Ids) {
+  LoopNest Nest;
+  Nest.Name = "matvec";
+  SymbolId N = Nest.declareProblemSize("N");
+  SymbolId J = Nest.declareLoopVar("J");
+  SymbolId I = Nest.declareLoopVar("I");
+
+  AffineExpr NExpr = AffineExpr::sym(N);
+  ArrayId A = Nest.declareArray({"A", {NExpr, NExpr}});
+  ArrayId X = Nest.declareArray({"X", {NExpr}});
+  ArrayId Y = Nest.declareArray({"Y", {NExpr}});
+
+  AffineExpr IE = AffineExpr::sym(I), JE = AffineExpr::sym(J);
+  ArrayRef RefY(Y, {IE});
+  auto Rhs = ScalarExpr::makeBinary(
+      ScalarExprKind::Add, ScalarExpr::makeRead(RefY),
+      ScalarExpr::makeBinary(ScalarExprKind::Mul,
+                             ScalarExpr::makeRead(ArrayRef(A, {IE, JE})),
+                             ScalarExpr::makeRead(ArrayRef(X, {JE}))));
+  auto Compute = Stmt::makeCompute(RefY, std::move(Rhs));
+
+  AffineExpr Zero = AffineExpr::constant(0);
+  auto LoopI = std::make_unique<Loop>(I, Zero, Bound(NExpr - 1));
+  LoopI->Items.push_back(BodyItem(std::move(Compute)));
+  auto LoopJ = std::make_unique<Loop>(J, Zero, Bound(NExpr - 1));
+  LoopJ->Items.push_back(BodyItem(std::move(LoopI)));
+  Nest.Items.push_back(BodyItem(std::move(LoopJ)));
+
+  if (Ids)
+    *Ids = {N, I, J, A, X, Y};
+  return Nest;
+}

@@ -1,0 +1,65 @@
+//===- kernels/Kernels.h - The paper's two case-study kernels --*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR builders for the two kernels the paper studies:
+///
+///  * Matrix Multiply, Figure 1(a):
+///      DO K; DO J; DO I:  C[I,J] = C[I,J] + A[I,K] * B[K,J]
+///  * Jacobi relaxation, Figure 2(a) (3-D, 6-point stencil):
+///      DO K; DO J; DO I (interior):
+///      A[I,J,K] = c * (B[I-1,J,K] + B[I+1,J,K] + B[I,J-1,K] +
+///                      B[I,J+1,K] + B[I,J,K-1] + B[I,J,K+1])
+///
+/// Subscripts are 0-based; arrays are column-major (Fortran layout), so
+/// loop I is the stride-1 direction, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_KERNELS_KERNELS_H
+#define ECO_KERNELS_KERNELS_H
+
+#include "ir/Loop.h"
+
+namespace eco {
+
+/// Symbol/array ids of the Matrix Multiply nest, for tests and passes.
+struct MatMulIds {
+  SymbolId N = -1, I = -1, J = -1, K = -1;
+  ArrayId A = -1, B = -1, C = -1;
+};
+
+/// Builds the original Matrix Multiply nest (loop order K, J, I from
+/// outermost to innermost, as in Figure 1(a)).
+LoopNest makeMatMul(MatMulIds *Ids = nullptr);
+
+/// Symbol/array ids of the Jacobi nest.
+struct JacobiIds {
+  SymbolId N = -1, I = -1, J = -1, K = -1;
+  ArrayId A = -1, B = -1;
+};
+
+/// The stencil coefficient c in the Jacobi kernel.
+inline constexpr double JacobiCoeff = 1.0 / 6.0;
+
+/// Builds the original Jacobi nest (loop order K, J, I; interior points
+/// 1 .. N-2 in every dimension).
+LoopNest makeJacobi(JacobiIds *Ids = nullptr);
+
+/// Symbol/array ids of the matrix-vector nest.
+struct MatVecIds {
+  SymbolId N = -1, I = -1, J = -1;
+  ArrayId A = -1, X = -1, Y = -1;
+};
+
+/// Builds dense matrix-vector multiply, a third kernel exercising the
+/// general pipeline on a rank-mixed nest:
+///   DO J; DO I:  Y[I] = Y[I] + A[I,J] * X[J]
+LoopNest makeMatVec(MatVecIds *Ids = nullptr);
+
+} // namespace eco
+
+#endif // ECO_KERNELS_KERNELS_H

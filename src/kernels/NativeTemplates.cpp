@@ -1,0 +1,40 @@
+//===- kernels/NativeTemplates.cpp - Templated native dgemm ---------------===//
+
+#include "kernels/NativeTemplates.h"
+
+using namespace eco;
+
+namespace {
+
+struct Entry {
+  int MU, NU;
+  TemplatedDgemmFn Fn;
+};
+
+/// Explicit grid of instantiations: {1,2,4,8} x {1,2,4,8}.
+const Entry Grid[] = {
+    {1, 1, &templatedDgemm<1, 1>}, {1, 2, &templatedDgemm<1, 2>},
+    {1, 4, &templatedDgemm<1, 4>}, {1, 8, &templatedDgemm<1, 8>},
+    {2, 1, &templatedDgemm<2, 1>}, {2, 2, &templatedDgemm<2, 2>},
+    {2, 4, &templatedDgemm<2, 4>}, {2, 8, &templatedDgemm<2, 8>},
+    {4, 1, &templatedDgemm<4, 1>}, {4, 2, &templatedDgemm<4, 2>},
+    {4, 4, &templatedDgemm<4, 4>}, {4, 8, &templatedDgemm<4, 8>},
+    {8, 1, &templatedDgemm<8, 1>}, {8, 2, &templatedDgemm<8, 2>},
+    {8, 4, &templatedDgemm<8, 4>}, {8, 8, &templatedDgemm<8, 8>},
+};
+
+} // namespace
+
+TemplatedDgemmFn eco::lookupTemplatedDgemm(int MU, int NU) {
+  for (const Entry &E : Grid)
+    if (E.MU == MU && E.NU == NU)
+      return E.Fn;
+  return nullptr;
+}
+
+std::vector<std::pair<int, int>> eco::templatedDgemmGrid() {
+  std::vector<std::pair<int, int>> Out;
+  for (const Entry &E : Grid)
+    Out.push_back({E.MU, E.NU});
+  return Out;
+}

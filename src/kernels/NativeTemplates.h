@@ -1,0 +1,137 @@
+//===- kernels/NativeTemplates.h - Templated native dgemm ------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time variant generation via C++ templates: the ECO code shapes
+/// (Figure 1(b)) as real host kernels with the register-tile dimensions
+/// MU x NU as template parameters — the compiler fully unrolls the
+/// register block and allocates the accumulators, exactly what the
+/// paper's generated Fortran relied on the native compiler to do.
+/// Tile sizes and the prefetch distance stay runtime parameters.
+///
+/// A dispatch table over the supported (MU, NU) grid makes the whole
+/// variant family callable from runtime search code — an alternative to
+/// the emit-C + system-compiler backend that needs no compiler at tuning
+/// time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_KERNELS_NATIVETEMPLATES_H
+#define ECO_KERNELS_NATIVETEMPLATES_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace eco {
+
+/// Runtime parameters of the templated dgemm family.
+struct TemplatedDgemmParams {
+  int64_t TK = 64;      ///< K tile
+  int64_t TJ = 64;      ///< J tile (columns of the packed B panel)
+  bool PackB = true;    ///< copy the B tile into a contiguous buffer
+  int PrefetchDist = 0; ///< elements ahead on A's stream (0 = off)
+};
+
+template <int MU, int NU>
+inline void microKernel(const double *A, const double *BTile, double *C,
+                        int64_t N, int64_t BLd, int64_t I, int64_t J,
+                        int64_t JJ, int64_t KK, int64_t KEnd,
+                        const TemplatedDgemmParams &P);
+
+/// C += A * B over column-major N x N doubles, ECO v1 shape
+/// (KK, JJ, [pack B], I, J, K) with an MU x NU register tile.
+template <int MU, int NU>
+void templatedDgemm(const double *A, const double *B, double *C, int64_t N,
+                    const TemplatedDgemmParams &P) {
+  static_assert(MU >= 1 && NU >= 1, "register tile must be positive");
+  std::vector<double> Pack;
+  if (P.PackB)
+    Pack.resize(static_cast<size_t>(P.TK) * P.TJ);
+
+  for (int64_t KK = 0; KK < N; KK += P.TK) {
+    int64_t KEnd = std::min(KK + P.TK, N);
+    for (int64_t JJ = 0; JJ < N; JJ += P.TJ) {
+      int64_t JEnd = std::min(JJ + P.TJ, N);
+
+      const double *BTile;
+      int64_t BLd; // leading dimension of the tile view
+      if (P.PackB) {
+        // Pack B[KK..KEnd, JJ..JEnd] contiguously (column-major tile).
+        int64_t Rows = KEnd - KK;
+        for (int64_t J = JJ; J < JEnd; ++J)
+          for (int64_t K = KK; K < KEnd; ++K)
+            Pack[(K - KK) + Rows * (J - JJ)] = B[K + N * J];
+        BTile = Pack.data();
+        BLd = Rows;
+      } else {
+        BTile = B + KK + N * JJ;
+        BLd = N;
+      }
+
+      // Register-tiled sweep; MU x NU accumulators live in registers.
+      int64_t I = 0;
+      for (; I + MU <= N; I += MU) {
+        int64_t J = JJ;
+        for (; J + NU <= JEnd; J += NU)
+          microKernel<MU, NU>(A, BTile, C, N, BLd, I, J, JJ, KK, KEnd, P);
+        for (; J < JEnd; ++J)
+          microKernel<MU, 1>(A, BTile, C, N, BLd, I, J, JJ, KK, KEnd, P);
+      }
+      for (; I < N; ++I) {
+        int64_t J = JJ;
+        for (; J + NU <= JEnd; J += NU)
+          microKernel<1, NU>(A, BTile, C, N, BLd, I, J, JJ, KK, KEnd, P);
+        for (; J < JEnd; ++J)
+          microKernel<1, 1>(A, BTile, C, N, BLd, I, J, JJ, KK, KEnd, P);
+      }
+    }
+  }
+}
+
+/// One MU x NU register block: C[I..I+MU, J..J+NU] += A[I.., KK..KEnd] *
+/// BTile[.., J-JJ..]. The compiler unrolls the constant-trip loops and
+/// keeps Acc in registers.
+template <int MU, int NU>
+inline void microKernel(const double *A, const double *BTile, double *C,
+                        int64_t N, int64_t BLd, int64_t I, int64_t J,
+                        int64_t JJ, int64_t KK, int64_t KEnd,
+                        const TemplatedDgemmParams &P) {
+  double Acc[MU][NU];
+  for (int MI = 0; MI < MU; ++MI)
+    for (int NI = 0; NI < NU; ++NI)
+      Acc[MI][NI] = C[(I + MI) + N * (J + NI)];
+  for (int64_t K = KK; K < KEnd; ++K) {
+    if (P.PrefetchDist > 0)
+      __builtin_prefetch(&A[I + N * (K + P.PrefetchDist)]);
+    double AV[MU];
+    for (int MI = 0; MI < MU; ++MI)
+      AV[MI] = A[(I + MI) + N * K];
+    for (int NI = 0; NI < NU; ++NI) {
+      double BV = BTile[(K - KK) + BLd * (J + NI - JJ)];
+      for (int MI = 0; MI < MU; ++MI)
+        Acc[MI][NI] += AV[MI] * BV;
+    }
+  }
+  for (int MI = 0; MI < MU; ++MI)
+    for (int NI = 0; NI < NU; ++NI)
+      C[(I + MI) + N * (J + NI)] = Acc[MI][NI];
+}
+
+/// Signature of an instantiated variant.
+using TemplatedDgemmFn = void (*)(const double *, const double *, double *,
+                                  int64_t, const TemplatedDgemmParams &);
+
+/// Returns the instantiation for (MU, NU), or nullptr if outside the
+/// compiled grid {1,2,4,8} x {1,2,4,8}.
+TemplatedDgemmFn lookupTemplatedDgemm(int MU, int NU);
+
+/// The compiled (MU, NU) grid, for search drivers.
+std::vector<std::pair<int, int>> templatedDgemmGrid();
+
+} // namespace eco
+
+#endif // ECO_KERNELS_NATIVETEMPLATES_H

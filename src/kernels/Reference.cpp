@@ -1,0 +1,55 @@
+//===- kernels/Reference.cpp - Golden reference implementations ----------===//
+
+#include "kernels/Reference.h"
+#include "kernels/Kernels.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace eco;
+
+void eco::referenceMatMul(const std::vector<double> &A,
+                          const std::vector<double> &B,
+                          std::vector<double> &C, int64_t N) {
+  assert(static_cast<int64_t>(A.size()) == N * N && "A size mismatch");
+  assert(static_cast<int64_t>(B.size()) == N * N && "B size mismatch");
+  assert(static_cast<int64_t>(C.size()) == N * N && "C size mismatch");
+  // Column-major: X[i + N*j].
+  for (int64_t K = 0; K < N; ++K)
+    for (int64_t J = 0; J < N; ++J)
+      for (int64_t I = 0; I < N; ++I)
+        C[I + N * J] += A[I + N * K] * B[K + N * J];
+}
+
+void eco::referenceJacobi(const std::vector<double> &In,
+                          std::vector<double> &Out, int64_t N) {
+  assert(static_cast<int64_t>(In.size()) == N * N * N && "In size mismatch");
+  assert(static_cast<int64_t>(Out.size()) == N * N * N &&
+         "Out size mismatch");
+  auto At = [N](const std::vector<double> &Buf, int64_t I, int64_t J,
+                int64_t K) { return Buf[I + N * (J + N * K)]; };
+  for (int64_t K = 1; K <= N - 2; ++K)
+    for (int64_t J = 1; J <= N - 2; ++J)
+      for (int64_t I = 1; I <= N - 2; ++I)
+        Out[I + N * (J + N * K)] =
+            JacobiCoeff *
+            (At(In, I - 1, J, K) + At(In, I + 1, J, K) + At(In, I, J - 1, K) +
+             At(In, I, J + 1, K) + At(In, I, J, K - 1) + At(In, I, J, K + 1));
+}
+
+void eco::referenceMatVec(const std::vector<double> &A,
+                          const std::vector<double> &X,
+                          std::vector<double> &Y, int64_t N) {
+  assert(static_cast<int64_t>(A.size()) == N * N && "A size mismatch");
+  assert(static_cast<int64_t>(X.size()) == N && "X size mismatch");
+  assert(static_cast<int64_t>(Y.size()) == N && "Y size mismatch");
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t I = 0; I < N; ++I)
+      Y[I] += A[I + N * J] * X[J];
+}
+
+void eco::fillDeterministic(std::vector<double> &Buf, uint64_t Seed) {
+  Rng R(Seed);
+  for (double &V : Buf)
+    V = R.nextDouble() * 2.0 - 1.0;
+}

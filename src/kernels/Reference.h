@@ -1,0 +1,46 @@
+//===- kernels/Reference.h - Golden reference implementations --*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straight-line C++ reference implementations of the two kernels over
+/// column-major buffers. Every IR transformation and every native kernel
+/// variant is checked against these for bit-identical results (the
+/// transformations never reassociate floating-point arithmetic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_KERNELS_REFERENCE_H
+#define ECO_KERNELS_REFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace eco {
+
+/// C[i,j] += A[i,k] * B[k,j] over column-major N x N buffers, accumulating
+/// in the paper's original loop order (K outermost, then J, then I) so the
+/// FP addition order matches the untransformed kernel.
+void referenceMatMul(const std::vector<double> &A,
+                     const std::vector<double> &B, std::vector<double> &C,
+                     int64_t N);
+
+/// One Jacobi sweep: Out[i,j,k] = c * (6 neighbors of In) on interior
+/// points of column-major N x N x N buffers.
+void referenceJacobi(const std::vector<double> &In, std::vector<double> &Out,
+                     int64_t N);
+
+/// Y[i] += A[i,j] * X[j] over a column-major N x N matrix, accumulating
+/// in the original loop order (J outermost).
+void referenceMatVec(const std::vector<double> &A,
+                     const std::vector<double> &X, std::vector<double> &Y,
+                     int64_t N);
+
+/// Deterministic pseudo-random fill for test inputs.
+void fillDeterministic(std::vector<double> &Buf, uint64_t Seed);
+
+} // namespace eco
+
+#endif // ECO_KERNELS_REFERENCE_H

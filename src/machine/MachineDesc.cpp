@@ -1,0 +1,92 @@
+//===- machine/MachineDesc.cpp - Target machine descriptions -------------===//
+
+#include "machine/MachineDesc.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace eco;
+
+MachineDesc MachineDesc::scaledBy(unsigned Factor) const {
+  assert(Factor > 0 && "scale factor must be positive");
+  MachineDesc Scaled = *this;
+  if (Factor == 1)
+    return Scaled;
+  Scaled.Name = Name + strformat("/%u", Factor);
+  for (CacheLevelDesc &Level : Scaled.Caches) {
+    // Keep at least two lines per way so tiling remains meaningful.
+    uint64_t MinCapacity =
+        static_cast<uint64_t>(Level.LineBytes) * Level.Assoc * 2;
+    Level.CapacityBytes = std::max(Level.CapacityBytes / Factor, MinCapacity);
+  }
+  Scaled.Tlb.PageBytes = std::max<uint64_t>(
+      Tlb.PageBytes / Factor, Scaled.Caches.front().LineBytes);
+  return Scaled;
+}
+
+MachineDesc MachineDesc::sgiR10000() {
+  MachineDesc M;
+  M.Name = "SGI-R10000";
+  M.ClockMHz = 195;
+  M.FpRegisters = 32;
+  M.FlopsPerCycle = 2; // fused multiply-add, peak 390 MFLOPS
+  M.MemOpsPerCycle = 1;
+  M.LoopOverheadCycles = 1;
+  M.Caches = {
+      {"L1", 32 * 1024, /*Assoc=*/2, /*LineBytes=*/32, /*HitLatency=*/0},
+      {"L2", 1024 * 1024, /*Assoc=*/2, /*LineBytes=*/128, /*HitLatency=*/10},
+  };
+  M.Tlb = {/*Entries=*/64, /*Assoc=*/64, /*PageBytes=*/16 * 1024,
+           /*MissPenalty=*/50};
+  M.MemLatency = 60;
+  return M;
+}
+
+MachineDesc MachineDesc::ultraSparcIIe() {
+  MachineDesc M;
+  M.Name = "Sun-UltraSparcIIe";
+  M.ClockMHz = 500;
+  M.FpRegisters = 32;
+  M.FlopsPerCycle = 2; // independent FP add + multiply pipes
+  M.MemOpsPerCycle = 1;
+  M.LoopOverheadCycles = 2; // in-order core pays more control overhead
+  M.Caches = {
+      {"L1", 16 * 1024, /*Assoc=*/1, /*LineBytes=*/32, /*HitLatency=*/0},
+      {"L2", 256 * 1024, /*Assoc=*/4, /*LineBytes=*/64, /*HitLatency=*/12},
+  };
+  M.Tlb = {/*Entries=*/64, /*Assoc=*/64, /*PageBytes=*/8 * 1024,
+           /*MissPenalty=*/80};
+  M.MemLatency = 120;
+  return M;
+}
+
+MachineDesc MachineDesc::genericHost() {
+  MachineDesc M;
+  M.Name = "Generic-Host";
+  M.ClockMHz = 2000;
+  M.FpRegisters = 16;
+  M.FlopsPerCycle = 4;
+  M.MemOpsPerCycle = 2;
+  M.LoopOverheadCycles = 0.5;
+  M.Caches = {
+      {"L1", 32 * 1024, /*Assoc=*/8, /*LineBytes=*/64, /*HitLatency=*/0},
+      {"L2", 1024 * 1024, /*Assoc=*/16, /*LineBytes=*/64, /*HitLatency=*/12},
+  };
+  M.Tlb = {/*Entries=*/64, /*Assoc=*/8, /*PageBytes=*/4096,
+           /*MissPenalty=*/30};
+  M.MemLatency = 200;
+  return M;
+}
+
+std::string MachineDesc::summary() const {
+  std::vector<std::string> CacheParts;
+  for (const CacheLevelDesc &Level : Caches)
+    CacheParts.push_back(strformat(
+        "%s %lluKB %u-way %uB-line", Level.Name.c_str(),
+        static_cast<unsigned long long>(Level.CapacityBytes / 1024),
+        Level.Assoc, Level.LineBytes));
+  return strformat("%s: %.0fMHz, %u FP regs, %s, TLB %u x %lluKB pages",
+                   Name.c_str(), ClockMHz, FpRegisters,
+                   join(CacheParts, ", ").c_str(), Tlb.Entries,
+                   static_cast<unsigned long long>(Tlb.PageBytes / 1024));
+}

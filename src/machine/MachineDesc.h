@@ -1,0 +1,113 @@
+//===- machine/MachineDesc.h - Target machine descriptions -----*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architecture descriptions for the memory hierarchies the paper targets
+/// (Table 2: SGI R10000 and Sun UltraSparc IIe), plus a scaling facility so
+/// full empirical-search sweeps run in minutes on a laptop while preserving
+/// the capacity ratios between levels (see DESIGN.md, substitutions).
+///
+/// The compiler models in src/analysis consume `Capacity(level)` and
+/// `Associativity(level)` exactly as the paper's Figure 3 does; the
+/// simulator in src/sim consumes the latency fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_MACHINE_MACHINEDESC_H
+#define ECO_MACHINE_MACHINEDESC_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// One level of cache (L1, L2, ...).
+struct CacheLevelDesc {
+  std::string Name;         ///< "L1", "L2", ...
+  uint64_t CapacityBytes;   ///< total capacity
+  unsigned Assoc;           ///< 1 = direct mapped
+  unsigned LineBytes;       ///< cache line size
+  unsigned HitLatency;      ///< stall cycles when an access hits at this
+                            ///< level after missing every faster level
+                            ///< (0 for a pipelined L1 hit)
+
+  uint64_t numSets() const {
+    assert(LineBytes > 0 && Assoc > 0);
+    return CapacityBytes / (static_cast<uint64_t>(LineBytes) * Assoc);
+  }
+};
+
+/// Translation lookaside buffer.
+struct TlbDesc {
+  unsigned Entries;     ///< number of TLB entries
+  unsigned Assoc;       ///< associativity (Entries = fully associative)
+  uint64_t PageBytes;   ///< page size
+  unsigned MissPenalty; ///< cycles per TLB miss (refill walk)
+
+  /// TLB reach in bytes.
+  uint64_t reach() const { return Entries * PageBytes; }
+};
+
+/// A complete machine description: functional-unit throughputs for the
+/// issue model plus the memory hierarchy.
+struct MachineDesc {
+  std::string Name;
+
+  double ClockMHz = 0;
+  unsigned FpRegisters = 32;    ///< floating-point register file size
+  double FlopsPerCycle = 2;     ///< peak FP throughput
+  double MemOpsPerCycle = 1;    ///< load/store/prefetch issue ports
+  double LoopOverheadCycles = 1;///< cycles of control per loop iteration
+
+  std::vector<CacheLevelDesc> Caches; ///< ordered L1 first
+  TlbDesc Tlb;
+  unsigned MemLatency = 60;     ///< cycles from last cache level to memory
+
+  /// Cache level software prefetches fill into (0 = L1). The presets use
+  /// 1 (L2): prefetched lines are staged in the large outer cache and
+  /// promoted on demand, so streaming traffic cannot flush them out of a
+  /// small L1 before use.
+  unsigned PrefetchFillLevel = 1;
+
+  /// Theoretical peak in MFLOPS (the paper quotes 390 for the SGI).
+  double peakMflops() const { return ClockMHz * FlopsPerCycle; }
+
+  unsigned numCacheLevels() const {
+    return static_cast<unsigned>(Caches.size());
+  }
+
+  const CacheLevelDesc &cache(unsigned Level) const {
+    assert(Level < Caches.size() && "cache level out of range");
+    return Caches[Level];
+  }
+
+  /// Returns a copy with every capacity-like quantity divided by \p Factor
+  /// (cache capacities and page size; line sizes, associativities, and
+  /// latencies unchanged). TLB reach scales with the page size, keeping the
+  /// paper's reach:L2 ratio intact.
+  MachineDesc scaledBy(unsigned Factor) const;
+
+  /// SGI Octane R10000 per Table 2 (195 MHz, 32 FP registers, 32 KB 2-way
+  /// L1 data, 1 MB 2-way unified L2, 64-entry TLB).
+  static MachineDesc sgiR10000();
+
+  /// Sun UltraSparc IIe per Table 2 (500 MHz, 32 FP registers, 16 KB
+  /// direct-mapped L1 data, 256 KB 4-way unified L2, 64-entry TLB).
+  static MachineDesc ultraSparcIIe();
+
+  /// A generic modern-host description used by the native backend's models
+  /// (32 KB 8-way L1, 1 MB 16-way L2).
+  static MachineDesc genericHost();
+
+  /// Renders a Table 2 style one-line summary.
+  std::string summary() const;
+};
+
+} // namespace eco
+
+#endif // ECO_MACHINE_MACHINEDESC_H

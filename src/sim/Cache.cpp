@@ -1,0 +1,59 @@
+//===- sim/Cache.cpp - Set-associative LRU cache model --------------------===//
+
+#include "sim/Cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eco;
+
+SetAssocCache::SetAssocCache(const CacheLevelDesc &D) : Desc(D) {
+  assert(Desc.LineBytes > 0 && "line size must be positive");
+  assert(Desc.Assoc > 0 && "associativity must be positive");
+  Sets = Desc.numSets();
+  assert(Sets > 0 && "capacity smaller than one set");
+  Ways.assign(Sets * Desc.Assoc, Way());
+}
+
+CacheProbe SetAssocCache::access(uint64_t Addr) {
+  uint64_t Line = lineOf(Addr);
+  Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  for (unsigned W = 0; W < Desc.Assoc; ++W) {
+    if (Set[W].Line != Line)
+      continue;
+    Way Found = Set[W];
+    // Promote to MRU.
+    for (unsigned V = W; V > 0; --V)
+      Set[V] = Set[V - 1];
+    Set[0] = Found;
+    return {/*Hit=*/true, Found.Ready};
+  }
+  return {/*Hit=*/false, 0};
+}
+
+void SetAssocCache::fill(uint64_t Addr, double ReadyCycle) {
+  uint64_t Line = lineOf(Addr);
+  Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  unsigned Victim = Desc.Assoc - 1; // default: evict LRU
+  for (unsigned W = 0; W < Desc.Assoc; ++W) {
+    if (Set[W].Line == Line) {
+      Victim = W;
+      ReadyCycle = std::min(ReadyCycle, Set[W].Ready);
+      break;
+    }
+  }
+  for (unsigned V = Victim; V > 0; --V)
+    Set[V] = Set[V - 1];
+  Set[0] = {Line, ReadyCycle};
+}
+
+bool SetAssocCache::contains(uint64_t Addr) const {
+  uint64_t Line = lineOf(Addr);
+  const Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  for (unsigned W = 0; W < Desc.Assoc; ++W)
+    if (Set[W].Line == Line)
+      return true;
+  return false;
+}
+
+void SetAssocCache::reset() { Ways.assign(Ways.size(), Way()); }

@@ -1,0 +1,76 @@
+//===- sim/Cache.h - Set-associative LRU cache model -----------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative LRU cache model. Each resident line carries a
+/// ready-cycle so that non-blocking prefetches can fill a line "in flight":
+/// a demand access that arrives before the line is ready stalls only for
+/// the remaining cycles. This is what makes the paper's prefetch-distance
+/// search (Section 3.2) meaningful in simulation — too-short distances pay
+/// partial stalls, long-enough distances hide the full latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SIM_CACHE_H
+#define ECO_SIM_CACHE_H
+
+#include "machine/MachineDesc.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace eco {
+
+/// Result of probing one cache level.
+struct CacheProbe {
+  bool Hit = false;
+  double ReadyCycle = 0; ///< valid on hit: when the line's data arrives
+};
+
+/// One level of set-associative cache with true-LRU replacement.
+class SetAssocCache {
+public:
+  explicit SetAssocCache(const CacheLevelDesc &Desc);
+
+  /// Probes and, on hit, promotes the line to MRU. Does not fill on miss;
+  /// callers fill explicitly so they control the ready cycle.
+  CacheProbe access(uint64_t Addr);
+
+  /// Inserts the line holding \p Addr (evicting LRU if needed), marking its
+  /// data available at \p ReadyCycle. If already resident, just updates
+  /// recency (and ready time if the new one is earlier).
+  void fill(uint64_t Addr, double ReadyCycle);
+
+  /// True if the line holding \p Addr is resident (no LRU update).
+  bool contains(uint64_t Addr) const;
+
+  /// Empties the cache.
+  void reset();
+
+  unsigned lineBytes() const { return Desc.LineBytes; }
+  uint64_t numSets() const { return Sets; }
+  unsigned assoc() const { return Desc.Assoc; }
+
+  /// The line-granular tag for an address (address / line size).
+  uint64_t lineOf(uint64_t Addr) const { return Addr / Desc.LineBytes; }
+
+private:
+  struct Way {
+    uint64_t Line = ~0ULL; ///< line number, ~0 = invalid
+    double Ready = 0;
+  };
+
+  CacheLevelDesc Desc;
+  uint64_t Sets;
+  /// Sets x Assoc entries; within a set, index 0 is MRU, Assoc-1 is LRU.
+  std::vector<Way> Ways;
+
+  uint64_t setOf(uint64_t Line) const { return Line % Sets; }
+};
+
+} // namespace eco
+
+#endif // ECO_SIM_CACHE_H

@@ -1,0 +1,95 @@
+//===- sim/MemHierarchy.h - Full memory-hierarchy simulator ----*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven simulator of a complete memory hierarchy (TLB + N cache
+/// levels + memory) parameterized by a MachineDesc. This is the substitute
+/// for the paper's SGI R10000 / Sun UltraSparc IIe hardware and its PAPI
+/// counters (see DESIGN.md): the empirical-search phase "executes" code
+/// variants against this simulator and reads back HWCounters.
+///
+/// Timing model:
+///  * demand access: TLB miss penalty + the hit latency of the level that
+///    services it (L1 hit is free, memory costs MemLatency), except that a
+///    line filled by an in-flight prefetch only charges the cycles still
+///    remaining until the line is ready;
+///  * prefetch: counts as a load and (if it misses) as a cache miss, but
+///    never stalls — it fills the hierarchy with a ready-cycle in the
+///    future.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SIM_MEMHIERARCHY_H
+#define ECO_SIM_MEMHIERARCHY_H
+
+#include "machine/MachineDesc.h"
+#include "sim/Cache.h"
+#include "sim/Counters.h"
+
+#include <memory>
+#include <vector>
+
+namespace eco {
+
+/// Simulates TLB + caches + memory for a stream of addresses.
+class MemHierarchySim {
+public:
+  explicit MemHierarchySim(const MachineDesc &M);
+
+  /// Simulates a demand load/store of the byte at \p Addr at time \p Now
+  /// (cycles). Returns the stall cycles the access incurs. Counters are
+  /// updated (Loads/Stores, per-level misses, TLB misses).
+  double access(uint64_t Addr, bool IsWrite, double Now);
+
+  /// Simulates a software prefetch of the line holding \p Addr issued at
+  /// time \p Now. Never stalls; returns 0 for convenience.
+  double prefetch(uint64_t Addr, double Now);
+
+  /// Counter access.
+  HWCounters &counters() { return Counters; }
+  const HWCounters &counters() const { return Counters; }
+
+  /// Clears caches, TLB, and counters.
+  void reset();
+
+  const MachineDesc &machine() const { return Machine; }
+
+  /// Direct cache access for white-box tests.
+  SetAssocCache &cacheLevel(unsigned Level) {
+    assert(Level < Caches.size());
+    return Caches[Level];
+  }
+  SetAssocCache &tlb() { return Tlb; }
+
+private:
+  /// Walks the cache levels for \p Addr, filling every missing level from
+  /// \p FillFromLevel outward with a ready time of Now + stall. Returns
+  /// the stall a demand access pays (0 if it hit ready in L1); a prefetch
+  /// ignores the return value and thereby leaves the fill "in flight".
+  /// Prefetch walks pass CountMisses = false: hardware miss counters see
+  /// only demand traffic (the paper's Table 1 shows prefetching adding
+  /// loads while miss counts stay flat).
+  double walkCaches(uint64_t Addr, double Now, unsigned FillFromLevel = 0,
+                    bool CountMisses = true);
+
+  static CacheLevelDesc tlbAsCache(const TlbDesc &T);
+
+  MachineDesc Machine;
+  std::vector<SetAssocCache> Caches;
+  SetAssocCache Tlb; ///< modeled as a cache whose "lines" are pages
+  HWCounters Counters;
+
+  /// One-entry MRU filter: repeated accesses to the same L1 line (the
+  /// dominant pattern in dense loops) skip the full walk. Exact: repeated
+  /// hits on the MRU line change no LRU state. Invalidated by any other
+  /// access or prefetch.
+  uint64_t LastL1Line = ~0ULL;
+  uint64_t LastPage = ~0ULL;
+};
+
+} // namespace eco
+
+#endif // ECO_SIM_MEMHIERARCHY_H

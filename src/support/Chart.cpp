@@ -1,0 +1,81 @@
+//===- support/Chart.cpp - ASCII line charts -------------------------------===//
+
+#include "support/Chart.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace eco;
+
+void AsciiChart::addSeries(std::string Name, char Marker,
+                           std::vector<double> X, std::vector<double> Y) {
+  assert(X.size() == Y.size() && "series lengths differ");
+  Series.push_back({std::move(Name), Marker, std::move(X), std::move(Y)});
+}
+
+std::string AsciiChart::render() const {
+  if (Series.empty())
+    return "(empty chart)\n";
+
+  double XMin = Series[0].X.empty() ? 0 : Series[0].X[0];
+  double XMax = XMin;
+  double YLo = YFixed ? YMin : 0;
+  double YHi = YFixed ? YMax : 0;
+  for (const SeriesData &S : Series)
+    for (size_t P = 0; P < S.X.size(); ++P) {
+      XMin = std::min(XMin, S.X[P]);
+      XMax = std::max(XMax, S.X[P]);
+      if (!YFixed)
+        YHi = std::max(YHi, S.Y[P]);
+    }
+  if (XMax == XMin)
+    XMax = XMin + 1;
+  if (YHi == YLo)
+    YHi = YLo + 1;
+
+  // Character grid, row 0 at the top.
+  std::vector<std::string> Grid(Height, std::string(Width, ' '));
+  auto plot = [&](double X, double Y, char Marker) {
+    int Col = static_cast<int>(
+        std::lround((X - XMin) / (XMax - XMin) * (Width - 1)));
+    int Row = static_cast<int>(
+        std::lround((Y - YLo) / (YHi - YLo) * (Height - 1)));
+    Col = std::clamp(Col, 0, static_cast<int>(Width) - 1);
+    Row = std::clamp(Row, 0, static_cast<int>(Height) - 1);
+    char &Cell = Grid[Height - 1 - Row][Col];
+    Cell = Cell == ' ' ? Marker : '*'; // overlapping series
+  };
+  for (const SeriesData &S : Series)
+    for (size_t P = 0; P < S.X.size(); ++P)
+      plot(S.X[P], S.Y[P], S.Marker);
+
+  std::string Out;
+  if (!YLabel.empty())
+    Out += YLabel + "\n";
+  const unsigned Margin = 7;
+  for (unsigned R = 0; R < Height; ++R) {
+    double RowVal =
+        YLo + (YHi - YLo) * (Height - 1 - R) / (Height - 1);
+    // Tick labels every four rows and on the extremes.
+    std::string Label = (R % 4 == 0 || R + 1 == Height)
+                            ? padLeft(strformat("%.0f", RowVal), Margin - 2)
+                            : std::string(Margin - 2, ' ');
+    Out += Label + " |" + Grid[R] + "\n";
+  }
+  Out += std::string(Margin - 1, ' ') + "+" + repeat("-", Width) + "\n";
+  Out += std::string(Margin, ' ') +
+         strformat("%-*.0f%*.0f", Width / 2, XMin, Width - Width / 2,
+                   XMax) +
+         "\n";
+  if (!XLabel.empty())
+    Out += std::string(Margin, ' ') + XLabel + "\n";
+
+  std::vector<std::string> Legend;
+  for (const SeriesData &S : Series)
+    Legend.push_back(strformat("%c = %s", S.Marker, S.Name.c_str()));
+  Out += std::string(Margin, ' ') + join(Legend, "   ") +
+         "   (* = overlap)\n";
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- support/Rng.h - Deterministic PRNG ----------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic xorshift128+ PRNG used for test-data generation
+/// and property-based tests. Deterministic seeding keeps every test and
+/// benchmark reproducible across runs and machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SUPPORT_RNG_H
+#define ECO_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace eco {
+
+/// xorshift128+ generator. Not cryptographic; fast and reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to spread low-entropy seeds.
+    auto Next = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      return Z ^ (Z >> 31);
+    };
+    State0 = Next();
+    State1 = Next();
+    if (State0 == 0 && State1 == 0)
+      State1 = 1;
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t S1 = State0;
+    const uint64_t S0 = State1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+    return State1 + S0;
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInt(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  uint64_t State0 = 0;
+  uint64_t State1 = 0;
+};
+
+} // namespace eco
+
+#endif // ECO_SUPPORT_RNG_H

@@ -1,0 +1,59 @@
+//===- support/Stats.h - Summary statistics --------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Running summary statistics (min/max/mean) used when reporting the
+/// per-size MFLOPS series of Figures 4 and 5 the way the paper does
+/// ("ranging from 302 to 342 with an average of 333 MFLOPS").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SUPPORT_STATS_H
+#define ECO_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace eco {
+
+/// Accumulates doubles and reports min / max / mean / count.
+class SummaryStats {
+public:
+  void add(double Value) {
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+    Sum += Value;
+    ++Count;
+  }
+
+  bool empty() const { return Count == 0; }
+  size_t count() const { return Count; }
+
+  double min() const {
+    assert(Count > 0 && "no samples");
+    return Min;
+  }
+  double max() const {
+    assert(Count > 0 && "no samples");
+    return Max;
+  }
+  double mean() const {
+    assert(Count > 0 && "no samples");
+    return Sum / static_cast<double>(Count);
+  }
+
+private:
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+  double Sum = 0;
+  size_t Count = 0;
+};
+
+} // namespace eco
+
+#endif // ECO_SUPPORT_STATS_H

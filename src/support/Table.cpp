@@ -1,0 +1,93 @@
+//===- support/Table.cpp - Aligned ASCII table printer -------------------===//
+
+#include "support/Table.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eco;
+
+Table::Table(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Header.size() && "row wider than header");
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+/// Returns true if the cell looks like a number (digits, commas, dots,
+/// optional sign/percent) and should be right-aligned.
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!(std::isdigit(static_cast<unsigned char>(C)) || C == ',' ||
+          C == '.' || C == '-' || C == '+' || C == '%' || C == 'e' ||
+          C == 'E' || C == 'x'))
+      return false;
+  return true;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C != 0)
+        Line += "  ";
+      Line += looksNumeric(Row[C]) ? padLeft(Row[C], Widths[C])
+                                   : padRight(Row[C], Widths[C]);
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = renderRow(Header);
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C == 0 ? 0 : 2);
+  Out += repeat("-", Total) + "\n";
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+static std::string csvQuote(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string Table::renderCsv() const {
+  std::string Out;
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      Out += csvQuote(Row[C]);
+    }
+    Out += '\n';
+  };
+  renderRow(Header);
+  for (const auto &Row : Rows)
+    renderRow(Row);
+  return Out;
+}

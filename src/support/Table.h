@@ -1,0 +1,61 @@
+//===- support/Table.h - Aligned ASCII table printer -----------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small aligned-column ASCII table used by the benchmark harnesses to
+/// reproduce the paper's tables (Table 1, Table 2, Table 4) and to print the
+/// per-size series behind Figures 4 and 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SUPPORT_TABLE_H
+#define ECO_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// Collects rows of cells and renders them with aligned columns.
+///
+/// Numeric-looking cells are right-aligned, text cells left-aligned.
+/// Typical usage:
+/// \code
+///   Table T({"Version", "Loads", "Cycles"});
+///   T.addRow({"mm1", withCommas(Loads), withCommas(Cycles)});
+///   std::string Out = T.render();
+/// \endcode
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; missing trailing cells render as empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: appends a row of already-formatted cells via initializer.
+  void addRow(std::initializer_list<std::string> Cells) {
+    addRow(std::vector<std::string>(Cells));
+  }
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numCols() const { return Header.size(); }
+
+  /// Renders the table with a header separator line.
+  std::string render() const;
+
+  /// Renders the table as CSV (no alignment, comma-separated, quoted as
+  /// needed).
+  std::string renderCsv() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace eco
+
+#endif // ECO_SUPPORT_TABLE_H

@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock timer ----------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer used by the empirical-search cost accounting
+/// (Section 4.3 of the paper) and by the native-execution backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SUPPORT_TIMER_H
+#define ECO_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace eco {
+
+/// Measures elapsed wall time from construction or the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace eco
+
+#endif // ECO_SUPPORT_TIMER_H

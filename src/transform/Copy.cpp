@@ -1,0 +1,40 @@
+//===- transform/Copy.cpp - Copy optimization ------------------------------===//
+
+#include "transform/Copy.h"
+#include "transform/Utils.h"
+
+using namespace eco;
+
+ArrayId eco::applyCopy(LoopNest &Nest, ArrayId Src, SymbolId BeforeLoopVar,
+                       const std::string &BufferName,
+                       const std::vector<CopyDimSpec> &Dims) {
+  const ArrayDecl &SrcDecl = Nest.array(Src);
+  assert(Dims.size() == SrcDecl.rank() && "one CopyDimSpec per dimension");
+
+  // Declare the buffer: extents are the (unclamped) tile parameters, so
+  // its storage is tile-sized and contiguous.
+  ArrayDecl Buffer;
+  Buffer.Name = BufferName;
+  Buffer.ElemBytes = SrcDecl.ElemBytes;
+  Buffer.Order = SrcDecl.Order;
+  Buffer.Role = ArrayRole::CopyBuffer;
+  for (const CopyDimSpec &Dim : Dims)
+    Buffer.Extents.push_back(AffineExpr::sym(Dim.SizeParam));
+  ArrayId Buf = Nest.declareArray(std::move(Buffer));
+
+  // Retarget references inside the target loop.
+  LoopLocation Loc = findUniqueLoop(Nest, BeforeLoopVar);
+  std::vector<AffineExpr> Starts;
+  for (const CopyDimSpec &Dim : Dims)
+    Starts.push_back(Dim.Start);
+  retargetRefs(Loc.L->Items, Src, Buf, Starts);
+  retargetRefs(Loc.L->Epilogue, Src, Buf, Starts);
+
+  // Insert the CopyIn just before the loop.
+  std::vector<CopyRegionDim> Region;
+  for (const CopyDimSpec &Dim : Dims)
+    Region.push_back({Dim.Start, Dim.Size});
+  Loc.Parent->insert(Loc.Parent->begin() + Loc.Index,
+                     BodyItem(Stmt::makeCopyIn(Buf, Src, Region)));
+  return Buf;
+}

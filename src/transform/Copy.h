@@ -1,0 +1,48 @@
+//===- transform/Copy.h - Copy optimization --------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The copy optimization: a data tile with temporal reuse in cache is
+/// copied into a contiguous temporary array so it cannot conflict with
+/// itself (Section 3.1.2, CreateCopyVariant). The copy statement is
+/// inserted just before the loop that traverses the tile, and every
+/// reference to the source array inside that loop is retargeted to the
+/// buffer with tile-relative subscripts:
+///
+///     copy B[KK..KK+TK-1, JJ..JJ+TJ-1] to P
+///     ... B[K,J] ... becomes ... P[K-KK, J-JJ] ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_TRANSFORM_COPY_H
+#define ECO_TRANSFORM_COPY_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// How one dimension of the copied tile is described.
+struct CopyDimSpec {
+  AffineExpr Start;   ///< first source index (e.g. KK)
+  SymbolId SizeParam; ///< tile-size parameter (e.g. TK); buffer extent
+  Bound Size;         ///< actual size, clamped at the array edge
+};
+
+/// Copies the tile of \p Src described by \p Dims into a fresh contiguous
+/// buffer named \p BufferName. The CopyIn statement is inserted
+/// immediately before the (unique) loop of \p BeforeLoopVar, and all
+/// references to \p Src within that loop are retargeted. Returns the
+/// buffer's array id.
+ArrayId applyCopy(LoopNest &Nest, ArrayId Src, SymbolId BeforeLoopVar,
+                  const std::string &BufferName,
+                  const std::vector<CopyDimSpec> &Dims);
+
+} // namespace eco
+
+#endif // ECO_TRANSFORM_COPY_H

@@ -1,0 +1,58 @@
+//===- transform/Pad.cpp - Array padding -----------------------------------===//
+
+#include "transform/Pad.h"
+
+using namespace eco;
+
+int eco::padLeadingDims(LoopNest &Nest, int64_t PadElems) {
+  assert(PadElems >= 0 && "negative padding");
+  if (PadElems == 0)
+    return 0;
+  int Padded = 0;
+  for (ArrayDecl &Decl : Nest.Arrays) {
+    if (Decl.Role != ArrayRole::Data || Decl.rank() < 2)
+      continue;
+    unsigned Dim = Decl.Order == Layout::ColMajor ? 0 : Decl.rank() - 1;
+    Decl.Extents[Dim] = Decl.Extents[Dim] + PadElems;
+    ++Padded;
+  }
+  return Padded;
+}
+
+int eco::padDims(LoopNest &Nest, const std::vector<int64_t> &PadPerDim) {
+  int Padded = 0;
+  for (ArrayDecl &Decl : Nest.Arrays) {
+    if (Decl.Role != ArrayRole::Data || Decl.rank() < 2)
+      continue;
+    bool Any = false;
+    for (unsigned D = 0; D < Decl.rank() && D < PadPerDim.size(); ++D) {
+      if (PadPerDim[D] == 0)
+        continue;
+      assert(PadPerDim[D] > 0 && "negative padding");
+      Decl.Extents[D] = Decl.Extents[D] + PadPerDim[D];
+      Any = true;
+    }
+    Padded += Any ? 1 : 0;
+  }
+  return Padded;
+}
+
+int eco::padInnerDims(LoopNest &Nest, int64_t PadElems) {
+  assert(PadElems >= 0 && "negative padding");
+  if (PadElems == 0)
+    return 0;
+  int Padded = 0;
+  for (ArrayDecl &Decl : Nest.Arrays) {
+    if (Decl.Role != ArrayRole::Data || Decl.rank() < 2)
+      continue;
+    bool ColMajor = Decl.Order == Layout::ColMajor;
+    for (unsigned D = 0; D < Decl.rank(); ++D) {
+      unsigned Slowest = ColMajor ? Decl.rank() - 1 : 0;
+      if (D == Slowest)
+        continue;
+      Decl.Extents[D] = Decl.Extents[D] + PadElems;
+    }
+    ++Padded;
+  }
+  return Padded;
+}

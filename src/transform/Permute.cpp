@@ -1,0 +1,68 @@
+//===- transform/Permute.cpp - Loop permutation ---------------------------===//
+
+#include "transform/Permute.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace eco;
+
+void eco::permuteSpine(LoopNest &Nest, const std::vector<SymbolId> &NewOrder) {
+  // Collect and verify the perfect spine.
+  std::vector<std::unique_ptr<Loop>> Chain;
+  Body *Level = &Nest.Items;
+  while (true) {
+    size_t LoopCount = 0;
+    for (const BodyItem &Item : *Level)
+      if (Item.isLoop())
+        ++LoopCount;
+    if (LoopCount == 0)
+      break;
+    assert(Level->size() == 1 && (*Level)[0].isLoop() &&
+           "spine is not perfect: permute before inserting statements");
+    std::unique_ptr<Loop> L = (*Level)[0].takeLoop();
+    assert(L->Unroll == 1 && L->Epilogue.empty() &&
+           "permute before unroll-and-jam");
+    Level->clear();
+    Body *Next = &L->Items;
+    Chain.push_back(std::move(L));
+    Level = Next;
+  }
+  assert(Chain.size() == NewOrder.size() &&
+         "new order must cover the whole spine");
+
+  // Innermost statement body.
+  Body StmtBody = std::move(Chain.back()->Items);
+  Chain.back()->Items.clear();
+
+  // Index loops by variable and check the order is a permutation.
+  std::map<SymbolId, std::unique_ptr<Loop>> ByVar;
+  for (std::unique_ptr<Loop> &L : Chain) {
+    SymbolId V = L->Var;
+    assert(!ByVar.count(V) && "duplicate spine variable");
+    ByVar[V] = std::move(L);
+  }
+  for (SymbolId V : NewOrder)
+    assert(ByVar.count(V) && "new order names a non-spine variable");
+
+  // A loop's bounds may only reference variables of loops outside it.
+  for (size_t P = 0; P < NewOrder.size(); ++P) {
+    const Loop &L = *ByVar[NewOrder[P]];
+    for (size_t Q = P + 1; Q < NewOrder.size(); ++Q) {
+      SymbolId InnerVar = NewOrder[Q];
+      assert(!L.Lower.uses(InnerVar) && !L.Upper.uses(InnerVar) &&
+             "loop bound would reference an inner loop's variable");
+      (void)InnerVar;
+    }
+  }
+
+  // Rebuild innermost-outward.
+  Body Current = std::move(StmtBody);
+  for (size_t P = NewOrder.size(); P-- > 0;) {
+    std::unique_ptr<Loop> L = std::move(ByVar[NewOrder[P]]);
+    L->Items = std::move(Current);
+    Current.clear();
+    Current.push_back(BodyItem(std::move(L)));
+  }
+  Nest.Items = std::move(Current);
+}

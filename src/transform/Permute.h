@@ -1,0 +1,41 @@
+//===- transform/Permute.h - Loop permutation ------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop permutation of a perfect spine: reorders the nest's loops into a
+/// given order. Used to place the register-reuse loop innermost and the
+/// tile-controlling loops outermost (Figure 3's Push(l, LoopOrder) /
+/// Order(ControlLoops) steps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_TRANSFORM_PERMUTE_H
+#define ECO_TRANSFORM_PERMUTE_H
+
+#include "ir/Loop.h"
+
+#include <vector>
+
+namespace eco {
+
+/// Reorders the perfect spine of \p Nest to \p NewOrder (outermost first).
+///
+/// Requirements (asserted):
+///  * the nest's spine is perfect: each spine loop's body is exactly the
+///    next spine loop (statements only at the innermost level) — permute
+///    before tiling/copy insertion/unrolling;
+///  * \p NewOrder is a permutation of the spine variables;
+///  * no loop's bounds may use a variable that would move inside it
+///    (min-bounds of tiled loops reference their control variable, so a
+///    tiled loop must stay inside its controller).
+///
+/// Legality w.r.t. data dependences is the caller's responsibility (check
+/// DependenceInfo::FullyPermutable).
+void permuteSpine(LoopNest &Nest, const std::vector<SymbolId> &NewOrder);
+
+} // namespace eco
+
+#endif // ECO_TRANSFORM_PERMUTE_H

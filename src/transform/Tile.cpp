@@ -1,0 +1,42 @@
+//===- transform/Tile.cpp - Strip-mine and tile ----------------------------===//
+
+#include "transform/Tile.h"
+#include "transform/Utils.h"
+
+using namespace eco;
+
+TileResult eco::tileLoop(LoopNest &Nest, SymbolId Var,
+                         const std::string &ControlName,
+                         const std::string &ParamName) {
+  LoopLocation Loc = findUniqueLoop(Nest, Var);
+  Loop &Element = *Loc.L;
+  assert(Element.Unroll == 1 && Element.Epilogue.empty() &&
+         "tile before unroll-and-jam");
+  assert(!Element.hasParamStep() && Element.Step == 1 &&
+         "tiling a non-unit-step loop is not supported");
+
+  SymbolId ControlVar = Nest.declareLoopVar(ControlName);
+  SymbolId TileParam = Nest.declareParam(ParamName);
+
+  // Control loop inherits the element loop's range, stepping by the tile.
+  auto Control = std::make_unique<Loop>(ControlVar, Element.Lower,
+                                        Element.Upper);
+  Control->StepSym = TileParam;
+  Control->IsTileControl = true;
+
+  // Element loop now covers one tile: JJ .. min(JJ+TJ-1, old bounds).
+  AffineExpr CV = AffineExpr::sym(ControlVar);
+  Bound NewUpper(CV + AffineExpr::sym(TileParam) - 1);
+  for (const AffineExpr &Old : Element.Upper.exprs())
+    NewUpper.clampTo(Old);
+  Element.Lower = CV;
+  Element.Upper = NewUpper;
+
+  // Splice: control loop takes the element loop's place and wraps it.
+  BodyItem &Slot = (*Loc.Parent)[Loc.Index];
+  std::unique_ptr<Loop> ElementPtr = Slot.takeLoop();
+  Control->Items.push_back(BodyItem(std::move(ElementPtr)));
+  Slot = BodyItem(std::move(Control));
+
+  return {ControlVar, TileParam};
+}

@@ -1,0 +1,45 @@
+//===- transform/Tile.h - Strip-mine and tile ------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop tiling by strip-mining: DO J = lo,hi becomes
+///
+///     DO JJ = lo,hi,TJ          (tile-controlling loop)
+///       DO J = JJ,min(JJ+TJ-1,hi)
+///
+/// with TJ a searchable parameter. The element loop's upper bound gets a
+/// min() clamp, so no epilogue code is needed for non-dividing tile sizes.
+/// The control loop is created in place (immediately around the element
+/// loop); the caller arranges the final loop order with permuteSpine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_TRANSFORM_TILE_H
+#define ECO_TRANSFORM_TILE_H
+
+#include "ir/Loop.h"
+
+#include <string>
+
+namespace eco {
+
+/// Result of strip-mining one loop.
+struct TileResult {
+  SymbolId ControlVar = -1; ///< the new tile-controlling variable (JJ)
+  SymbolId TileParam = -1;  ///< the tile-size parameter (TJ)
+};
+
+/// Strip-mines the unique loop of \p Var by a fresh tile parameter.
+/// \p ControlName / \p ParamName name the new symbols (e.g. "JJ", "TJ").
+/// The loop must not be unrolled yet. Legality (full permutability) is the
+/// caller's responsibility.
+TileResult tileLoop(LoopNest &Nest, SymbolId Var,
+                    const std::string &ControlName,
+                    const std::string &ParamName);
+
+} // namespace eco
+
+#endif // ECO_TRANSFORM_TILE_H

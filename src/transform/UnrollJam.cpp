@@ -1,0 +1,62 @@
+//===- transform/UnrollJam.cpp - Unroll-and-jam ----------------------------===//
+
+#include "transform/UnrollJam.h"
+#include "transform/Utils.h"
+
+using namespace eco;
+
+namespace {
+
+/// Produces the jammed body: statement items are replicated Factor times
+/// with Var -> Var + u; loop items stay single, their bodies jammed
+/// recursively (that is the "jam").
+Body jamCopies(const Body &Orig, SymbolId Var, int Factor) {
+  Body Out;
+  for (const BodyItem &Item : Orig) {
+    if (Item.isStmt()) {
+      for (int U = 0; U < Factor; ++U) {
+        std::unique_ptr<Stmt> Copy = Item.stmt().clone();
+        if (U != 0)
+          Copy->substitute(Var, AffineExpr::sym(Var) + U);
+        Out.push_back(BodyItem(std::move(Copy)));
+      }
+      continue;
+    }
+    const Loop &Inner = Item.loop();
+    assert(!Inner.Lower.uses(Var) && !Inner.Upper.uses(Var) &&
+           "inner loop bounds may not use the unrolled variable");
+    std::unique_ptr<Loop> Jammed = std::make_unique<Loop>();
+    Jammed->Var = Inner.Var;
+    Jammed->Lower = Inner.Lower;
+    Jammed->Upper = Inner.Upper;
+    Jammed->Step = Inner.Step;
+    Jammed->StepSym = Inner.StepSym;
+    Jammed->Unroll = Inner.Unroll;
+    Jammed->IsTileControl = Inner.IsTileControl;
+    Jammed->Items = jamCopies(Inner.Items, Var, Factor);
+    Jammed->Epilogue = jamCopies(Inner.Epilogue, Var, Factor);
+    Out.push_back(BodyItem(std::move(Jammed)));
+  }
+  return Out;
+}
+
+} // namespace
+
+void eco::unrollAndJam(LoopNest &Nest, SymbolId Var, int Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+  if (Factor == 1)
+    return;
+  std::vector<LoopLocation> Occurrences = findLoopOccurrences(Nest, Var);
+  assert(!Occurrences.empty() && "no loop with this variable");
+  for (const LoopLocation &Loc : Occurrences) {
+    Loop &L = *Loc.L;
+    assert(L.Unroll == 1 && L.Epilogue.empty() && "already unrolled");
+    assert(!L.hasParamStep() && L.Step == 1 &&
+           "unroll-and-jam requires a unit-step loop");
+    Body Jammed = jamCopies(L.Items, Var, Factor);
+    L.Epilogue = std::move(L.Items);
+    L.Items = std::move(Jammed);
+    L.Unroll = Factor;
+    L.Step = Factor;
+  }
+}

@@ -1,0 +1,38 @@
+//===- transform/UnrollJam.h - Unroll-and-jam ------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unroll-and-jam (register tiling): unrolls an outer loop by a concrete
+/// factor and jams the copies into the loops below, exposing register
+/// reuse that scalar replacement then harvests. The factor is concrete —
+/// the paper performs "those code transformations that depend upon
+/// parameter values" during the search phase, re-deriving code per point.
+///
+/// Representation: the unrolled loop's body holds the jammed copies (the
+/// statement of iteration Var+u has Var substituted by Var+u) and steps by
+/// the factor; leftover iterations run the saved original body one at a
+/// time (Loop::Epilogue), so non-dividing trip counts stay exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_TRANSFORM_UNROLLJAM_H
+#define ECO_TRANSFORM_UNROLLJAM_H
+
+#include "ir/Loop.h"
+
+namespace eco {
+
+/// Unrolls-and-jams every occurrence of loop \p Var by \p Factor.
+///
+/// Requirements (asserted): Factor >= 1; the loop has unit step and is not
+/// already unrolled; no inner loop's bounds use \p Var (guaranteed for
+/// tiled nests, whose inner bounds use control variables only). Legality
+/// w.r.t. dependences is the caller's responsibility.
+void unrollAndJam(LoopNest &Nest, SymbolId Var, int Factor);
+
+} // namespace eco
+
+#endif // ECO_TRANSFORM_UNROLLJAM_H

@@ -1,0 +1,62 @@
+//===- transform/Utils.cpp - Shared pass utilities -------------------------===//
+
+#include "transform/Utils.h"
+
+using namespace eco;
+
+static void collectOccurrences(Body &B, SymbolId Var,
+                               std::vector<LoopLocation> &Out) {
+  for (size_t I = 0; I < B.size(); ++I) {
+    if (!B[I].isLoop())
+      continue;
+    Loop &L = B[I].loop();
+    if (L.Var == Var)
+      Out.push_back({&B, I, &L});
+    collectOccurrences(L.Items, Var, Out);
+    collectOccurrences(L.Epilogue, Var, Out);
+  }
+}
+
+std::vector<LoopLocation> eco::findLoopOccurrences(Body &B, SymbolId Var) {
+  std::vector<LoopLocation> Out;
+  collectOccurrences(B, Var, Out);
+  return Out;
+}
+
+std::vector<LoopLocation> eco::findLoopOccurrences(LoopNest &Nest,
+                                                   SymbolId Var) {
+  return findLoopOccurrences(Nest.Items, Var);
+}
+
+LoopLocation eco::findUniqueLoop(LoopNest &Nest, SymbolId Var) {
+  std::vector<LoopLocation> Occ = findLoopOccurrences(Nest, Var);
+  assert(Occ.size() == 1 && "expected exactly one loop for this variable");
+  return Occ.front();
+}
+
+bool eco::boundsUse(const Body &B, SymbolId Sym) {
+  for (const BodyItem &Item : B) {
+    if (!Item.isLoop())
+      continue;
+    const Loop &L = Item.loop();
+    if (L.Lower.uses(Sym) || L.Upper.uses(Sym))
+      return true;
+    if (boundsUse(L.Items, Sym) || boundsUse(L.Epilogue, Sym))
+      return true;
+  }
+  return false;
+}
+
+void eco::retargetRefs(Body &B, ArrayId Arr, ArrayId NewArr,
+                       const std::vector<AffineExpr> &Starts) {
+  forEachStmtIn(B, [&](Stmt &S) {
+    S.forEachRef([&](ArrayRef &Ref, bool) {
+      if (Ref.Array != Arr)
+        return;
+      assert(Ref.Subs.size() == Starts.size() && "rank mismatch");
+      Ref.Array = NewArr;
+      for (size_t D = 0; D < Ref.Subs.size(); ++D)
+        Ref.Subs[D] = Ref.Subs[D] - Starts[D];
+    });
+  });
+}

@@ -1,0 +1,50 @@
+//===- transform/Utils.h - Shared pass utilities ---------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the transformation passes: locating loops together
+/// with their parent bodies (after unroll-and-jam a loop variable can name
+/// several loop occurrences — one per main/epilogue path), and inserting
+/// statements relative to a located loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_TRANSFORM_UTILS_H
+#define ECO_TRANSFORM_UTILS_H
+
+#include "ir/Loop.h"
+
+#include <vector>
+
+namespace eco {
+
+/// A loop occurrence plus where it lives.
+struct LoopLocation {
+  Body *Parent = nullptr; ///< body containing the loop
+  size_t Index = 0;       ///< position within Parent
+  Loop *L = nullptr;
+};
+
+/// All occurrences of loops with induction variable \p Var, in preorder
+/// (main bodies before epilogues at each level).
+std::vector<LoopLocation> findLoopOccurrences(LoopNest &Nest, SymbolId Var);
+std::vector<LoopLocation> findLoopOccurrences(Body &B, SymbolId Var);
+
+/// The single occurrence of \p Var; asserts exactly one exists.
+LoopLocation findUniqueLoop(LoopNest &Nest, SymbolId Var);
+
+/// True if any loop bound in \p B (recursively) uses \p Sym.
+bool boundsUse(const Body &B, SymbolId Sym);
+
+/// Rewrites every reference to \p Arr in \p B: each subscript has the
+/// corresponding \p Starts entry subtracted and the reference retargeted
+/// to \p NewArr (the copy-optimization ref rewrite).
+void retargetRefs(Body &B, ArrayId Arr, ArrayId NewArr,
+                  const std::vector<AffineExpr> &Starts);
+
+} // namespace eco
+
+#endif // ECO_TRANSFORM_UTILS_H

@@ -1,0 +1,285 @@
+//===- tests/test_analysis.cpp - analysis/ unit tests ---------------------===//
+
+#include "analysis/Dependence.h"
+#include "analysis/Footprint.h"
+#include "analysis/Reuse.h"
+#include "exec/Run.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace eco;
+
+namespace {
+
+class MatMulReuse : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Nest = makeMatMul(&Ids);
+    SizeEnv = makeEnv(*Nest, {{"N", 256}});
+    RA = std::make_unique<ReuseAnalysis>(*Nest, SizeEnv);
+  }
+  std::optional<LoopNest> Nest;
+  MatMulIds Ids;
+  Env SizeEnv;
+  std::unique_ptr<ReuseAnalysis> RA;
+
+  /// Family index of the given array's references.
+  int familyOf(ArrayId A) const {
+    for (const RefInfo &R : RA->refs())
+      if (R.Ref.Array == A)
+        return R.Family;
+    return -1;
+  }
+};
+
+} // namespace
+
+TEST_F(MatMulReuse, FamiliesAndAccessCounts) {
+  // Three families: C (read+write), A, B.
+  EXPECT_EQ(RA->numFamilies(), 3);
+  EXPECT_EQ(RA->familyAccessCount(familyOf(Ids.C)), 2);
+  EXPECT_EQ(RA->familyAccessCount(familyOf(Ids.A)), 1);
+  EXPECT_EQ(RA->familyAccessCount(familyOf(Ids.B)), 1);
+}
+
+TEST_F(MatMulReuse, SelfTemporalPerLoop) {
+  // C[I,J] is temporal in K, A[I,K] in J, B[K,J] in I.
+  EXPECT_TRUE(RA->reuse(familyOf(Ids.C), Ids.K).SelfTemporal);
+  EXPECT_FALSE(RA->reuse(familyOf(Ids.C), Ids.I).SelfTemporal);
+  EXPECT_TRUE(RA->reuse(familyOf(Ids.A), Ids.J).SelfTemporal);
+  EXPECT_TRUE(RA->reuse(familyOf(Ids.B), Ids.I).SelfTemporal);
+  EXPECT_DOUBLE_EQ(RA->reuse(familyOf(Ids.C), Ids.K).Amount, 256);
+}
+
+TEST_F(MatMulReuse, SelfSpatialInContiguousDim) {
+  // Column-major: I is the contiguous subscript of C and A.
+  EXPECT_TRUE(RA->reuse(familyOf(Ids.C), Ids.I).SelfSpatial);
+  EXPECT_TRUE(RA->reuse(familyOf(Ids.A), Ids.I).SelfSpatial);
+  // K drives B's contiguous dim.
+  EXPECT_TRUE(RA->reuse(familyOf(Ids.B), Ids.K).SelfSpatial);
+  // J drives only non-contiguous dims.
+  EXPECT_FALSE(RA->reuse(familyOf(Ids.C), Ids.J).SelfSpatial);
+  EXPECT_FALSE(RA->reuse(familyOf(Ids.A), Ids.J).SelfSpatial);
+}
+
+TEST_F(MatMulReuse, KCarriesMostTemporalReuseForRegisters) {
+  // C has two accesses (load + store), so K's weight (2N) beats I and J
+  // (N each): the algorithm puts K innermost and C in registers — the
+  // paper's Table 4 choice for both variants.
+  std::vector<SymbolId> Best =
+      RA->mostProfitableLoops({Ids.K, Ids.J, Ids.I}, {});
+  ASSERT_EQ(Best.size(), 1u);
+  EXPECT_EQ(Best[0], Ids.K);
+
+  std::vector<int> Fams = RA->mostProfitableRefs(Ids.K, {});
+  ASSERT_EQ(Fams.size(), 1u);
+  EXPECT_EQ(Fams[0], familyOf(Ids.C));
+}
+
+TEST_F(MatMulReuse, TieBetweenIAndJCreatesTwoVariants) {
+  // With C exploited, I (carrying B) and J (carrying A) tie — this tie is
+  // exactly what produces the paper's variants v1 and v2.
+  std::set<int> Exploited = {familyOf(Ids.C)};
+  std::vector<SymbolId> Best =
+      RA->mostProfitableLoops({Ids.J, Ids.I}, Exploited);
+  EXPECT_EQ(Best.size(), 2u);
+}
+
+TEST_F(MatMulReuse, MostProfitableRefsPerCacheLoop) {
+  std::set<int> Exploited = {familyOf(Ids.C)};
+  std::vector<int> ForI = RA->mostProfitableRefs(Ids.I, Exploited);
+  ASSERT_EQ(ForI.size(), 1u);
+  EXPECT_EQ(ForI[0], familyOf(Ids.B));
+  std::vector<int> ForJ = RA->mostProfitableRefs(Ids.J, Exploited);
+  ASSERT_EQ(ForJ.size(), 1u);
+  EXPECT_EQ(ForJ[0], familyOf(Ids.A));
+}
+
+TEST(JacobiReuse, AllLoopsTieWithGroupReuse) {
+  JacobiIds Ids;
+  LoopNest Nest = makeJacobi(&Ids);
+  Env SizeEnv = makeEnv(Nest, {{"N", 128}});
+  ReuseAnalysis RA(Nest, SizeEnv);
+
+  // Two families: A (write) and B (6 reads).
+  EXPECT_EQ(RA.numFamilies(), 2);
+
+  int BFam = -1;
+  for (const RefInfo &R : RA.refs())
+    if (R.Ref.Array == Ids.B)
+      BFam = R.Family;
+
+  // B has group-temporal reuse in every loop.
+  EXPECT_TRUE(RA.reuse(BFam, Ids.I).GroupTemporal);
+  EXPECT_TRUE(RA.reuse(BFam, Ids.J).GroupTemporal);
+  EXPECT_TRUE(RA.reuse(BFam, Ids.K).GroupTemporal);
+  EXPECT_FALSE(RA.reuse(BFam, Ids.I).SelfTemporal);
+
+  // "For Jacobi our approach generates variants with different loop
+  // orders, since all loops carry temporal reuse": a three-way tie at the
+  // register level (no spatial tie-break there).
+  std::vector<SymbolId> Best = RA.mostProfitableLoops(
+      {Ids.K, Ids.J, Ids.I}, {}, /*SpatialTieBreak=*/false);
+  EXPECT_EQ(Best.size(), 3u);
+  // At a cache level the tie narrows to I, whose retained family (B) has
+  // self-spatial reuse under it.
+  std::vector<SymbolId> CacheBest =
+      RA.mostProfitableLoops({Ids.K, Ids.J, Ids.I}, {});
+  ASSERT_EQ(CacheBest.size(), 1u);
+  EXPECT_EQ(CacheBest[0], Ids.I);
+}
+
+TEST(FootprintTest, MatMulBTileIsTJtimesTK) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  SymbolId TJ = Nest.declareParam("TJ");
+  SymbolId TK = Nest.declareParam("TK");
+  ExtentMap Extents;
+  Extents[Ids.J] = VarExtent::param(TJ);
+  Extents[Ids.K] = VarExtent::param(TK);
+
+  ArrayRef RefB(Ids.B, {AffineExpr::sym(Ids.K), AffineExpr::sym(Ids.J)});
+  ProductTerm T = familyFootprintElems(RefB, Extents);
+  EXPECT_EQ(T.Coeff, 1);
+  EXPECT_EQ(T.Params.size(), 2u);
+
+  Env E(Nest.Syms.size());
+  E.set(TJ, 512);
+  E.set(TK, 128);
+  EXPECT_EQ(T.eval(E), 512 * 128);
+  EXPECT_EQ(T.str(Nest.Syms), "TK*TJ");
+}
+
+TEST(FootprintTest, UnrollFootprintMixesConstAndParam) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  SymbolId TK = Nest.declareParam("TK");
+  ExtentMap Extents;
+  Extents[Ids.I] = VarExtent::constant(4); // unroll factor
+  Extents[Ids.K] = VarExtent::param(TK);
+  ArrayRef RefA(Ids.A, {AffineExpr::sym(Ids.I), AffineExpr::sym(Ids.K)});
+  ProductTerm T = familyFootprintElems(RefA, Extents);
+  EXPECT_EQ(T.Coeff, 4);
+  Env E(Nest.Syms.size());
+  E.set(TK, 100);
+  EXPECT_EQ(T.eval(E), 400);
+}
+
+TEST(FootprintTest, EffectiveCapacityHeuristic) {
+  // Paper: full capacity for direct-mapped, (n-1)/n for n-way.
+  CacheLevelDesc L1Sgi{"L1", 32 * 1024, 2, 32, 0};
+  EXPECT_EQ(effectiveCapacityElems(L1Sgi, 8), 2048); // Table 4: TJ*TK<=2048
+  CacheLevelDesc L2Sgi{"L2", 1024 * 1024, 2, 128, 10};
+  EXPECT_EQ(effectiveCapacityElems(L2Sgi, 8), 65536); // TJ*TK<=65536
+  CacheLevelDesc Direct{"L1", 16 * 1024, 1, 32, 0};
+  EXPECT_EQ(effectiveCapacityElems(Direct, 8), 2048); // full capacity
+  CacheLevelDesc FourWay{"L2", 256 * 1024, 4, 64, 12};
+  EXPECT_EQ(effectiveCapacityElems(FourWay, 8), 24576);
+}
+
+TEST(FootprintTest, ConstraintSatisfaction) {
+  SymbolTable Syms;
+  SymbolId UI = Syms.declare("UI", SymbolKind::Param);
+  SymbolId UJ = Syms.declare("UJ", SymbolKind::Param);
+  Constraint C;
+  C.Terms.push_back({1, {UI, UJ}});
+  C.Limit = 32;
+  C.Note = "register file";
+
+  Env E(Syms.size());
+  E.set(UI, 4);
+  E.set(UJ, 8);
+  EXPECT_TRUE(C.satisfied(E));
+  EXPECT_EQ(C.lhs(E), 32);
+  E.set(UJ, 9);
+  EXPECT_FALSE(C.satisfied(E));
+  EXPECT_EQ(C.str(Syms), "UI*UJ <= 32   (register file)");
+}
+
+TEST(FootprintTest, PagesFootprint) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  SymbolId TJ = Nest.declareParam("TJ");
+  SymbolId TK = Nest.declareParam("TK");
+  ExtentMap Extents;
+  Extents[Ids.J] = VarExtent::param(TJ);
+  Extents[Ids.K] = VarExtent::param(TK);
+  ArrayRef RefB(Ids.B, {AffineExpr::sym(Ids.K), AffineExpr::sym(Ids.J)});
+  Env SizeEnv = makeEnv(Nest, {{"N", 256}});
+  // Column-major B[K,J]: J spans columns; each column (TK elements,
+  // parameterized => one run) starts a page run.
+  ProductTerm T = familyFootprintPages(RefB, Nest.array(Ids.B), Extents,
+                                       SizeEnv, /*PageBytes=*/16384);
+  Env E(Nest.Syms.size());
+  E.set(TJ, 64);
+  EXPECT_EQ(T.eval(E), 64);
+}
+
+TEST(DependenceTest, MatMulIsFullyPermutable) {
+  LoopNest Nest = makeMatMul();
+  DependenceInfo Info = analyzeDependences(Nest);
+  EXPECT_TRUE(Info.FullyPermutable);
+  // C read-write pair: distance (0,0,0) with K free.
+  bool FoundCDep = false;
+  for (const Dependence &D : Info.Deps) {
+    if (D.Unknown)
+      continue;
+    FoundCDep = true;
+    for (int64_t T : D.Distance)
+      EXPECT_EQ(T, 0);
+  }
+  EXPECT_TRUE(FoundCDep);
+}
+
+TEST(DependenceTest, JacobiIsFullyPermutable) {
+  LoopNest Nest = makeJacobi();
+  DependenceInfo Info = analyzeDependences(Nest);
+  EXPECT_TRUE(Info.FullyPermutable);
+}
+
+TEST(DependenceTest, SkewedStencilIsNotPermutable) {
+  // In-place wavefront: A[I] = A[I-1] + A[I+1] over one loop... use 2-D:
+  // A[I,J] = A[I-1,J+1]: distance (1,-1) is sign-mixed.
+  LoopNest Nest;
+  SymbolId N = Nest.declareProblemSize("N");
+  SymbolId I = Nest.declareLoopVar("I");
+  SymbolId J = Nest.declareLoopVar("J");
+  ArrayId A = Nest.declareArray(
+      {"A", {AffineExpr::sym(N), AffineExpr::sym(N)}});
+  ArrayRef W(A, {AffineExpr::sym(I), AffineExpr::sym(J)});
+  ArrayRef R(A, {AffineExpr::sym(I) - 1, AffineExpr::sym(J) + 1});
+  auto LJ = std::make_unique<Loop>(J, AffineExpr::constant(1),
+                                   Bound(AffineExpr::sym(N) - 2));
+  LJ->Items.push_back(
+      BodyItem(Stmt::makeCompute(W, ScalarExpr::makeRead(R))));
+  auto LI = std::make_unique<Loop>(I, AffineExpr::constant(1),
+                                   Bound(AffineExpr::sym(N) - 2));
+  LI->Items.push_back(BodyItem(std::move(LJ)));
+  Nest.Items.push_back(BodyItem(std::move(LI)));
+
+  DependenceInfo Info = analyzeDependences(Nest);
+  EXPECT_FALSE(Info.FullyPermutable);
+}
+
+TEST(DependenceTest, CoupledSubscriptsAreConservative) {
+  // A[I+J] = A[I+J-1]: distances not uniquely solvable dimension-wise.
+  LoopNest Nest;
+  SymbolId N = Nest.declareProblemSize("N");
+  SymbolId I = Nest.declareLoopVar("I");
+  SymbolId J = Nest.declareLoopVar("J");
+  ArrayId A = Nest.declareArray({"A", {AffineExpr::sym(N).scaled(2)}});
+  ArrayRef W(A, {AffineExpr::sym(I) + AffineExpr::sym(J)});
+  ArrayRef R(A, {AffineExpr::sym(I) + AffineExpr::sym(J) - 1});
+  auto LJ = std::make_unique<Loop>(J, AffineExpr::constant(0),
+                                   Bound(AffineExpr::sym(N) - 1));
+  LJ->Items.push_back(
+      BodyItem(Stmt::makeCompute(W, ScalarExpr::makeRead(R))));
+  auto LI = std::make_unique<Loop>(I, AffineExpr::constant(0),
+                                   Bound(AffineExpr::sym(N) - 1));
+  LI->Items.push_back(BodyItem(std::move(LJ)));
+  Nest.Items.push_back(BodyItem(std::move(LI)));
+
+  DependenceInfo Info = analyzeDependences(Nest);
+  EXPECT_FALSE(Info.FullyPermutable);
+}

@@ -1,0 +1,178 @@
+//===- tests/test_fuzz_kernels.cpp - Randomized whole-pipeline fuzzing ----===//
+//
+// Generates random fully-permutable affine kernels (distinct-element
+// output writes, read-only inputs with random affine subscripts), runs
+// the complete pipeline — derivation, instantiation at random
+// configurations, execution — and checks bit-exact agreement with the
+// untransformed nest. This is the property the whole library rests on,
+// probed far outside the hand-written kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeriveVariants.h"
+#include "core/Search.h"
+#include "exec/Run.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eco;
+
+namespace {
+
+MachineDesc testMachine() { return MachineDesc::sgiR10000().scaledBy(64); }
+
+struct FuzzKernel {
+  LoopNest Nest;
+  std::vector<SymbolId> LoopVars; ///< outermost first
+  ArrayId Out = -1;
+  std::vector<ArrayId> Inputs;
+};
+
+/// Builds a random kernel with \p NumLoops loops over [0, N-1]:
+///   Out[identity or reduction subscripts] (+)= expr(inputs)
+/// Input subscripts are sums of loop variables (coefficient 1) plus a
+/// small constant, with extents padded so offsets stay in bounds.
+FuzzKernel makeRandomKernel(Rng &R, int NumLoops) {
+  FuzzKernel K;
+  K.Nest.Name = "fuzz";
+  SymbolId N = K.Nest.declareProblemSize("N");
+  AffineExpr NE = AffineExpr::sym(N);
+
+  for (int L = 0; L < NumLoops; ++L)
+    K.LoopVars.push_back(
+        K.Nest.declareLoopVar("v" + std::to_string(L)));
+
+  // Output: reduction over the last loop with probability 1/2 when there
+  // are 3 loops; otherwise identity over all loops. Either way each
+  // element's accumulation order is the reduction-loop order, which every
+  // legal permutation preserves -> bit-exact comparisons are valid.
+  bool Reduction = NumLoops == 3 && R.nextBool();
+  int OutRank = Reduction ? NumLoops - 1 : NumLoops;
+  std::vector<AffineExpr> OutExtents(OutRank, NE + 4);
+  K.Out = K.Nest.declareArray({"Out", OutExtents});
+  std::vector<AffineExpr> OutSubs;
+  for (int D = 0; D < OutRank; ++D)
+    OutSubs.push_back(AffineExpr::sym(K.LoopVars[D]));
+  ArrayRef OutRef(K.Out, OutSubs);
+
+  // Inputs.
+  int NumInputs = static_cast<int>(R.nextInt(1, 3));
+  for (int A = 0; A < NumInputs; ++A) {
+    int Rank = static_cast<int>(R.nextInt(1, NumLoops));
+    std::vector<AffineExpr> Extents;
+    for (int D = 0; D < Rank; ++D)
+      Extents.push_back(NE.scaled(NumLoops) + 8); // covers any subset-sum
+    K.Inputs.push_back(K.Nest.declareArray(
+        {"In" + std::to_string(A), Extents}));
+  }
+
+  // Random read: pick an input, give each dimension a random subset-sum
+  // of loop variables plus a constant in [0, 3].
+  auto randomRead = [&]() {
+    ArrayId In = K.Inputs[R.nextInt(0, (int)K.Inputs.size() - 1)];
+    unsigned Rank = K.Nest.array(In).rank();
+    std::vector<AffineExpr> Subs;
+    for (unsigned D = 0; D < Rank; ++D) {
+      AffineExpr S = AffineExpr::constant(R.nextInt(0, 3));
+      bool Any = false;
+      for (SymbolId V : K.LoopVars)
+        if (R.nextBool(0.5)) {
+          S = S + AffineExpr::sym(V);
+          Any = true;
+        }
+      if (!Any)
+        S = S + AffineExpr::sym(
+                    K.LoopVars[R.nextInt(0, NumLoops - 1)]);
+      Subs.push_back(S);
+    }
+    return ScalarExpr::makeRead(ArrayRef(In, Subs));
+  };
+
+  // RHS tree: 2-4 reads combined with Add/Mul (+ the output for the
+  // reduction form).
+  std::unique_ptr<ScalarExpr> Rhs = randomRead();
+  int Extra = static_cast<int>(R.nextInt(1, 3));
+  for (int E = 0; E < Extra; ++E)
+    Rhs = ScalarExpr::makeBinary(
+        R.nextBool() ? ScalarExprKind::Add : ScalarExprKind::Mul,
+        std::move(Rhs), randomRead());
+  if (Reduction)
+    Rhs = ScalarExpr::makeBinary(ScalarExprKind::Add,
+                                 ScalarExpr::makeRead(OutRef),
+                                 std::move(Rhs));
+
+  // Assemble the perfect nest, outermost first.
+  Body Current;
+  Current.push_back(BodyItem(Stmt::makeCompute(OutRef, std::move(Rhs))));
+  for (int L = NumLoops - 1; L >= 0; --L) {
+    auto Loop_ = std::make_unique<Loop>(
+        K.LoopVars[L], AffineExpr::constant(0), Bound(NE - 1));
+    Loop_->Items = std::move(Current);
+    Current.clear();
+    Current.push_back(BodyItem(std::move(Loop_)));
+  }
+  K.Nest.Items = std::move(Current);
+  return K;
+}
+
+/// Runs \p Nest in value mode with deterministic input fills; returns the
+/// output array contents.
+std::vector<double> runValues(const LoopNest &Nest, const FuzzKernel &K,
+                              const Env &Cfg) {
+  MemHierarchySim Sim(testMachine());
+  ExecOptions Opts;
+  Opts.ComputeValues = true;
+  Executor E(Nest, Cfg, Sim, Opts);
+  uint64_t Seed = 100;
+  for (ArrayId In : K.Inputs) {
+    Rng Fill(Seed++);
+    for (double &V : E.dataOf(In))
+      V = Fill.nextDouble() * 2 - 1;
+  }
+  E.run();
+  return E.dataOf(K.Out);
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzPipeline, VariantsMatchOriginal) {
+  Rng R(GetParam());
+  MachineDesc M = testMachine();
+  const int64_t N = R.nextInt(4, 10);
+
+  FuzzKernel K = makeRandomKernel(R, static_cast<int>(R.nextInt(2, 3)));
+  SCOPED_TRACE(K.Nest.print());
+
+  Env BaseCfg(K.Nest.Syms.size());
+  BaseCfg.set(K.Nest.Syms.lookup("N"), N);
+  std::vector<double> Expected = runValues(K.Nest, K, BaseCfg);
+
+  std::vector<DerivedVariant> Vs = deriveVariants(K.Nest, M);
+  ASSERT_FALSE(Vs.empty());
+  for (const DerivedVariant &V : Vs) {
+    for (int Trial = 0; Trial < 2; ++Trial) {
+      Env Cfg = initialConfig(V, M, {{"N", N}});
+      for (const UnrollSpec &U : V.Spec.Unrolls)
+        Cfg.set(U.FactorParam, R.nextInt(1, 5));
+      for (const auto &[Var, Param] : V.TileParamOf)
+        Cfg.set(Param, R.nextInt(1, 7));
+      for (const PrefetchSpec &P : V.Prefetch)
+        Cfg.set(P.DistanceParam, R.nextBool() ? R.nextInt(1, 6) : 0);
+
+      LoopNest Exec = V.instantiate(Cfg, M);
+      std::vector<double> Got = runValues(Exec, K, Cfg);
+      ASSERT_EQ(Got.size(), Expected.size());
+      for (size_t X = 0; X < Expected.size(); ++X)
+        ASSERT_DOUBLE_EQ(Got[X], Expected[X])
+            << V.Spec.Name << " cfg " << V.configString(Cfg) << " idx "
+            << X;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<uint64_t>(1000, 1080));
+
+} // namespace

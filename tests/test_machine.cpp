@@ -1,0 +1,84 @@
+//===- tests/test_machine.cpp - machine/ unit tests -----------------------===//
+
+#include "machine/MachineDesc.h"
+
+#include <gtest/gtest.h>
+
+using namespace eco;
+
+TEST(MachineDesc, SgiR10000MatchesTable2) {
+  MachineDesc M = MachineDesc::sgiR10000();
+  EXPECT_DOUBLE_EQ(M.ClockMHz, 195);
+  EXPECT_EQ(M.FpRegisters, 32u);
+  ASSERT_EQ(M.numCacheLevels(), 2u);
+  EXPECT_EQ(M.cache(0).CapacityBytes, 32u * 1024);
+  EXPECT_EQ(M.cache(0).Assoc, 2u);
+  EXPECT_EQ(M.cache(1).CapacityBytes, 1024u * 1024);
+  EXPECT_EQ(M.cache(1).Assoc, 2u);
+  EXPECT_EQ(M.Tlb.Entries, 64u);
+  // Paper: theoretical peak of 390 MFLOPS.
+  EXPECT_DOUBLE_EQ(M.peakMflops(), 390);
+}
+
+TEST(MachineDesc, UltraSparcIIeMatchesTable2) {
+  MachineDesc M = MachineDesc::ultraSparcIIe();
+  EXPECT_DOUBLE_EQ(M.ClockMHz, 500);
+  ASSERT_EQ(M.numCacheLevels(), 2u);
+  EXPECT_EQ(M.cache(0).CapacityBytes, 16u * 1024);
+  EXPECT_EQ(M.cache(0).Assoc, 1u); // direct mapped
+  EXPECT_EQ(M.cache(1).CapacityBytes, 256u * 1024);
+  EXPECT_EQ(M.cache(1).Assoc, 4u);
+}
+
+TEST(MachineDesc, NumSets) {
+  CacheLevelDesc L1{"L1", 32 * 1024, 2, 32, 0};
+  EXPECT_EQ(L1.numSets(), 512u);
+  CacheLevelDesc Direct{"L1", 16 * 1024, 1, 32, 0};
+  EXPECT_EQ(Direct.numSets(), 512u);
+}
+
+TEST(MachineDesc, TlbReach) {
+  MachineDesc M = MachineDesc::sgiR10000();
+  EXPECT_EQ(M.Tlb.reach(), 64u * 16 * 1024);
+}
+
+TEST(MachineDesc, ScaledByDividesCapacities) {
+  MachineDesc M = MachineDesc::sgiR10000();
+  MachineDesc S = M.scaledBy(16);
+  EXPECT_EQ(S.cache(0).CapacityBytes, M.cache(0).CapacityBytes / 16);
+  EXPECT_EQ(S.cache(1).CapacityBytes, M.cache(1).CapacityBytes / 16);
+  EXPECT_EQ(S.Tlb.PageBytes, M.Tlb.PageBytes / 16);
+  // Line sizes, associativities, latencies unchanged.
+  EXPECT_EQ(S.cache(0).LineBytes, M.cache(0).LineBytes);
+  EXPECT_EQ(S.cache(0).Assoc, M.cache(0).Assoc);
+  EXPECT_EQ(S.MemLatency, M.MemLatency);
+  // Ratios preserved: TLB reach / L2 capacity.
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(S.Tlb.reach()) / S.cache(1).CapacityBytes,
+      static_cast<double>(M.Tlb.reach()) / M.cache(1).CapacityBytes);
+  EXPECT_NE(S.Name, M.Name);
+}
+
+TEST(MachineDesc, ScaledByOneIsIdentity) {
+  MachineDesc M = MachineDesc::sgiR10000();
+  MachineDesc S = M.scaledBy(1);
+  EXPECT_EQ(S.Name, M.Name);
+  EXPECT_EQ(S.cache(0).CapacityBytes, M.cache(0).CapacityBytes);
+}
+
+TEST(MachineDesc, ScaleClampsToMinimumCache) {
+  MachineDesc M = MachineDesc::sgiR10000();
+  MachineDesc S = M.scaledBy(1 << 20); // absurd factor
+  // At least two lines per way survive.
+  EXPECT_GE(S.cache(0).CapacityBytes,
+            2ull * S.cache(0).LineBytes * S.cache(0).Assoc);
+  EXPECT_GE(S.Tlb.PageBytes, S.cache(0).LineBytes);
+}
+
+TEST(MachineDesc, SummaryMentionsKeyFacts) {
+  std::string Sum = MachineDesc::sgiR10000().summary();
+  EXPECT_NE(Sum.find("SGI-R10000"), std::string::npos);
+  EXPECT_NE(Sum.find("195"), std::string::npos);
+  EXPECT_NE(Sum.find("32KB"), std::string::npos);
+  EXPECT_NE(Sum.find("1024KB"), std::string::npos);
+}

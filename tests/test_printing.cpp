@@ -1,0 +1,153 @@
+//===- tests/test_printing.cpp - Printer and C-emission details -----------===//
+//
+// The pseudo-code printer and the C emitter are the library's user-facing
+// surfaces; these tests pin their structural details (annotations,
+// epilogues, registers, rotation, copies) beyond the spot checks in the
+// per-pass suites.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "kernels/Kernels.h"
+#include "transform/Copy.h"
+#include "transform/Permute.h"
+#include "transform/Prefetch.h"
+#include "transform/ScalarReplace.h"
+#include "transform/Tile.h"
+#include "transform/UnrollJam.h"
+
+#include <gtest/gtest.h>
+
+using namespace eco;
+
+namespace {
+
+/// Occurrences of \p Needle in \p Hay.
+size_t countOf(const std::string &Hay, const std::string &Needle) {
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Hay.find(Needle, Pos)) != std::string::npos) {
+    ++Count;
+    Pos += Needle.size();
+  }
+  return Count;
+}
+
+} // namespace
+
+TEST(Printing, UnrolledLoopShowsFactorAndEpilogue) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  unrollAndJam(Nest, Ids.J, 4);
+  std::string P = Nest.print();
+  EXPECT_NE(P.find("DO J = 0,N-1,4   ! unroll 4"), std::string::npos);
+  EXPECT_NE(P.find("! epilogue"), std::string::npos);
+  // Four jammed copies of the compute statement in the main body plus
+  // one in the epilogue.
+  EXPECT_EQ(countOf(P, "C[I,"), 5u * 2); // read + write per copy
+}
+
+TEST(Printing, TileControlAnnotationAndMinBound) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  tileLoop(Nest, Ids.K, "KK", "TK");
+  std::string P = Nest.print();
+  EXPECT_NE(P.find("DO KK = 0,N-1,TK   ! tile control"),
+            std::string::npos);
+  EXPECT_NE(P.find("DO K = KK,min(KK+TK-1,N-1)"), std::string::npos);
+}
+
+TEST(Printing, RegistersAndRotation) {
+  JacobiIds Ids;
+  LoopNest Nest = makeJacobi(&Ids);
+  rotatingScalarReplace(Nest, Ids.I);
+  std::string P = Nest.print();
+  // Prologue loads, in-loop leading load, compute from registers, rotate.
+  EXPECT_NE(P.find("r0 = B["), std::string::npos);
+  EXPECT_NE(P.find("rotate r0=r1, r1=r2"), std::string::npos);
+  EXPECT_NE(P.find("*(r0+r2"), std::string::npos); // stencil uses regs
+}
+
+TEST(Printing, CopyBufferDeclarationAndRegion) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  TileResult TK = tileLoop(Nest, Ids.K, "KK", "TK");
+  TileResult TJ = tileLoop(Nest, Ids.J, "JJ", "TJ");
+  permuteSpine(Nest, {TK.ControlVar, TJ.ControlVar, Ids.I, Ids.J, Ids.K});
+  std::vector<CopyDimSpec> Dims(2);
+  Dims[0] = {AffineExpr::sym(TK.ControlVar), TK.TileParam,
+             Bound(AffineExpr::sym(TK.TileParam))};
+  Dims[1] = {AffineExpr::sym(TJ.ControlVar), TJ.TileParam,
+             Bound(AffineExpr::sym(TJ.TileParam))};
+  applyCopy(Nest, Ids.B, Ids.I, "P", Dims);
+  std::string P = Nest.print();
+  EXPECT_NE(P.find("new P[TK,TJ]"), std::string::npos);
+  EXPECT_NE(P.find("copy B[KK..KK+TK-1,JJ..JJ+TJ-1] to P"),
+            std::string::npos);
+}
+
+TEST(CEmission, JacobiWithRotationCompilesShape) {
+  JacobiIds Ids;
+  LoopNest Nest = makeJacobi(&Ids);
+  unrollAndJam(Nest, Ids.J, 2);
+  rotatingScalarReplace(Nest, Ids.I);
+  std::string Src = emitC(Nest, "jac");
+  // Register file declared, rotation emitted as assignments, prefetchless.
+  EXPECT_NE(Src.find("double r0 = 0.0;"), std::string::npos);
+  EXPECT_NE(Src.find("r0 = r1;"), std::string::npos);
+  EXPECT_EQ(Src.find("__builtin_prefetch"), std::string::npos);
+  // Column-major 3-D flattening: innermost subscript first.
+  EXPECT_NE(Src.find("(I) + (N)*("), std::string::npos);
+}
+
+TEST(CEmission, RowMajorFlattensLastSubscriptFirst) {
+  LoopNest Nest;
+  SymbolId N = Nest.declareProblemSize("N");
+  SymbolId I = Nest.declareLoopVar("I");
+  SymbolId J = Nest.declareLoopVar("J");
+  ArrayId A = Nest.declareArray(
+      {"A", {AffineExpr::sym(N), AffineExpr::sym(N)}, 8, Layout::RowMajor});
+  auto LJ = std::make_unique<Loop>(J, AffineExpr::constant(0),
+                                   Bound(AffineExpr::sym(N) - 1));
+  LJ->Items.push_back(BodyItem(Stmt::makeCompute(
+      ArrayRef(A, {AffineExpr::sym(I), AffineExpr::sym(J)}),
+      ScalarExpr::makeConst(1.0))));
+  auto LI = std::make_unique<Loop>(I, AffineExpr::constant(0),
+                                   Bound(AffineExpr::sym(N) - 1));
+  LI->Items.push_back(BodyItem(std::move(LJ)));
+  Nest.Items.push_back(BodyItem(std::move(LI)));
+  std::string Src = emitC(Nest, "rm");
+  // Row-major: A[(J) + (N)*((I))].
+  EXPECT_NE(Src.find("A[(J) + (N)*((I))]"), std::string::npos);
+}
+
+TEST(CEmission, ParamStepLoopUsesParamName) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  tileLoop(Nest, Ids.J, "JJ", "TJ");
+  std::string Src = emitC(Nest, "mm");
+  EXPECT_NE(Src.find("JJ += TJ"), std::string::npos);
+  EXPECT_NE(Src.find("eco_min("), std::string::npos);
+}
+
+TEST(CEmission, PrefetchBecomesBuiltin) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  insertPrefetch(Nest, Ids.A, Ids.I, 4, 4);
+  std::string Src = emitC(Nest, "mm");
+  EXPECT_NE(Src.find("__builtin_prefetch(&A["), std::string::npos);
+}
+
+TEST(CEmission, EveryParamAndArrayIsBound) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  tileLoop(Nest, Ids.K, "KK", "TK");
+  std::string Src = emitC(Nest, "mm");
+  EXPECT_NE(Src.find("const long N = params[0];"), std::string::npos);
+  EXPECT_NE(Src.find("const long TK = params["), std::string::npos);
+  for (const char *Arr : {"A", "B", "C"})
+    EXPECT_NE(Src.find(std::string("double *restrict ") + Arr +
+                       " = arrays["),
+              std::string::npos);
+  // Loop variables are NOT bound from params.
+  EXPECT_EQ(Src.find("const long K = params["), std::string::npos);
+}

@@ -1,0 +1,314 @@
+//===- tests/test_property_sweeps.cpp - Parameterized property suites -----===//
+//
+// TEST_P sweeps over configuration grids:
+//   * every (N, unroll, tile, copy, prefetch) combination of the MM
+//     transformation pipeline computes the reference bit-for-bit;
+//   * Jacobi ditto over (N, unroll, tile);
+//   * the LRU cache model satisfies the stack property (misses are
+//     monotone non-increasing in capacity for fully-associative LRU);
+//   * affine expressions behave like linear functions under random
+//     construction, arithmetic, and substitution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeriveVariants.h"
+#include "core/Search.h"
+#include "exec/Run.h"
+#include "kernels/Kernels.h"
+#include "kernels/Reference.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eco;
+
+namespace {
+
+MachineDesc testMachine() { return MachineDesc::sgiR10000().scaledBy(64); }
+
+// --- MM pipeline sweep ----------------------------------------------------
+
+struct MMCase {
+  int64_t N;
+  int UI, UJ;
+  int64_t TK, TJ;
+  bool Copy;
+  int PrefetchDist;
+};
+
+void PrintTo(const MMCase &C, std::ostream *OS) {
+  *OS << strformat("N=%lld UI=%d UJ=%d TK=%lld TJ=%lld copy=%d pf=%d",
+                   (long long)C.N, C.UI, C.UJ, (long long)C.TK,
+                   (long long)C.TJ, (int)C.Copy, C.PrefetchDist);
+}
+
+class MMPipelineSweep : public ::testing::TestWithParam<MMCase> {};
+
+TEST_P(MMPipelineSweep, ComputesReference) {
+  const MMCase &C = GetParam();
+
+  // Reference.
+  std::vector<double> A(C.N * C.N), B(C.N * C.N), Ref(C.N * C.N);
+  fillDeterministic(A, 1);
+  fillDeterministic(B, 2);
+  fillDeterministic(Ref, 3);
+  referenceMatMul(A, B, Ref, C.N);
+
+  // Derive the variant set and pick one with/without copies per C.Copy,
+  // then instantiate it at the case's parameters.
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  MachineDesc M = testMachine();
+  std::vector<DerivedVariant> Vs = deriveVariants(Nest, M);
+  const DerivedVariant *Chosen = nullptr;
+  for (const DerivedVariant &V : Vs) {
+    if (V.Spec.CacheLevels.empty())
+      continue;
+    bool AnyCopy = false;
+    for (const CacheLevelPlan &CL : V.Spec.CacheLevels)
+      AnyCopy |= CL.WithCopy;
+    if (AnyCopy == C.Copy) {
+      Chosen = &V;
+      break;
+    }
+  }
+  ASSERT_NE(Chosen, nullptr);
+
+  Env Cfg = initialConfig(*Chosen, M, {{"N", C.N}});
+  for (const UnrollSpec &U : Chosen->Spec.Unrolls)
+    Cfg.set(U.FactorParam,
+            Chosen->Skeleton.Syms.name(U.Loop) == "I" ? C.UI : C.UJ);
+  for (const auto &[Var, Param] : Chosen->TileParamOf)
+    Cfg.set(Param, Chosen->Skeleton.Syms.name(Var) == "K" ? C.TK : C.TJ);
+  if (C.PrefetchDist > 0 && !Chosen->Prefetch.empty())
+    Cfg.set(Chosen->Prefetch.front().DistanceParam, C.PrefetchDist);
+
+  LoopNest Exec = Chosen->instantiate(Cfg, M);
+  MemHierarchySim Sim(M);
+  ExecOptions Opts;
+  Opts.ComputeValues = true;
+  Executor E(Exec, Cfg, Sim, Opts);
+  fillDeterministic(E.dataOf(Ids.A), 1);
+  fillDeterministic(E.dataOf(Ids.B), 2);
+  fillDeterministic(E.dataOf(Ids.C), 3);
+  E.run();
+  for (int64_t X = 0; X < C.N * C.N; ++X)
+    ASSERT_DOUBLE_EQ(E.dataOf(Ids.C)[X], Ref[X]) << "idx " << X;
+}
+
+std::vector<MMCase> mmCases() {
+  std::vector<MMCase> Cases;
+  for (int64_t N : {5, 12, 17})
+    for (auto [UI, UJ] : {std::pair<int, int>{1, 1}, {4, 2}, {3, 5}})
+      for (int64_t T : {3, 8})
+        for (bool Copy : {false, true})
+          Cases.push_back({N, UI, UJ, T, T + 1, Copy, (N % 2) ? 2 : 0});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MMPipelineSweep,
+                         ::testing::ValuesIn(mmCases()));
+
+// --- Jacobi variant sweep ---------------------------------------------------
+
+struct JacobiCase {
+  int64_t N;
+  int Unroll;
+  int64_t Tile;
+  size_t VariantIdx;
+};
+
+void PrintTo(const JacobiCase &C, std::ostream *OS) {
+  *OS << strformat("N=%lld U=%d T=%lld v=%zu", (long long)C.N, C.Unroll,
+                   (long long)C.Tile, C.VariantIdx);
+}
+
+class JacobiVariantSweep : public ::testing::TestWithParam<JacobiCase> {};
+
+TEST_P(JacobiVariantSweep, ComputesReference) {
+  const JacobiCase &C = GetParam();
+  MachineDesc M = testMachine();
+  JacobiIds Ids;
+  LoopNest Jac = makeJacobi(&Ids);
+  std::vector<DerivedVariant> Vs = deriveVariants(Jac, M);
+  if (C.VariantIdx >= Vs.size())
+    GTEST_SKIP() << "variant index beyond derived set";
+  const DerivedVariant &V = Vs[C.VariantIdx];
+
+  Env Cfg = initialConfig(V, M, {{"N", C.N}});
+  for (const UnrollSpec &U : V.Spec.Unrolls)
+    Cfg.set(U.FactorParam, C.Unroll);
+  for (const auto &[Var, Param] : V.TileParamOf)
+    Cfg.set(Param, C.Tile);
+
+  LoopNest Exec = V.instantiate(Cfg, M);
+  MemHierarchySim Sim(M);
+  ExecOptions Opts;
+  Opts.ComputeValues = true;
+  Executor E(Exec, Cfg, Sim, Opts);
+  fillDeterministic(E.dataOf(Ids.B), 7);
+  E.run();
+
+  std::vector<double> In(C.N * C.N * C.N), Ref(C.N * C.N * C.N, 0.0);
+  fillDeterministic(In, 7);
+  referenceJacobi(In, Ref, C.N);
+  for (size_t X = 0; X < Ref.size(); ++X)
+    ASSERT_DOUBLE_EQ(E.dataOf(Ids.A)[X], Ref[X]) << "idx " << X;
+}
+
+std::vector<JacobiCase> jacobiCases() {
+  std::vector<JacobiCase> Cases;
+  for (int64_t N : {6, 11})
+    for (int U : {1, 2, 3})
+      for (int64_t T : {2, 5})
+        for (size_t V : {0u, 2u, 4u, 6u})
+          Cases.push_back({N, U, T, V});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, JacobiVariantSweep,
+                         ::testing::ValuesIn(jacobiCases()));
+
+// --- LRU stack property -------------------------------------------------
+
+struct StackCase {
+  uint64_t CapacitySmall, CapacityLarge;
+  unsigned LineBytes;
+  uint64_t Seed;
+};
+
+void PrintTo(const StackCase &C, std::ostream *OS) {
+  *OS << strformat("small=%llu large=%llu line=%u seed=%llu",
+                   (unsigned long long)C.CapacitySmall,
+                   (unsigned long long)C.CapacityLarge, C.LineBytes,
+                   (unsigned long long)C.Seed);
+}
+
+class LruStackProperty : public ::testing::TestWithParam<StackCase> {};
+
+TEST_P(LruStackProperty, MissesMonotoneInCapacity) {
+  const StackCase &C = GetParam();
+  // Fully associative LRU is a stack algorithm: a larger cache never
+  // misses more on the same trace.
+  auto missesWith = [&](uint64_t Capacity) {
+    unsigned Assoc =
+        static_cast<unsigned>(Capacity / C.LineBytes); // fully assoc
+    SetAssocCache Cache({"T", Capacity, Assoc, C.LineBytes, 0});
+    Rng R(C.Seed);
+    uint64_t Misses = 0;
+    uint64_t Base = 1 << 20;
+    for (int A = 0; A < 4000; ++A) {
+      // Mix of streaming and looping accesses.
+      uint64_t Addr = R.nextBool(0.5)
+                          ? Base + static_cast<uint64_t>(
+                                       R.nextInt(0, 255)) * 8
+                          : Base + static_cast<uint64_t>(
+                                       R.nextInt(0, 8191)) * 8;
+      if (!Cache.access(Addr).Hit) {
+        ++Misses;
+        Cache.fill(Addr, 0);
+      }
+    }
+    return Misses;
+  };
+  EXPECT_GE(missesWith(C.CapacitySmall), missesWith(C.CapacityLarge));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LruStackProperty,
+    ::testing::Values(StackCase{256, 512, 32, 1},
+                      StackCase{512, 2048, 32, 2},
+                      StackCase{1024, 4096, 64, 3},
+                      StackCase{256, 8192, 32, 4},
+                      StackCase{2048, 4096, 128, 5}));
+
+// --- Affine expression properties ----------------------------------------
+
+class AffineRandomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AffineRandomProperty, LinearityAndSubstitution) {
+  Rng R(GetParam());
+  SymbolTable Syms;
+  std::vector<SymbolId> Vars;
+  for (int V = 0; V < 5; ++V)
+    Vars.push_back(Syms.declare("v" + std::to_string(V),
+                                SymbolKind::LoopVar));
+
+  auto randomExpr = [&]() {
+    AffineExpr E = AffineExpr::constant(R.nextInt(-20, 20));
+    for (SymbolId V : Vars)
+      if (R.nextBool(0.6))
+        E = E + AffineExpr::sym(V).scaled(R.nextInt(-5, 5));
+    return E;
+  };
+  auto randomEnv = [&]() {
+    Env E(Syms.size());
+    for (SymbolId V : Vars)
+      E.set(V, R.nextInt(-50, 50));
+    return E;
+  };
+
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    AffineExpr A = randomExpr(), B = randomExpr();
+    Env E = randomEnv();
+    // Linearity.
+    EXPECT_EQ((A + B).eval(E), A.eval(E) + B.eval(E));
+    EXPECT_EQ((A - B).eval(E), A.eval(E) - B.eval(E));
+    int64_t K = R.nextInt(-7, 7);
+    EXPECT_EQ(A.scaled(K).eval(E), K * A.eval(E));
+
+    // Substitution commutes with evaluation: eval(A[v := R]) ==
+    // eval(A) with E'[v] = eval(R).
+    SymbolId V = Vars[R.nextInt(0, 4)];
+    AffineExpr Repl = randomExpr().substitute(V, AffineExpr::constant(0));
+    AffineExpr Subst = A.substitute(V, Repl);
+    Env E2 = E;
+    E2.set(V, Repl.eval(E));
+    EXPECT_EQ(Subst.eval(E), A.eval(E2));
+
+    // Structural equality is semantic for canonical forms.
+    AffineExpr Sum1 = A + B, Sum2 = B + A;
+    EXPECT_EQ(Sum1, Sum2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineRandomProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- Executor counter invariants over random MM configs --------------------
+
+class CounterInvariantSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CounterInvariantSweep, FlopsAndStoresIndependentOfSchedule) {
+  // Whatever the schedule, a correct MM variant performs exactly 2N^3
+  // flops; stores equal N^3 (plain) or N^2-ish (register tiles) but
+  // flops never change. Misses never exceed accesses.
+  Rng R(GetParam());
+  MachineDesc M = testMachine();
+  LoopNest MM = makeMatMul();
+  std::vector<DerivedVariant> Vs = deriveVariants(MM, M);
+  const DerivedVariant &V = Vs[R.nextInt(0, (int)Vs.size() - 1)];
+  int64_t N = R.nextInt(6, 24);
+
+  Env Cfg = initialConfig(V, M, {{"N", N}});
+  for (const UnrollSpec &U : V.Spec.Unrolls)
+    Cfg.set(U.FactorParam, R.nextInt(1, 6));
+  for (const auto &[Var, Param] : V.TileParamOf)
+    Cfg.set(Param, R.nextInt(2, 10));
+
+  LoopNest Exec = V.instantiate(Cfg, M);
+  MemHierarchySim Sim(M);
+  Executor E(Exec, Cfg, Sim);
+  E.run();
+  const HWCounters &C = Sim.counters();
+  EXPECT_EQ(C.Flops, static_cast<uint64_t>(2 * N * N * N));
+  EXPECT_LE(C.l1Misses(), C.Loads + C.Stores);
+  EXPECT_LE(C.l2Misses(), C.l1Misses());
+  EXPECT_GT(C.cycles(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterInvariantSweep,
+                         ::testing::Range<uint64_t>(100, 112));
+
+} // namespace

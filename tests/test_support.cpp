@@ -1,0 +1,180 @@
+//===- tests/test_support.cpp - support/ unit tests -----------------------===//
+
+#include "support/Chart.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace eco;
+
+TEST(StringUtils, JoinBasic) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"a", "b"}, ""), "ab");
+}
+
+TEST(StringUtils, Strformat) {
+  EXPECT_EQ(strformat("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(StringUtils, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(1234567), "1,234,567");
+  EXPECT_EQ(withCommas(10151010869ULL), "10,151,010,869");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padRight("", 3), "   ");
+}
+
+TEST(StringUtils, StartsWithAndRepeat) {
+  EXPECT_TRUE(startsWith("matmul_v2", "matmul"));
+  EXPECT_FALSE(startsWith("mat", "matmul"));
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("x", 0), "");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table T({"Version", "Loads", "Cycles"});
+  T.addRow({"mm1", "4,197,888,365", "10,151,010,869"});
+  T.addRow({"mm5", "5,119,308,380", "9,175,706,120"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Version"), std::string::npos);
+  EXPECT_NE(Out.find("mm1"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+  // Numbers right-align: both numeric columns end at the same offset.
+  EXPECT_EQ(T.numRows(), 2u);
+  EXPECT_EQ(T.numCols(), 3u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table T({"a", "b", "c"});
+  T.addRow({"x"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find('x'), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table T({"name", "value"});
+  T.addRow({"with,comma", "with\"quote"});
+  std::string Csv = T.renderCsv();
+  EXPECT_NE(Csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= (A.next() != B.next());
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RngTest, NextIntInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInt(-3, 5);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(R.nextInt(9, 9), 9);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(13);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(StatsTest, MinMaxMean) {
+  SummaryStats S;
+  EXPECT_TRUE(S.empty());
+  S.add(2.0);
+  S.add(8.0);
+  S.add(5.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 8.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer T;
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + I;
+  EXPECT_GE(T.seconds(), 0.0);
+  EXPECT_GE(T.millis(), T.seconds()); // millis = 1000x seconds
+}
+
+TEST(ChartTest, EmptyChartRendersPlaceholder) {
+  AsciiChart C;
+  EXPECT_EQ(C.render(), "(empty chart)\n");
+}
+
+TEST(ChartTest, SingleSeriesPlotsAllPoints) {
+  AsciiChart C(20, 8);
+  C.addSeries("S", 'S', {0, 10, 20}, {0, 50, 100});
+  std::string Out = C.render();
+  // Three markers somewhere on the grid.
+  size_t Count = 0;
+  for (char Ch : Out)
+    Count += Ch == 'S' ? 1 : 0;
+  EXPECT_GE(Count, 3u + 1u); // three points + legend entry
+  EXPECT_NE(Out.find("S = S"), std::string::npos);
+}
+
+TEST(ChartTest, OverlapUsesStar) {
+  AsciiChart C(10, 5);
+  C.addSeries("a", 'a', {0, 5}, {1, 1});
+  C.addSeries("b", 'b', {0, 9}, {1, 2});
+  std::string Out = C.render();
+  EXPECT_NE(Out.find('*'), std::string::npos);
+}
+
+TEST(ChartTest, FixedYRangeClampsValues) {
+  AsciiChart C(10, 5);
+  C.setYRange(0, 10);
+  C.addSeries("x", 'x', {0, 1}, {5, 100}); // 100 beyond range: clamped
+  std::string Out = C.render();
+  EXPECT_NE(Out.find('x'), std::string::npos);
+  EXPECT_NE(Out.find("10 |"), std::string::npos);
+}
+
+TEST(ChartTest, LabelsAppear) {
+  AsciiChart C(10, 5);
+  C.setYLabel("MFLOPS");
+  C.setXLabel("size");
+  C.addSeries("x", 'x', {0, 1}, {0, 1});
+  std::string Out = C.render();
+  EXPECT_NE(Out.find("MFLOPS"), std::string::npos);
+  EXPECT_NE(Out.find("size"), std::string::npos);
+}
+
+TEST(ChartTest, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart C(10, 5);
+  C.addSeries("c", 'c', {3, 3, 3}, {7, 7, 7});
+  EXPECT_FALSE(C.render().empty());
+}

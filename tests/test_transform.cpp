@@ -1,0 +1,439 @@
+//===- tests/test_transform.cpp - transform/ unit + property tests --------===//
+//
+// The core guarantee tested here: every transformation pipeline produces a
+// nest that computes bit-identical results to the untransformed kernel
+// (the transformations reorder memory traffic, never FP arithmetic order
+// within an accumulation chain... more precisely, the pipelines used keep
+// each C[i,j] accumulation in K-order, so results match exactly).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Run.h"
+#include "kernels/Kernels.h"
+#include "kernels/Reference.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "transform/Copy.h"
+#include "transform/Permute.h"
+#include "transform/Prefetch.h"
+#include "transform/ScalarReplace.h"
+#include "transform/Tile.h"
+#include "transform/UnrollJam.h"
+#include "transform/Utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eco;
+
+namespace {
+
+MachineDesc testMachine() { return MachineDesc::sgiR10000().scaledBy(64); }
+
+/// Figure 1(b)-style MatMul variant v1: tile K and J, order KK JJ I J K,
+/// optionally copy B, unroll-and-jam I and J, scalar-replace C, optionally
+/// prefetch A.
+struct MMPipelineOpts {
+  int UI = 1, UJ = 1;
+  bool Copy = false;
+  bool ScalarReplace = false;
+  int PrefetchDist = 0; // 0 = none
+};
+
+LoopNest buildMMVariant1(MatMulIds &Ids, const MMPipelineOpts &Opts) {
+  LoopNest Nest = makeMatMul(&Ids);
+  TileResult TK = tileLoop(Nest, Ids.K, "KK", "TK");
+  TileResult TJ = tileLoop(Nest, Ids.J, "JJ", "TJ");
+  permuteSpine(Nest,
+               {TK.ControlVar, TJ.ControlVar, Ids.I, Ids.J, Ids.K});
+
+  ArrayId BTile = Ids.B;
+  if (Opts.Copy) {
+    std::vector<CopyDimSpec> Dims(2);
+    Dims[0] = {AffineExpr::sym(TK.ControlVar), TK.TileParam,
+               Bound::min(AffineExpr::sym(TK.TileParam),
+                          AffineExpr::sym(Ids.N) -
+                              AffineExpr::sym(TK.ControlVar))};
+    Dims[1] = {AffineExpr::sym(TJ.ControlVar), TJ.TileParam,
+               Bound::min(AffineExpr::sym(TJ.TileParam),
+                          AffineExpr::sym(Ids.N) -
+                              AffineExpr::sym(TJ.ControlVar))};
+    BTile = applyCopy(Nest, Ids.B, /*BeforeLoopVar=*/Ids.I, "P", Dims);
+  }
+
+  if (Opts.UI > 1)
+    unrollAndJam(Nest, Ids.I, Opts.UI);
+  if (Opts.UJ > 1)
+    unrollAndJam(Nest, Ids.J, Opts.UJ);
+  if (Opts.ScalarReplace)
+    scalarReplaceInvariant(Nest, Ids.K);
+  if (Opts.PrefetchDist > 0)
+    insertPrefetch(Nest, Ids.A, Ids.K, Opts.PrefetchDist, /*LineElems=*/4);
+  (void)BTile;
+  return Nest;
+}
+
+/// Runs a MatMul nest in value mode and compares against the reference.
+void expectMMCorrect(const LoopNest &Nest, const MatMulIds &Ids, int64_t N,
+                     ParamBindings Params) {
+  Params.push_back({"N", N});
+  MemHierarchySim Sim(testMachine());
+  ExecOptions Opts;
+  Opts.ComputeValues = true;
+  Executor Exec(Nest, makeEnv(Nest, Params), Sim, Opts);
+  fillDeterministic(Exec.dataOf(Ids.A), 1);
+  fillDeterministic(Exec.dataOf(Ids.B), 2);
+  fillDeterministic(Exec.dataOf(Ids.C), 3);
+  Exec.run();
+
+  std::vector<double> A(N * N), B(N * N), C(N * N);
+  fillDeterministic(A, 1);
+  fillDeterministic(B, 2);
+  fillDeterministic(C, 3);
+  referenceMatMul(A, B, C, N);
+  for (int64_t X = 0; X < N * N; ++X)
+    ASSERT_DOUBLE_EQ(Exec.dataOf(Ids.C)[X], C[X]) << "idx " << X;
+}
+
+} // namespace
+
+TEST(TileTest, ProducesControlAndClampedElementLoop) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  TileResult R = tileLoop(Nest, Ids.J, "JJ", "TJ");
+  ASSERT_GE(R.ControlVar, 0);
+  ASSERT_GE(R.TileParam, 0);
+  EXPECT_EQ(Nest.Syms.kind(R.TileParam), SymbolKind::Param);
+
+  const Loop *Control = Nest.findLoop(R.ControlVar);
+  ASSERT_NE(Control, nullptr);
+  EXPECT_TRUE(Control->IsTileControl);
+  EXPECT_EQ(Control->StepSym, R.TileParam);
+
+  const Loop *Element = Nest.findLoop(Ids.J);
+  ASSERT_NE(Element, nullptr);
+  EXPECT_FALSE(Element->Upper.isSimple()); // min(JJ+TJ-1, N-1)
+  EXPECT_TRUE(Element->Lower.uses(R.ControlVar));
+
+  std::string P = Nest.print();
+  EXPECT_NE(P.find("DO JJ = 0,N-1,TJ"), std::string::npos);
+  EXPECT_NE(P.find("DO J = JJ,min(JJ+TJ-1,N-1)"), std::string::npos);
+}
+
+TEST(TileTest, TilingPreservesValues) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  tileLoop(Nest, Ids.K, "KK", "TK");
+  tileLoop(Nest, Ids.J, "JJ", "TJ");
+  // Non-dividing tile sizes exercise the min() clamps.
+  expectMMCorrect(Nest, Ids, 13, {{"TK", 5}, {"TJ", 4}});
+  expectMMCorrect(Nest, Ids, 8, {{"TK", 8}, {"TJ", 3}});
+  expectMMCorrect(Nest, Ids, 7, {{"TK", 16}, {"TJ", 16}}); // tile > N
+}
+
+TEST(PermuteTest, ReordersSpine) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  permuteSpine(Nest, {Ids.I, Ids.K, Ids.J});
+  auto Spine = Nest.spine();
+  ASSERT_EQ(Spine.size(), 3u);
+  EXPECT_EQ(Spine[0]->Var, Ids.I);
+  EXPECT_EQ(Spine[1]->Var, Ids.K);
+  EXPECT_EQ(Spine[2]->Var, Ids.J);
+}
+
+TEST(PermuteTest, AllSixMatMulOrdersComputeTheSame) {
+  // MM is fully permutable; every order must give identical results
+  // (per-element accumulation stays in K order in all of them).
+  MatMulIds Ids;
+  std::vector<std::vector<int>> Orders = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                          {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto &Ord : Orders) {
+    LoopNest Nest = makeMatMul(&Ids);
+    SymbolId Vars[3] = {Ids.K, Ids.J, Ids.I};
+    permuteSpine(Nest, {Vars[Ord[0]], Vars[Ord[1]], Vars[Ord[2]]});
+    expectMMCorrect(Nest, Ids, 9, {});
+  }
+}
+
+TEST(PermuteTest, TiledNestPermutesToPaperOrder) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  TileResult TK = tileLoop(Nest, Ids.K, "KK", "TK");
+  TileResult TJ = tileLoop(Nest, Ids.J, "JJ", "TJ");
+  permuteSpine(Nest, {TK.ControlVar, TJ.ControlVar, Ids.I, Ids.J, Ids.K});
+  auto Spine = Nest.spine();
+  ASSERT_EQ(Spine.size(), 5u);
+  EXPECT_EQ(Spine[0]->Var, TK.ControlVar);
+  EXPECT_EQ(Spine[4]->Var, Ids.K);
+  expectMMCorrect(Nest, Ids, 10, {{"TK", 3}, {"TJ", 4}});
+}
+
+TEST(UnrollJamTest, StructureAndCounts) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  permuteSpine(Nest, {Ids.K, Ids.J, Ids.I}); // I innermost already
+  unrollAndJam(Nest, Ids.J, 3);
+  const Loop *LJ = Nest.findLoop(Ids.J);
+  ASSERT_NE(LJ, nullptr);
+  EXPECT_EQ(LJ->Unroll, 3);
+  EXPECT_EQ(LJ->Step, 3);
+  EXPECT_FALSE(LJ->Epilogue.empty());
+  // Jammed: the I loop inside J holds 3 statement copies.
+  ASSERT_EQ(LJ->Items.size(), 1u);
+  ASSERT_TRUE(LJ->Items[0].isLoop());
+  EXPECT_EQ(LJ->Items[0].loop().Items.size(), 3u);
+}
+
+TEST(UnrollJamTest, ValuesPreservedIncludingEpilogue) {
+  for (int U : {2, 3, 4, 5}) {
+    MatMulIds Ids;
+    LoopNest Nest = makeMatMul(&Ids);
+    unrollAndJam(Nest, Ids.J, U);
+    unrollAndJam(Nest, Ids.K, 2);
+    // N = 7, 9: neither divisible by 2..5 in general.
+    expectMMCorrect(Nest, Ids, 7, {});
+    expectMMCorrect(Nest, Ids, 9, {});
+  }
+}
+
+TEST(UnrollJamTest, FactorOneIsNoop) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  unrollAndJam(Nest, Ids.J, 1);
+  EXPECT_EQ(Nest.findLoop(Ids.J)->Unroll, 1);
+  EXPECT_TRUE(Nest.findLoop(Ids.J)->Epilogue.empty());
+}
+
+TEST(ScalarReplaceTest, MatMulCGoesToRegisters) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  // K innermost so C[I,J] is invariant there.
+  permuteSpine(Nest, {Ids.I, Ids.J, Ids.K});
+  ScalarReplaceStats Stats = scalarReplaceInvariant(Nest, Ids.K);
+  EXPECT_EQ(Stats.RegsAllocated, 1);
+  EXPECT_EQ(Stats.RefsReplaced, 2); // C read + C write
+  EXPECT_EQ(Nest.MaxLiveRegs, 1);
+
+  std::string P = Nest.print();
+  EXPECT_NE(P.find("r0 = C[I,J]"), std::string::npos);
+  EXPECT_NE(P.find("C[I,J] = r0"), std::string::npos);
+  EXPECT_NE(P.find("r0 = r0+A[I,K]*B[K,J]"), std::string::npos);
+
+  expectMMCorrect(Nest, Ids, 11, {});
+}
+
+TEST(ScalarReplaceTest, UnrolledMatMulAllocatesUIxUJRegisters) {
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  permuteSpine(Nest, {Ids.I, Ids.J, Ids.K});
+  unrollAndJam(Nest, Ids.J, 2);
+  unrollAndJam(Nest, Ids.I, 4);
+  scalarReplaceInvariant(Nest, Ids.K);
+  // Main body: 4x2 = 8 live registers.
+  EXPECT_EQ(Nest.MaxLiveRegs, 8);
+  expectMMCorrect(Nest, Ids, 10, {});
+  expectMMCorrect(Nest, Ids, 7, {}); // epilogues in both dims
+}
+
+TEST(ScalarReplaceTest, ReducesLoadsAndStores) {
+  MatMulIds Ids;
+  LoopNest Plain = makeMatMul(&Ids);
+  permuteSpine(Plain, {Ids.I, Ids.J, Ids.K});
+  RunResult RPlain = simulateNest(Plain, {{"N", 16}}, testMachine());
+
+  MatMulIds Ids2;
+  LoopNest SR = makeMatMul(&Ids2);
+  permuteSpine(SR, {Ids2.I, Ids2.J, Ids2.K});
+  scalarReplaceInvariant(SR, Ids2.K);
+  RunResult RSR = simulateNest(SR, {{"N", 16}}, testMachine());
+
+  // 3N^3 loads drop to ~2N^3 + N^2; N^3 stores drop to N^2.
+  EXPECT_LT(RSR.Counters.Loads, RPlain.Counters.Loads);
+  EXPECT_LT(RSR.Counters.Stores, RPlain.Counters.Stores);
+  EXPECT_EQ(RSR.Counters.Stores, 16u * 16);
+}
+
+TEST(RotatingScalarReplaceTest, JacobiRotatesBWindow) {
+  JacobiIds Ids;
+  LoopNest Nest = makeJacobi(&Ids);
+  ScalarReplaceStats Stats = rotatingScalarReplace(Nest, Ids.I);
+  // One rotating chain (B[I-1],B[I+1]): 3 registers; the four
+  // J/K-neighbors are single, unique refs (no CSE needed).
+  EXPECT_EQ(Stats.RegsAllocated, 3);
+  EXPECT_EQ(Nest.MaxLiveRegs, 3);
+
+  std::string P = Nest.print();
+  EXPECT_NE(P.find("rotate"), std::string::npos);
+
+  // Value correctness.
+  MemHierarchySim Sim(testMachine());
+  ExecOptions Opts;
+  Opts.ComputeValues = true;
+  int64_t N = 9;
+  Executor Exec(Nest, makeEnv(Nest, {{"N", N}}), Sim, Opts);
+  fillDeterministic(Exec.dataOf(Ids.B), 7);
+  Exec.run();
+  std::vector<double> In(N * N * N), Ref(N * N * N, 0.0);
+  fillDeterministic(In, 7);
+  referenceJacobi(In, Ref, N);
+  for (size_t X = 0; X < Ref.size(); ++X)
+    ASSERT_DOUBLE_EQ(Exec.dataOf(Ids.A)[X], Ref[X]) << "idx " << X;
+}
+
+TEST(RotatingScalarReplaceTest, ReducesLoads) {
+  JacobiIds Ids;
+  LoopNest Plain = makeJacobi(&Ids);
+  RunResult RPlain = simulateNest(Plain, {{"N", 12}}, testMachine());
+
+  JacobiIds Ids2;
+  LoopNest Rot = makeJacobi(&Ids2);
+  rotatingScalarReplace(Rot, Ids2.I);
+  RunResult RRot = simulateNest(Rot, {{"N", 12}}, testMachine());
+
+  // 6 loads/iter drop to 5 (B[I+1] fresh + 4 J/K neighbors).
+  EXPECT_LT(RRot.Counters.Loads, RPlain.Counters.Loads);
+}
+
+TEST(RotatingScalarReplaceTest, UnrolledJacobiSharesAcrossCopies) {
+  JacobiIds Ids;
+  LoopNest Nest = makeJacobi(&Ids);
+  unrollAndJam(Nest, Ids.J, 2);
+  unrollAndJam(Nest, Ids.K, 2);
+  rotatingScalarReplace(Nest, Ids.I);
+  // Value correctness with epilogues (N-2 = 7 is odd).
+  MemHierarchySim Sim(testMachine());
+  ExecOptions Opts;
+  Opts.ComputeValues = true;
+  int64_t N = 9;
+  Executor Exec(Nest, makeEnv(Nest, {{"N", N}}), Sim, Opts);
+  fillDeterministic(Exec.dataOf(Ids.B), 3);
+  Exec.run();
+  std::vector<double> In(N * N * N), Ref(N * N * N, 0.0);
+  fillDeterministic(In, 3);
+  referenceJacobi(In, Ref, N);
+  for (size_t X = 0; X < Ref.size(); ++X)
+    ASSERT_DOUBLE_EQ(Exec.dataOf(Ids.A)[X], Ref[X]) << "idx " << X;
+}
+
+TEST(CopyTest, FullVariant1PipelinePreservesValues) {
+  for (int64_t N : {8, 11, 16}) {
+    MatMulIds Ids;
+    MMPipelineOpts Opts;
+    Opts.UI = 4;
+    Opts.UJ = 2;
+    Opts.Copy = true;
+    Opts.ScalarReplace = true;
+    LoopNest Nest = buildMMVariant1(Ids, Opts);
+    expectMMCorrect(Nest, Ids, N, {{"TK", 5}, {"TJ", 6}});
+    expectMMCorrect(Nest, Ids, N, {{"TK", 8}, {"TJ", 8}});
+  }
+}
+
+TEST(CopyTest, CopyRedirectsReferences) {
+  MatMulIds Ids;
+  MMPipelineOpts Opts;
+  Opts.Copy = true;
+  LoopNest Nest = buildMMVariant1(Ids, Opts);
+  std::string P = Nest.print();
+  EXPECT_NE(P.find("new P[TK,TJ]"), std::string::npos);
+  EXPECT_NE(P.find("copy B["), std::string::npos);
+  // Inner compute now references P with tile-relative subscripts.
+  EXPECT_NE(P.find("P[K-KK,J-JJ]"), std::string::npos);
+}
+
+TEST(CopyTest, CopyEliminatesConflictMisses) {
+  // Pathological leading dimension: columns of B conflict in a 2-way L1.
+  // With the tile copied to a contiguous buffer the conflicts vanish.
+  MatMulIds IdsA;
+  MMPipelineOpts NoCopy;
+  LoopNest Plain = buildMMVariant1(IdsA, NoCopy);
+  MatMulIds IdsB;
+  MMPipelineOpts WithCopy;
+  WithCopy.Copy = true;
+  LoopNest Copied = buildMMVariant1(IdsB, WithCopy);
+
+  // N = 64 on the /64-scaled SGI: L1 = 512 B = 64 doubles, so one 64-double
+  // column is exactly the cache size -> same-row elements of adjacent
+  // columns collide. The 16x4 tile fits the contiguous buffer in L1.
+  ParamBindings P = {{"N", 64}, {"TK", 16}, {"TJ", 4}};
+  RunResult RPlain = simulateNest(Plain, P, testMachine());
+  RunResult RCopy = simulateNest(Copied, P, testMachine());
+  EXPECT_LT(RCopy.Counters.l1Misses(), RPlain.Counters.l1Misses());
+  EXPECT_LT(RCopy.Counters.l2Misses(), RPlain.Counters.l2Misses());
+  EXPECT_LT(RCopy.Cycles, RPlain.Cycles);
+
+  // Even when the tile overflows L1 (16x16 doubles = 2 KB), copying still
+  // wins on L2 misses and cycles.
+  ParamBindings PBig = {{"N", 64}, {"TK", 16}, {"TJ", 16}};
+  RunResult RPlainBig = simulateNest(Plain, PBig, testMachine());
+  RunResult RCopyBig = simulateNest(Copied, PBig, testMachine());
+  EXPECT_LT(RCopyBig.Counters.l2Misses(), RPlainBig.Counters.l2Misses());
+  EXPECT_LT(RCopyBig.Cycles, RPlainBig.Cycles);
+}
+
+TEST(PrefetchTest, InsertionDedupesAtLineGranularity) {
+  MatMulIds Ids;
+  MMPipelineOpts Opts;
+  Opts.UI = 4;
+  Opts.UJ = 2;
+  Opts.ScalarReplace = true;
+  LoopNest Nest = buildMMVariant1(Ids, Opts);
+  // A[I..I+3, K]: 4 contiguous elements = 1 line of 4 doubles.
+  int PerIter = insertPrefetch(Nest, Ids.A, Ids.K, 8, /*LineElems=*/4);
+  EXPECT_EQ(PerIter, 1);
+
+  MatMulIds Ids2;
+  LoopNest Nest2 = buildMMVariant1(Ids2, Opts);
+  // Line of 2 doubles: the 4-element span needs 2 prefetches.
+  EXPECT_EQ(insertPrefetch(Nest2, Ids2.A, Ids2.K, 8, 2), 2);
+}
+
+TEST(PrefetchTest, RemovePrefetchesUndoesInsertion) {
+  MatMulIds Ids;
+  MMPipelineOpts Opts;
+  LoopNest Nest = buildMMVariant1(Ids, Opts);
+  insertPrefetch(Nest, Ids.A, Ids.K, 8, 4);
+  RunResult RWith =
+      simulateNest(Nest, {{"N", 16}, {"TK", 8}, {"TJ", 8}}, testMachine());
+  EXPECT_GT(RWith.Counters.Prefetches, 0u);
+  removePrefetches(Nest, Ids.A);
+  RunResult ROff =
+      simulateNest(Nest, {{"N", 16}, {"TK", 8}, {"TJ", 8}}, testMachine());
+  EXPECT_EQ(ROff.Counters.Prefetches, 0u);
+}
+
+TEST(PrefetchTest, ValuesUnaffected) {
+  MatMulIds Ids;
+  MMPipelineOpts Opts;
+  Opts.UI = 2;
+  Opts.UJ = 2;
+  Opts.Copy = true;
+  Opts.ScalarReplace = true;
+  Opts.PrefetchDist = 4;
+  LoopNest Nest = buildMMVariant1(Ids, Opts);
+  expectMMCorrect(Nest, Ids, 12, {{"TK", 6}, {"TJ", 5}});
+}
+
+TEST(PipelineProperty, RandomizedConfigsAllCorrect) {
+  // Property sweep: random (N, TK, TJ, UI, UJ, copy, SR, prefetch)
+  // combinations all compute the reference result.
+  Rng R(20260707);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    MatMulIds Ids;
+    MMPipelineOpts Opts;
+    Opts.UI = static_cast<int>(R.nextInt(1, 5));
+    Opts.UJ = static_cast<int>(R.nextInt(1, 4));
+    Opts.Copy = R.nextBool();
+    Opts.ScalarReplace = R.nextBool();
+    Opts.PrefetchDist = R.nextBool() ? static_cast<int>(R.nextInt(1, 8)) : 0;
+    int64_t N = R.nextInt(4, 20);
+    int64_t TK = R.nextInt(2, 12), TJ = R.nextInt(2, 12);
+    LoopNest Nest = buildMMVariant1(Ids, Opts);
+    SCOPED_TRACE(strformat("trial=%d N=%d TK=%d TJ=%d UI=%d UJ=%d c=%d "
+                           "sr=%d pf=%d",
+                           Trial, (int)N, (int)TK, (int)TJ, Opts.UI,
+                           Opts.UJ, (int)Opts.Copy,
+                           (int)Opts.ScalarReplace, Opts.PrefetchDist));
+    expectMMCorrect(Nest, Ids, N, {{"TK", TK}, {"TJ", TJ}});
+  }
+}
