@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sgi.dir/bench_fig4_sgi.cpp.o"
+  "CMakeFiles/bench_fig4_sgi.dir/bench_fig4_sgi.cpp.o.d"
+  "bench_fig4_sgi"
+  "bench_fig4_sgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

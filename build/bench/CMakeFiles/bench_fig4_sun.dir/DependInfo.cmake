@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_sun.cpp" "bench/CMakeFiles/bench_fig4_sun.dir/bench_fig4_sun.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_sun.dir/bench_fig4_sun.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eco_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sun.dir/bench_fig4_sun.cpp.o"
+  "CMakeFiles/bench_fig4_sun.dir/bench_fig4_sun.cpp.o.d"
+  "bench_fig4_sun"
+  "bench_fig4_sun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_host.dir/bench_native_host.cpp.o"
+  "CMakeFiles/bench_native_host.dir/bench_native_host.cpp.o.d"
+  "bench_native_host"
+  "bench_native_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

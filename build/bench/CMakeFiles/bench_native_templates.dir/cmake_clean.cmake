@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_templates.dir/bench_native_templates.cpp.o"
+  "CMakeFiles/bench_native_templates.dir/bench_native_templates.cpp.o.d"
+  "bench_native_templates"
+  "bench_native_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_cli.dir/eco_cli.cpp.o"
+  "CMakeFiles/eco_cli.dir/eco_cli.cpp.o.d"
+  "eco_cli"
+  "eco_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_and_run.dir/emit_and_run.cpp.o"
+  "CMakeFiles/emit_and_run.dir/emit_and_run.cpp.o.d"
+  "emit_and_run"
+  "emit_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

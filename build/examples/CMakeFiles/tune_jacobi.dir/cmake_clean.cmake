@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_jacobi.dir/tune_jacobi.cpp.o"
+  "CMakeFiles/tune_jacobi.dir/tune_jacobi.cpp.o.d"
+  "tune_jacobi"
+  "tune_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

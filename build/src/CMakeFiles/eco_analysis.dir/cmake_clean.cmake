@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_analysis.dir/analysis/Dependence.cpp.o"
+  "CMakeFiles/eco_analysis.dir/analysis/Dependence.cpp.o.d"
+  "CMakeFiles/eco_analysis.dir/analysis/Footprint.cpp.o"
+  "CMakeFiles/eco_analysis.dir/analysis/Footprint.cpp.o.d"
+  "CMakeFiles/eco_analysis.dir/analysis/Reuse.cpp.o"
+  "CMakeFiles/eco_analysis.dir/analysis/Reuse.cpp.o.d"
+  "libeco_analysis.a"
+  "libeco_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_baselines.dir/baselines/MiniAtlas.cpp.o"
+  "CMakeFiles/eco_baselines.dir/baselines/MiniAtlas.cpp.o.d"
+  "CMakeFiles/eco_baselines.dir/baselines/NativeCompiler.cpp.o"
+  "CMakeFiles/eco_baselines.dir/baselines/NativeCompiler.cpp.o.d"
+  "CMakeFiles/eco_baselines.dir/baselines/VendorBlas.cpp.o"
+  "CMakeFiles/eco_baselines.dir/baselines/VendorBlas.cpp.o.d"
+  "libeco_baselines.a"
+  "libeco_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

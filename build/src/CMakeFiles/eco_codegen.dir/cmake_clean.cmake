@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_codegen.dir/codegen/CEmitter.cpp.o"
+  "CMakeFiles/eco_codegen.dir/codegen/CEmitter.cpp.o.d"
+  "CMakeFiles/eco_codegen.dir/codegen/NativeRunner.cpp.o"
+  "CMakeFiles/eco_codegen.dir/codegen/NativeRunner.cpp.o.d"
+  "libeco_codegen.a"
+  "libeco_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/DeriveVariants.cpp" "src/CMakeFiles/eco_core.dir/core/DeriveVariants.cpp.o" "gcc" "src/CMakeFiles/eco_core.dir/core/DeriveVariants.cpp.o.d"
+  "/root/repo/src/core/Heuristics.cpp" "src/CMakeFiles/eco_core.dir/core/Heuristics.cpp.o" "gcc" "src/CMakeFiles/eco_core.dir/core/Heuristics.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/CMakeFiles/eco_core.dir/core/Report.cpp.o" "gcc" "src/CMakeFiles/eco_core.dir/core/Report.cpp.o.d"
+  "/root/repo/src/core/Search.cpp" "src/CMakeFiles/eco_core.dir/core/Search.cpp.o" "gcc" "src/CMakeFiles/eco_core.dir/core/Search.cpp.o.d"
+  "/root/repo/src/core/Tuner.cpp" "src/CMakeFiles/eco_core.dir/core/Tuner.cpp.o" "gcc" "src/CMakeFiles/eco_core.dir/core/Tuner.cpp.o.d"
+  "/root/repo/src/core/Variant.cpp" "src/CMakeFiles/eco_core.dir/core/Variant.cpp.o" "gcc" "src/CMakeFiles/eco_core.dir/core/Variant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eco_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_core.dir/core/DeriveVariants.cpp.o"
+  "CMakeFiles/eco_core.dir/core/DeriveVariants.cpp.o.d"
+  "CMakeFiles/eco_core.dir/core/Heuristics.cpp.o"
+  "CMakeFiles/eco_core.dir/core/Heuristics.cpp.o.d"
+  "CMakeFiles/eco_core.dir/core/Report.cpp.o"
+  "CMakeFiles/eco_core.dir/core/Report.cpp.o.d"
+  "CMakeFiles/eco_core.dir/core/Search.cpp.o"
+  "CMakeFiles/eco_core.dir/core/Search.cpp.o.d"
+  "CMakeFiles/eco_core.dir/core/Tuner.cpp.o"
+  "CMakeFiles/eco_core.dir/core/Tuner.cpp.o.d"
+  "CMakeFiles/eco_core.dir/core/Variant.cpp.o"
+  "CMakeFiles/eco_core.dir/core/Variant.cpp.o.d"
+  "libeco_core.a"
+  "libeco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/AddressMap.cpp" "src/CMakeFiles/eco_exec.dir/exec/AddressMap.cpp.o" "gcc" "src/CMakeFiles/eco_exec.dir/exec/AddressMap.cpp.o.d"
+  "/root/repo/src/exec/Executor.cpp" "src/CMakeFiles/eco_exec.dir/exec/Executor.cpp.o" "gcc" "src/CMakeFiles/eco_exec.dir/exec/Executor.cpp.o.d"
+  "/root/repo/src/exec/Run.cpp" "src/CMakeFiles/eco_exec.dir/exec/Run.cpp.o" "gcc" "src/CMakeFiles/eco_exec.dir/exec/Run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eco_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_exec.dir/exec/AddressMap.cpp.o"
+  "CMakeFiles/eco_exec.dir/exec/AddressMap.cpp.o.d"
+  "CMakeFiles/eco_exec.dir/exec/Executor.cpp.o"
+  "CMakeFiles/eco_exec.dir/exec/Executor.cpp.o.d"
+  "CMakeFiles/eco_exec.dir/exec/Run.cpp.o"
+  "CMakeFiles/eco_exec.dir/exec/Run.cpp.o.d"
+  "libeco_exec.a"
+  "libeco_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

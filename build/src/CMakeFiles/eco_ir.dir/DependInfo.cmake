@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AffineExpr.cpp" "src/CMakeFiles/eco_ir.dir/ir/AffineExpr.cpp.o" "gcc" "src/CMakeFiles/eco_ir.dir/ir/AffineExpr.cpp.o.d"
+  "/root/repo/src/ir/Array.cpp" "src/CMakeFiles/eco_ir.dir/ir/Array.cpp.o" "gcc" "src/CMakeFiles/eco_ir.dir/ir/Array.cpp.o.d"
+  "/root/repo/src/ir/Loop.cpp" "src/CMakeFiles/eco_ir.dir/ir/Loop.cpp.o" "gcc" "src/CMakeFiles/eco_ir.dir/ir/Loop.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/eco_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/eco_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/ScalarExpr.cpp" "src/CMakeFiles/eco_ir.dir/ir/ScalarExpr.cpp.o" "gcc" "src/CMakeFiles/eco_ir.dir/ir/ScalarExpr.cpp.o.d"
+  "/root/repo/src/ir/Stmt.cpp" "src/CMakeFiles/eco_ir.dir/ir/Stmt.cpp.o" "gcc" "src/CMakeFiles/eco_ir.dir/ir/Stmt.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/eco_ir.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/eco_ir.dir/ir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

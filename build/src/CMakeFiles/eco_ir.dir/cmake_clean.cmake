@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_ir.dir/ir/AffineExpr.cpp.o"
+  "CMakeFiles/eco_ir.dir/ir/AffineExpr.cpp.o.d"
+  "CMakeFiles/eco_ir.dir/ir/Array.cpp.o"
+  "CMakeFiles/eco_ir.dir/ir/Array.cpp.o.d"
+  "CMakeFiles/eco_ir.dir/ir/Loop.cpp.o"
+  "CMakeFiles/eco_ir.dir/ir/Loop.cpp.o.d"
+  "CMakeFiles/eco_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/eco_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/eco_ir.dir/ir/ScalarExpr.cpp.o"
+  "CMakeFiles/eco_ir.dir/ir/ScalarExpr.cpp.o.d"
+  "CMakeFiles/eco_ir.dir/ir/Stmt.cpp.o"
+  "CMakeFiles/eco_ir.dir/ir/Stmt.cpp.o.d"
+  "CMakeFiles/eco_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/eco_ir.dir/ir/Verifier.cpp.o.d"
+  "libeco_ir.a"
+  "libeco_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

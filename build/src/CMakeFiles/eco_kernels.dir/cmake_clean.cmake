@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_kernels.dir/kernels/Kernels.cpp.o"
+  "CMakeFiles/eco_kernels.dir/kernels/Kernels.cpp.o.d"
+  "CMakeFiles/eco_kernels.dir/kernels/NativeTemplates.cpp.o"
+  "CMakeFiles/eco_kernels.dir/kernels/NativeTemplates.cpp.o.d"
+  "CMakeFiles/eco_kernels.dir/kernels/Reference.cpp.o"
+  "CMakeFiles/eco_kernels.dir/kernels/Reference.cpp.o.d"
+  "libeco_kernels.a"
+  "libeco_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_machine.dir/machine/MachineDesc.cpp.o"
+  "CMakeFiles/eco_machine.dir/machine/MachineDesc.cpp.o.d"
+  "libeco_machine.a"
+  "libeco_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

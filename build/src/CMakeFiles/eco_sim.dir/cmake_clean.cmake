@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_sim.dir/sim/Cache.cpp.o"
+  "CMakeFiles/eco_sim.dir/sim/Cache.cpp.o.d"
+  "CMakeFiles/eco_sim.dir/sim/MemHierarchy.cpp.o"
+  "CMakeFiles/eco_sim.dir/sim/MemHierarchy.cpp.o.d"
+  "libeco_sim.a"
+  "libeco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_support.dir/support/Chart.cpp.o"
+  "CMakeFiles/eco_support.dir/support/Chart.cpp.o.d"
+  "CMakeFiles/eco_support.dir/support/StringUtils.cpp.o"
+  "CMakeFiles/eco_support.dir/support/StringUtils.cpp.o.d"
+  "CMakeFiles/eco_support.dir/support/Table.cpp.o"
+  "CMakeFiles/eco_support.dir/support/Table.cpp.o.d"
+  "libeco_support.a"
+  "libeco_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

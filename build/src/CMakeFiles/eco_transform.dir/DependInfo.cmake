@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/Copy.cpp" "src/CMakeFiles/eco_transform.dir/transform/Copy.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/Copy.cpp.o.d"
+  "/root/repo/src/transform/Pad.cpp" "src/CMakeFiles/eco_transform.dir/transform/Pad.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/Pad.cpp.o.d"
+  "/root/repo/src/transform/Permute.cpp" "src/CMakeFiles/eco_transform.dir/transform/Permute.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/Permute.cpp.o.d"
+  "/root/repo/src/transform/Prefetch.cpp" "src/CMakeFiles/eco_transform.dir/transform/Prefetch.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/Prefetch.cpp.o.d"
+  "/root/repo/src/transform/ScalarReplace.cpp" "src/CMakeFiles/eco_transform.dir/transform/ScalarReplace.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/ScalarReplace.cpp.o.d"
+  "/root/repo/src/transform/Tile.cpp" "src/CMakeFiles/eco_transform.dir/transform/Tile.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/Tile.cpp.o.d"
+  "/root/repo/src/transform/UnrollJam.cpp" "src/CMakeFiles/eco_transform.dir/transform/UnrollJam.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/UnrollJam.cpp.o.d"
+  "/root/repo/src/transform/Utils.cpp" "src/CMakeFiles/eco_transform.dir/transform/Utils.cpp.o" "gcc" "src/CMakeFiles/eco_transform.dir/transform/Utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eco_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_transform.dir/transform/Copy.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/Copy.cpp.o.d"
+  "CMakeFiles/eco_transform.dir/transform/Pad.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/Pad.cpp.o.d"
+  "CMakeFiles/eco_transform.dir/transform/Permute.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/Permute.cpp.o.d"
+  "CMakeFiles/eco_transform.dir/transform/Prefetch.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/Prefetch.cpp.o.d"
+  "CMakeFiles/eco_transform.dir/transform/ScalarReplace.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/ScalarReplace.cpp.o.d"
+  "CMakeFiles/eco_transform.dir/transform/Tile.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/Tile.cpp.o.d"
+  "CMakeFiles/eco_transform.dir/transform/UnrollJam.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/UnrollJam.cpp.o.d"
+  "CMakeFiles/eco_transform.dir/transform/Utils.cpp.o"
+  "CMakeFiles/eco_transform.dir/transform/Utils.cpp.o.d"
+  "libeco_transform.a"
+  "libeco_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

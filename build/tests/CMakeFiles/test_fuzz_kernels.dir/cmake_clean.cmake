@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_kernels.dir/test_fuzz_kernels.cpp.o"
+  "CMakeFiles/test_fuzz_kernels.dir/test_fuzz_kernels.cpp.o.d"
+  "test_fuzz_kernels"
+  "test_fuzz_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

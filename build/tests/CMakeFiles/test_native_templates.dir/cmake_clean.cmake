@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_templates.dir/test_native_templates.cpp.o"
+  "CMakeFiles/test_native_templates.dir/test_native_templates.cpp.o.d"
+  "test_native_templates"
+  "test_native_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

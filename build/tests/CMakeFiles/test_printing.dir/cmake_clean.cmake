@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_printing.dir/test_printing.cpp.o"
+  "CMakeFiles/test_printing.dir/test_printing.cpp.o.d"
+  "test_printing"
+  "test_printing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_printing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
