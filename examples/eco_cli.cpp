@@ -4,18 +4,28 @@
 //
 //   eco_cli [--kernel=matmul|jacobi|matvec] [--machine=sgi|sun|host]
 //           [--n=SIZE] [--scale=K] [--native] [--emit-c] [--variants]
-//           [--trace]
+//           [--trace] [--jobs=N] [--cache-file=F] [--trace-file=F]
+//           [--checkpoint=F] [--resume]
 //
-//   --variants   print the derived variant set (Table 4 style) and exit
-//   --emit-c     print the winning variant as C source
-//   --native     tune with the compile-and-run backend on this machine
-//   --trace      dump every evaluated search point (CSV: config,cost)
+//   --variants     print the derived variant set (Table 4 style) and exit
+//   --emit-c       print the winning variant as C source
+//   --native       tune with the compile-and-run backend on this machine
+//   --trace        dump every evaluated search point (CSV: config,cost)
+//   --jobs=N       evaluate candidate batches on N threads (engine)
+//   --cache-file=F persist the evaluation cache to F (JSON); re-runs on
+//                  identical input replay from it nearly for free
+//   --trace-file=F stream structured per-point records to F (JSONL)
+//   --checkpoint=F write per-variant tune state to F after each search
+//   --resume       load --checkpoint (and --cache-file) state and skip
+//                  already-searched variants
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
 #include "core/Report.h"
 #include "core/Tuner.h"
+#include "engine/Checkpoint.h"
+#include "engine/Engine.h"
 #include "exec/Run.h"
 #include "kernels/Kernels.h"
 #include "support/StringUtils.h"
@@ -23,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace eco;
@@ -39,6 +50,11 @@ struct CliOptions {
   bool VariantsOnly = false;
   bool Trace = false;
   bool Report = false;
+  int Jobs = 1;
+  std::string CacheFile;
+  std::string TraceFile;
+  std::string CheckpointFile;
+  bool Resume = false;
 };
 
 bool parseArg(CliOptions &Opts, const std::string &Arg) {
@@ -63,6 +79,26 @@ bool parseArg(CliOptions &Opts, const std::string &Arg) {
   if (const char *V = valueOf("--scale=")) {
     Opts.Scale = static_cast<unsigned>(std::atoi(V));
     return Opts.Scale > 0;
+  }
+  if (const char *V = valueOf("--jobs=")) {
+    Opts.Jobs = std::atoi(V);
+    return Opts.Jobs >= 1;
+  }
+  if (const char *V = valueOf("--cache-file=")) {
+    Opts.CacheFile = V;
+    return !Opts.CacheFile.empty();
+  }
+  if (const char *V = valueOf("--trace-file=")) {
+    Opts.TraceFile = V;
+    return !Opts.TraceFile.empty();
+  }
+  if (const char *V = valueOf("--checkpoint=")) {
+    Opts.CheckpointFile = V;
+    return !Opts.CheckpointFile.empty();
+  }
+  if (Arg == "--resume") {
+    Opts.Resume = true;
+    return true;
   }
   if (Arg == "--native") {
     Opts.Native = true;
@@ -97,11 +133,14 @@ int main(int Argc, char **Argv) {
                    "usage: %s [--kernel=matmul|jacobi|matvec] "
                    "[--machine=sgi|sun|host] [--n=SIZE] [--scale=K] "
                    "[--native] [--emit-c] [--variants] [--trace] "
-                   "[--report]\n",
+                   "[--report] [--jobs=N] [--cache-file=F] "
+                   "[--trace-file=F] [--checkpoint=F] [--resume]\n",
                    Argv[0]);
       return 2;
     }
   }
+  if (Opts.Resume && Opts.CheckpointFile.empty())
+    Opts.CheckpointFile = "eco_checkpoint.json";
 
   LoopNest Nest;
   if (Opts.Kernel == "matmul")
@@ -145,7 +184,33 @@ int main(int Argc, char **Argv) {
       Opts.Native ? static_cast<EvalBackend &>(NativeBackend)
                   : static_cast<EvalBackend &>(SimBackend);
 
-  TuneResult R = tune(Nest, Backend, {{"N", Opts.N}});
+  // Everything runs through the engine: --jobs controls parallelism,
+  // --cache-file persistence, --trace-file structured tracing. The
+  // chosen configuration is identical for every --jobs value.
+  EngineOptions EOpts;
+  EOpts.Jobs = Opts.Jobs;
+  EOpts.CacheFile = Opts.CacheFile;
+  EOpts.TraceFile = Opts.TraceFile;
+  EvalEngine Engine(Backend, EOpts);
+  if (Opts.Jobs > 1 && Engine.jobs() == 1)
+    std::fprintf(stderr,
+                 "note: backend is not parallelizable; running with 1 "
+                 "job\n");
+
+  ParamBindings Problem = {{"N", Opts.N}};
+  TuneOptions TOpts;
+  std::unique_ptr<TuneCheckpoint> Ckpt;
+  if (!Opts.CheckpointFile.empty()) {
+    Ckpt = std::make_unique<TuneCheckpoint>(Opts.CheckpointFile, Nest,
+                                            Machine, Problem, Opts.Resume);
+    Ckpt->installHooks(TOpts);
+    if (Opts.Resume && Ckpt->numLoaded() > 0)
+      std::printf("resuming: %zu variant(s) restored from %s\n",
+                  Ckpt->numLoaded(), Opts.CheckpointFile.c_str());
+  }
+
+  TuneResult R = tune(Nest, Engine, Problem, TOpts);
+  Engine.flush();
   if (R.BestVariant < 0) {
     std::fprintf(stderr, "error: tuning produced no feasible variant\n");
     return 1;
@@ -158,15 +223,22 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  std::printf("searched %zu points in %.1fs\n", R.TotalPoints,
-              R.TotalSeconds);
+  std::printf("searched %zu points in %.1fs (%d jobs, %zu cache hits",
+              R.TotalPoints, R.TotalSeconds, Engine.jobs(),
+              R.TotalCacheHits);
+  if (R.TotalPoints + R.TotalCacheHits > 0)
+    std::printf(", %.0f%% hit rate",
+                100.0 * static_cast<double>(R.TotalCacheHits) /
+                    static_cast<double>(R.TotalPoints + R.TotalCacheHits));
+  std::printf(")\n");
   for (const VariantSummary &S : R.Summaries)
     std::printf("  %-4s heuristic %.3g %s\n", S.Name.c_str(),
                 S.HeuristicCost,
                 S.Searched
-                    ? strformat("-> best %.3g after %zu points (%s)",
+                    ? strformat("-> best %.3g after %zu points (%s)%s",
                                 S.BestCost, S.Points,
-                                S.BestConfig.c_str())
+                                S.BestConfig.c_str(),
+                                S.Restored ? " [restored]" : "")
                           .c_str()
                     : "(pruned by model ranking)");
   std::printf("\nwinner: %s  cost %.6g %s\n",
@@ -179,9 +251,9 @@ int main(int Argc, char **Argv) {
                 emitC(R.BestExecutable, "eco_kernel").c_str());
 
   if (Opts.Trace) {
-    // Re-run the winning variant's search to dump its full trace.
-    VariantSearchResult SR =
-        searchVariant(R.best(), Backend, {{"N", Opts.N}});
+    // Replay the winning variant's search; with the engine's cache warm
+    // this costs almost nothing and dumps the full decision trace.
+    VariantSearchResult SR = searchVariant(R.best(), Engine, Problem);
     std::printf("\nconfig,cost\n");
     for (const SearchPoint &P : SR.Trace.Points)
       std::printf("\"%s\",%.6g\n", P.Config.c_str(), P.Cost);

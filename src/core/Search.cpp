@@ -217,13 +217,20 @@ Env eco::initialConfig(const DerivedVariant &V, const MachineDesc &Machine,
 
 namespace {
 
-/// Drives the Section 3.2 search for one variant.
+/// Drives the Section 3.2 search for one variant. The decision loop is
+/// strictly sequential; before each step that generates several
+/// independent candidates (binary shape-search siblings, linear
+/// refinement neighbors, per-array prefetch probes), the candidate set
+/// is handed to the Evaluator as a warm batch so a parallel engine can
+/// evaluate them concurrently. Decisions then replay against memoized
+/// costs, keeping the chosen configuration bit-identical to a fully
+/// sequential run.
 class Searcher {
 public:
-  Searcher(const DerivedVariant &V, EvalBackend &B,
+  Searcher(const DerivedVariant &V, Evaluator &Eval,
            const ParamBindings &Problem, const SearchOptions &Opts)
-      : V(V), B(B), Opts(Opts) {
-    Cur = initialConfig(V, B.machine(), Problem);
+      : V(V), Eval(Eval), Opts(Opts) {
+    Cur = initialConfig(V, Eval.machine(), Problem);
     for (const auto &[Var, Param] : V.TileParamOf)
       TileParams.push_back(Param);
     for (const UnrollSpec &U : V.Spec.Unrolls)
@@ -234,26 +241,34 @@ public:
 
   VariantSearchResult run() {
     Timer Elapsed;
+    Stage = "initial";
     CurCost = eval(Cur);
     // If even the heuristic point is infeasible something is off; bail
     // with what we have.
     if (CurCost < Inf) {
       // Stage 1: register factors.
       if (!UnrollParams.empty()) {
+        Stage = "register";
         shapeSearch(UnrollParams);
         linearRefine(UnrollParams, 1);
       }
       // Stage 2..: tile stages.
-      for (const std::vector<SymbolId> &Stage : searchStages(V)) {
-        footprintSearch(Stage);
-        linearRefine(Stage, lineElems());
+      size_t StageIdx = 0;
+      for (const std::vector<SymbolId> &S : searchStages(V)) {
+        Stage = "tile" + std::to_string(StageIdx++);
+        footprintSearch(S);
+        linearRefine(S, lineElems());
       }
       // Stage 3: prefetch, one structure at a time.
-      if (Opts.SearchPrefetch)
+      if (Opts.SearchPrefetch) {
+        Stage = "prefetch";
         prefetchSearch();
+      }
       // Stage 4: post-prefetch tile adjustment.
-      if (Opts.AdjustAfterPrefetch && anyPrefetchOn())
+      if (Opts.AdjustAfterPrefetch && anyPrefetchOn()) {
+        Stage = "adjust";
         adjustInnermostTile();
+      }
     }
 
     VariantSearchResult R;
@@ -266,7 +281,7 @@ public:
 
 private:
   int64_t lineElems() const {
-    return std::max<int64_t>(B.machine().cache(0).LineBytes / 8, 1);
+    return std::max<int64_t>(Eval.machine().cache(0).LineBytes / 8, 1);
   }
 
   bool withinBounds(const Env &E) const {
@@ -296,22 +311,11 @@ private:
     if (Cached != CostCache.end())
       return Cached->second;
 
-    // Instantiation depends only on unroll factors and prefetch
-    // distances; tiles stay symbolic.
-    std::string InstKey;
-    for (SymbolId P : UnrollParams)
-      InstKey += std::to_string(E.get(P)) + ",";
-    for (SymbolId P : PfParams)
-      InstKey += std::to_string(E.get(P)) + ",";
-    auto InstIt = InstCache.find(InstKey);
-    if (InstIt == InstCache.end())
-      InstIt = InstCache.emplace(InstKey, V.instantiate(E, B.machine()))
-                   .first;
-
-    double Cost = B.evaluate(InstIt->second, E);
-    CostCache[Key] = Cost;
-    Trace.Points.push_back({Key, Cost});
-    return Cost;
+    EvalOutcome O = Eval.evaluate(V, E, Stage);
+    CostCache[Key] = O.Cost;
+    Trace.Points.push_back(
+        {Key, O.Cost, Stage, O.CacheHit, O.Millis, O.Lane});
+    return O.Cost;
   }
 
   /// Evaluates \p Cand; adopts it when strictly better.
@@ -325,6 +329,45 @@ private:
     return false;
   }
 
+  /// Hands evaluable candidates this step is about to consider to the
+  /// Evaluator for concurrent (speculative) evaluation. Candidates the
+  /// search has already costed, or that bounds/constraints would reject
+  /// without executing, are filtered exactly as eval() would.
+  void warmBatch(std::vector<Env> Cands) {
+    std::vector<Env> Fresh;
+    Fresh.reserve(Cands.size());
+    for (Env &E : Cands) {
+      if (!withinBounds(E) || !V.feasible(E))
+        continue;
+      if (CostCache.count(V.configString(E)))
+        continue;
+      Fresh.push_back(std::move(E));
+    }
+    if (Fresh.size() > 1)
+      Eval.warm(V, Fresh, Stage);
+  }
+
+  /// All (double Up, halve Down) siblings reachable from \p From in one
+  /// shape-search round — the independent candidate set a round scans.
+  std::vector<Env> shapeSiblings(const Env &From,
+                                 const std::vector<SymbolId> &Params) {
+    std::vector<Env> Cands;
+    for (SymbolId Up : Params) {
+      for (SymbolId Down : Params) {
+        if (Up == Down)
+          continue;
+        int64_t NewDown = std::max<int64_t>(From.get(Down) / 2, 1);
+        if (NewDown == From.get(Down))
+          continue;
+        Env Cand = From;
+        Cand.set(Up, From.get(Up) * 2);
+        Cand.set(Down, NewDown);
+        Cands.push_back(std::move(Cand));
+      }
+    }
+    return Cands;
+  }
+
   /// Binary tile-shape search at (roughly) constant footprint.
   void shapeSearch(const std::vector<SymbolId> &Params) {
     if (Params.size() < 2)
@@ -332,6 +375,11 @@ private:
     bool Improved = true;
     while (Improved) {
       Improved = false;
+      // Every sibling of the round's starting point is independent of
+      // the others; evaluate them concurrently up front. Acceptances
+      // mid-round move Cur, after which later candidates may miss the
+      // memo — they are then evaluated on demand, still correctly.
+      warmBatch(shapeSiblings(Cur, Params));
       for (SymbolId Up : Params) {
         for (SymbolId Down : Params) {
           if (Up == Down)
@@ -385,6 +433,17 @@ private:
 
   /// Small +-step walk on each parameter.
   void linearRefine(const std::vector<SymbolId> &Params, int64_t Step) {
+    // The first +-step neighbor of every parameter is independent of the
+    // others' outcomes; warm them as one batch.
+    std::vector<Env> FirstSteps;
+    for (SymbolId P : Params) {
+      for (int64_t Dir : {+1, -1}) {
+        Env Cand = Cur;
+        Cand.set(P, Cur.get(P) + Dir * Step);
+        FirstSteps.push_back(std::move(Cand));
+      }
+    }
+    warmBatch(std::move(FirstSteps));
     for (SymbolId P : Params) {
       for (int64_t Dir : {+1, -1}) {
         for (int S = 0; S < Opts.LinearRefineSteps; ++S) {
@@ -400,6 +459,16 @@ private:
   /// Try prefetching each data structure, one at a time: distance 1,
   /// then climb while improving; keep or drop (Section 3.2).
   void prefetchSearch() {
+    // The per-array distance-1 probes are independent candidates off the
+    // post-tiling configuration (most arrays keep prefetch off, so the
+    // probes usually are exactly what the sequential walk evaluates).
+    std::vector<Env> Probes;
+    for (SymbolId P : PfParams) {
+      Env Cand = Cur;
+      Cand.set(P, 1);
+      Probes.push_back(std::move(Cand));
+    }
+    warmBatch(std::move(Probes));
     for (SymbolId P : PfParams) {
       Env Cand = Cur;
       Cand.set(P, 1);
@@ -450,22 +519,74 @@ private:
   }
 
   const DerivedVariant &V;
-  EvalBackend &B;
+  Evaluator &Eval;
   SearchOptions Opts;
 
   Env Cur;
   double CurCost = Inf;
+  std::string Stage;
   SearchTrace Trace;
   std::map<std::string, double> CostCache;
-  std::map<std::string, LoopNest> InstCache;
   std::vector<SymbolId> TileParams, UnrollParams, PfParams;
 };
 
 } // namespace
 
+std::string eco::instantiationKey(const DerivedVariant &V,
+                                  const Env &Config) {
+  // Instantiation depends only on unroll factors and prefetch
+  // distances; tiles stay symbolic.
+  std::string Key;
+  for (const UnrollSpec &U : V.Spec.Unrolls)
+    Key += std::to_string(Config.get(U.FactorParam)) + ",";
+  for (const PrefetchSpec &P : V.Prefetch)
+    Key += std::to_string(Config.get(P.DistanceParam)) + ",";
+  return Key;
+}
+
+EvalOutcome DirectEvaluator::evaluate(const DerivedVariant &V,
+                                      const Env &Config,
+                                      const std::string &Stage) {
+  (void)Stage;
+  EvalOutcome O;
+  std::pair<const void *, std::string> CostKey{&V, V.configString(Config)};
+  auto Cached = CostMemo.find(CostKey);
+  if (Cached != CostMemo.end()) {
+    ++Stats.CacheHits;
+    O.Cost = Cached->second;
+    O.CacheHit = true;
+    return O;
+  }
+
+  std::pair<const void *, std::string> InstKey{&V,
+                                               instantiationKey(V, Config)};
+  auto InstIt = InstMemo.find(InstKey);
+  if (InstIt == InstMemo.end())
+    InstIt = InstMemo
+                 .emplace(std::move(InstKey),
+                          V.instantiate(Config, Backend.machine()))
+                 .first;
+
+  Timer T;
+  O.Cost = Backend.evaluate(InstIt->second, Config);
+  O.Millis = T.millis();
+  ++Stats.Evaluations;
+  Stats.BackendSeconds += O.Millis / 1e3;
+  CostMemo.emplace(std::move(CostKey), O.Cost);
+  return O;
+}
+
+VariantSearchResult eco::searchVariant(const DerivedVariant &Variant,
+                                       Evaluator &Eval,
+                                       const ParamBindings &Problem,
+                                       const SearchOptions &Opts) {
+  return Searcher(Variant, Eval, Problem, Opts).run();
+}
+
 VariantSearchResult eco::searchVariant(const DerivedVariant &Variant,
                                        EvalBackend &Backend,
                                        const ParamBindings &Problem,
                                        const SearchOptions &Opts) {
-  return Searcher(Variant, Backend, Problem, Opts).run();
+  DirectEvaluator Eval(Backend);
+  return Searcher(Variant, Eval, Problem, Opts).run();
 }

@@ -36,8 +36,10 @@
 #include "exec/Run.h"
 
 #include <limits>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace eco {
@@ -52,6 +54,19 @@ public:
   virtual double evaluate(const LoopNest &Executable, const Env &Config) = 0;
 
   virtual const MachineDesc &machine() const = 0;
+
+  /// Returns an independent instance for another worker thread, or
+  /// nullptr when this backend cannot be parallelized (the engine then
+  /// degrades to sequential evaluation). Clones must produce bit-equal
+  /// costs for equal inputs.
+  virtual std::unique_ptr<EvalBackend> clone() const { return nullptr; }
+
+  /// Extra text mixed into persistent cache keys. Backends whose cost
+  /// for (nest, machine, config) depends on additional internal state
+  /// (e.g. a multi-size wrapper's size set, or seconds vs. cycles units)
+  /// must return a string identifying that state, so cached results are
+  /// never served across incompatible backends.
+  virtual std::string cacheSalt() const { return {}; }
 };
 
 /// Runs variants on the memory-hierarchy simulator; cost = cycles.
@@ -61,6 +76,12 @@ public:
 
   double evaluate(const LoopNest &Executable, const Env &Config) override;
   const MachineDesc &machine() const override { return Machine; }
+
+  /// The simulator is a deterministic pure function of (nest, config);
+  /// a clone is just another instance over the same machine.
+  std::unique_ptr<EvalBackend> clone() const override {
+    return std::make_unique<SimEvalBackend>(Machine);
+  }
 
 private:
   MachineDesc Machine;
@@ -96,8 +117,27 @@ public:
 
   const MachineDesc &machine() const override { return Inner.machine(); }
 
+  /// Clonable iff the wrapped backend is; the clone owns its inner copy.
+  std::unique_ptr<EvalBackend> clone() const override {
+    std::unique_ptr<EvalBackend> InnerClone = Inner.clone();
+    if (!InnerClone)
+      return nullptr;
+    auto Copy = std::make_unique<MultiSizeEvalBackend>(*InnerClone,
+                                                       SizeName, Sizes);
+    Copy->OwnedInner = std::move(InnerClone);
+    return Copy;
+  }
+
+  std::string cacheSalt() const override {
+    std::string Salt = "multisize:" + SizeName + "=";
+    for (int64_t N : Sizes)
+      Salt += std::to_string(N) + ",";
+    return Salt + Inner.cacheSalt();
+  }
+
 private:
   EvalBackend &Inner;
+  std::unique_ptr<EvalBackend> OwnedInner; ///< set on clones only
   std::string SizeName;
   std::vector<int64_t> Sizes;
 };
@@ -114,6 +154,13 @@ public:
   double evaluate(const LoopNest &Executable, const Env &Config) override;
   const MachineDesc &machine() const override { return Machine; }
 
+  /// Native costs are wall seconds, not simulated cycles; never share
+  /// cache entries with the simulator. (Not clonable: the kernel cache
+  /// and the timing methodology are single-threaded by design.)
+  std::string cacheSalt() const override {
+    return "native:r" + std::to_string(Repeats);
+  }
+
 private:
   MachineDesc Machine;
   int Repeats;
@@ -129,10 +176,16 @@ struct SearchOptions {
   int LinearRefineSteps = 2; ///< +-step attempts per parameter
 };
 
-/// One evaluated point.
+/// One evaluated point. The first two fields are the classic (config,
+/// cost) pair; the rest are filled when the point flows through an
+/// Evaluator (engine or direct) and describe how it was obtained.
 struct SearchPoint {
   std::string Config;
-  double Cost;
+  double Cost = 0;
+  std::string Stage;    ///< search stage that requested the point
+  bool CacheHit = false;///< served from the evaluator's memo table
+  double Millis = 0;    ///< backend wall time (0 for cache hits)
+  int Lane = 0;         ///< engine lane (thread slot) that evaluated it
 };
 
 /// The paper reports search cost as points visited and wall time (4.3).
@@ -149,6 +202,90 @@ struct VariantSearchResult {
   SearchTrace Trace;
 };
 
+/// Outcome of one evaluation through an Evaluator.
+struct EvalOutcome {
+  double Cost = std::numeric_limits<double>::infinity();
+  bool CacheHit = false;
+  double Millis = 0; ///< backend wall time (0 for cache hits)
+  int Lane = 0;      ///< lane that ran the backend (0 = caller thread)
+};
+
+/// Monotonic evaluator counters; callers diff snapshots to attribute
+/// work to a search phase (the Tuner's per-variant Points accounting).
+struct EvalStats {
+  size_t Evaluations = 0;   ///< real backend executions
+  size_t CacheHits = 0;     ///< evaluate() calls served from the memo
+  double BackendSeconds = 0;///< summed backend wall time (CPU seconds)
+};
+
+/// How the search evaluates candidate configurations. The search's
+/// decision loop stays strictly sequential; an Evaluator may additionally
+/// accept *warm* batches — independent candidates a search step is about
+/// to consider — and evaluate them concurrently so the subsequent
+/// sequential decisions hit its memo table. Because every decision is
+/// replayed in the original order against bit-identical costs, the chosen
+/// configuration cannot depend on the degree of parallelism.
+class Evaluator {
+public:
+  virtual ~Evaluator() = default;
+
+  virtual const MachineDesc &machine() const = 0;
+
+  /// Evaluates \p V at \p Config (instantiating as needed). The caller
+  /// has already checked bounds and feasibility. \p Stage names the
+  /// search phase for tracing.
+  virtual EvalOutcome evaluate(const DerivedVariant &V, const Env &Config,
+                               const std::string &Stage) = 0;
+
+  /// Hint that each (variant, config) in \p Points is likely to be
+  /// evaluated soon; implementations may evaluate them concurrently and
+  /// memoize. Correctness never depends on warming.
+  virtual void
+  warmMany(const std::vector<std::pair<const DerivedVariant *, Env>> &Points,
+           const std::string &Stage) {
+    (void)Points;
+    (void)Stage;
+  }
+
+  /// Convenience: warm several configs of a single variant.
+  void warm(const DerivedVariant &V, const std::vector<Env> &Configs,
+            const std::string &Stage) {
+    std::vector<std::pair<const DerivedVariant *, Env>> Points;
+    Points.reserve(Configs.size());
+    for (const Env &E : Configs)
+      Points.emplace_back(&V, E);
+    warmMany(Points, Stage);
+  }
+
+  virtual EvalStats stats() const = 0;
+};
+
+/// The sequential reference Evaluator: evaluates on the caller's thread
+/// directly against one EvalBackend, memoizing per (variant, config) so
+/// revisited points are free (the behavior the original search loop
+/// hand-implemented). warmMany() is a no-op.
+class DirectEvaluator : public Evaluator {
+public:
+  explicit DirectEvaluator(EvalBackend &Backend) : Backend(Backend) {}
+
+  const MachineDesc &machine() const override { return Backend.machine(); }
+  EvalOutcome evaluate(const DerivedVariant &V, const Env &Config,
+                       const std::string &Stage) override;
+  EvalStats stats() const override { return Stats; }
+
+private:
+  EvalBackend &Backend;
+  EvalStats Stats;
+  /// (variant identity, config string) -> cost.
+  std::map<std::pair<const void *, std::string>, double> CostMemo;
+  /// (variant identity, unroll/prefetch key) -> instantiated nest.
+  std::map<std::pair<const void *, std::string>, LoopNest> InstMemo;
+};
+
+/// The unroll/prefetch portion of \p Config that determines instantiation
+/// (tiles stay symbolic); evaluators key their instantiation memos on it.
+std::string instantiationKey(const DerivedVariant &V, const Env &Config);
+
 /// The model heuristic's initial configuration for \p Variant (stage
 /// initial values; prefetch off). Public so the Tuner can rank variants
 /// by their heuristic point before committing to full searches.
@@ -162,7 +299,15 @@ Env initialConfig(const DerivedVariant &Variant, const MachineDesc &Machine,
 /// stage"). Exposed for diagnostics and tests.
 std::vector<std::vector<SymbolId>> searchStages(const DerivedVariant &V);
 
-/// Runs the full Section 3.2 search for one variant.
+/// Runs the full Section 3.2 search for one variant through \p Eval.
+/// The decision sequence is identical for every Evaluator; a parallel
+/// engine only changes how fast the costs materialize.
+VariantSearchResult searchVariant(const DerivedVariant &Variant,
+                                  Evaluator &Eval,
+                                  const ParamBindings &Problem,
+                                  const SearchOptions &Opts = {});
+
+/// Convenience overload: sequential search directly on \p Backend.
 VariantSearchResult searchVariant(const DerivedVariant &Variant,
                                   EvalBackend &Backend,
                                   const ParamBindings &Problem,

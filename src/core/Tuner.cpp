@@ -7,9 +7,10 @@
 
 using namespace eco;
 
-TuneResult eco::tune(const LoopNest &Original, EvalBackend &Backend,
+TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
                      const ParamBindings &Problem, const TuneOptions &Opts) {
   Timer Total;
+  EvalStats StartStats = Eval.stats();
   TuneResult Result;
 
   // Use the actual problem size as the representative size for the
@@ -24,25 +25,35 @@ TuneResult eco::tune(const LoopNest &Original, EvalBackend &Backend,
                                           Value);
   }
 
-  Result.Variants = deriveVariants(Original, Backend.machine(), DOpts);
+  Result.Variants = deriveVariants(Original, Eval.machine(), DOpts);
 
   // Rank variants by their model-heuristic initial point (one evaluation
-  // each) — the models' second pruning role.
+  // each) — the models' second pruning role. The points are independent
+  // across variants, so warm them as one batch before the sequential
+  // ranking walk.
   struct Ranked {
     size_t Index;
     double Cost;
   };
   std::vector<Ranked> Ranking;
   Result.Summaries.resize(Result.Variants.size());
+
+  std::vector<Env> InitConfigs(Result.Variants.size());
+  std::vector<std::pair<const DerivedVariant *, Env>> RankBatch;
   for (size_t VI = 0; VI < Result.Variants.size(); ++VI) {
     const DerivedVariant &V = Result.Variants[VI];
-    Env Init = initialConfig(V, Backend.machine(), Problem);
+    InitConfigs[VI] = initialConfig(V, Eval.machine(), Problem);
+    if (V.feasible(InitConfigs[VI]))
+      RankBatch.emplace_back(&V, InitConfigs[VI]);
+  }
+  if (RankBatch.size() > 1)
+    Eval.warmMany(RankBatch, "rank");
+
+  for (size_t VI = 0; VI < Result.Variants.size(); ++VI) {
+    const DerivedVariant &V = Result.Variants[VI];
     double Cost = std::numeric_limits<double>::infinity();
-    if (V.feasible(Init)) {
-      LoopNest Inst = V.instantiate(Init, Backend.machine());
-      Cost = Backend.evaluate(Inst, Init);
-    }
-    ++Result.TotalPoints;
+    if (V.feasible(InitConfigs[VI]))
+      Cost = Eval.evaluate(V, InitConfigs[VI], "rank").Cost;
     Ranking.push_back({VI, Cost});
     Result.Summaries[VI].Name = V.Spec.Name;
     Result.Summaries[VI].HeuristicCost = Cost;
@@ -52,22 +63,35 @@ TuneResult eco::tune(const LoopNest &Original, EvalBackend &Backend,
                      return A.Cost < B.Cost;
                    });
 
-  // Full search on the top candidates.
+  // Full search on the top candidates. Per-variant Points/CacheHits come
+  // from the evaluator's stats deltas (not a hand-maintained count in
+  // the search loop), so they stay correct under parallel evaluation.
   Result.BestCost = std::numeric_limits<double>::infinity();
   size_t ToSearch =
       std::min<size_t>(Opts.MaxVariantsToSearch, Ranking.size());
   for (size_t R = 0; R < ToSearch; ++R) {
     size_t VI = Ranking[R].Index;
     const DerivedVariant &V = Result.Variants[VI];
-    VariantSearchResult SR = searchVariant(V, Backend, Problem, Opts.Search);
-
     VariantSummary &Sum = Result.Summaries[VI];
+
+    VariantSearchResult SR;
+    bool Restored =
+        Opts.TryRestoreVariant && Opts.TryRestoreVariant(V, SR, Sum);
+    if (!Restored) {
+      EvalStats Before = Eval.stats();
+      Timer SearchTime;
+      SR = searchVariant(V, Eval, Problem, Opts.Search);
+      EvalStats After = Eval.stats();
+      Sum.Points = After.Evaluations - Before.Evaluations;
+      Sum.CacheHits = After.CacheHits - Before.CacheHits;
+      Sum.Seconds = SearchTime.seconds();
+    }
     Sum.Searched = true;
+    Sum.Restored = Restored;
     Sum.BestCost = SR.BestCost;
     Sum.BestConfig = V.configString(SR.BestConfig);
-    Sum.Points = SR.Trace.numEvaluations();
-    Sum.Seconds = SR.Trace.Seconds;
-    Result.TotalPoints += Sum.Points;
+    if (!Restored && Opts.OnVariantSearched)
+      Opts.OnVariantSearched(V, SR, Sum);
 
     if (SR.BestCost < Result.BestCost) {
       Result.BestCost = SR.BestCost;
@@ -78,7 +102,22 @@ TuneResult eco::tune(const LoopNest &Original, EvalBackend &Backend,
 
   if (Result.BestVariant >= 0)
     Result.BestExecutable = Result.Variants[Result.BestVariant].instantiate(
-        Result.BestConfig, Backend.machine());
+        Result.BestConfig, Eval.machine());
+
+  // Restored variants carry their recorded Points forward; everything
+  // else is the evaluator's own ledger for this tune.
+  EvalStats EndStats = Eval.stats();
+  Result.TotalPoints = EndStats.Evaluations - StartStats.Evaluations;
+  Result.TotalCacheHits = EndStats.CacheHits - StartStats.CacheHits;
+  for (const VariantSummary &Sum : Result.Summaries)
+    if (Sum.Restored)
+      Result.TotalPoints += Sum.Points;
   Result.TotalSeconds = Total.seconds();
   return Result;
+}
+
+TuneResult eco::tune(const LoopNest &Original, EvalBackend &Backend,
+                     const ParamBindings &Problem, const TuneOptions &Opts) {
+  DirectEvaluator Eval(Backend);
+  return tune(Original, Eval, Problem, Opts);
 }

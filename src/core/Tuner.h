@@ -30,7 +30,22 @@
 #include "core/DeriveVariants.h"
 #include "core/Search.h"
 
+#include <functional>
+
 namespace eco {
+
+/// Per-variant reporting.
+struct VariantSummary {
+  std::string Name;
+  double HeuristicCost = 0; ///< cost at the model's initial configuration
+  bool Searched = false;
+  bool Restored = false;    ///< result came from a checkpoint, not a search
+  double BestCost = 0;
+  std::string BestConfig;
+  size_t Points = 0;        ///< backend evaluations (from evaluator stats)
+  size_t CacheHits = 0;     ///< memo hits during this variant's search
+  double Seconds = 0;       ///< wall-clock of this variant's search
+};
 
 /// Knobs for the full pipeline.
 struct TuneOptions {
@@ -39,17 +54,19 @@ struct TuneOptions {
   /// Model pruning: how many variants (ranked by their heuristic initial
   /// point) receive a full empirical search.
   unsigned MaxVariantsToSearch = 4;
-};
 
-/// Per-variant reporting.
-struct VariantSummary {
-  std::string Name;
-  double HeuristicCost = 0; ///< cost at the model's initial configuration
-  bool Searched = false;
-  double BestCost = 0;
-  std::string BestConfig;
-  size_t Points = 0;
-  double Seconds = 0;
+  /// Checkpoint hooks (installed by engine::TuneCheckpoint; both empty by
+  /// default). TryRestoreVariant returns true when it can supply the
+  /// variant's search result from a previous run, filling \p Result and
+  /// the accounting fields of \p Summary; the tune then skips that
+  /// search. OnVariantSearched fires after each completed search so the
+  /// state survives a kill between variants.
+  std::function<bool(const DerivedVariant &, VariantSearchResult &,
+                     VariantSummary &)>
+      TryRestoreVariant;
+  std::function<void(const DerivedVariant &, const VariantSearchResult &,
+                     const VariantSummary &)>
+      OnVariantSearched;
 };
 
 /// Outcome of a full tuning run.
@@ -61,7 +78,8 @@ struct TuneResult {
   LoopNest BestExecutable; ///< instantiated winner (tiles still symbolic)
 
   std::vector<VariantSummary> Summaries;
-  size_t TotalPoints = 0; ///< evaluations across all searches (Section 4.3)
+  size_t TotalPoints = 0;    ///< backend evaluations (Section 4.3)
+  size_t TotalCacheHits = 0; ///< evaluator memo hits across the tune
   double TotalSeconds = 0;
 
   const DerivedVariant &best() const {
@@ -70,8 +88,15 @@ struct TuneResult {
   }
 };
 
-/// Runs the complete two-phase optimization of \p Original for the
-/// backend's machine at the given problem size(s).
+/// Runs the complete two-phase optimization of \p Original through
+/// \p Eval (a DirectEvaluator, or the engine's parallel EvalEngine) at
+/// the given problem size(s). Point/time accounting in the result comes
+/// from the evaluator's stats, so it stays correct when evaluations run
+/// concurrently or are served from a persistent cache.
+TuneResult tune(const LoopNest &Original, Evaluator &Eval,
+                const ParamBindings &Problem, const TuneOptions &Opts = {});
+
+/// Convenience overload: sequential tuning directly on \p Backend.
 TuneResult tune(const LoopNest &Original, EvalBackend &Backend,
                 const ParamBindings &Problem, const TuneOptions &Opts = {});
 

@@ -1,0 +1,123 @@
+//===- engine/Checkpoint.cpp - Tune checkpoint / resume -------------------===//
+
+#include "engine/Checkpoint.h"
+#include "support/Json.h"
+#include "support/NestHash.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace eco;
+
+/// Order-insensitive hash of the problem bindings.
+static uint64_t hashProblem(const ParamBindings &Problem) {
+  uint64_t Sum = 0;
+  for (const auto &[Name, Value] : Problem) {
+    uint64_t Pair = hashString(Name);
+    Pair = hashCombine(Pair, static_cast<uint64_t>(Value));
+    Sum += Pair;
+  }
+  return hashCombine(Fnv1aOffset, Sum);
+}
+
+TuneCheckpoint::TuneCheckpoint(std::string CkptPath,
+                               const LoopNest &Original,
+                               const MachineDesc &Machine,
+                               const ParamBindings &Problem, bool Resume)
+    : Path(std::move(CkptPath)), NestHash(hashNest(Original)),
+      MachineHash(Machine.fingerprint()), ProblemHash(hashProblem(Problem)) {
+  if (!Resume) {
+    std::remove(Path.c_str());
+    return;
+  }
+  Json Root = Json::loadFile(Path);
+  if (!Root.isObject())
+    return;
+  // An incompatible checkpoint (different kernel, machine, or problem)
+  // silently starts fresh — resuming it would replay wrong results.
+  if (Root.get("nest").asString() != hashHex(NestHash) ||
+      Root.get("machine").asString() != hashHex(MachineHash) ||
+      Root.get("problem").asString() != hashHex(ProblemHash))
+    return;
+  const Json &Variants = Root.get("variants");
+  if (!Variants.isObject())
+    return;
+  for (const auto &[Name, E] : Variants.fields()) {
+    Entry Loading;
+    const Json &Config = E.get("config");
+    for (const auto &[Sym, Value] : Config.fields())
+      Loading.Config.emplace_back(Sym, Value.asInt());
+    Loading.BestCost = E.get("cost").asNumber();
+    Loading.Points = static_cast<size_t>(E.get("points").asInt());
+    Loading.CacheHits = static_cast<size_t>(E.get("cacheHits").asInt());
+    Loading.Seconds = E.get("seconds").asNumber();
+    Entries[Name] = std::move(Loading);
+    ++Loaded;
+  }
+}
+
+bool TuneCheckpoint::tryRestore(const DerivedVariant &V,
+                                VariantSearchResult &Result,
+                                VariantSummary &Summary) {
+  auto It = Entries.find(V.Spec.Name);
+  if (It == Entries.end())
+    return false;
+  const Entry &E = It->second;
+  Result.BestConfig = makeEnv(V.Skeleton, E.Config);
+  Result.BestCost = E.BestCost;
+  Result.Trace.Seconds = E.Seconds;
+  Summary.Points = E.Points;
+  Summary.CacheHits = E.CacheHits;
+  Summary.Seconds = E.Seconds;
+  ++Restored;
+  return true;
+}
+
+void TuneCheckpoint::record(const DerivedVariant &V,
+                            const VariantSearchResult &Result,
+                            const VariantSummary &Summary) {
+  Entry E;
+  E.Config = envToBindings(V.Skeleton, Result.BestConfig);
+  E.BestCost = Result.BestCost;
+  E.Points = Summary.Points;
+  E.CacheHits = Summary.CacheHits;
+  E.Seconds = Summary.Seconds;
+  Entries[V.Spec.Name] = std::move(E);
+  save();
+}
+
+void TuneCheckpoint::save() const {
+  Json Variants = Json::object();
+  for (const auto &[Name, E] : Entries) {
+    Json Config = Json::object();
+    for (const auto &[Sym, Value] : E.Config)
+      Config.set(Sym, Value);
+    Json Entry = Json::object();
+    Entry.set("config", std::move(Config));
+    Entry.set("cost", E.BestCost);
+    Entry.set("points", E.Points);
+    Entry.set("cacheHits", E.CacheHits);
+    Entry.set("seconds", E.Seconds);
+    Variants.set(Name, std::move(Entry));
+  }
+  Json Root = Json::object();
+  Root.set("version", 1);
+  Root.set("nest", hashHex(NestHash));
+  Root.set("machine", hashHex(MachineHash));
+  Root.set("problem", hashHex(ProblemHash));
+  Root.set("variants", std::move(Variants));
+  Root.saveFile(Path);
+}
+
+void TuneCheckpoint::installHooks(TuneOptions &Opts) {
+  Opts.TryRestoreVariant = [this](const DerivedVariant &V,
+                                  VariantSearchResult &Result,
+                                  VariantSummary &Summary) {
+    return tryRestore(V, Result, Summary);
+  };
+  Opts.OnVariantSearched = [this](const DerivedVariant &V,
+                                  const VariantSearchResult &Result,
+                                  const VariantSummary &Summary) {
+    record(V, Result, Summary);
+  };
+}

@@ -1,0 +1,91 @@
+//===- engine/Checkpoint.h - Tune checkpoint / resume ----------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Periodic serialization of tuning state so a killed tune resumes where
+/// it left off. A checkpoint file records the tune's identity (kernel
+/// nest hash, machine fingerprint, problem bindings) plus one entry per
+/// completed variant search: the winning configuration as portable
+/// (name, value) pairs, its cost, and the search's Points/Seconds
+/// accounting. TuneCheckpoint installs itself into TuneOptions through
+/// the core hooks:
+///
+///  * TryRestoreVariant — a variant already in the file skips its search
+///    and replays the recorded result;
+///  * OnVariantSearched — each finished search is appended and the file
+///    rewritten, so at most one variant's work is lost to a kill.
+///
+/// Mid-variant granularity comes from the engine's EvalCache JSON
+/// persistence: the repeated search fast-forwards through every point it
+/// had already evaluated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_ENGINE_CHECKPOINT_H
+#define ECO_ENGINE_CHECKPOINT_H
+
+#include "core/Tuner.h"
+#include "exec/Run.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace eco {
+
+/// Loads, consults, and rewrites one tune's checkpoint file.
+class TuneCheckpoint {
+public:
+  /// Identifies the tune: \p Original is the untransformed kernel,
+  /// \p Machine the target, \p Problem the size bindings. When
+  /// \p Resume is true an existing compatible file is loaded; an
+  /// incompatible file (different kernel/machine/problem) is ignored
+  /// with a fresh start. When false any existing file is discarded.
+  TuneCheckpoint(std::string Path, const LoopNest &Original,
+                 const MachineDesc &Machine, const ParamBindings &Problem,
+                 bool Resume);
+
+  /// Wires TryRestoreVariant/OnVariantSearched into \p Opts.
+  /// The checkpoint must outlive the tune call.
+  void installHooks(TuneOptions &Opts);
+
+  /// Number of variant entries loaded from disk (0 when starting fresh).
+  size_t numLoaded() const { return Loaded; }
+  /// Number of restore hits served to the current tune.
+  size_t numRestored() const { return Restored; }
+
+  /// True if \p V has a recorded entry; fills \p Result and the
+  /// accounting fields of \p Summary when it does.
+  bool tryRestore(const DerivedVariant &V, VariantSearchResult &Result,
+                  VariantSummary &Summary);
+
+  /// Records \p V's completed search and rewrites the file.
+  void record(const DerivedVariant &V, const VariantSearchResult &Result,
+              const VariantSummary &Summary);
+
+private:
+  void save() const;
+
+  struct Entry {
+    ParamBindings Config;
+    double BestCost = 0;
+    size_t Points = 0;
+    size_t CacheHits = 0;
+    double Seconds = 0;
+  };
+
+  std::string Path;
+  uint64_t NestHash = 0;
+  uint64_t MachineHash = 0;
+  uint64_t ProblemHash = 0;
+  std::map<std::string, Entry> Entries; ///< by variant name
+  size_t Loaded = 0;
+  size_t Restored = 0;
+};
+
+} // namespace eco
+
+#endif // ECO_ENGINE_CHECKPOINT_H

@@ -1,0 +1,154 @@
+//===- engine/Engine.cpp - Parallel evaluation engine ---------------------===//
+
+#include "engine/Engine.h"
+#include "support/NestHash.h"
+#include "support/Timer.h"
+
+#include <set>
+
+using namespace eco;
+
+EvalEngine::EvalEngine(EvalBackend &Backend, EngineOptions EOpts)
+    : Base(Backend), Opts(std::move(EOpts)) {
+  MachineHash = Base.machine().fingerprint();
+  MachineHash = hashString(Base.cacheSalt(), MachineHash);
+
+  int Jobs = std::max(Opts.Jobs, 1);
+  LaneBackends.resize(1); // lane 0 runs on Base
+  for (int Lane = 1; Lane < Jobs; ++Lane) {
+    std::unique_ptr<EvalBackend> Clone = Base.clone();
+    if (!Clone) {
+      // Backend cannot be parallelized; degrade to sequential rather
+      // than share one instance across threads.
+      LaneBackends.resize(1);
+      Jobs = 1;
+      break;
+    }
+    LaneBackends.push_back(std::move(Clone));
+  }
+  Pool = std::make_unique<ThreadPool>(Jobs);
+
+  if (!Opts.CacheFile.empty())
+    Cache.load(Opts.CacheFile);
+  if (!Opts.TraceFile.empty())
+    Trace.openFile(Opts.TraceFile);
+}
+
+EvalEngine::~EvalEngine() { flush(); }
+
+void EvalEngine::flush() {
+  if (!Opts.CacheFile.empty())
+    Cache.save(Opts.CacheFile);
+  Trace.flush();
+}
+
+const EvalEngine::Instantiation &
+EvalEngine::instantiated(const DerivedVariant &V, const Env &Config) {
+  std::pair<const void *, std::string> Key{&V, instantiationKey(V, Config)};
+  {
+    std::lock_guard<std::mutex> Lock(InstMutex);
+    auto It = InstMemo.find(Key);
+    if (It != InstMemo.end())
+      return It->second;
+  }
+  // Build outside the lock: instantiation walks the whole nest, and
+  // warm batches instantiate distinct unroll/prefetch shapes in
+  // parallel. Losing the emplace race just discards a duplicate.
+  Instantiation Fresh;
+  Fresh.Nest = V.instantiate(Config, Base.machine());
+  Fresh.NestHash = hashNest(Fresh.Nest);
+  std::lock_guard<std::mutex> Lock(InstMutex);
+  auto [It, Inserted] = InstMemo.emplace(std::move(Key), std::move(Fresh));
+  (void)Inserted;
+  return It->second;
+}
+
+EvalKey EvalEngine::keyFor(const DerivedVariant &V,
+                           const Instantiation &Inst,
+                           const Env &Config) const {
+  EvalKey Key;
+  Key.NestHash = Inst.NestHash;
+  Key.MachineHash = MachineHash;
+  Key.EnvHash = hashEnv(Config, V.Skeleton.Syms);
+  return Key;
+}
+
+EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
+                                const std::string &Stage, int Lane,
+                                bool Warm) {
+  const Instantiation &Inst = instantiated(V, Config);
+  EvalKey Key = keyFor(V, Inst, Config);
+
+  EvalOutcome O;
+  if (std::optional<double> Hit = Cache.lookup(Key)) {
+    if (Warm)
+      return O; // speculative work already done — nothing to record
+    O.Cost = *Hit;
+    O.CacheHit = true;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.CacheHits;
+    }
+    Trace.append({0, V.Spec.Name, Stage, V.configString(Config), O.Cost,
+                  /*CacheHit=*/true, Warm, 0, Lane});
+    return O;
+  }
+
+  EvalBackend &Backend =
+      Lane == 0 ? Base : *LaneBackends[static_cast<size_t>(Lane)];
+  Timer T;
+  O.Cost = Backend.evaluate(Inst.Nest, Config);
+  O.Millis = T.millis();
+  O.Lane = Lane;
+  Cache.insert(Key, O.Cost);
+
+  bool SaveNow = false;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Evaluations;
+    Stats.BackendSeconds += O.Millis / 1e3;
+    if (!Opts.CacheFile.empty() && Opts.CacheSaveInterval > 0 &&
+        ++InsertsSinceSave >= Opts.CacheSaveInterval) {
+      InsertsSinceSave = 0;
+      SaveNow = true;
+    }
+  }
+  if (SaveNow)
+    Cache.save(Opts.CacheFile); // periodic durability for kill/resume
+  Trace.append({0, V.Spec.Name, Stage, V.configString(Config), O.Cost,
+                /*CacheHit=*/false, Warm, O.Millis, Lane});
+  return O;
+}
+
+EvalOutcome EvalEngine::evaluate(const DerivedVariant &V, const Env &Config,
+                                 const std::string &Stage) {
+  return evalOne(V, Config, Stage, /*Lane=*/0, /*Warm=*/false);
+}
+
+void EvalEngine::warmMany(
+    const std::vector<std::pair<const DerivedVariant *, Env>> &Points,
+    const std::string &Stage) {
+  if (Pool->jobs() <= 1 || Points.size() < 2)
+    return; // sequential: the decision loop will evaluate on demand
+
+  // Drop duplicates within the batch so two lanes never race to run the
+  // same point (results would agree, but the work would be wasted).
+  std::set<std::string> Seen;
+  std::vector<std::function<void(int)>> Tasks;
+  Tasks.reserve(Points.size());
+  for (const auto &[V, Config] : Points) {
+    if (!Seen.insert(V->Spec.Name + "|" + V->configString(Config)).second)
+      continue;
+    const DerivedVariant *Variant = V;
+    const Env &Bound = Config;
+    Tasks.push_back([this, Variant, Bound, Stage](int Lane) {
+      evalOne(*Variant, Bound, Stage, Lane, /*Warm=*/true);
+    });
+  }
+  Pool->runBatch(Tasks);
+}
+
+EvalStats EvalEngine::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stats;
+}

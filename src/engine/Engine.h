@@ -1,0 +1,136 @@
+//===- engine/Engine.h - Parallel evaluation engine ------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EvalEngine is the Evaluator the production search runs through. It
+/// combines
+///
+///  * a ThreadPool of per-lane EvalBackend clones — warm batches (the
+///    independent candidates each search step generates) evaluate
+///    concurrently, one simulator instance per lane;
+///  * an EvalCache memoizing every completed evaluation under a stable
+///    (nest, machine, config) key, optionally persisted to JSON so
+///    repeated points are free within a tune and across re-runs;
+///  * a TraceLog recording every point (stage, config, cost, cache-hit,
+///    wall time, lane) as JSONL.
+///
+/// Determinism: the search's accept/reject decisions happen on the
+/// calling thread in the original sequential order; parallelism only
+/// pre-computes costs into the cache. Backend clones are required to be
+/// bit-deterministic (the simulator is a pure function), so the chosen
+/// best configuration is identical to a sequential run — demonstrated by
+/// tests/test_engine.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_ENGINE_ENGINE_H
+#define ECO_ENGINE_ENGINE_H
+
+#include "core/Search.h"
+#include "engine/EvalCache.h"
+#include "engine/ThreadPool.h"
+#include "engine/TraceLog.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// Engine construction knobs (the eco_cli flags map onto these).
+struct EngineOptions {
+  /// Total parallelism; 1 = sequential (still memoizing + tracing).
+  int Jobs = 1;
+  /// When set, the cache loads from this JSON file at construction and
+  /// saves to it on flush()/destruction and periodically while running.
+  std::string CacheFile;
+  /// When set, every evaluation streams to this JSONL file.
+  std::string TraceFile;
+  /// Inserts between periodic cache saves when CacheFile is set; 0
+  /// disables periodic saving (flush/destructor still save). The
+  /// default is small because a guided tune evaluates only tens of
+  /// points — a rarely-reached interval means a killed tune saves
+  /// nothing and resume re-evaluates from scratch.
+  size_t CacheSaveInterval = 16;
+};
+
+/// The parallel, memoizing, tracing Evaluator.
+class EvalEngine : public Evaluator {
+public:
+  /// \p Backend must outlive the engine. With Jobs > 1 the backend
+  /// should be clonable; when clone() returns nullptr the engine
+  /// degrades to sequential evaluation (jobs() reports 1).
+  explicit EvalEngine(EvalBackend &Backend, EngineOptions Opts = {});
+  ~EvalEngine() override;
+
+  const MachineDesc &machine() const override { return Base.machine(); }
+
+  EvalOutcome evaluate(const DerivedVariant &V, const Env &Config,
+                       const std::string &Stage) override;
+
+  void
+  warmMany(const std::vector<std::pair<const DerivedVariant *, Env>> &Points,
+           const std::string &Stage) override;
+
+  EvalStats stats() const override;
+
+  /// Effective parallelism after backend-clonability degradation.
+  int jobs() const { return Pool->jobs(); }
+
+  EvalCache &cache() { return Cache; }
+  const TraceLog &trace() const { return Trace; }
+  TraceLog &trace() { return Trace; }
+
+  /// Saves the cache file (when configured) and flushes the trace
+  /// stream. Called from the destructor; call earlier for durability.
+  void flush();
+
+private:
+  struct Instantiation {
+    LoopNest Nest;
+    uint64_t NestHash = 0;
+  };
+
+  /// Returns (building if needed) the instantiation of \p V under
+  /// \p Config's unroll/prefetch values. Thread-safe; the returned
+  /// reference stays valid for the engine's lifetime.
+  const Instantiation &instantiated(const DerivedVariant &V,
+                                    const Env &Config);
+
+  EvalKey keyFor(const DerivedVariant &V, const Instantiation &Inst,
+                 const Env &Config) const;
+
+  /// Cache-or-evaluate one point on \p Lane; returns the outcome and
+  /// appends a trace record. \p Warm marks speculative batch work.
+  EvalOutcome evalOne(const DerivedVariant &V, const Env &Config,
+                      const std::string &Stage, int Lane, bool Warm);
+
+  EvalBackend &Base;
+  EngineOptions Opts;
+  std::unique_ptr<ThreadPool> Pool;
+  /// Lane -> backend. Lane 0 is the caller's thread and uses Base;
+  /// lanes >= 1 own clones.
+  std::vector<std::unique_ptr<EvalBackend>> LaneBackends;
+
+  EvalCache Cache;
+  TraceLog Trace;
+  uint64_t MachineHash = 0;
+
+  mutable std::mutex InstMutex;
+  /// (variant identity, instantiationKey) -> instantiated nest. node-
+  /// based so references stay stable while the map grows.
+  std::map<std::pair<const void *, std::string>, Instantiation> InstMemo;
+
+  mutable std::mutex StatsMutex;
+  EvalStats Stats;
+  size_t InsertsSinceSave = 0;
+};
+
+} // namespace eco
+
+#endif // ECO_ENGINE_ENGINE_H

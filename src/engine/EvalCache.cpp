@@ -1,0 +1,90 @@
+//===- engine/EvalCache.cpp - Memoizing evaluation store ------------------===//
+
+#include "engine/EvalCache.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+
+using namespace eco;
+
+std::string EvalKey::str() const {
+  return hashHex(NestHash) + "-" + hashHex(MachineHash) + "-" +
+         hashHex(EnvHash);
+}
+
+uint64_t EvalKey::combined() const {
+  uint64_t H = hashCombine(Fnv1aOffset, NestHash);
+  H = hashCombine(H, MachineHash);
+  return hashCombine(H, EnvHash);
+}
+
+EvalCache::Shard &EvalCache::shardFor(const std::string &KeyText) {
+  return Shards[hashString(KeyText) % NumShards];
+}
+
+const EvalCache::Shard &EvalCache::shardFor(const std::string &KeyText) const {
+  return Shards[hashString(KeyText) % NumShards];
+}
+
+std::optional<double> EvalCache::lookup(const EvalKey &Key) {
+  std::string Text = Key.str();
+  Shard &S = shardFor(Text);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Text);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void EvalCache::insert(const EvalKey &Key, double Cost) {
+  std::string Text = Key.str();
+  Shard &S = shardFor(Text);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Map[Text] = Cost;
+}
+
+size_t EvalCache::size() const {
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Map.size();
+  }
+  return Total;
+}
+
+void EvalCache::resetCounters() {
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+}
+
+size_t EvalCache::load(const std::string &Path) {
+  Json Root = Json::loadFile(Path);
+  const Json &Entries = Root.get("entries");
+  if (!Entries.isObject())
+    return 0;
+  size_t Loaded = 0;
+  for (const auto &[KeyText, Cost] : Entries.fields()) {
+    if (!Cost.isNumber())
+      continue;
+    Shard &S = shardFor(KeyText);
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map[KeyText] = Cost.asNumber();
+    ++Loaded;
+  }
+  return Loaded;
+}
+
+bool EvalCache::save(const std::string &Path) const {
+  Json Entries = Json::object();
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const auto &[KeyText, Cost] : S.Map)
+      Entries.set(KeyText, Cost);
+  }
+  Json Root = Json::object();
+  Root.set("version", 1);
+  Root.set("entries", std::move(Entries));
+  return Root.saveFile(Path);
+}

@@ -1,0 +1,82 @@
+//===- engine/ThreadPool.cpp - Fixed-size worker pool ---------------------===//
+
+#include "engine/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdint>
+
+using namespace eco;
+
+ThreadPool::ThreadPool(int Jobs) : NumJobs(std::max(Jobs, 1)) {
+  Workers.reserve(static_cast<size_t>(NumJobs) - 1);
+  // Lane 0 is reserved for the submitting thread.
+  for (int W = 1; W < NumJobs; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+size_t ThreadPool::drainQueue(int Lane) {
+  size_t Ran = 0;
+  std::unique_lock<std::mutex> Lock(M);
+  while (Batch && NextTask < Batch->size()) {
+    size_t Task = NextTask++;
+    const auto &Fn = (*Batch)[Task];
+    Lock.unlock();
+    Fn(Lane);
+    ++Ran;
+    Lock.lock();
+    if (--Pending == 0) {
+      Batch = nullptr;
+      BatchDone.notify_all();
+    }
+  }
+  return Ran;
+}
+
+void ThreadPool::workerLoop(int Lane) {
+  while (true) {
+    uint64_t SeenSeq;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkReady.wait(Lock, [this] {
+        return Stopping || (Batch && NextTask < Batch->size());
+      });
+      if (Stopping)
+        return;
+      SeenSeq = BatchSeq;
+    }
+    drainQueue(Lane);
+    (void)SeenSeq;
+  }
+}
+
+void ThreadPool::runBatch(
+    const std::vector<std::function<void(int)>> &Tasks) {
+  if (Tasks.empty())
+    return;
+  if (NumJobs == 1) {
+    for (const auto &Fn : Tasks)
+      Fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Batch = &Tasks;
+    NextTask = 0;
+    Pending = Tasks.size();
+    ++BatchSeq;
+  }
+  WorkReady.notify_all();
+  drainQueue(/*Lane=*/0);
+  std::unique_lock<std::mutex> Lock(M);
+  BatchDone.wait(Lock, [this] { return Pending == 0; });
+}

@@ -1,0 +1,57 @@
+//===- engine/TraceLog.cpp - Structured search tracing --------------------===//
+
+#include "engine/TraceLog.h"
+#include "support/Json.h"
+
+using namespace eco;
+
+TraceLog::~TraceLog() {
+  if (Out)
+    std::fclose(Out);
+}
+
+bool TraceLog::openFile(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Out)
+    std::fclose(Out);
+  Out = std::fopen(Path.c_str(), "w");
+  return Out != nullptr;
+}
+
+std::string eco::traceRecordJson(const TraceRecord &R) {
+  Json J = Json::object();
+  J.set("seq", R.Seq);
+  J.set("variant", R.Variant);
+  J.set("stage", R.Stage);
+  J.set("config", R.Config);
+  J.set("cost", R.Cost);
+  J.set("cacheHit", R.CacheHit);
+  J.set("warm", R.Warm);
+  J.set("ms", R.Millis);
+  J.set("lane", R.Lane);
+  return J.dump();
+}
+
+void TraceLog::append(TraceRecord R) {
+  std::lock_guard<std::mutex> Lock(M);
+  R.Seq = NextSeq++;
+  if (Out)
+    std::fprintf(Out, "%s\n", traceRecordJson(R).c_str());
+  Records.push_back(std::move(R));
+}
+
+std::vector<TraceRecord> TraceLog::records() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Records;
+}
+
+size_t TraceLog::numRecords() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Records.size();
+}
+
+void TraceLog::flush() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Out)
+    std::fflush(Out);
+}

@@ -1,0 +1,78 @@
+//===- engine/TraceLog.h - Structured search tracing -----------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's structured per-point search log. Every evaluation —
+/// whether issued synchronously by the search's decision loop or
+/// speculatively by a warm batch — appends one record with the variant,
+/// search stage, configuration, cost, cache-hit flag, wall time, and the
+/// lane (thread slot) that ran it. Records stream to a JSONL file when a
+/// path is configured, and the per-variant aggregates feed the Tuner's
+/// Points/Seconds accounting so the numbers stay correct under parallel
+/// evaluation (previously they were hand-maintained in the search loop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_ENGINE_TRACELOG_H
+#define ECO_ENGINE_TRACELOG_H
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// One evaluated (or cache-served) point.
+struct TraceRecord {
+  uint64_t Seq = 0;        ///< global order of completion
+  std::string Variant;     ///< variant name ("v1", "rank", ...)
+  std::string Stage;       ///< search stage ("register", "tile0", ...)
+  std::string Config;      ///< configString of the point
+  double Cost = 0;
+  bool CacheHit = false;
+  bool Warm = false;       ///< issued speculatively by a warm batch
+  double Millis = 0;       ///< wall time of this evaluation
+  int Lane = 0;            ///< pool lane (0 = the search thread)
+};
+
+/// Thread-safe collector of TraceRecords with optional JSONL streaming.
+class TraceLog {
+public:
+  TraceLog() = default;
+  ~TraceLog();
+
+  TraceLog(const TraceLog &) = delete;
+  TraceLog &operator=(const TraceLog &) = delete;
+
+  /// Starts streaming records to \p Path (JSON Lines, one record each).
+  /// Returns false if the file cannot be opened.
+  bool openFile(const std::string &Path);
+
+  /// Appends one record (assigns its Seq). Thread-safe.
+  void append(TraceRecord R);
+
+  /// Copy of everything recorded so far.
+  std::vector<TraceRecord> records() const;
+  size_t numRecords() const;
+
+  /// Flushes the JSONL stream (records are written as they arrive).
+  void flush();
+
+private:
+  mutable std::mutex M;
+  std::vector<TraceRecord> Records;
+  uint64_t NextSeq = 0;
+  std::FILE *Out = nullptr;
+};
+
+/// Renders \p R as a single JSONL line (no trailing newline).
+std::string traceRecordJson(const TraceRecord &R);
+
+} // namespace eco
+
+#endif // ECO_ENGINE_TRACELOG_H

@@ -16,6 +16,19 @@ Env eco::makeEnv(const LoopNest &Nest, const ParamBindings &Bindings) {
   return E;
 }
 
+ParamBindings eco::envToBindings(const LoopNest &Nest, const Env &Config) {
+  ParamBindings Bindings;
+  for (SymbolId Id = 0;
+       Id < static_cast<SymbolId>(Nest.Syms.size()); ++Id) {
+    if (Nest.Syms.kind(Id) == SymbolKind::LoopVar)
+      continue;
+    int64_t Value =
+        static_cast<size_t>(Id) < Config.size() ? Config.get(Id) : 0;
+    Bindings.emplace_back(Nest.Syms.name(Id), Value);
+  }
+  return Bindings;
+}
+
 RunResult eco::simulateNest(const LoopNest &Nest,
                             const ParamBindings &Bindings,
                             const MachineDesc &Machine, ExecOptions Opts) {

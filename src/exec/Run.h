@@ -37,6 +37,14 @@ struct RunResult {
 /// exists); loop variables stay unbound.
 Env makeEnv(const LoopNest &Nest, const ParamBindings &Bindings);
 
+/// The inverse of makeEnv: exports every bound Param/ProblemSize symbol
+/// of \p Nest as (name, value) pairs, in symbol-table order. Loop
+/// variables are skipped — their transient values are not part of a
+/// configuration. This is the portable form the engine's checkpoints
+/// persist, so a resumed run can rebind a config against a freshly
+/// rebuilt nest whose symbol ids may differ.
+ParamBindings envToBindings(const LoopNest &Nest, const Env &Config);
+
 /// Runs \p Nest once on a fresh simulator for \p Machine.
 RunResult simulateNest(const LoopNest &Nest, const ParamBindings &Bindings,
                        const MachineDesc &Machine, ExecOptions Opts = {});

@@ -1,9 +1,11 @@
 //===- machine/MachineDesc.cpp - Target machine descriptions -------------===//
 
 #include "machine/MachineDesc.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace eco;
 
@@ -89,4 +91,33 @@ std::string MachineDesc::summary() const {
                    Name.c_str(), ClockMHz, FpRegisters,
                    join(CacheParts, ", ").c_str(), Tlb.Entries,
                    static_cast<unsigned long long>(Tlb.PageBytes / 1024));
+}
+
+uint64_t MachineDesc::fingerprint() const {
+  uint64_t H = hashString(Name);
+  auto mixDouble = [&H](double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    H = hashCombine(H, Bits);
+  };
+  mixDouble(ClockMHz);
+  H = hashCombine(H, FpRegisters);
+  mixDouble(FlopsPerCycle);
+  mixDouble(MemOpsPerCycle);
+  mixDouble(LoopOverheadCycles);
+  for (const CacheLevelDesc &Level : Caches) {
+    H = hashString(Level.Name, H);
+    H = hashCombine(H, Level.CapacityBytes);
+    H = hashCombine(H, Level.Assoc);
+    H = hashCombine(H, Level.LineBytes);
+    H = hashCombine(H, Level.HitLatency);
+  }
+  H = hashCombine(H, Tlb.Entries);
+  H = hashCombine(H, Tlb.Assoc);
+  H = hashCombine(H, Tlb.PageBytes);
+  H = hashCombine(H, Tlb.MissPenalty);
+  H = hashCombine(H, MemLatency);
+  H = hashCombine(H, PrefetchFillLevel);
+  return H;
 }

@@ -106,6 +106,11 @@ struct MachineDesc {
 
   /// Renders a Table 2 style one-line summary.
   std::string summary() const;
+
+  /// Stable 64-bit hash of every field that can change an evaluation's
+  /// outcome. Keys the engine's evaluation cache: results measured on
+  /// one machine description must never be served for another.
+  uint64_t fingerprint() const;
 };
 
 } // namespace eco

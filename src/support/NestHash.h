@@ -1,0 +1,72 @@
+//===- support/NestHash.h - Stable hashes of IR-level state ----*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable hashes of the two inputs that determine an evaluation: the
+/// executable loop nest and the configuration binding its symbols.
+///
+///  * hashNest — hashes a LoopNest's canonical pseudo-code print plus its
+///    array declarations, so two structurally identical nests hash equal
+///    regardless of the order in which their symbol tables were populated
+///    (the print refers to symbols by name);
+///  * hashEnv  — hashes the bound (name, value) pairs of the tunable and
+///    problem-size symbols *commutatively*, so it is likewise insensitive
+///    to symbol-table ordering. Loop variables are excluded: their
+///    transient values are not part of a configuration.
+///
+/// Header-only by design: support stays below ir/ in the library DAG,
+/// and every consumer of these helpers links ir anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SUPPORT_NESTHASH_H
+#define ECO_SUPPORT_NESTHASH_H
+
+#include "ir/Loop.h"
+#include "support/Hash.h"
+
+namespace eco {
+
+/// Stable hash of a loop nest's structure: the canonical pseudo-code
+/// print (names, bounds, bodies, epilogues) folded with each array's
+/// name, element size, layout, and printed extents (which the body print
+/// does not show, but padding transformations change).
+inline uint64_t hashNest(const LoopNest &Nest) {
+  uint64_t H = hashString(Nest.print());
+  for (const ArrayDecl &A : Nest.Arrays) {
+    H = hashString(A.Name, H);
+    H = hashCombine(H, A.ElemBytes);
+    H = hashCombine(H, static_cast<uint64_t>(A.Order));
+    for (const AffineExpr &Extent : A.Extents)
+      H = hashString(Extent.str(Nest.Syms), H);
+  }
+  return H;
+}
+
+/// Stable, symbol-table-order-insensitive hash of a configuration: the
+/// commutative (summed) combination of per-binding hashes over every
+/// Param and ProblemSize symbol. Symbols beyond the Env's size count as
+/// 0, matching Env's resize semantics.
+inline uint64_t hashEnv(const Env &Config, const SymbolTable &Syms) {
+  uint64_t Sum = 0;
+  for (SymbolId Id = 0; Id < static_cast<SymbolId>(Syms.size()); ++Id) {
+    if (Syms.kind(Id) == SymbolKind::LoopVar)
+      continue;
+    int64_t Value =
+        static_cast<size_t>(Id) < Config.size() ? Config.get(Id) : 0;
+    uint64_t Pair = hashString(Syms.name(Id));
+    Pair = hashCombine(Pair, static_cast<uint64_t>(Value));
+    // mix64 before summing: raw FNV pair hashes are affine in the value
+    // bytes, and a commutative sum of affine hashes lets swapped values
+    // ({TK=4,TJ=8} vs {TK=8,TJ=4}) cancel into a collision.
+    Sum += mix64(Pair); // commutative: declaration order cannot matter
+  }
+  return hashCombine(Fnv1aOffset, Sum);
+}
+
+} // namespace eco
+
+#endif // ECO_SUPPORT_NESTHASH_H

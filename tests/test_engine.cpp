@@ -1,0 +1,423 @@
+//===- tests/test_engine.cpp - Parallel evaluation engine tests -----------===//
+//
+// Covers the eco::engine subsystem: ThreadPool batch semantics, EvalCache
+// memoization + JSON persistence, the determinism contract (a --jobs N
+// tune returns the bit-identical winner of a sequential tune), trace
+// logging, checkpoint kill/resume, and the stats-based accounting the
+// Tuner now reports. Runs under ThreadSanitizer via -DECO_SANITIZE=thread
+// (ctest -L engine).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Tuner.h"
+#include "engine/Checkpoint.h"
+#include "engine/Engine.h"
+#include "engine/EvalCache.h"
+#include "engine/ThreadPool.h"
+#include "kernels/Kernels.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+using namespace eco;
+
+namespace {
+
+MachineDesc sgiScaled() { return MachineDesc::sgiR10000().scaledBy(16); }
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + Name;
+}
+
+/// The three fields that define a tune's outcome, as comparable text.
+std::string winnerOf(const TuneResult &R) {
+  return R.best().Spec.Name + "|" + R.best().configString(R.BestConfig) +
+         "|" +
+         strformat("%.17g", R.BestCost);
+}
+
+} // namespace
+
+// ---- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskWithValidLanes) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.jobs(), 4);
+
+  std::atomic<int> Ran{0};
+  std::atomic<bool> LaneOk{true};
+  std::vector<std::function<void(int)>> Tasks;
+  for (int T = 0; T < 100; ++T)
+    Tasks.push_back([&](int Lane) {
+      if (Lane < 0 || Lane >= 4)
+        LaneOk = false;
+      Ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  Pool.runBatch(Tasks);
+  EXPECT_EQ(Ran.load(), 100);
+  EXPECT_TRUE(LaneOk.load());
+}
+
+TEST(ThreadPoolTest, SupportsRepeatedBatches) {
+  ThreadPool Pool(3);
+  std::atomic<int> Ran{0};
+  for (int Round = 0; Round < 50; ++Round) {
+    std::vector<std::function<void(int)>> Tasks(
+        5, [&](int) { Ran.fetch_add(1, std::memory_order_relaxed); });
+    Pool.runBatch(Tasks);
+  }
+  EXPECT_EQ(Ran.load(), 250);
+}
+
+TEST(ThreadPoolTest, SingleJobRunsInlineOnLaneZero) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.jobs(), 1);
+  std::vector<int> Lanes;
+  std::vector<std::function<void(int)>> Tasks(
+      4, [&](int Lane) { Lanes.push_back(Lane); }); // no lock: inline
+  Pool.runBatch(Tasks);
+  EXPECT_EQ(Lanes, std::vector<int>({0, 0, 0, 0}));
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool Pool(4);
+  Pool.runBatch({});
+}
+
+// ---- EvalCache ----------------------------------------------------------
+
+TEST(EvalCacheTest, LookupInsertAndCounters) {
+  EvalCache Cache;
+  EvalKey Key{1, 2, 3};
+  EXPECT_FALSE(Cache.lookup(Key).has_value());
+  Cache.insert(Key, 42.5);
+  auto Hit = Cache.lookup(Key);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, 42.5);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hitRate(), 0.5);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(EvalCacheTest, KeyTextIsStable) {
+  EvalKey Key{0x1a, 0x2b, 0x3c};
+  EXPECT_EQ(Key.str(), "000000000000001a-000000000000002b-000000000000003c");
+}
+
+TEST(EvalCacheTest, JsonRoundTrip) {
+  std::string Path = tempPath("eco_cache_roundtrip.json");
+  EvalCache Cache;
+  for (uint64_t I = 0; I < 40; ++I)
+    Cache.insert(EvalKey{I, I * 7, I * 13}, static_cast<double>(I) * 1.5);
+  ASSERT_TRUE(Cache.save(Path));
+
+  EvalCache Loaded;
+  EXPECT_EQ(Loaded.load(Path), 40u);
+  EXPECT_EQ(Loaded.size(), 40u);
+  for (uint64_t I = 0; I < 40; ++I) {
+    auto Hit = Loaded.lookup(EvalKey{I, I * 7, I * 13});
+    ASSERT_TRUE(Hit.has_value());
+    EXPECT_EQ(*Hit, static_cast<double>(I) * 1.5);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(EvalCacheTest, MissingFileLoadsNothing) {
+  EvalCache Cache;
+  EXPECT_EQ(Cache.load(tempPath("eco_cache_does_not_exist.json")), 0u);
+}
+
+// ---- Determinism: parallel == sequential --------------------------------
+
+TEST(EngineTest, ParallelTuneMatchesSequentialBitExactly) {
+  LoopNest MM = makeMatMul();
+  const ParamBindings Problem = {{"N", 96}};
+  MachineDesc M = sgiScaled();
+
+  SimEvalBackend SeqBackend(M);
+  TuneResult Seq = tune(MM, SeqBackend, Problem); // DirectEvaluator
+
+  SimEvalBackend ParBackend(M);
+  EngineOptions Opts;
+  Opts.Jobs = 4;
+  EvalEngine Engine(ParBackend, Opts);
+  ASSERT_EQ(Engine.jobs(), 4);
+  TuneResult Par = tune(MM, Engine, Problem);
+
+  ASSERT_GE(Seq.BestVariant, 0);
+  EXPECT_EQ(Par.BestVariant, Seq.BestVariant);
+  EXPECT_EQ(winnerOf(Par), winnerOf(Seq)); // config + bit-identical cost
+  ASSERT_EQ(Par.Summaries.size(), Seq.Summaries.size());
+  for (size_t I = 0; I < Seq.Summaries.size(); ++I) {
+    EXPECT_EQ(Par.Summaries[I].Searched, Seq.Summaries[I].Searched);
+    EXPECT_EQ(Par.Summaries[I].BestConfig, Seq.Summaries[I].BestConfig);
+    EXPECT_EQ(Par.Summaries[I].BestCost, Seq.Summaries[I].BestCost);
+  }
+}
+
+TEST(EngineTest, ParallelSearchVariantMatchesSequential) {
+  LoopNest Jac = makeJacobi();
+  const ParamBindings Problem = {{"N", 48}};
+  MachineDesc M = sgiScaled();
+
+  SimEvalBackend B1(M), B2(M);
+  std::vector<DerivedVariant> Vs = deriveVariants(Jac, M);
+  ASSERT_FALSE(Vs.empty());
+
+  VariantSearchResult Seq = searchVariant(Vs.front(), B1, Problem);
+  EngineOptions Opts;
+  Opts.Jobs = 4;
+  EvalEngine Engine(B2, Opts);
+  VariantSearchResult Par = searchVariant(Vs.front(), Engine, Problem);
+
+  EXPECT_EQ(Par.BestCost, Seq.BestCost);
+  EXPECT_EQ(Vs.front().configString(Par.BestConfig),
+            Vs.front().configString(Seq.BestConfig));
+}
+
+TEST(EngineTest, NonClonableBackendDegradesToOneJob) {
+  MachineDesc M = sgiScaled();
+  NativeEvalBackend Backend(M, 1); // clone() is nullptr by design
+  EngineOptions Opts;
+  Opts.Jobs = 8;
+  EvalEngine Engine(Backend, Opts);
+  EXPECT_EQ(Engine.jobs(), 1);
+}
+
+TEST(EngineTest, ParallelSpeedsUpOnMulticoreHosts) {
+  if (std::thread::hardware_concurrency() < 4)
+    GTEST_SKIP() << "needs >= 4 cpus for a wall-clock speedup";
+
+  LoopNest MM = makeMatMul();
+  const ParamBindings Problem = {{"N", 96}};
+  MachineDesc M = sgiScaled();
+
+  SimEvalBackend B1(M);
+  EvalEngine Seq(B1);
+  Timer T1;
+  TuneResult RSeq = tune(MM, Seq, Problem);
+  double SeqSeconds = T1.seconds();
+
+  SimEvalBackend B2(M);
+  EngineOptions Opts;
+  Opts.Jobs = 4;
+  EvalEngine Par(B2, Opts);
+  Timer T2;
+  TuneResult RPar = tune(MM, Par, Problem);
+  double ParSeconds = T2.seconds();
+
+  EXPECT_EQ(winnerOf(RPar), winnerOf(RSeq));
+  EXPECT_GT(SeqSeconds / ParSeconds, 1.5);
+}
+
+// ---- Cache persistence across runs --------------------------------------
+
+TEST(EngineTest, SecondRunFromCacheFileIsNearlyAllHits) {
+  std::string Path = tempPath("eco_engine_cache.json");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  const ParamBindings Problem = {{"N", 64}};
+  MachineDesc M = sgiScaled();
+
+  double FirstBest;
+  {
+    SimEvalBackend Backend(M);
+    EngineOptions Opts;
+    Opts.CacheFile = Path;
+    EvalEngine Engine(Backend, Opts);
+    FirstBest = tune(MM, Engine, Problem).BestCost;
+    EXPECT_GT(Engine.stats().Evaluations, 0u);
+  } // destructor saves
+
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.CacheFile = Path;
+  EvalEngine Engine(Backend, Opts);
+  EXPECT_GT(Engine.cache().size(), 0u);
+  TuneResult Second = tune(MM, Engine, Problem);
+
+  EXPECT_EQ(Second.BestCost, FirstBest);
+  EvalStats S = Engine.stats();
+  size_t Served = S.CacheHits + S.Evaluations;
+  ASSERT_GT(Served, 0u);
+  // The acceptance bar: >90% of the second run served from the file.
+  EXPECT_GT(static_cast<double>(S.CacheHits) / Served, 0.9);
+  std::remove(Path.c_str());
+}
+
+TEST(EngineTest, CacheSaltSeparatesBackends) {
+  // Multi-size and plain backends over the same machine must not share
+  // cache entries: their costs mean different things.
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Plain(M);
+  MultiSizeEvalBackend Multi(Plain, "N", {64, 96});
+  EXPECT_NE(Plain.cacheSalt(), Multi.cacheSalt());
+}
+
+// ---- Trace logging ------------------------------------------------------
+
+TEST(EngineTest, TraceFileIsParseableJsonl) {
+  std::string Path = tempPath("eco_engine_trace.jsonl");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.Jobs = 2;
+  Opts.TraceFile = Path;
+  EvalEngine Engine(Backend, Opts);
+  tune(MM, Engine, {{"N", 64}});
+  Engine.flush();
+
+  size_t Lines = 0;
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    ++Lines;
+    std::string Err;
+    Json Rec = Json::parse(Line, &Err);
+    ASSERT_TRUE(Err.empty()) << Err << " in: " << Line;
+    EXPECT_TRUE(Rec.has("seq"));
+    EXPECT_TRUE(Rec.has("variant"));
+    EXPECT_TRUE(Rec.has("stage"));
+    EXPECT_TRUE(Rec.has("config"));
+    EXPECT_TRUE(Rec.has("cost"));
+    EXPECT_TRUE(Rec.has("cacheHit"));
+    EXPECT_TRUE(Rec.has("ms"));
+    EXPECT_TRUE(Rec.has("lane"));
+  }
+  EXPECT_EQ(Lines, Engine.trace().numRecords());
+  EXPECT_GT(Lines, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(EngineTest, StatsFeedTunerAccounting) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EvalEngine Engine(Backend);
+  TuneResult R = tune(MM, Engine, {{"N", 64}});
+
+  EvalStats S = Engine.stats();
+  EXPECT_EQ(R.TotalPoints, S.Evaluations);
+  EXPECT_EQ(R.TotalCacheHits, S.CacheHits);
+  size_t SummedPoints = 0;
+  for (const VariantSummary &Sum : R.Summaries)
+    SummedPoints += Sum.Points;
+  // Per-variant points plus the ranking pass account for every backend
+  // evaluation.
+  EXPECT_LE(SummedPoints, R.TotalPoints);
+  EXPECT_GT(SummedPoints, 0u);
+}
+
+// ---- Checkpoint / resume ------------------------------------------------
+
+TEST(CheckpointTest, KillAfterTwoVariantsResumesToSameResult) {
+  std::string Path = tempPath("eco_ckpt_kill.json");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  const ParamBindings Problem = {{"N", 64}};
+  MachineDesc M = sgiScaled();
+
+  SimEvalBackend B1(M);
+  TuneResult Full = tune(MM, B1, Problem);
+  ASSERT_GE(Full.BestVariant, 0);
+
+  // "Kill" a checkpointed tune after two variants: run it fully but only
+  // let the first two OnVariantSearched records reach the file — exactly
+  // the state a kill between the second and third search leaves behind.
+  {
+    SimEvalBackend B2(M);
+    TuneCheckpoint Ckpt(Path, MM, M, Problem, /*Resume=*/false);
+    TuneOptions Opts;
+    Ckpt.installHooks(Opts);
+    auto Record = Opts.OnVariantSearched;
+    size_t Recorded = 0;
+    Opts.OnVariantSearched = [&](const DerivedVariant &V,
+                                 const VariantSearchResult &R,
+                                 const VariantSummary &S) {
+      if (Recorded++ < 2)
+        Record(V, R, S);
+    };
+    tune(MM, B2, Problem, Opts);
+    ASSERT_GT(Recorded, 2u) << "tune searched too few variants to "
+                               "exercise an interrupted checkpoint";
+  }
+
+  SimEvalBackend B3(M);
+  TuneCheckpoint Resumed(Path, MM, M, Problem, /*Resume=*/true);
+  EXPECT_EQ(Resumed.numLoaded(), 2u);
+  TuneOptions Opts;
+  Resumed.installHooks(Opts);
+  TuneResult R = tune(MM, B3, Problem, Opts);
+  EXPECT_EQ(Resumed.numRestored(), 2u);
+
+  EXPECT_EQ(R.BestVariant, Full.BestVariant);
+  EXPECT_EQ(winnerOf(R), winnerOf(Full));
+  size_t RestoredSummaries = 0;
+  for (const VariantSummary &S : R.Summaries)
+    RestoredSummaries += S.Restored ? 1 : 0;
+  EXPECT_EQ(RestoredSummaries, 2u);
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, ResumeRunRestoresEveryVariant) {
+  std::string Path = tempPath("eco_ckpt_full.json");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  const ParamBindings Problem = {{"N", 64}};
+  MachineDesc M = sgiScaled();
+
+  TuneResult First;
+  {
+    SimEvalBackend B(M);
+    TuneCheckpoint Ckpt(Path, MM, M, Problem, false);
+    TuneOptions Opts;
+    Ckpt.installHooks(Opts);
+    First = tune(MM, B, Problem, Opts);
+  }
+
+  SimEvalBackend B(M);
+  TuneCheckpoint Ckpt(Path, MM, M, Problem, true);
+  TuneOptions Opts;
+  Ckpt.installHooks(Opts);
+  Timer T;
+  TuneResult Again = tune(MM, B, Problem, Opts);
+  EXPECT_EQ(winnerOf(Again), winnerOf(First));
+  EXPECT_EQ(Ckpt.numRestored(), Ckpt.numLoaded());
+  EXPECT_GT(Ckpt.numRestored(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(CheckpointTest, IncompatibleCheckpointIsIgnored) {
+  std::string Path = tempPath("eco_ckpt_mismatch.json");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  {
+    SimEvalBackend B(M);
+    TuneCheckpoint Ckpt(Path, MM, M, {{"N", 64}}, false);
+    TuneOptions Opts;
+    Ckpt.installHooks(Opts);
+    tune(MM, B, {{"N", 64}}, Opts);
+  }
+  // Different problem size: the file must not be trusted.
+  TuneCheckpoint Other(Path, MM, M, {{"N", 96}}, true);
+  EXPECT_EQ(Other.numLoaded(), 0u);
+  // Different kernel: likewise.
+  LoopNest Jac = makeJacobi();
+  TuneCheckpoint OtherKernel(Path, Jac, M, {{"N", 64}}, true);
+  EXPECT_EQ(OtherKernel.numLoaded(), 0u);
+  std::remove(Path.c_str());
+}

@@ -178,3 +178,216 @@ TEST(ChartTest, ConstantSeriesDoesNotDivideByZero) {
   C.addSeries("c", 'c', {3, 3, 3}, {7, 7, 7});
   EXPECT_FALSE(C.render().empty());
 }
+
+// ---- Hash / NestHash / Json (engine persistence primitives) -------------
+
+#include "ir/Loop.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+#include "support/NestHash.h"
+
+#include <cstdio>
+#include <set>
+
+TEST(HashTest, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a test vectors; the hashes persist to disk, so they
+  // must never drift with the standard library or platform.
+  EXPECT_EQ(eco::hashString(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(eco::hashString("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(eco::hashString("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, HexIsFixedWidthLowercase) {
+  std::string Hex = eco::hashHex(0x1a2bull);
+  EXPECT_EQ(Hex.size(), 16u);
+  EXPECT_EQ(Hex, "0000000000001a2b");
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  uint64_t A = eco::hashCombine(eco::hashCombine(eco::Fnv1aOffset, 1), 2);
+  uint64_t B = eco::hashCombine(eco::hashCombine(eco::Fnv1aOffset, 2), 1);
+  EXPECT_NE(A, B);
+}
+
+namespace {
+
+/// A one-statement nest over arrays A[N,N]; symbols are declared in the
+/// order given by the flags, so two calls with different flags produce
+/// structurally identical nests with permuted symbol tables.
+eco::LoopNest tinyNest(bool ParamsFirst, bool SwapParams) {
+  eco::LoopNest Nest;
+  Nest.Name = "tiny";
+  eco::SymbolId N = -1, TI = -1, TJ = -1, I = -1;
+  auto declParams = [&] {
+    if (SwapParams) {
+      TJ = Nest.declareParam("TJ");
+      TI = Nest.declareParam("TI");
+    } else {
+      TI = Nest.declareParam("TI");
+      TJ = Nest.declareParam("TJ");
+    }
+  };
+  if (ParamsFirst) {
+    declParams();
+    N = Nest.declareProblemSize("N");
+    I = Nest.declareLoopVar("I");
+  } else {
+    N = Nest.declareProblemSize("N");
+    I = Nest.declareLoopVar("I");
+    declParams();
+  }
+  eco::AffineExpr NE = eco::AffineExpr::sym(N);
+  eco::ArrayId A = Nest.declareArray({"A", {NE, NE}});
+  eco::AffineExpr IE = eco::AffineExpr::sym(I);
+  eco::ArrayRef Ref(A, {IE, IE});
+  auto Loop = std::make_unique<eco::Loop>(I, eco::AffineExpr::constant(0),
+                                          eco::Bound(NE - 1));
+  Loop->Items.push_back(eco::BodyItem(eco::Stmt::makeCompute(
+      Ref, eco::ScalarExpr::makeRead(Ref))));
+  Nest.Items.push_back(eco::BodyItem(std::move(Loop)));
+  return Nest;
+}
+
+/// Binds N=64, TI=8, TJ=4 by name, whatever the symbol ids are.
+eco::Env tinyConfig(const eco::LoopNest &Nest) {
+  eco::Env E(Nest.Syms.size());
+  E.set(Nest.Syms.lookup("N"), 64);
+  E.set(Nest.Syms.lookup("TI"), 8);
+  E.set(Nest.Syms.lookup("TJ"), 4);
+  return E;
+}
+
+} // namespace
+
+TEST(NestHashTest, InsensitiveToSymbolDeclarationOrder) {
+  // Same structure, three different symbol-table orders: the canonical
+  // print refers to symbols by name, so the hash must not change.
+  eco::LoopNest N1 = tinyNest(false, false);
+  eco::LoopNest N2 = tinyNest(true, false);
+  eco::LoopNest N3 = tinyNest(true, true);
+  EXPECT_EQ(eco::hashNest(N1), eco::hashNest(N2));
+  EXPECT_EQ(eco::hashNest(N1), eco::hashNest(N3));
+}
+
+TEST(NestHashTest, SensitiveToStructure) {
+  eco::LoopNest N1 = tinyNest(false, false);
+  eco::LoopNest N2 = tinyNest(false, false);
+  N2.Arrays[0].ElemBytes = 4; // same print, different array layout
+  EXPECT_NE(eco::hashNest(N1), eco::hashNest(N2));
+}
+
+TEST(NestHashTest, EnvHashInsensitiveToSymbolOrder) {
+  eco::LoopNest N1 = tinyNest(false, false);
+  eco::LoopNest N2 = tinyNest(true, false);
+  eco::LoopNest N3 = tinyNest(true, true);
+  uint64_t H1 = eco::hashEnv(tinyConfig(N1), N1.Syms);
+  uint64_t H2 = eco::hashEnv(tinyConfig(N2), N2.Syms);
+  uint64_t H3 = eco::hashEnv(tinyConfig(N3), N3.Syms);
+  EXPECT_EQ(H1, H2);
+  EXPECT_EQ(H1, H3);
+}
+
+TEST(NestHashTest, EnvHashSeesValuesButNotLoopVars) {
+  eco::LoopNest Nest = tinyNest(false, false);
+  eco::Env E1 = tinyConfig(Nest);
+  eco::Env E2 = tinyConfig(Nest);
+  E2.set(Nest.Syms.lookup("TI"), 16); // a real config change
+  EXPECT_NE(eco::hashEnv(E1, Nest.Syms), eco::hashEnv(E2, Nest.Syms));
+
+  eco::Env E3 = tinyConfig(Nest);
+  E3.set(Nest.Syms.lookup("I"), 37); // loop variable: not configuration
+  EXPECT_EQ(eco::hashEnv(E1, Nest.Syms), eco::hashEnv(E3, Nest.Syms));
+}
+
+TEST(NestHashTest, SwappedValuesAcrossSymbolsDoNotCollide) {
+  // Regression: with raw FNV pair hashes summed commutatively,
+  // {TI=4,TJ=8} and {TI=8,TJ=4} collided (the pair hash is affine in the
+  // value, so the difference cancels in the sum). mix64 must keep these
+  // apart — a collision here silently served one config's cost for the
+  // other and broke parallel/sequential determinism.
+  eco::LoopNest Nest = tinyNest(false, false);
+  eco::Env E1 = tinyConfig(Nest);
+  eco::Env E2 = tinyConfig(Nest);
+  E2.set(Nest.Syms.lookup("TI"), 4);
+  E2.set(Nest.Syms.lookup("TJ"), 8); // E1 has TI=8, TJ=4
+  EXPECT_NE(eco::hashEnv(E1, Nest.Syms), eco::hashEnv(E2, Nest.Syms));
+
+  // Wider sweep: all distinct (TI, TJ) pairs over a small grid must
+  // produce distinct hashes.
+  std::set<uint64_t> Seen;
+  size_t Count = 0;
+  for (int64_t TI = 1; TI <= 16; ++TI)
+    for (int64_t TJ = 1; TJ <= 16; ++TJ) {
+      eco::Env E = tinyConfig(Nest);
+      E.set(Nest.Syms.lookup("TI"), TI);
+      E.set(Nest.Syms.lookup("TJ"), TJ);
+      Seen.insert(eco::hashEnv(E, Nest.Syms));
+      ++Count;
+    }
+  EXPECT_EQ(Seen.size(), Count);
+}
+
+TEST(NestHashTest, ShortEnvTreatedAsZeroBindings) {
+  eco::LoopNest Nest = tinyNest(false, false);
+  eco::Env Full(Nest.Syms.size()); // all zero
+  eco::Env Empty;                  // no slots at all
+  EXPECT_EQ(eco::hashEnv(Full, Nest.Syms), eco::hashEnv(Empty, Nest.Syms));
+}
+
+TEST(JsonTest, ScalarRoundTrip) {
+  EXPECT_EQ(eco::Json(true).dump(), "true");
+  EXPECT_EQ(eco::Json(42).dump(), "42");
+  EXPECT_EQ(eco::Json(int64_t(1) << 53).dump(), "9007199254740992");
+  EXPECT_EQ(eco::Json(2.5).dump(), "2.5");
+  EXPECT_EQ(eco::Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(eco::Json().dump(), "null");
+}
+
+TEST(JsonTest, StringEscapes) {
+  std::string Raw = "a\"b\\c\n\t\x01";
+  std::string Err;
+  eco::Json Parsed = eco::Json::parse(eco::Json::quote(Raw), &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Parsed.asString(), Raw);
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrderAndRoundTrips) {
+  eco::Json O = eco::Json::object();
+  O.set("zeta", 1);
+  O.set("alpha", eco::Json::array());
+  eco::Json Inner = eco::Json::object();
+  Inner.set("k", "v");
+  O.set("nested", std::move(Inner));
+  std::string Text = O.dump();
+  EXPECT_EQ(Text, "{\"zeta\":1,\"alpha\":[],\"nested\":{\"k\":\"v\"}}");
+
+  std::string Err;
+  eco::Json Back = eco::Json::parse(Text, &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Back.dump(), Text);
+  EXPECT_EQ(Back.get("nested").get("k").asString(), "v");
+  EXPECT_TRUE(Back.get("missing").isNull());
+}
+
+TEST(JsonTest, ParseErrorsAreReported) {
+  std::string Err;
+  EXPECT_TRUE(eco::Json::parse("{\"a\":", &Err).isNull());
+  EXPECT_FALSE(Err.empty());
+  Err.clear();
+  EXPECT_TRUE(eco::Json::parse("[1, 2,]", &Err).isNull());
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(JsonTest, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "eco_json_roundtrip.json";
+  eco::Json O = eco::Json::object();
+  O.set("cost", 8.25e6);
+  O.set("hits", 12);
+  ASSERT_TRUE(O.saveFile(Path));
+  std::string Err;
+  eco::Json Back = eco::Json::loadFile(Path, &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Back.get("cost").asNumber(), 8.25e6);
+  EXPECT_EQ(Back.get("hits").asInt(), 12);
+  std::remove(Path.c_str());
+}
