@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <set>
 
 using namespace eco;
@@ -18,25 +19,53 @@ double SimEvalBackend::evaluate(const LoopNest &Executable,
   MemHierarchySim Sim(Machine);
   Executor Exec(Executable, Config, Sim);
   Exec.run();
+  Accum += Sim.counters();
   return Sim.counters().cycles();
+}
+
+/// Compiled kernels cached by emitted source text: tile-size changes
+/// reuse the binary (tiles are runtime parameters of the emitted
+/// function). Shared by every clone in a chain and locked around lookup
+/// and insert; entries are never erased, so a kernel pointer stays valid
+/// after the lock drops (NativeKernel::run is const and reentrant —
+/// callers pass their own parameter/array storage).
+struct NativeEvalBackend::KernelCache {
+  std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<NativeKernel>> BySource;
+};
+
+NativeEvalBackend::NativeEvalBackend(MachineDesc M, int Repeats)
+    : Machine(std::move(M)), Repeats(Repeats),
+      Kernels(std::make_shared<KernelCache>()) {}
+
+NativeEvalBackend::NativeEvalBackend(MachineDesc M, int Repeats,
+                                     std::shared_ptr<KernelCache> Cache)
+    : Machine(std::move(M)), Repeats(Repeats), Kernels(std::move(Cache)) {}
+
+std::unique_ptr<EvalBackend> NativeEvalBackend::clone() const {
+  return std::unique_ptr<EvalBackend>(
+      new NativeEvalBackend(Machine, Repeats, Kernels));
 }
 
 double NativeEvalBackend::evaluate(const LoopNest &Executable,
                                    const Env &Config) {
-  // Compiled kernels are cached by source text: tile-size changes reuse
-  // the binary (tiles are runtime parameters of the emitted function).
-  static std::map<std::string, std::unique_ptr<NativeKernel>> KernelCache;
   std::string Src = emitC(Executable, "eco_kernel");
-  auto It = KernelCache.find(Src);
-  if (It == KernelCache.end()) {
-    std::string Error;
-    std::unique_ptr<NativeKernel> Fresh =
-        NativeKernel::compile(Executable, &Error);
-    if (!Fresh)
-      return std::numeric_limits<double>::infinity();
-    It = KernelCache.emplace(Src, std::move(Fresh)).first;
+  NativeKernel *Kernel = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(Kernels->Mutex);
+    auto It = Kernels->BySource.find(Src);
+    if (It == Kernels->BySource.end()) {
+      // Compile under the lock: serializing the (rare, expensive) cc
+      // invocations also guarantees each distinct source compiles once.
+      std::string Error;
+      std::unique_ptr<NativeKernel> Fresh =
+          NativeKernel::compile(Executable, &Error);
+      if (!Fresh)
+        return std::numeric_limits<double>::infinity();
+      It = Kernels->BySource.emplace(std::move(Src), std::move(Fresh)).first;
+    }
+    Kernel = It->second.get();
   }
-  NativeKernel *Kernel = It->second.get();
 
   std::vector<long> Params(Executable.Syms.size(), 0);
   for (size_t S = 0; S < Params.size(); ++S)
@@ -145,8 +174,11 @@ Env eco::initialConfig(const DerivedVariant &V, const MachineDesc &Machine,
                          : Machine.FpRegisters;
   size_t NumUnrolls = V.Spec.Unrolls.size();
   if (NumUnrolls > 0) {
+    // int64 arithmetic: with a large register limit (RegLimit is int64)
+    // the old `1 << (Bits + 1)` overflowed int at Bits >= 30 — UB, and in
+    // practice a negative value that kept the loop running forever.
     int Bits = 0;
-    while ((1 << (Bits + 1)) <= RegLimit)
+    while ((int64_t(1) << (Bits + 1)) <= RegLimit && Bits < 62)
       ++Bits;
     for (size_t U = 0; U < NumUnrolls; ++U) {
       int Share = Bits / static_cast<int>(NumUnrolls) +

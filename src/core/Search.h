@@ -78,13 +78,20 @@ public:
   const MachineDesc &machine() const override { return Machine; }
 
   /// The simulator is a deterministic pure function of (nest, config);
-  /// a clone is just another instance over the same machine.
+  /// a clone is just another instance over the same machine. (Clones do
+  /// not share the accumulated counters.)
   std::unique_ptr<EvalBackend> clone() const override {
     return std::make_unique<SimEvalBackend>(Machine);
   }
 
+  /// Counters summed over every evaluation this instance has run —
+  /// benchmarks divide the access totals by backend wall time to report
+  /// simulated accesses per second.
+  const HWCounters &accumulatedCounters() const { return Accum; }
+
 private:
   MachineDesc Machine;
+  HWCounters Accum;
 };
 
 /// Wraps another backend to evaluate each configuration at several
@@ -148,22 +155,32 @@ class NativeEvalBackend : public EvalBackend {
 public:
   /// \p Machine describes the host (used for line sizes / heuristics).
   /// \p Repeats: best-of timing repetitions.
-  NativeEvalBackend(MachineDesc M, int Repeats = 3)
-      : Machine(std::move(M)), Repeats(Repeats) {}
+  NativeEvalBackend(MachineDesc M, int Repeats = 3);
 
   double evaluate(const LoopNest &Executable, const Env &Config) override;
   const MachineDesc &machine() const override { return Machine; }
 
+  /// Clones share this instance's compiled-kernel cache (mutex-guarded),
+  /// so concurrent lanes compile each distinct source exactly once. The
+  /// cache used to be a function-local static — unsynchronized mutable
+  /// state shared by *every* backend in the process, a data race the
+  /// moment the engine ran native evaluations on more than one lane.
+  std::unique_ptr<EvalBackend> clone() const override;
+
   /// Native costs are wall seconds, not simulated cycles; never share
-  /// cache entries with the simulator. (Not clonable: the kernel cache
-  /// and the timing methodology are single-threaded by design.)
+  /// cache entries with the simulator.
   std::string cacheSalt() const override {
     return "native:r" + std::to_string(Repeats);
   }
 
 private:
+  struct KernelCache; ///< defined in Search.cpp (needs NativeRunner.h)
+  NativeEvalBackend(MachineDesc M, int Repeats,
+                    std::shared_ptr<KernelCache> Cache);
+
   MachineDesc Machine;
   int Repeats;
+  std::shared_ptr<KernelCache> Kernels; ///< shared across the clone chain
 };
 
 /// Search knobs.

@@ -88,6 +88,7 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     {
       std::lock_guard<std::mutex> Lock(StatsMutex);
       ++Stats.CacheHits;
+      ++Stages[Stage].CacheHits;
     }
     Trace.append({0, V.Spec.Name, Stage, V.configString(Config), O.Cost,
                   /*CacheHit=*/true, Warm, 0, Lane});
@@ -107,6 +108,9 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Stats.Evaluations;
     Stats.BackendSeconds += O.Millis / 1e3;
+    StageStats &SS = Stages[Stage];
+    ++SS.Evaluations;
+    SS.BackendSeconds += O.Millis / 1e3;
     if (!Opts.CacheFile.empty() && Opts.CacheSaveInterval > 0 &&
         ++InsertsSinceSave >= Opts.CacheSaveInterval) {
       InsertsSinceSave = 0;
@@ -151,4 +155,9 @@ void EvalEngine::warmMany(
 EvalStats EvalEngine::stats() const {
   std::lock_guard<std::mutex> Lock(StatsMutex);
   return Stats;
+}
+
+std::map<std::string, EvalEngine::StageStats> EvalEngine::stageStats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stages;
 }

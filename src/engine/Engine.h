@@ -79,6 +79,18 @@ public:
 
   EvalStats stats() const override;
 
+  /// Per-stage slice of the same counters: how many evaluations / cache
+  /// hits each search stage requested and how much backend wall time it
+  /// consumed. Keyed by the Stage string the search passes to evaluate()
+  /// ("initial", "register", "tile0", ..., "prefetch", "adjust", and the
+  /// Tuner's "rank"). Values sum to stats() across stages.
+  struct StageStats {
+    size_t Evaluations = 0;
+    size_t CacheHits = 0;
+    double BackendSeconds = 0;
+  };
+  std::map<std::string, StageStats> stageStats() const;
+
   /// Effective parallelism after backend-clonability degradation.
   int jobs() const { return Pool->jobs(); }
 
@@ -128,6 +140,7 @@ private:
 
   mutable std::mutex StatsMutex;
   EvalStats Stats;
+  std::map<std::string, StageStats> Stages; ///< guarded by StatsMutex
   size_t InsertsSinceSave = 0;
 };
 

@@ -107,11 +107,41 @@ std::vector<Executor::ItemRef> Executor::compileBody(const Body &B) {
     };
     LP.StmtsOnly = StmtsOnly(LP.Items);
     LP.EpiStmtsOnly = StmtsOnly(LP.Epilogue);
+    // Compile the fast-path access tables once; every entry to the loop
+    // reuses them (value mode never takes the fast path).
+    if (!Opts.ComputeValues) {
+      if (LP.StmtsOnly)
+        LP.MainFast = buildFastTable(LP.Items, L.Var);
+      if (LP.EpiStmtsOnly)
+        LP.EpiFast = buildFastTable(LP.Epilogue, L.Var);
+    }
     LoopPlans.push_back(std::move(LP));
     Items.push_back({/*IsLoop=*/true,
                      static_cast<int>(LoopPlans.size()) - 1});
   }
   return Items;
+}
+
+Executor::FastTable
+Executor::buildFastTable(const std::vector<ItemRef> &Items, SymbolId Var) {
+  FastTable FT;
+  for (const ItemRef &R : Items) {
+    const StmtPlan &SP = StmtPlans[R.Idx];
+    FastStmt FS;
+    FS.Fp = SP.FpCycles;
+    FS.Mem = SP.MemCycles;
+    FS.Flops = SP.Flops;
+    FS.First = static_cast<unsigned>(FT.Meta.size());
+    for (const AccessPlan &AP : SP.Accesses) {
+      int64_t ElemBytes = Nest.array(AP.Arr).ElemBytes;
+      FT.Meta.push_back(
+          {AP.Arr, AP.Flat, AP.Flat.coeff(Var) * ElemBytes, AP.Kind});
+    }
+    FS.Count = static_cast<unsigned>(FT.Meta.size()) - FS.First;
+    FT.Stmts.push_back(FS);
+  }
+  FT.Hot.resize(FT.Meta.size());
+  return FT;
 }
 
 void Executor::run() {
@@ -137,7 +167,7 @@ double Executor::issueAccess(const AccessPlan &AP, uint64_t Addr) {
   return Sim.access(Addr, AP.Kind == AccessKind::Store, now());
 }
 
-void Executor::execLoop(const LoopPlan &LP) {
+void Executor::execLoop(LoopPlan &LP) {
   const Loop &L = *LP.L;
   int64_t Lo = L.Lower.eval(E);
   int64_t Hi = L.Upper.eval(E);
@@ -155,7 +185,7 @@ void Executor::execLoop(const LoopPlan &LP) {
     if (MainIters > 0) {
       E.set(L.Var, V);
       if (CanFast && LP.StmtsOnly) {
-        runFastLoop(LP.Items, L.Var, U, MainIters);
+        runFastLoop(LP.MainFast, U, MainIters);
       } else {
         for (int64_t M = 0; M < MainIters; ++M, V += U) {
           E.set(L.Var, V);
@@ -171,7 +201,7 @@ void Executor::execLoop(const LoopPlan &LP) {
     if (EpiIters > 0) {
       E.set(L.Var, V);
       if (CanFast && LP.EpiStmtsOnly) {
-        runFastLoop(LP.Epilogue, L.Var, 1, EpiIters);
+        runFastLoop(LP.EpiFast, 1, EpiIters);
       } else {
         for (; V <= Hi; ++V) {
           E.set(L.Var, V);
@@ -187,7 +217,7 @@ void Executor::execLoop(const LoopPlan &LP) {
   int64_t Iters = (Hi - Lo) / Step + 1;
   E.set(L.Var, Lo);
   if (CanFast && LP.StmtsOnly) {
-    runFastLoop(LP.Items, L.Var, Step, Iters);
+    runFastLoop(LP.MainFast, Step, Iters);
     return;
   }
   for (int64_t V = Lo; V <= Hi; V += Step) {
@@ -198,44 +228,21 @@ void Executor::execLoop(const LoopPlan &LP) {
   }
 }
 
-void Executor::runFastLoop(const std::vector<ItemRef> &Items, SymbolId Var,
-                           int64_t Step, int64_t Iters) {
-  // Precompute, per access: current address and per-iteration delta.
-  struct FastAccess {
-    uint64_t Addr;
-    int64_t Delta;
-    AccessKind Kind;
-  };
-  struct FastStmt {
-    double Fp, Mem;
-    unsigned Flops;
-    unsigned First, Count; ///< range in the flat access array
-  };
-  // Thread-local scratch would be overkill; these are small.
-  std::vector<FastAccess> Accesses;
-  std::vector<FastStmt> Stmts;
-  for (const ItemRef &R : Items) {
-    const StmtPlan &SP = StmtPlans[R.Idx];
-    FastStmt FS;
-    FS.Fp = SP.FpCycles;
-    FS.Mem = SP.MemCycles;
-    FS.Flops = SP.Flops;
-    FS.First = static_cast<unsigned>(Accesses.size());
-    for (const AccessPlan &AP : SP.Accesses) {
-      unsigned ElemBytes = Nest.array(AP.Arr).ElemBytes;
-      uint64_t Addr = AMap.addrOfFlat(AP.Arr, AP.Flat.eval(E));
-      int64_t Delta = AP.Flat.coeff(Var) * Step *
-                      static_cast<int64_t>(ElemBytes);
-      Accesses.push_back({Addr, Delta, AP.Kind});
-    }
-    FS.Count = static_cast<unsigned>(Accesses.size()) - FS.First;
-    Stmts.push_back(FS);
+void Executor::runFastLoop(FastTable &FT, int64_t Step, int64_t Iters) {
+  // Refresh the hot table: only the starting address (the loop variable's
+  // entry value under the surrounding loops' current bindings) and the
+  // step-scaled delta change between entries; shape and kinds are fixed.
+  FastAccess *Accesses = FT.Hot.data();
+  for (size_t A = 0, N = FT.Meta.size(); A < N; ++A) {
+    const FastAccessMeta &AM = FT.Meta[A];
+    Accesses[A] = {AMap.addrOfFlat(AM.Arr, AM.Flat.eval(E)),
+                   AM.DeltaPerStep * Step, AM.Kind};
   }
 
   HWCounters &C = Sim.counters();
   double Overhead = Sim.machine().LoopOverheadCycles;
   for (int64_t It = 0; It < Iters; ++It) {
-    for (const FastStmt &FS : Stmts) {
+    for (const FastStmt &FS : FT.Stmts) {
       for (unsigned A = FS.First, End = FS.First + FS.Count; A != End; ++A) {
         FastAccess &FA = Accesses[A];
         double Now = std::max(FpCy, std::max(MemCy, OvhCy)) + StallCy;

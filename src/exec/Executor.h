@@ -93,27 +93,60 @@ private:
     bool IsLoop;
     int Idx;
   };
+
+  // --- fast-loop tables ---------------------------------------------------
+  // A statements-only loop body compiles, once, into a flat access table;
+  // every entry to the loop then only evaluates each access's starting
+  // address and streams through the table with incremental address
+  // generation. The seed re-derived this table (with heap allocations and
+  // per-access coefficient lookups) on every entry — i.e. once per
+  // surrounding tile iteration, squarely on the search's hot path.
+  struct FastAccess { ///< hot per-iteration state, refilled on loop entry
+    uint64_t Addr;
+    int64_t Delta;
+    AccessKind Kind;
+  };
+  struct FastAccessMeta { ///< cold compile-time shape of one access
+    ArrayId Arr;
+    AffineExpr Flat;      ///< flat element index (copied from the plan)
+    int64_t DeltaPerStep; ///< byte delta per unit step of the loop var
+    AccessKind Kind;
+  };
+  struct FastStmt {
+    double Fp, Mem;
+    unsigned Flops;
+    unsigned First, Count; ///< range in the flat access array
+  };
+  struct FastTable {
+    std::vector<FastAccessMeta> Meta;
+    std::vector<FastStmt> Stmts;
+    std::vector<FastAccess> Hot; ///< sized to Meta; reused every entry
+  };
+
   struct LoopPlan {
     const Loop *L;
     std::vector<ItemRef> Items;
     std::vector<ItemRef> Epilogue;
     bool StmtsOnly;    ///< Items contains no nested loops
     bool EpiStmtsOnly; ///< Epilogue contains no nested loops
+    FastTable MainFast; ///< compiled Items (counters mode, StmtsOnly)
+    FastTable EpiFast;  ///< compiled Epilogue (counters mode, EpiStmtsOnly)
   };
 
   std::vector<ItemRef> compileBody(const Body &B);
   int compileStmt(const Stmt &S);
+  FastTable buildFastTable(const std::vector<ItemRef> &Items, SymbolId Var);
   AffineExpr flatIndexOf(const ArrayRef &Ref) const;
 
   void execItems(const std::vector<ItemRef> &Items);
-  void execLoop(const LoopPlan &LP);
+  void execLoop(LoopPlan &LP);
   void execStmt(const StmtPlan &SP);
   void execCopy(const Stmt &S);
 
-  /// Runs \p Iters iterations of a statements-only body with incremental
-  /// addresses; starts with the loop variable bound to its entry value.
-  void runFastLoop(const std::vector<ItemRef> &Items, SymbolId Var,
-                   int64_t Step, int64_t Iters);
+  /// Runs \p Iters iterations of a precompiled statements-only body with
+  /// incremental addresses; the loop variable must be bound to its entry
+  /// value (start addresses are evaluated under the current Env).
+  void runFastLoop(FastTable &FT, int64_t Step, int64_t Iters);
 
   double evalTree(const ScalarExpr &E) const;
   int64_t flatOf(const ArrayRef &Ref) const;

@@ -7,53 +7,110 @@
 
 using namespace eco;
 
+namespace {
+
+/// log2(V) when V is a power of two, else -1.
+int log2Exact(uint64_t V) {
+  if (V == 0 || (V & (V - 1)) != 0)
+    return -1;
+  int Shift = 0;
+  while ((V >> Shift) != 1)
+    ++Shift;
+  return Shift;
+}
+
+} // namespace
+
 SetAssocCache::SetAssocCache(const CacheLevelDesc &D) : Desc(D) {
   assert(Desc.LineBytes > 0 && "line size must be positive");
   assert(Desc.Assoc > 0 && "associativity must be positive");
   Sets = Desc.numSets();
   assert(Sets > 0 && "capacity smaller than one set");
-  Ways.assign(Sets * Desc.Assoc, Way());
+  LineShift = log2Exact(Desc.LineBytes);
+  SetMask = log2Exact(Sets) >= 0 ? static_cast<int64_t>(Sets - 1) : -1;
+  Lines.assign(Sets * Desc.Assoc, ~0ULL);
+  Ready.assign(Sets * Desc.Assoc, 0.0);
+  Stamps.assign(Sets * Desc.Assoc, 0);
+
+  // Wide sets (the fully-associative TLB above all) get a way-hint table
+  // sized ~4x the way count so hash collisions stay rare; narrow sets
+  // resolve in a couple of compares anyway.
+  if (Desc.Assoc >= 8) {
+    size_t Slots = 64;
+    while (Slots < 4 * Lines.size())
+      Slots *= 2;
+    Hint.assign(Slots, UINT32_MAX);
+    HintShift = 64;
+    while ((size_t(1) << (64 - HintShift)) < Slots)
+      --HintShift;
+  }
 }
 
 CacheProbe SetAssocCache::access(uint64_t Addr) {
   uint64_t Line = lineOf(Addr);
-  Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  if (!Hint.empty()) {
+    // O(1) fast path: a validated hint is exactly the way the scan would
+    // find (a line is resident in at most one way).
+    uint32_t W = Hint[hintSlot(Line)];
+    if (W < Lines.size() && Lines[W] == Line) {
+      Stamps[W] = ++Clock;
+      return {/*Hit=*/true, Ready[W]};
+    }
+  }
+  size_t Base = setOf(Line) * Desc.Assoc;
   for (unsigned W = 0; W < Desc.Assoc; ++W) {
-    if (Set[W].Line != Line)
+    if (Lines[Base + W] != Line)
       continue;
-    Way Found = Set[W];
-    // Promote to MRU.
-    for (unsigned V = W; V > 0; --V)
-      Set[V] = Set[V - 1];
-    Set[0] = Found;
-    return {/*Hit=*/true, Found.Ready};
+    // Promote to MRU: one stamp store (the seed shifted up to Assoc ways).
+    Stamps[Base + W] = ++Clock;
+    if (!Hint.empty())
+      Hint[hintSlot(Line)] = static_cast<uint32_t>(Base + W);
+    return {/*Hit=*/true, Ready[Base + W]};
   }
   return {/*Hit=*/false, 0};
 }
 
 void SetAssocCache::fill(uint64_t Addr, double ReadyCycle) {
   uint64_t Line = lineOf(Addr);
-  Way *Set = &Ways[setOf(Line) * Desc.Assoc];
-  unsigned Victim = Desc.Assoc - 1; // default: evict LRU
+  size_t Base = setOf(Line) * Desc.Assoc;
+  unsigned Victim = 0;
+  uint64_t Oldest = ~0ULL;
   for (unsigned W = 0; W < Desc.Assoc; ++W) {
-    if (Set[W].Line == Line) {
+    if (Lines[Base + W] == Line) {
+      // Re-fill of a resident line: refresh recency, keep the earlier
+      // ready time (a later fill must not delay data already in flight).
+      Stamps[Base + W] = ++Clock;
+      Ready[Base + W] = std::min(ReadyCycle, Ready[Base + W]);
+      return;
+    }
+    if (Stamps[Base + W] < Oldest) {
+      Oldest = Stamps[Base + W];
       Victim = W;
-      ReadyCycle = std::min(ReadyCycle, Set[W].Ready);
-      break;
     }
   }
-  for (unsigned V = Victim; V > 0; --V)
-    Set[V] = Set[V - 1];
-  Set[0] = {Line, ReadyCycle};
+  // Victim is the smallest stamp: an empty way if one exists (stamp 0),
+  // otherwise the exact-LRU way. Distinct valid ways never tie — stamps
+  // are unique — and empty ways are interchangeable.
+  Lines[Base + Victim] = Line;
+  Ready[Base + Victim] = ReadyCycle;
+  Stamps[Base + Victim] = ++Clock;
+  if (!Hint.empty())
+    Hint[hintSlot(Line)] = static_cast<uint32_t>(Base + Victim);
 }
 
 bool SetAssocCache::contains(uint64_t Addr) const {
   uint64_t Line = lineOf(Addr);
-  const Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  size_t Base = setOf(Line) * Desc.Assoc;
   for (unsigned W = 0; W < Desc.Assoc; ++W)
-    if (Set[W].Line == Line)
+    if (Lines[Base + W] == Line)
       return true;
   return false;
 }
 
-void SetAssocCache::reset() { Ways.assign(Ways.size(), Way()); }
+void SetAssocCache::reset() {
+  std::fill(Lines.begin(), Lines.end(), ~0ULL);
+  std::fill(Ready.begin(), Ready.end(), 0.0);
+  std::fill(Stamps.begin(), Stamps.end(), 0);
+  std::fill(Hint.begin(), Hint.end(), UINT32_MAX);
+  Clock = 0;
+}

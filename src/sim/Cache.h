@@ -12,6 +12,26 @@
 /// search (Section 3.2) meaningful in simulation — too-short distances pay
 /// partial stalls, long-enough distances hide the full latency.
 ///
+/// Replacement state is an age-stamp (clock) representation of exact LRU:
+/// every touch stamps the way with a monotonically increasing counter, and
+/// the fill victim is the way with the smallest stamp. This is
+/// semantically identical to the classic recency-ordered representation
+/// (the seed kept ways sorted MRU-first and shifted up to Assoc entries on
+/// every hit and fill — see sim/GoldenSim.h for that frozen model), but a
+/// hit now costs one store instead of a memmove, which matters because the
+/// simulator's probe loop *is* the empirical search's hot path.
+///
+/// Stamps leave resident lines at stable way positions, so a plain tag
+/// scan averages Assoc/2 compares — a regression against the seed for the
+/// 64-entry fully-associative TLB, where MRU ordering kept hot pages at
+/// the front of the scan. Wide caches therefore carry a way-hint table: a
+/// small hash-indexed array mapping a line to the way that last held it.
+/// A correct hint resolves a hit in O(1); a stale or colliding hint just
+/// falls back to the scan. Hints only short-circuit a lookup that would
+/// have succeeded anyway — replacement state, counters, and timings are
+/// unaffected, and the trace-equivalence suite (tests/test_sim_equiv.cpp)
+/// proves HWCounters stay bit-identical to the seed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECO_SIM_CACHE_H
@@ -44,7 +64,9 @@ public:
   /// recency (and ready time if the new one is earlier).
   void fill(uint64_t Addr, double ReadyCycle);
 
-  /// True if the line holding \p Addr is resident (no LRU update).
+  /// True if the line holding \p Addr is resident. Purely observational:
+  /// no recency update, so non-destructive probes (prefetch filtering,
+  /// white-box tests) cannot perturb replacement state.
   bool contains(uint64_t Addr) const;
 
   /// Empties the cache.
@@ -54,21 +76,41 @@ public:
   uint64_t numSets() const { return Sets; }
   unsigned assoc() const { return Desc.Assoc; }
 
-  /// The line-granular tag for an address (address / line size).
-  uint64_t lineOf(uint64_t Addr) const { return Addr / Desc.LineBytes; }
+  /// The line-granular tag for an address (address / line size); a shift
+  /// when the line size is a power of two.
+  uint64_t lineOf(uint64_t Addr) const {
+    return LineShift >= 0 ? Addr >> LineShift : Addr / Desc.LineBytes;
+  }
 
 private:
-  struct Way {
-    uint64_t Line = ~0ULL; ///< line number, ~0 = invalid
-    double Ready = 0;
-  };
-
   CacheLevelDesc Desc;
   uint64_t Sets;
-  /// Sets x Assoc entries; within a set, index 0 is MRU, Assoc-1 is LRU.
-  std::vector<Way> Ways;
+  int LineShift = -1;     ///< log2(LineBytes) when a power of two, else -1
+  int64_t SetMask = -1;   ///< Sets - 1 when a power of two, else -1
 
-  uint64_t setOf(uint64_t Line) const { return Line % Sets; }
+  /// Way state, structure-of-arrays (Sets x Assoc each): the tag scan in
+  /// access() touches only Lines, so a probe walks one dense array.
+  /// Invalid ways hold Line = ~0 and Stamp = 0; valid ways always carry a
+  /// stamp >= 1, so empty ways are preferred victims automatically.
+  std::vector<uint64_t> Lines;
+  std::vector<double> Ready;
+  std::vector<uint64_t> Stamps;
+  uint64_t Clock = 0; ///< per-cache LRU clock; bumped on every touch
+
+  /// Way-hint table (wide caches only, empty otherwise): Fibonacci-hashed
+  /// line -> global way index that last held it. Purely an accelerator —
+  /// every use re-validates against Lines before trusting it.
+  std::vector<uint32_t> Hint;
+  int HintShift = 0; ///< 64 - log2(Hint.size())
+
+  uint64_t setOf(uint64_t Line) const {
+    return SetMask >= 0 ? (Line & static_cast<uint64_t>(SetMask))
+                        : Line % Sets;
+  }
+
+  size_t hintSlot(uint64_t Line) const {
+    return static_cast<size_t>((Line * 0x9E3779B97F4A7C15ULL) >> HintShift);
+  }
 };
 
 } // namespace eco

@@ -1,0 +1,167 @@
+//===- sim/GoldenSim.cpp - Frozen seed simulator (exactness oracle) -------===//
+
+#include "sim/GoldenSim.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eco;
+
+GoldenCache::GoldenCache(const CacheLevelDesc &D) : Desc(D) {
+  assert(Desc.LineBytes > 0 && "line size must be positive");
+  assert(Desc.Assoc > 0 && "associativity must be positive");
+  Sets = Desc.numSets();
+  assert(Sets > 0 && "capacity smaller than one set");
+  Ways.assign(Sets * Desc.Assoc, Way());
+}
+
+CacheProbe GoldenCache::access(uint64_t Addr) {
+  uint64_t Line = lineOf(Addr);
+  Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  for (unsigned W = 0; W < Desc.Assoc; ++W) {
+    if (Set[W].Line != Line)
+      continue;
+    Way Found = Set[W];
+    // Promote to MRU.
+    for (unsigned V = W; V > 0; --V)
+      Set[V] = Set[V - 1];
+    Set[0] = Found;
+    return {/*Hit=*/true, Found.Ready};
+  }
+  return {/*Hit=*/false, 0};
+}
+
+void GoldenCache::fill(uint64_t Addr, double ReadyCycle) {
+  uint64_t Line = lineOf(Addr);
+  Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  unsigned Victim = Desc.Assoc - 1; // default: evict LRU
+  for (unsigned W = 0; W < Desc.Assoc; ++W) {
+    if (Set[W].Line == Line) {
+      Victim = W;
+      ReadyCycle = std::min(ReadyCycle, Set[W].Ready);
+      break;
+    }
+  }
+  for (unsigned V = Victim; V > 0; --V)
+    Set[V] = Set[V - 1];
+  Set[0] = {Line, ReadyCycle};
+}
+
+bool GoldenCache::contains(uint64_t Addr) const {
+  uint64_t Line = lineOf(Addr);
+  const Way *Set = &Ways[setOf(Line) * Desc.Assoc];
+  for (unsigned W = 0; W < Desc.Assoc; ++W)
+    if (Set[W].Line == Line)
+      return true;
+  return false;
+}
+
+void GoldenCache::reset() { Ways.assign(Ways.size(), Way()); }
+
+CacheLevelDesc GoldenMemHierarchySim::tlbAsCache(const TlbDesc &T) {
+  CacheLevelDesc D;
+  D.Name = "TLB";
+  D.CapacityBytes = static_cast<uint64_t>(T.Entries) * T.PageBytes;
+  D.Assoc = T.Assoc;
+  D.LineBytes = static_cast<unsigned>(T.PageBytes);
+  D.HitLatency = 0;
+  return D;
+}
+
+GoldenMemHierarchySim::GoldenMemHierarchySim(const MachineDesc &M)
+    : Machine(M), Tlb(tlbAsCache(M.Tlb)) {
+  assert(!M.Caches.empty() && "machine must have at least one cache level");
+  assert(M.Caches.size() <= MaxCacheLevels && "too many cache levels");
+  for (const CacheLevelDesc &Level : M.Caches)
+    Caches.emplace_back(Level);
+}
+
+void GoldenMemHierarchySim::reset() {
+  for (GoldenCache &C : Caches)
+    C.reset();
+  Tlb.reset();
+  Counters = HWCounters();
+  LastL1Line = ~0ULL;
+  LastPage = ~0ULL;
+}
+
+double GoldenMemHierarchySim::walkCaches(uint64_t Addr, double Now,
+                                         unsigned FillFromLevel,
+                                         bool CountMisses) {
+  // Probe from L1 outward until a level hits.
+  for (unsigned Level = 0; Level < Caches.size(); ++Level) {
+    // Prefetch fidelity fix (mirrored in the production simulator): a
+    // fill targeting FillFromLevel must not touch the replacement state
+    // of faster levels — probe those non-destructively.
+    if (Level < FillFromLevel) {
+      if (Caches[Level].contains(Addr))
+        return 0;
+      continue;
+    }
+    CacheProbe Probe = Caches[Level].access(Addr);
+    if (!Probe.Hit) {
+      if (CountMisses)
+        ++Counters.CacheMisses[Level];
+      continue;
+    }
+    double Stall = std::max<double>(Machine.Caches[Level].HitLatency,
+                                    Probe.ReadyCycle - Now);
+    Stall = std::max(Stall, 0.0);
+    // Fill the faster levels with the line; data is there once the stall
+    // (or the in-flight prefetch) completes.
+    double Ready = Now + Stall;
+    for (unsigned Upper = FillFromLevel; Upper < Level; ++Upper)
+      Caches[Upper].fill(Addr, Ready);
+    return Stall;
+  }
+  // Missed everywhere: go to memory.
+  double Stall = Machine.MemLatency;
+  double Ready = Now + Stall;
+  for (unsigned Level = FillFromLevel; Level < Caches.size(); ++Level)
+    Caches[Level].fill(Addr, Ready);
+  return Stall;
+}
+
+double GoldenMemHierarchySim::access(uint64_t Addr, bool IsWrite,
+                                     double Now) {
+  if (IsWrite)
+    ++Counters.Stores;
+  else
+    ++Counters.Loads;
+
+  // Fast path: same L1 line and page as the previous access.
+  uint64_t L1Line = Caches.front().lineOf(Addr);
+  uint64_t Page = Tlb.lineOf(Addr);
+  if (L1Line == LastL1Line && Page == LastPage)
+    return 0;
+
+  double Stall = 0;
+  if (Page != LastPage) {
+    CacheProbe TlbProbe = Tlb.access(Addr);
+    if (!TlbProbe.Hit) {
+      ++Counters.TlbMisses;
+      Stall += Machine.Tlb.MissPenalty;
+      Tlb.fill(Addr, /*ReadyCycle=*/0);
+    }
+    LastPage = Page;
+  }
+
+  Stall += walkCaches(Addr, Now + Stall);
+  LastL1Line = L1Line;
+  return Stall;
+}
+
+double GoldenMemHierarchySim::prefetch(uint64_t Addr, double Now) {
+  ++Counters.Prefetches;
+  ++Counters.Loads;
+
+  CacheProbe TlbProbe = Tlb.access(Addr);
+  if (!TlbProbe.Hit)
+    Tlb.fill(Addr, /*ReadyCycle=*/0);
+  unsigned FillFrom = std::min<unsigned>(
+      Machine.PrefetchFillLevel,
+      static_cast<unsigned>(Caches.size()) - 1);
+  walkCaches(Addr, Now, FillFrom, /*CountMisses=*/false);
+  LastL1Line = ~0ULL;
+  return 0;
+}

@@ -23,6 +23,11 @@ MemHierarchySim::MemHierarchySim(const MachineDesc &M)
   assert(M.Caches.size() <= MaxCacheLevels && "too many cache levels");
   for (const CacheLevelDesc &Level : M.Caches)
     Caches.emplace_back(Level);
+  L1HitLatency = M.Caches.front().HitLatency;
+  TlbMissPenalty = M.Tlb.MissPenalty;
+  PrefetchFillFrom = std::min<unsigned>(
+      Machine.PrefetchFillLevel,
+      static_cast<unsigned>(Caches.size()) - 1);
 }
 
 void MemHierarchySim::reset() {
@@ -35,10 +40,11 @@ void MemHierarchySim::reset() {
 }
 
 double MemHierarchySim::walkCaches(uint64_t Addr, double Now,
+                                   unsigned StartLevel,
                                    unsigned FillFromLevel,
                                    bool CountMisses) {
-  // Probe from L1 outward until a level hits.
-  for (unsigned Level = 0; Level < Caches.size(); ++Level) {
+  // Probe from StartLevel outward until a level hits.
+  for (unsigned Level = StartLevel; Level < Caches.size(); ++Level) {
     CacheProbe Probe = Caches[Level].access(Addr);
     if (!Probe.Hit) {
       if (CountMisses)
@@ -77,19 +83,30 @@ double MemHierarchySim::access(uint64_t Addr, bool IsWrite, double Now) {
   if (L1Line == LastL1Line && Page == LastPage)
     return 0;
 
+  // Fused TLB + L1 probe: the dominant post-filter pattern in dense
+  // loops is a new line (or new array) that still hits L1, so the hit
+  // path runs straight through here without entering the level walk.
   double Stall = 0;
   if (Page != LastPage) {
     CacheProbe TlbProbe = Tlb.access(Addr);
     if (!TlbProbe.Hit) {
       ++Counters.TlbMisses;
-      Stall += Machine.Tlb.MissPenalty;
+      Stall += TlbMissPenalty;
       Tlb.fill(Addr, /*ReadyCycle=*/0);
     }
     LastPage = Page;
   }
-
-  Stall += walkCaches(Addr, Now + Stall);
   LastL1Line = L1Line;
+
+  CacheProbe L1Probe = Caches.front().access(Addr);
+  if (L1Probe.Hit) {
+    // Same arithmetic as the walk's hit case, inlined for the fast path.
+    double HitStall = std::max<double>(L1HitLatency,
+                                       L1Probe.ReadyCycle - (Now + Stall));
+    return Stall + std::max(HitStall, 0.0);
+  }
+  ++Counters.CacheMisses[0];
+  Stall += walkCaches(Addr, Now + Stall, /*StartLevel=*/1);
   return Stall;
 }
 
@@ -103,17 +120,25 @@ double MemHierarchySim::prefetch(uint64_t Addr, double Now) {
   CacheProbe TlbProbe = Tlb.access(Addr);
   if (!TlbProbe.Hit)
     Tlb.fill(Addr, /*ReadyCycle=*/0);
-  // The prefetched data arrives after the cycles a demand access would
-  // have stalled; walkCaches stamps the filled lines with that ready time,
-  // so a demand access arriving earlier pays only the remainder. Fills
-  // start at the machine's prefetch target level (L2 by default — see
-  // MachineDesc::PrefetchFillLevel).
-  unsigned FillFrom = std::min<unsigned>(
-      Machine.PrefetchFillLevel,
-      static_cast<unsigned>(Caches.size()) - 1);
-  walkCaches(Addr, Now, FillFrom, /*CountMisses=*/false);
+
   // The L1-line MRU filter must not short-circuit the next demand access
   // to this line (it may still need to pay the in-flight remainder).
   LastL1Line = ~0ULL;
+
+  // A prefetch targets PrefetchFillFrom (L2 by default): levels faster
+  // than the target are probed non-destructively, because a fill staged
+  // in L2 must not promote or evict anything in L1 — the seed probed L1
+  // with a recency-updating access here, so an L2-targeted prefetch of a
+  // line resident in L1 reordered the L1 LRU stack in a way real
+  // hardware would not (see tests/test_sim.cpp PrefetchDoesNotPerturbL1Lru).
+  for (unsigned Level = 0; Level < PrefetchFillFrom; ++Level)
+    if (Caches[Level].contains(Addr))
+      return 0; // already resident somewhere faster: nothing to stage
+
+  // The prefetched data arrives after the cycles a demand access would
+  // have stalled; walkCaches stamps the filled lines with that ready time,
+  // so a demand access arriving earlier pays only the remainder.
+  walkCaches(Addr, Now, /*StartLevel=*/PrefetchFillFrom, PrefetchFillFrom,
+             /*CountMisses=*/false);
   return 0;
 }

@@ -16,9 +16,17 @@
 ///    services it (L1 hit is free, memory costs MemLatency), except that a
 ///    line filled by an in-flight prefetch only charges the cycles still
 ///    remaining until the line is ready;
-///  * prefetch: counts as a load and (if it misses) as a cache miss, but
-///    never stalls — it fills the hierarchy with a ready-cycle in the
-///    future.
+///  * prefetch: counts as a load but never stalls and never shows up in
+///    the miss counters — it stages the line at the machine's prefetch
+///    fill level (L2 by default) with a ready-cycle in the future.
+///    Levels faster than the fill target are probed non-destructively:
+///    an L2-targeted prefetch cannot promote or evict L1 lines.
+///
+/// The demand path is branch-light: a one-entry MRU filter short-circuits
+/// same-line runs, and the TLB + L1 probes are fused so the common L1 hit
+/// never enters the per-level walk. sim/GoldenSim.h freezes the seed
+/// model; tests/test_sim_equiv.cpp proves both produce bit-identical
+/// HWCounters on randomized traces.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -65,15 +73,16 @@ public:
   SetAssocCache &tlb() { return Tlb; }
 
 private:
-  /// Walks the cache levels for \p Addr, filling every missing level from
-  /// \p FillFromLevel outward with a ready time of Now + stall. Returns
-  /// the stall a demand access pays (0 if it hit ready in L1); a prefetch
+  /// Walks the cache levels for \p Addr starting at \p StartLevel (the
+  /// demand path probes L1 inline and enters at 1 on a miss), filling
+  /// every missing level from \p FillFromLevel outward with a ready time
+  /// of Now + stall. Returns the stall a demand access pays; a prefetch
   /// ignores the return value and thereby leaves the fill "in flight".
   /// Prefetch walks pass CountMisses = false: hardware miss counters see
   /// only demand traffic (the paper's Table 1 shows prefetching adding
   /// loads while miss counts stay flat).
-  double walkCaches(uint64_t Addr, double Now, unsigned FillFromLevel = 0,
-                    bool CountMisses = true);
+  double walkCaches(uint64_t Addr, double Now, unsigned StartLevel = 0,
+                    unsigned FillFromLevel = 0, bool CountMisses = true);
 
   static CacheLevelDesc tlbAsCache(const TlbDesc &T);
 
@@ -81,6 +90,11 @@ private:
   std::vector<SetAssocCache> Caches;
   SetAssocCache Tlb; ///< modeled as a cache whose "lines" are pages
   HWCounters Counters;
+
+  /// Hot-path constants hoisted out of MachineDesc at construction.
+  double L1HitLatency = 0;
+  double TlbMissPenalty = 0;
+  unsigned PrefetchFillFrom = 0; ///< clamped Machine.PrefetchFillLevel
 
   /// One-entry MRU filter: repeated accesses to the same L1 line (the
   /// dominant pattern in dense loops) skip the full walk. Exact: repeated

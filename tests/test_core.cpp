@@ -169,6 +169,25 @@ TEST(VariantTest, InitialConfigIsFeasible) {
   }
 }
 
+TEST(VariantTest, InitialConfigSurvivesHugeRegisterLimit) {
+  // Regression: the register-heuristic bit count was computed with
+  // `1 << (Bits + 1)` in int — a register limit past 2^30 overflowed the
+  // shift (UB; in practice the loop never terminated). A machine
+  // description with a huge register file must still produce clamped,
+  // feasible unroll factors.
+  LoopNest MM = makeMatMul();
+  MachineDesc M = MachineDesc::sgiR10000();
+  M.FpRegisters = 0xFFFFFFF0u; // ~2^32 "registers"
+  for (const DerivedVariant &V : deriveVariants(MM, M)) {
+    Env Init = initialConfig(V, M, {{"N", 512}});
+    for (const UnrollSpec &U : V.Spec.Unrolls) {
+      int64_t F = Init.get(U.FactorParam);
+      EXPECT_GE(F, 1) << V.describe();
+      EXPECT_LE(F, 16) << V.describe(); // per-factor clamp holds
+    }
+  }
+}
+
 TEST(VariantTest, DescribeMentionsEverything) {
   LoopNest MM = makeMatMul();
   std::vector<DerivedVariant> Vs =

@@ -183,13 +183,68 @@ TEST(EngineTest, ParallelSearchVariantMatchesSequential) {
             Vs.front().configString(Seq.BestConfig));
 }
 
+namespace {
+
+/// A backend that opts out of parallelism (clone() keeps the default
+/// nullptr), for exercising the engine's degradation path.
+class NonClonableBackend : public EvalBackend {
+public:
+  explicit NonClonableBackend(MachineDesc M) : Machine(std::move(M)) {}
+  double evaluate(const LoopNest &, const Env &) override { return 1.0; }
+  const MachineDesc &machine() const override { return Machine; }
+
+private:
+  MachineDesc Machine;
+};
+
+} // namespace
+
 TEST(EngineTest, NonClonableBackendDegradesToOneJob) {
   MachineDesc M = sgiScaled();
-  NativeEvalBackend Backend(M, 1); // clone() is nullptr by design
+  NonClonableBackend Backend(M);
   EngineOptions Opts;
   Opts.Jobs = 8;
   EvalEngine Engine(Backend, Opts);
   EXPECT_EQ(Engine.jobs(), 1);
+}
+
+TEST(EngineTest, NativeBackendClonesShareKernelCacheWithoutRaces) {
+  // Regression for a data race: the native backend's compiled-kernel
+  // cache was a function-local static map, mutated without a lock by
+  // every backend in the process. It is now a mutex-guarded cache shared
+  // across the clone chain. Three threads (base + two clones) evaluating
+  // the same source concurrently must produce finite timings — under
+  // ThreadSanitizer (-DECO_SANITIZE=thread) the old code reports here.
+  LoopNest MM = makeMatMul();
+  Env Config = makeEnv(MM, {{"N", 24}});
+
+  NativeEvalBackend Base(MachineDesc::genericHost(), /*Repeats=*/1);
+  std::unique_ptr<EvalBackend> C1 = Base.clone();
+  std::unique_ptr<EvalBackend> C2 = Base.clone();
+  ASSERT_NE(C1, nullptr);
+  ASSERT_NE(C2, nullptr);
+
+  EvalBackend *Backends[3] = {&Base, C1.get(), C2.get()};
+  std::atomic<int> Finite{0};
+  std::vector<std::thread> Threads;
+  for (EvalBackend *B : Backends)
+    Threads.emplace_back([&, B] {
+      for (int Rep = 0; Rep < 2; ++Rep)
+        if (B->evaluate(MM, Config) < std::numeric_limits<double>::infinity())
+          ++Finite;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Finite.load(), 6);
+}
+
+TEST(EngineTest, EngineParallelizesCloneableNativeBackend) {
+  MachineDesc M = MachineDesc::genericHost();
+  NativeEvalBackend Backend(M, 1);
+  EngineOptions Opts;
+  Opts.Jobs = 3;
+  EvalEngine Engine(Backend, Opts);
+  EXPECT_EQ(Engine.jobs(), 3);
 }
 
 TEST(EngineTest, ParallelSpeedsUpOnMulticoreHosts) {
@@ -319,6 +374,37 @@ TEST(EngineTest, StatsFeedTunerAccounting) {
   // evaluation.
   EXPECT_LE(SummedPoints, R.TotalPoints);
   EXPECT_GT(SummedPoints, 0u);
+}
+
+TEST(EngineTest, PerStageStatsSumToTotals) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.Jobs = 2;
+  EvalEngine Engine(Backend, Opts);
+  tune(MM, Engine, {{"N", 64}});
+
+  std::map<std::string, EvalEngine::StageStats> Stages = Engine.stageStats();
+  ASSERT_FALSE(Stages.empty());
+  // The Tuner's ranking pass and the search's opening stage must appear.
+  EXPECT_TRUE(Stages.count("rank"));
+  EXPECT_TRUE(Stages.count("initial"));
+
+  EvalStats Total = Engine.stats();
+  size_t Evals = 0, Hits = 0;
+  double Seconds = 0;
+  for (const auto &[Name, SS] : Stages) {
+    EXPECT_FALSE(Name.empty());
+    Evals += SS.Evaluations;
+    Hits += SS.CacheHits;
+    Seconds += SS.BackendSeconds;
+  }
+  EXPECT_EQ(Evals, Total.Evaluations);
+  EXPECT_EQ(Hits, Total.CacheHits);
+  // Same addends, different association (chronological vs. per-bucket).
+  EXPECT_NEAR(Seconds, Total.BackendSeconds,
+              1e-9 * std::max(1.0, Total.BackendSeconds));
 }
 
 // ---- Checkpoint / resume ------------------------------------------------

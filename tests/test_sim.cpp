@@ -162,6 +162,45 @@ TEST(MemHierarchy, PrefetchTooLatePaysPartialStall) {
   EXPECT_EQ(Sim.counters().l2Misses(), 0u); // L2 had the line in flight
 }
 
+TEST(MemHierarchy, PrefetchDoesNotPerturbL1Lru) {
+  // Regression for a fidelity bug: prefetch probed every level with a
+  // recency-updating access, so an L2-targeted prefetch of a line
+  // resident in L1 promoted it to MRU — real hardware filling L2 does
+  // not touch L1's replacement state. Layout: X and Y conflict in L1
+  // set 0 (SetStride = 4 sets x 32B = 128).
+  MemHierarchySim Sim(tinyMachine()); // PrefetchFillLevel = 1 (L2)
+  const uint64_t X = 0x10000, Y = X + 128, Z = X + 256;
+  Sim.access(X, false, 0);    // set 0: [X]
+  Sim.access(Y, false, 1000); // set 0: [Y, X] — X is LRU
+  Sim.prefetch(X, 2000);      // must NOT promote X over Y
+  Sim.access(Z, false, 3000); // fills set 0, evicting the true LRU: X
+  EXPECT_FALSE(Sim.cacheLevel(0).contains(X));
+  EXPECT_TRUE(Sim.cacheLevel(0).contains(Y)); // seed wrongly evicted Y
+  EXPECT_TRUE(Sim.cacheLevel(0).contains(Z));
+}
+
+TEST(MemHierarchy, PrefetchStreamLeavesL1WorkingSetResident) {
+  // A software-prefetch stream ahead of a computation (the paper's mm5 /
+  // j2 versions) stages lines into L2; the L1-resident working set must
+  // survive it untouched, both in residency and in LRU order.
+  MemHierarchySim Sim(tinyMachine());
+  std::vector<uint64_t> WorkingSet;
+  for (int I = 0; I < 8; ++I) // 4 sets x 2 ways, exactly fills L1
+    WorkingSet.push_back(0x20000 + I * 32);
+  double Now = 0;
+  for (uint64_t A : WorkingSet)
+    Now += 1 + Sim.access(A, false, Now);
+  for (int I = 0; I < 32; ++I) // long prefetch stream over fresh lines
+    Sim.prefetch(0x40000 + I * 32, Now);
+  for (uint64_t A : WorkingSet)
+    EXPECT_TRUE(Sim.cacheLevel(0).contains(A)) << "addr " << std::hex << A;
+  // Re-touching the set demands no stalls: everything still L1-hits.
+  Now = 1e6;
+  for (uint64_t A : WorkingSet)
+    EXPECT_DOUBLE_EQ(Sim.access(A, false, Now), 0) << "addr " << std::hex
+                                                   << A;
+}
+
 TEST(MemHierarchy, TlbMissesOncePerPage) {
   MemHierarchySim Sim(tinyMachine()); // 4 fully-assoc entries, 4KB pages
   for (int P = 0; P < 4; ++P)
