@@ -5,7 +5,8 @@
 //   eco_cli [--kernel=matmul|jacobi|matvec] [--machine=sgi|sun|host]
 //           [--n=SIZE] [--scale=K] [--native] [--emit-c] [--variants]
 //           [--trace] [--jobs=N] [--cache-file=F] [--trace-file=F]
-//           [--checkpoint=F] [--resume]
+//           [--checkpoint=F] [--resume] [--metrics-file=F]
+//           [--chrome-trace=F] [--log-level=LVL] [--progress]
 //
 //   --variants     print the derived variant set (Table 4 style) and exit
 //   --emit-c       print the winning variant as C source
@@ -17,7 +18,14 @@
 //   --trace-file=F stream structured per-point records to F (JSONL)
 //   --checkpoint=F write per-variant tune state to F after each search
 //   --resume       load --checkpoint (and --cache-file) state and skip
-//                  already-searched variants
+//                  already-searched variants (--trace-file appends)
+//   --metrics-file=F  dump the metrics registry (counters/gauges/
+//                  histograms) to F as JSON after the tune
+//   --chrome-trace=F  export the tune's span timeline to F in Chrome
+//                  trace-event JSON (open in Perfetto/chrome://tracing)
+//   --log-level=L  stderr diagnostics: off|error|warn|info|debug
+//                  (default warn, or the ECO_LOG_LEVEL env var)
+//   --progress     periodic progress/ETA line on stderr while tuning
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,13 +36,21 @@
 #include "engine/Engine.h"
 #include "exec/Run.h"
 #include "kernels/Kernels.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "support/StringUtils.h"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 using namespace eco;
 
@@ -55,6 +71,63 @@ struct CliOptions {
   std::string TraceFile;
   std::string CheckpointFile;
   bool Resume = false;
+  std::string MetricsFile;
+  std::string ChromeTraceFile;
+  std::string LogLevel;
+  bool Progress = false;
+};
+
+/// Background reporter for --progress: once a second prints variant
+/// progress, evaluation counts, and an ETA extrapolated from the pace of
+/// completed variants — all read from the metrics registry the tune
+/// updates as it runs.
+class ProgressReporter {
+public:
+  ProgressReporter() {
+    Worker = std::thread([this] { run(); });
+  }
+
+  ~ProgressReporter() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stop = true;
+    }
+    CV.notify_one();
+    Worker.join();
+    std::fprintf(stderr, "\n");
+  }
+
+private:
+  void run() {
+    auto Start = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> Lock(M);
+    while (!CV.wait_for(Lock, std::chrono::seconds(1),
+                        [this] { return Stop; })) {
+      obs::MetricsRegistry &Reg = obs::metrics();
+      double Total = Reg.gauge("tune.variants_total").value();
+      double Done = Reg.gauge("tune.variants_done").value();
+      uint64_t Evals = Reg.counter("eval.evaluations").value();
+      uint64_t Hits = Reg.counter("eval.cache_hits").value();
+      double Elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+      std::string Eta = "-";
+      if (Done > 0 && Total > Done)
+        Eta = strformat("%.0fs", Elapsed / Done * (Total - Done));
+      std::fprintf(stderr,
+                   "\r[eco] variants %.0f/%.0f  evals %llu  hits %llu  "
+                   "elapsed %.0fs  eta %s   ",
+                   Done, Total, static_cast<unsigned long long>(Evals),
+                   static_cast<unsigned long long>(Hits), Elapsed,
+                   Eta.c_str());
+      std::fflush(stderr);
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable CV;
+  bool Stop = false;
+  std::thread Worker;
 };
 
 bool parseArg(CliOptions &Opts, const std::string &Arg) {
@@ -96,6 +169,22 @@ bool parseArg(CliOptions &Opts, const std::string &Arg) {
     Opts.CheckpointFile = V;
     return !Opts.CheckpointFile.empty();
   }
+  if (const char *V = valueOf("--metrics-file=")) {
+    Opts.MetricsFile = V;
+    return !Opts.MetricsFile.empty();
+  }
+  if (const char *V = valueOf("--chrome-trace=")) {
+    Opts.ChromeTraceFile = V;
+    return !Opts.ChromeTraceFile.empty();
+  }
+  if (const char *V = valueOf("--log-level=")) {
+    Opts.LogLevel = V;
+    return obs::setLogLevelByName(Opts.LogLevel);
+  }
+  if (Arg == "--progress") {
+    Opts.Progress = true;
+    return true;
+  }
   if (Arg == "--resume") {
     Opts.Resume = true;
     return true;
@@ -134,13 +223,23 @@ int main(int Argc, char **Argv) {
                    "[--machine=sgi|sun|host] [--n=SIZE] [--scale=K] "
                    "[--native] [--emit-c] [--variants] [--trace] "
                    "[--report] [--jobs=N] [--cache-file=F] "
-                   "[--trace-file=F] [--checkpoint=F] [--resume]\n",
+                   "[--trace-file=F] [--checkpoint=F] [--resume] "
+                   "[--metrics-file=F] [--chrome-trace=F] "
+                   "[--log-level=off|error|warn|info|debug] "
+                   "[--progress]\n",
                    Argv[0]);
       return 2;
     }
   }
   if (Opts.Resume && Opts.CheckpointFile.empty())
     Opts.CheckpointFile = "eco_checkpoint.json";
+
+  // Observability: metrics feed --metrics-file and the --progress
+  // reporter; spans feed --chrome-trace. Both default off (zero cost).
+  if (!Opts.MetricsFile.empty() || Opts.Progress)
+    obs::setMetricsEnabled(true);
+  if (!Opts.ChromeTraceFile.empty())
+    obs::SpanCollector::global().setEnabled(true);
 
   LoopNest Nest;
   if (Opts.Kernel == "matmul")
@@ -191,6 +290,7 @@ int main(int Argc, char **Argv) {
   EOpts.Jobs = Opts.Jobs;
   EOpts.CacheFile = Opts.CacheFile;
   EOpts.TraceFile = Opts.TraceFile;
+  EOpts.TraceAppend = Opts.Resume; // a resumed tune extends its trace
   EvalEngine Engine(Backend, EOpts);
   if (Opts.Jobs > 1 && Engine.jobs() == 1)
     std::fprintf(stderr,
@@ -209,8 +309,33 @@ int main(int Argc, char **Argv) {
                   Ckpt->numLoaded(), Opts.CheckpointFile.c_str());
   }
 
-  TuneResult R = tune(Nest, Engine, Problem, TOpts);
+  TuneResult R;
+  {
+    std::unique_ptr<ProgressReporter> Progress;
+    if (Opts.Progress)
+      Progress = std::make_unique<ProgressReporter>();
+    R = tune(Nest, Engine, Problem, TOpts);
+  }
   Engine.flush();
+
+  if (!Opts.MetricsFile.empty()) {
+    if (obs::metrics().toJson().saveFile(Opts.MetricsFile))
+      std::printf("metrics dumped to %s\n", Opts.MetricsFile.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   Opts.MetricsFile.c_str());
+  }
+  if (!Opts.ChromeTraceFile.empty()) {
+    if (obs::SpanCollector::global().writeChromeTrace(
+            Opts.ChromeTraceFile))
+      std::printf("chrome trace written to %s (open in Perfetto or "
+                  "chrome://tracing)\n",
+                  Opts.ChromeTraceFile.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write chrome trace to %s\n",
+                   Opts.ChromeTraceFile.c_str());
+  }
+
   if (R.BestVariant < 0) {
     std::fprintf(stderr, "error: tuning produced no feasible variant\n");
     return 1;

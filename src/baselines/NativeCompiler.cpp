@@ -3,6 +3,7 @@
 #include "baselines/NativeCompiler.h"
 #include "analysis/Dependence.h"
 #include "analysis/Reuse.h"
+#include "obs/Log.h"
 #include "transform/Permute.h"
 #include "transform/ScalarReplace.h"
 #include "transform/UnrollJam.h"
@@ -19,8 +20,12 @@ LoopNest eco::nativeCompiledNest(const LoopNest &Original,
     return Nest;
 
   DependenceInfo DI = analyzeDependences(Original);
-  if (!DI.FullyPermutable)
-    return Nest; // the modeled compiler gives up too
+  if (!DI.FullyPermutable) {
+    // The modeled compiler gives up too.
+    ECO_LOG(Debug) << "native-compiler model: " << Original.Name
+                   << " is not fully permutable; leaving it untouched";
+    return Nest;
+  }
 
   Env SizeEnv(Original.Syms.size());
   for (size_t S = 0; S < Original.Syms.size(); ++S)

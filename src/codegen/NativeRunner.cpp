@@ -2,6 +2,7 @@
 
 #include "codegen/NativeRunner.h"
 #include "codegen/CEmitter.h"
+#include "obs/Log.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
 
@@ -18,7 +19,8 @@ static std::atomic<int> UniqueId{0};
 
 std::unique_ptr<NativeKernel> NativeKernel::compile(const LoopNest &Nest,
                                                     std::string *Error) {
-  auto Fail = [&](const std::string &Msg) {
+  auto Fail = [&](const std::string &Msg) -> std::unique_ptr<NativeKernel> {
+    ECO_LOG(Warn) << "native kernel " << Nest.Name << ": " << Msg;
     if (Error)
       *Error = Msg;
     return nullptr;

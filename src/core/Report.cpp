@@ -50,6 +50,46 @@ std::string eco::renderReport(const TuneResult &Result,
                    Result.best().configString(Result.BestConfig).c_str(),
                    Result.BestCost, Opts.CostUnit.c_str());
 
+  // Stage telemetry (Table 3-style): where the search spent its
+  // evaluations and what the simulated hardware counters saw per
+  // (variant, stage) bucket.
+  if (!Result.Telemetry.empty()) {
+    Out += "\nStage telemetry\n";
+    Out += "---------------\n";
+    bool AnyHW = false;
+    for (const StageTelemetry &Row : Result.Telemetry)
+      AnyHW |= Row.HasHW;
+    std::vector<std::string> Cols = {"Variant", "Stage", "Evals", "Hits",
+                                     "BackendSec"};
+    if (AnyHW) {
+      Cols.insert(Cols.end(), {"Loads", "Stores", "Prefetch", "L1 miss",
+                               "L2 miss", "TLB miss", "Cycles"});
+    }
+    Table T3(Cols);
+    for (const StageTelemetry &Row : Result.Telemetry) {
+      std::vector<std::string> Cells = {
+          Row.Variant, Row.Stage, std::to_string(Row.Evaluations),
+          std::to_string(Row.CacheHits),
+          strformat("%.3f", Row.BackendSeconds)};
+      if (AnyHW) {
+        if (Row.HasHW) {
+          Cells.insert(Cells.end(),
+                       {std::to_string(Row.HW.Loads),
+                        std::to_string(Row.HW.Stores),
+                        std::to_string(Row.HW.Prefetches),
+                        std::to_string(Row.HW.l1Misses()),
+                        std::to_string(Row.HW.l2Misses()),
+                        std::to_string(Row.HW.TlbMisses),
+                        strformat("%.0f", Row.HW.cycles())});
+        } else {
+          Cells.insert(Cells.end(), {"-", "-", "-", "-", "-", "-", "-"});
+        }
+      }
+      T3.addRow(Cells);
+    }
+    Out += T3.render();
+  }
+
   if (Opts.IncludeOptimizedCode) {
     Out += "\nOptimized code (tile parameters symbolic)\n";
     Out += "------------------------------------------\n";

@@ -3,6 +3,8 @@
 #include "core/Search.h"
 #include "codegen/CEmitter.h"
 #include "codegen/NativeRunner.h"
+#include "obs/Log.h"
+#include "obs/Span.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
 
@@ -60,8 +62,11 @@ double NativeEvalBackend::evaluate(const LoopNest &Executable,
       std::string Error;
       std::unique_ptr<NativeKernel> Fresh =
           NativeKernel::compile(Executable, &Error);
-      if (!Fresh)
+      if (!Fresh) {
+        // An infeasible point, not a fatal error: the search skips it.
+        ECO_LOG(Warn) << "native evaluation rejected a point: " << Error;
         return std::numeric_limits<double>::infinity();
+      }
       It = Kernels->BySource.emplace(std::move(Src), std::move(Fresh)).first;
     }
     Kernel = It->second.get();
@@ -273,13 +278,21 @@ public:
 
   VariantSearchResult run() {
     Timer Elapsed;
-    Stage = "initial";
-    CurCost = eval(Cur);
+    {
+      obs::SpanScope Span("stage:initial", "search", V.Spec.Name);
+      Stage = "initial";
+      CurCost = eval(Cur);
+    }
     // If even the heuristic point is infeasible something is off; bail
     // with what we have.
+    if (CurCost >= Inf)
+      ECO_LOG(Warn) << "variant " << V.Spec.Name
+                    << ": model-heuristic initial point is infeasible; "
+                       "skipping its search";
     if (CurCost < Inf) {
       // Stage 1: register factors.
       if (!UnrollParams.empty()) {
+        obs::SpanScope Span("stage:register", "search", V.Spec.Name);
         Stage = "register";
         shapeSearch(UnrollParams);
         linearRefine(UnrollParams, 1);
@@ -288,16 +301,19 @@ public:
       size_t StageIdx = 0;
       for (const std::vector<SymbolId> &S : searchStages(V)) {
         Stage = "tile" + std::to_string(StageIdx++);
+        obs::SpanScope Span("stage:" + Stage, "search", V.Spec.Name);
         footprintSearch(S);
         linearRefine(S, lineElems());
       }
       // Stage 3: prefetch, one structure at a time.
       if (Opts.SearchPrefetch) {
+        obs::SpanScope Span("stage:prefetch", "search", V.Spec.Name);
         Stage = "prefetch";
         prefetchSearch();
       }
       // Stage 4: post-prefetch tile adjustment.
       if (Opts.AdjustAfterPrefetch && anyPrefetchOn()) {
+        obs::SpanScope Span("stage:adjust", "search", V.Spec.Name);
         Stage = "adjust";
         adjustInnermostTile();
       }

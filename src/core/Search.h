@@ -67,6 +67,15 @@ public:
   /// must return a string identifying that state, so cached results are
   /// never served across incompatible backends.
   virtual std::string cacheSalt() const { return {}; }
+
+  /// Hardware counters this backend accumulates across evaluations, or
+  /// nullptr when it has none (the native backend measures wall time
+  /// only). The engine snapshots the counters around each evaluation and
+  /// attributes the delta to the evaluation's (variant, stage) bucket —
+  /// the PAPI-per-configuration measurement of the paper's Table 3.
+  /// Callers may only diff snapshots taken on the thread running this
+  /// backend instance.
+  virtual const HWCounters *hwCounters() const { return nullptr; }
 };
 
 /// Runs variants on the memory-hierarchy simulator; cost = cycles.
@@ -88,6 +97,8 @@ public:
   /// benchmarks divide the access totals by backend wall time to report
   /// simulated accesses per second.
   const HWCounters &accumulatedCounters() const { return Accum; }
+
+  const HWCounters *hwCounters() const override { return &Accum; }
 
 private:
   MachineDesc Machine;
@@ -140,6 +151,12 @@ public:
     for (int64_t N : Sizes)
       Salt += std::to_string(N) + ",";
     return Salt + Inner.cacheSalt();
+  }
+
+  /// Counter deltas across a multi-size evaluation naturally sum over
+  /// the size set, matching the summed cost.
+  const HWCounters *hwCounters() const override {
+    return Inner.hwCounters();
   }
 
 private:
@@ -235,6 +252,22 @@ struct EvalStats {
   double BackendSeconds = 0;///< summed backend wall time (CPU seconds)
 };
 
+/// One (variant, stage) row of the evaluator's telemetry ledger: how many
+/// points that stage of that variant's search evaluated, and the summed
+/// hardware-counter deltas of those evaluations when the backend exposes
+/// counters (Table 3 of the paper, per search stage instead of per final
+/// configuration). Counts are cumulative over the evaluator's lifetime;
+/// the Tuner diffs snapshots to report one tune.
+struct StageTelemetry {
+  std::string Variant;
+  std::string Stage;
+  size_t Evaluations = 0;
+  size_t CacheHits = 0;
+  double BackendSeconds = 0;
+  HWCounters HW;     ///< summed deltas over real (non-cached) evaluations
+  bool HasHW = false;///< backend exposed hwCounters()
+};
+
 /// How the search evaluates candidate configurations. The search's
 /// decision loop stays strictly sequential; an Evaluator may additionally
 /// accept *warm* batches — independent candidates a search step is about
@@ -275,6 +308,11 @@ public:
   }
 
   virtual EvalStats stats() const = 0;
+
+  /// Cumulative per-(variant, stage) telemetry rows, sorted by (variant,
+  /// stage). Default: none (the engine implements this; the sequential
+  /// reference evaluator keeps only aggregate stats).
+  virtual std::vector<StageTelemetry> telemetry() const { return {}; }
 };
 
 /// The sequential reference Evaluator: evaluates on the caller's thread

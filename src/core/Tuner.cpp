@@ -1,16 +1,54 @@
 //===- core/Tuner.cpp - The two-phase ECO facade ---------------------------===//
 
 #include "core/Tuner.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace eco;
+
+namespace {
+
+/// Diffs the evaluator's cumulative telemetry rows against the snapshot
+/// taken when the tune started, keeping only rows that changed — the
+/// per-(variant, stage) activity attributable to this tune.
+std::vector<StageTelemetry>
+telemetryDelta(const std::vector<StageTelemetry> &Start,
+               const std::vector<StageTelemetry> &End) {
+  std::map<std::pair<std::string, std::string>, const StageTelemetry *>
+      Base;
+  for (const StageTelemetry &Row : Start)
+    Base[{Row.Variant, Row.Stage}] = &Row;
+
+  std::vector<StageTelemetry> Delta;
+  for (const StageTelemetry &Row : End) {
+    StageTelemetry D = Row;
+    auto It = Base.find({Row.Variant, Row.Stage});
+    if (It != Base.end()) {
+      const StageTelemetry &B = *It->second;
+      D.Evaluations -= B.Evaluations;
+      D.CacheHits -= B.CacheHits;
+      D.BackendSeconds -= B.BackendSeconds;
+      D.HW = Row.HW.delta(B.HW);
+    }
+    if (D.Evaluations || D.CacheHits)
+      Delta.push_back(std::move(D));
+  }
+  return Delta;
+}
+
+} // namespace
 
 TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
                      const ParamBindings &Problem, const TuneOptions &Opts) {
   Timer Total;
+  obs::SpanScope TuneSpan("tune", "tune", Original.Name);
   EvalStats StartStats = Eval.stats();
+  std::vector<StageTelemetry> StartTele = Eval.telemetry();
   TuneResult Result;
 
   // Use the actual problem size as the representative size for the
@@ -25,7 +63,12 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
                                           Value);
   }
 
-  Result.Variants = deriveVariants(Original, Eval.machine(), DOpts);
+  {
+    obs::SpanScope S("derive", "tune");
+    Result.Variants = deriveVariants(Original, Eval.machine(), DOpts);
+  }
+  ECO_LOG(Info) << "derived " << Result.Variants.size()
+                << " variants for " << Original.Name;
 
   // Rank variants by their model-heuristic initial point (one evaluation
   // each) — the models' second pruning role. The points are independent
@@ -39,24 +82,28 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
   Result.Summaries.resize(Result.Variants.size());
 
   std::vector<Env> InitConfigs(Result.Variants.size());
-  std::vector<std::pair<const DerivedVariant *, Env>> RankBatch;
-  for (size_t VI = 0; VI < Result.Variants.size(); ++VI) {
-    const DerivedVariant &V = Result.Variants[VI];
-    InitConfigs[VI] = initialConfig(V, Eval.machine(), Problem);
-    if (V.feasible(InitConfigs[VI]))
-      RankBatch.emplace_back(&V, InitConfigs[VI]);
-  }
-  if (RankBatch.size() > 1)
-    Eval.warmMany(RankBatch, "rank");
+  {
+    obs::SpanScope S("rank", "tune",
+                     std::to_string(Result.Variants.size()) + " variants");
+    std::vector<std::pair<const DerivedVariant *, Env>> RankBatch;
+    for (size_t VI = 0; VI < Result.Variants.size(); ++VI) {
+      const DerivedVariant &V = Result.Variants[VI];
+      InitConfigs[VI] = initialConfig(V, Eval.machine(), Problem);
+      if (V.feasible(InitConfigs[VI]))
+        RankBatch.emplace_back(&V, InitConfigs[VI]);
+    }
+    if (RankBatch.size() > 1)
+      Eval.warmMany(RankBatch, "rank");
 
-  for (size_t VI = 0; VI < Result.Variants.size(); ++VI) {
-    const DerivedVariant &V = Result.Variants[VI];
-    double Cost = std::numeric_limits<double>::infinity();
-    if (V.feasible(InitConfigs[VI]))
-      Cost = Eval.evaluate(V, InitConfigs[VI], "rank").Cost;
-    Ranking.push_back({VI, Cost});
-    Result.Summaries[VI].Name = V.Spec.Name;
-    Result.Summaries[VI].HeuristicCost = Cost;
+    for (size_t VI = 0; VI < Result.Variants.size(); ++VI) {
+      const DerivedVariant &V = Result.Variants[VI];
+      double Cost = std::numeric_limits<double>::infinity();
+      if (V.feasible(InitConfigs[VI]))
+        Cost = Eval.evaluate(V, InitConfigs[VI], "rank").Cost;
+      Ranking.push_back({VI, Cost});
+      Result.Summaries[VI].Name = V.Spec.Name;
+      Result.Summaries[VI].HeuristicCost = Cost;
+    }
   }
   std::stable_sort(Ranking.begin(), Ranking.end(),
                    [](const Ranked &A, const Ranked &B) {
@@ -69,6 +116,12 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
   Result.BestCost = std::numeric_limits<double>::infinity();
   size_t ToSearch =
       std::min<size_t>(Opts.MaxVariantsToSearch, Ranking.size());
+  const bool Metrics = obs::metricsEnabled();
+  if (Metrics) {
+    obs::metrics().gauge("tune.variants_total").set(
+        static_cast<double>(ToSearch));
+    obs::metrics().gauge("tune.variants_done").set(0);
+  }
   for (size_t R = 0; R < ToSearch; ++R) {
     size_t VI = Ranking[R].Index;
     const DerivedVariant &V = Result.Variants[VI];
@@ -78,6 +131,7 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
     bool Restored =
         Opts.TryRestoreVariant && Opts.TryRestoreVariant(V, SR, Sum);
     if (!Restored) {
+      obs::SpanScope S("search:" + V.Spec.Name, "tune");
       EvalStats Before = Eval.stats();
       Timer SearchTime;
       SR = searchVariant(V, Eval, Problem, Opts.Search);
@@ -85,6 +139,10 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
       Sum.Points = After.Evaluations - Before.Evaluations;
       Sum.CacheHits = After.CacheHits - Before.CacheHits;
       Sum.Seconds = SearchTime.seconds();
+    } else {
+      ECO_LOG(Info) << "variant " << V.Spec.Name
+                    << " restored from checkpoint (cost "
+                    << SR.BestCost << ")";
     }
     Sum.Searched = true;
     Sum.Restored = Restored;
@@ -92,6 +150,12 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
     Sum.BestConfig = V.configString(SR.BestConfig);
     if (!Restored && Opts.OnVariantSearched)
       Opts.OnVariantSearched(V, SR, Sum);
+    if (Metrics)
+      obs::metrics().gauge("tune.variants_done").set(
+          static_cast<double>(R + 1));
+    ECO_LOG(Debug) << "variant " << V.Spec.Name << " best cost "
+                   << SR.BestCost << " after " << Sum.Points
+                   << " points";
 
     if (SR.BestCost < Result.BestCost) {
       Result.BestCost = SR.BestCost;
@@ -113,6 +177,10 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
     if (Sum.Restored)
       Result.TotalPoints += Sum.Points;
   Result.TotalSeconds = Total.seconds();
+  Result.Telemetry = telemetryDelta(StartTele, Eval.telemetry());
+  ECO_LOG(Info) << "tune complete: " << Result.TotalPoints << " points, "
+                << Result.TotalCacheHits << " cache hits, best cost "
+                << Result.BestCost;
   return Result;
 }
 

@@ -82,6 +82,13 @@ struct TuneResult {
   size_t TotalCacheHits = 0; ///< evaluator memo hits across the tune
   double TotalSeconds = 0;
 
+  /// Per-(variant, stage) telemetry for THIS tune (the evaluator's
+  /// cumulative rows are diffed against a snapshot taken at entry).
+  /// Empty when the evaluator does not implement telemetry(). Counts
+  /// reconcile with TotalPoints/TotalCacheHits; rows with HasHW carry
+  /// summed simulated hardware-counter deltas (Table 3-style data).
+  std::vector<StageTelemetry> Telemetry;
+
   const DerivedVariant &best() const {
     assert(BestVariant >= 0 && "tuning failed");
     return Variants[BestVariant];

@@ -1,6 +1,8 @@
 //===- engine/Checkpoint.cpp - Tune checkpoint / resume -------------------===//
 
 #include "engine/Checkpoint.h"
+#include "obs/Log.h"
+#include "obs/Span.h"
 #include "support/Json.h"
 #include "support/NestHash.h"
 
@@ -37,8 +39,12 @@ TuneCheckpoint::TuneCheckpoint(std::string CkptPath,
   // silently starts fresh — resuming it would replay wrong results.
   if (Root.get("nest").asString() != hashHex(NestHash) ||
       Root.get("machine").asString() != hashHex(MachineHash) ||
-      Root.get("problem").asString() != hashHex(ProblemHash))
+      Root.get("problem").asString() != hashHex(ProblemHash)) {
+    ECO_LOG(Info) << "checkpoint " << Path
+                  << " is for a different (kernel, machine, problem); "
+                     "starting fresh";
     return;
+  }
   const Json &Variants = Root.get("variants");
   if (!Variants.isObject())
     return;
@@ -54,6 +60,9 @@ TuneCheckpoint::TuneCheckpoint(std::string CkptPath,
     Entries[Name] = std::move(Loading);
     ++Loaded;
   }
+  if (Loaded)
+    ECO_LOG(Info) << "checkpoint: resumed " << Loaded
+                  << " variant(s) from " << Path;
 }
 
 bool TuneCheckpoint::tryRestore(const DerivedVariant &V,
@@ -87,6 +96,7 @@ void TuneCheckpoint::record(const DerivedVariant &V,
 }
 
 void TuneCheckpoint::save() const {
+  obs::SpanScope S("checkpoint.save", "io", Path);
   Json Variants = Json::object();
   for (const auto &[Name, E] : Entries) {
     Json Config = Json::object();

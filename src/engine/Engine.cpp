@@ -1,12 +1,50 @@
 //===- engine/Engine.cpp - Parallel evaluation engine ---------------------===//
 
 #include "engine/Engine.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "support/NestHash.h"
 #include "support/Timer.h"
 
 #include <set>
 
 using namespace eco;
+
+namespace {
+
+/// Mirrors one evaluation into the process metrics registry (only called
+/// when obs::metricsEnabled()). Naming scheme:
+///   eval.evaluations / eval.cache_hits        totals
+///   eval.latency_ms                           histogram of backend ms
+///   eval.points.<variant>.<stage>             per-bucket real evals
+///   eval.hits.<variant>.<stage>               per-bucket cache hits
+///   hw.loads / hw.stores / ... hw.stall_cycles summed HW deltas
+void mirrorToMetrics(const std::string &Variant, const std::string &Stage,
+                     bool CacheHit, double Millis, const HWCounters *HW) {
+  obs::MetricsRegistry &Reg = obs::metrics();
+  if (CacheHit) {
+    Reg.counter("eval.cache_hits").inc();
+    Reg.counter("eval.hits." + Variant + "." + Stage).inc();
+    return;
+  }
+  Reg.counter("eval.evaluations").inc();
+  Reg.counter("eval.points." + Variant + "." + Stage).inc();
+  Reg.histogram("eval.latency_ms").record(Millis);
+  if (HW) {
+    Reg.counter("hw.loads").inc(HW->Loads);
+    Reg.counter("hw.stores").inc(HW->Stores);
+    Reg.counter("hw.prefetches").inc(HW->Prefetches);
+    Reg.counter("hw.flops").inc(HW->Flops);
+    Reg.counter("hw.l1_misses").inc(HW->l1Misses());
+    Reg.counter("hw.l2_misses").inc(HW->l2Misses());
+    Reg.counter("hw.tlb_misses").inc(HW->TlbMisses);
+    Reg.gauge("hw.issue_cycles").add(HW->IssueCycles);
+    Reg.gauge("hw.stall_cycles").add(HW->StallCycles);
+  }
+}
+
+} // namespace
 
 EvalEngine::EvalEngine(EvalBackend &Backend, EngineOptions EOpts)
     : Base(Backend), Opts(std::move(EOpts)) {
@@ -20,6 +58,8 @@ EvalEngine::EvalEngine(EvalBackend &Backend, EngineOptions EOpts)
     if (!Clone) {
       // Backend cannot be parallelized; degrade to sequential rather
       // than share one instance across threads.
+      ECO_LOG(Warn) << "backend is not clonable; degrading --jobs "
+                    << Jobs << " to sequential evaluation";
       LaneBackends.resize(1);
       Jobs = 1;
       break;
@@ -28,17 +68,33 @@ EvalEngine::EvalEngine(EvalBackend &Backend, EngineOptions EOpts)
   }
   Pool = std::make_unique<ThreadPool>(Jobs);
 
+  if (obs::SpanCollector::global().enabled()) {
+    // Lane tids coincide with dense thread ids only for lane 0 (the
+    // search thread); name the rows so the exported timeline reads as
+    // the engine's lane structure.
+    obs::SpanCollector::global().setThreadName(0, "lane 0 (search)");
+    for (int Lane = 1; Lane < Jobs; ++Lane)
+      obs::SpanCollector::global().setThreadName(
+          Lane, "lane " + std::to_string(Lane));
+  }
+
   if (!Opts.CacheFile.empty())
     Cache.load(Opts.CacheFile);
   if (!Opts.TraceFile.empty())
-    Trace.openFile(Opts.TraceFile);
+    Trace.openFile(Opts.TraceFile, Opts.TraceAppend);
+  ECO_LOG(Info) << "engine ready: jobs=" << Jobs << " cache="
+                << (Opts.CacheFile.empty() ? "<none>" : Opts.CacheFile)
+                << " trace="
+                << (Opts.TraceFile.empty() ? "<none>" : Opts.TraceFile);
 }
 
 EvalEngine::~EvalEngine() { flush(); }
 
 void EvalEngine::flush() {
-  if (!Opts.CacheFile.empty())
+  if (!Opts.CacheFile.empty()) {
+    obs::SpanScope S("cache.save", "io", Opts.CacheFile);
     Cache.save(Opts.CacheFile);
+  }
   Trace.flush();
 }
 
@@ -76,6 +132,7 @@ EvalKey EvalEngine::keyFor(const DerivedVariant &V,
 EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
                                 const std::string &Stage, int Lane,
                                 bool Warm) {
+  double StartMs = static_cast<double>(obs::monotonicMicros()) / 1e3;
   const Instantiation &Inst = instantiated(V, Config);
   EvalKey Key = keyFor(V, Inst, Config);
 
@@ -89,19 +146,41 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
       std::lock_guard<std::mutex> Lock(StatsMutex);
       ++Stats.CacheHits;
       ++Stages[Stage].CacheHits;
+      StageTelemetry &Row = VariantStages[{V.Spec.Name, Stage}];
+      Row.Variant = V.Spec.Name;
+      Row.Stage = Stage;
+      ++Row.CacheHits;
     }
-    Trace.append({0, V.Spec.Name, Stage, V.configString(Config), O.Cost,
-                  /*CacheHit=*/true, Warm, 0, Lane});
+    if (obs::metricsEnabled())
+      mirrorToMetrics(V.Spec.Name, Stage, /*CacheHit=*/true, 0, nullptr);
+    Trace.append({0, StartMs, V.Spec.Name, Stage, V.configString(Config),
+                  O.Cost, /*CacheHit=*/true, Warm, 0, Lane});
     return O;
   }
 
   EvalBackend &Backend =
       Lane == 0 ? Base : *LaneBackends[static_cast<size_t>(Lane)];
+  // The backend's accumulating HW counters are only touched by this
+  // lane's thread (lane exclusivity), so an unsynchronized snapshot /
+  // diff around the evaluation is race-free.
+  const HWCounters *LiveHW = Backend.hwCounters();
+  HWCounters Before;
+  if (LiveHW)
+    Before = *LiveHW;
+  uint64_t EvalStartUs = obs::monotonicMicros();
   Timer T;
   O.Cost = Backend.evaluate(Inst.Nest, Config);
   O.Millis = T.millis();
   O.Lane = Lane;
+  HWCounters Delta;
+  if (LiveHW)
+    Delta = LiveHW->delta(Before);
   Cache.insert(Key, O.Cost);
+
+  if (obs::SpanCollector::global().enabled())
+    obs::SpanCollector::global().record(
+        {V.Spec.Name + "/" + Stage, "eval", V.configString(Config),
+         EvalStartUs, obs::monotonicMicros() - EvalStartUs, Lane});
 
   bool SaveNow = false;
   {
@@ -111,16 +190,28 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     StageStats &SS = Stages[Stage];
     ++SS.Evaluations;
     SS.BackendSeconds += O.Millis / 1e3;
+    StageTelemetry &Row = VariantStages[{V.Spec.Name, Stage}];
+    Row.Variant = V.Spec.Name;
+    Row.Stage = Stage;
+    ++Row.Evaluations;
+    Row.BackendSeconds += O.Millis / 1e3;
+    if (LiveHW) {
+      Row.HW += Delta;
+      Row.HasHW = true;
+    }
     if (!Opts.CacheFile.empty() && Opts.CacheSaveInterval > 0 &&
         ++InsertsSinceSave >= Opts.CacheSaveInterval) {
       InsertsSinceSave = 0;
       SaveNow = true;
     }
   }
+  if (obs::metricsEnabled())
+    mirrorToMetrics(V.Spec.Name, Stage, /*CacheHit=*/false, O.Millis,
+                    LiveHW ? &Delta : nullptr);
   if (SaveNow)
     Cache.save(Opts.CacheFile); // periodic durability for kill/resume
-  Trace.append({0, V.Spec.Name, Stage, V.configString(Config), O.Cost,
-                /*CacheHit=*/false, Warm, O.Millis, Lane});
+  Trace.append({0, StartMs, V.Spec.Name, Stage, V.configString(Config),
+                O.Cost, /*CacheHit=*/false, Warm, O.Millis, Lane});
   return O;
 }
 
@@ -149,6 +240,8 @@ void EvalEngine::warmMany(
       evalOne(*Variant, Bound, Stage, Lane, /*Warm=*/true);
     });
   }
+  obs::SpanScope S("warm:" + Stage, "engine",
+                   std::to_string(Tasks.size()) + " points");
   Pool->runBatch(Tasks);
 }
 
@@ -160,4 +253,13 @@ EvalStats EvalEngine::stats() const {
 std::map<std::string, EvalEngine::StageStats> EvalEngine::stageStats() const {
   std::lock_guard<std::mutex> Lock(StatsMutex);
   return Stages;
+}
+
+std::vector<StageTelemetry> EvalEngine::telemetry() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  std::vector<StageTelemetry> Rows;
+  Rows.reserve(VariantStages.size());
+  for (const auto &[Key, Row] : VariantStages)
+    Rows.push_back(Row); // map order = sorted by (variant, stage)
+  return Rows;
 }

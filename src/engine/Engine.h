@@ -51,6 +51,10 @@ struct EngineOptions {
   std::string CacheFile;
   /// When set, every evaluation streams to this JSONL file.
   std::string TraceFile;
+  /// Open TraceFile in append mode instead of truncating — the resume
+  /// path's setting, so a resumed tune extends the killed run's trace
+  /// instead of clobbering it.
+  bool TraceAppend = false;
   /// Inserts between periodic cache saves when CacheFile is set; 0
   /// disables periodic saving (flush/destructor still save). The
   /// default is small because a guided tune evaluates only tens of
@@ -90,6 +94,13 @@ public:
     double BackendSeconds = 0;
   };
   std::map<std::string, StageStats> stageStats() const;
+
+  /// Per-(variant, stage) telemetry: evaluation/cache-hit counts, summed
+  /// backend wall time, and — when the backend exposes hwCounters() —
+  /// the summed hardware-counter deltas of every real evaluation in that
+  /// bucket. Rows are sorted by (variant, stage); counts sum to stats()
+  /// and, aggregated per stage, reproduce stageStats().
+  std::vector<StageTelemetry> telemetry() const override;
 
   /// Effective parallelism after backend-clonability degradation.
   int jobs() const { return Pool->jobs(); }
@@ -141,6 +152,9 @@ private:
   mutable std::mutex StatsMutex;
   EvalStats Stats;
   std::map<std::string, StageStats> Stages; ///< guarded by StatsMutex
+  /// (variant, stage) -> telemetry row; guarded by StatsMutex.
+  std::map<std::pair<std::string, std::string>, StageTelemetry>
+      VariantStages;
   size_t InsertsSinceSave = 0;
 };
 

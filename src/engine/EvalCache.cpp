@@ -1,8 +1,12 @@
 //===- engine/EvalCache.cpp - Memoizing evaluation store ------------------===//
 
 #include "engine/EvalCache.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "support/Hash.h"
 #include "support/Json.h"
+
+#include <fstream>
 
 using namespace eco;
 
@@ -62,8 +66,15 @@ void EvalCache::resetCounters() {
 size_t EvalCache::load(const std::string &Path) {
   Json Root = Json::loadFile(Path);
   const Json &Entries = Root.get("entries");
-  if (!Entries.isObject())
+  if (!Entries.isObject()) {
+    // A missing file is the normal first run; an existing file that
+    // does not parse into the expected shape deserves a warning.
+    if (std::ifstream(Path).good()) {
+      ECO_LOG(Warn) << "eval cache: ignoring unreadable " << Path
+                    << "; starting empty";
+    }
     return 0;
+  }
   size_t Loaded = 0;
   for (const auto &[KeyText, Cost] : Entries.fields()) {
     if (!Cost.isNumber())
@@ -73,6 +84,10 @@ size_t EvalCache::load(const std::string &Path) {
     S.Map[KeyText] = Cost.asNumber();
     ++Loaded;
   }
+  ECO_LOG(Info) << "eval cache: loaded " << Loaded << " entries from "
+                << Path;
+  if (obs::metricsEnabled())
+    obs::metrics().counter("cache.loads").inc();
   return Loaded;
 }
 
@@ -86,5 +101,10 @@ bool EvalCache::save(const std::string &Path) const {
   Json Root = Json::object();
   Root.set("version", 1);
   Root.set("entries", std::move(Entries));
-  return Root.saveFile(Path);
+  bool Ok = Root.saveFile(Path);
+  if (!Ok)
+    ECO_LOG(Warn) << "eval cache: cannot save to " << Path;
+  else if (obs::metricsEnabled())
+    obs::metrics().counter("cache.saves").inc();
+  return Ok;
 }

@@ -1,6 +1,7 @@
 //===- engine/TraceLog.cpp - Structured search tracing --------------------===//
 
 #include "engine/TraceLog.h"
+#include "obs/Log.h"
 #include "support/Json.h"
 
 using namespace eco;
@@ -10,17 +11,20 @@ TraceLog::~TraceLog() {
     std::fclose(Out);
 }
 
-bool TraceLog::openFile(const std::string &Path) {
+bool TraceLog::openFile(const std::string &Path, bool Append) {
   std::lock_guard<std::mutex> Lock(M);
   if (Out)
     std::fclose(Out);
-  Out = std::fopen(Path.c_str(), "w");
+  Out = std::fopen(Path.c_str(), Append ? "a" : "w");
+  if (!Out)
+    ECO_LOG(Warn) << "cannot open trace file " << Path;
   return Out != nullptr;
 }
 
 std::string eco::traceRecordJson(const TraceRecord &R) {
   Json J = Json::object();
   J.set("seq", R.Seq);
+  J.set("t_ms", R.TimeMs);
   J.set("variant", R.Variant);
   J.set("stage", R.Stage);
   J.set("config", R.Config);
@@ -33,6 +37,8 @@ std::string eco::traceRecordJson(const TraceRecord &R) {
 }
 
 void TraceLog::append(TraceRecord R) {
+  if (R.TimeMs == 0)
+    R.TimeMs = static_cast<double>(obs::monotonicMicros()) / 1e3;
   std::lock_guard<std::mutex> Lock(M);
   R.Seq = NextSeq++;
   if (Out)

@@ -30,6 +30,10 @@ namespace eco {
 /// One evaluated (or cache-served) point.
 struct TraceRecord {
   uint64_t Seq = 0;        ///< global order of completion
+  double TimeMs = 0;       ///< monotonic start timestamp (ms on the
+                           ///  obs::monotonicMicros timeline, shared
+                           ///  with spans); append() stamps it when the
+                           ///  caller leaves it 0
   std::string Variant;     ///< variant name ("v1", "rank", ...)
   std::string Stage;       ///< search stage ("register", "tile0", ...)
   std::string Config;      ///< configString of the point
@@ -50,8 +54,10 @@ public:
   TraceLog &operator=(const TraceLog &) = delete;
 
   /// Starts streaming records to \p Path (JSON Lines, one record each).
-  /// Returns false if the file cannot be opened.
-  bool openFile(const std::string &Path);
+  /// \p Append keeps any existing contents (a resumed tune must not
+  /// clobber the records its killed predecessor streamed); the default
+  /// truncates. Returns false if the file cannot be opened.
+  bool openFile(const std::string &Path, bool Append = false);
 
   /// Appends one record (assigns its Seq). Thread-safe.
   void append(TraceRecord R);

@@ -1,6 +1,7 @@
 //===- exec/Executor.cpp - Loop-nest interpreter over the simulator ------===//
 
 #include "exec/Executor.h"
+#include "obs/Log.h"
 
 #include <algorithm>
 
@@ -20,6 +21,13 @@ Executor::Executor(const LoopNest &N, Env Bindings, MemHierarchySim &S,
       Data[A].assign(AMap.numElements(static_cast<ArrayId>(A)), 0.0);
     Regs.assign(std::max(Nest.NumRegs, 1), 0.0);
   }
+
+  if (Nest.MaxLiveRegs > 0 &&
+      static_cast<unsigned>(Nest.MaxLiveRegs) > Sim.machine().FpRegisters)
+    ECO_LOG(Debug) << "nest " << Nest.Name << " needs " << Nest.MaxLiveRegs
+                   << " live registers but the machine has "
+                   << Sim.machine().FpRegisters
+                   << "; modeling spill traffic";
 
   Root = compileBody(Nest.Items);
 }

@@ -1,6 +1,7 @@
 //===- exec/Run.cpp - One-call simulation entry point ---------------------===//
 
 #include "exec/Run.h"
+#include "obs/Log.h"
 
 using namespace eco;
 
@@ -39,5 +40,9 @@ RunResult eco::simulateNest(const LoopNest &Nest,
   R.Counters = Sim.counters();
   R.Cycles = R.Counters.cycles();
   R.Mflops = R.Counters.Flops > 0 ? R.Counters.mflops(Machine.ClockMHz) : 0;
+  ECO_LOG(Debug) << "simulateNest " << Nest.Name << ": "
+                 << static_cast<uint64_t>(R.Cycles) << " cycles, "
+                 << R.Counters.l1Misses() << " L1 misses, "
+                 << R.Counters.TlbMisses << " TLB misses";
   return R;
 }

@@ -1,0 +1,115 @@
+//===- obs/Log.cpp - Leveled diagnostic logger ----------------------------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace eco;
+using namespace eco::obs;
+
+namespace {
+
+/// Level parsed from ECO_LOG_LEVEL, or Warn. Evaluated once.
+int initialLevel() {
+  const char *Env = std::getenv("ECO_LOG_LEVEL");
+  if (Env) {
+    if (!std::strcmp(Env, "off"))
+      return static_cast<int>(LogLevel::Off);
+    if (!std::strcmp(Env, "error"))
+      return static_cast<int>(LogLevel::Error);
+    if (!std::strcmp(Env, "warn"))
+      return static_cast<int>(LogLevel::Warn);
+    if (!std::strcmp(Env, "info"))
+      return static_cast<int>(LogLevel::Info);
+    if (!std::strcmp(Env, "debug"))
+      return static_cast<int>(LogLevel::Debug);
+  }
+  return static_cast<int>(LogLevel::Warn);
+}
+
+std::atomic<int> &levelStore() {
+  static std::atomic<int> Level{initialLevel()};
+  return Level;
+}
+
+std::mutex &emitMutex() {
+  static std::mutex M;
+  return M;
+}
+
+const char *levelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Off:
+    break;
+  }
+  return "off";
+}
+
+/// Last path component, so log lines stay short.
+const char *baseName(const char *Path) {
+  const char *Slash = std::strrchr(Path, '/');
+  return Slash ? Slash + 1 : Path;
+}
+
+} // namespace
+
+uint64_t obs::monotonicMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Epoch)
+          .count());
+}
+
+int obs::detail::currentLevelRelaxed() {
+  return levelStore().load(std::memory_order_relaxed);
+}
+
+LogLevel obs::logLevel() {
+  return static_cast<LogLevel>(detail::currentLevelRelaxed());
+}
+
+void obs::setLogLevel(LogLevel Level) {
+  levelStore().store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+bool obs::setLogLevelByName(const std::string &Name) {
+  if (Name == "off")
+    setLogLevel(LogLevel::Off);
+  else if (Name == "error")
+    setLogLevel(LogLevel::Error);
+  else if (Name == "warn")
+    setLogLevel(LogLevel::Warn);
+  else if (Name == "info")
+    setLogLevel(LogLevel::Info);
+  else if (Name == "debug")
+    setLogLevel(LogLevel::Debug);
+  else
+    return false;
+  return true;
+}
+
+LogMessage::LogMessage(LogLevel Level, const char *File, int Line)
+    : Level(Level), File(File), Line(Line) {}
+
+LogMessage::~LogMessage() {
+  double Seconds = static_cast<double>(monotonicMicros()) / 1e6;
+  std::string Text = Stream.str();
+  std::lock_guard<std::mutex> Lock(emitMutex());
+  std::fprintf(stderr, "[eco %8.3fs %-5s %s:%d] %s\n", Seconds,
+               levelName(Level), baseName(File), Line, Text.c_str());
+}

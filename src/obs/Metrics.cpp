@@ -1,0 +1,180 @@
+//===- obs/Metrics.cpp - Thread-safe metrics registry ---------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eco;
+using namespace eco::obs;
+
+Histogram::Histogram(double FirstBound, unsigned NumBuckets)
+    : FirstBound(FirstBound), NumBounded(NumBuckets),
+      Buckets(NumBuckets + 1) {
+  assert(FirstBound > 0 && "first bucket bound must be positive");
+  assert(NumBuckets > 0 && NumBuckets <= 64 && "unreasonable bucket count");
+}
+
+double Histogram::bucketBound(unsigned I) const {
+  assert(I < NumBounded && "overflow bucket has no bound");
+  double Bound = FirstBound;
+  for (unsigned B = 0; B < I; ++B)
+    Bound *= 2;
+  return Bound;
+}
+
+uint64_t Histogram::bucketCount(unsigned I) const {
+  assert(I <= NumBounded && "bucket index out of range");
+  return Buckets[I].load(std::memory_order_relaxed);
+}
+
+void Histogram::record(double V) {
+  // Walk the doubling bounds; the loop is exact (no log/exp rounding at
+  // the boundaries, which the bucket tests pin down) and short.
+  unsigned I = 0;
+  double Bound = FirstBound;
+  while (I < NumBounded && V > Bound) {
+    Bound *= 2;
+    ++I;
+  }
+  // I == NumBounded means V exceeded every bound: overflow bucket.
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t Prev = Count.fetch_add(1, std::memory_order_relaxed);
+  double Cur = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Cur, Cur + V,
+                                    std::memory_order_relaxed))
+    ;
+  if (Prev == 0) {
+    // First record initializes min/max; later records CAS toward V.
+    // A racing first pair may both think they are first — the CAS loops
+    // below still converge to the true extrema because each retries
+    // against the live value.
+    Min.store(V, std::memory_order_relaxed);
+    Max.store(V, std::memory_order_relaxed);
+  }
+  double CurMin = Min.load(std::memory_order_relaxed);
+  while (V < CurMin &&
+         !Min.compare_exchange_weak(CurMin, V, std::memory_order_relaxed))
+    ;
+  double CurMax = Max.load(std::memory_order_relaxed);
+  while (V > CurMax &&
+         !Max.compare_exchange_weak(CurMax, V, std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::minValue() const {
+  return count() ? Min.load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::maxValue() const {
+  return count() ? Max.load(std::memory_order_relaxed) : 0;
+}
+
+Json Histogram::toJson() const {
+  Json J = Json::object();
+  J.set("count", count());
+  J.set("sum", sum());
+  J.set("min", minValue());
+  J.set("max", maxValue());
+  J.set("firstBound", FirstBound);
+  unsigned Last = 0;
+  for (unsigned I = 0; I < NumBounded; ++I)
+    if (bucketCount(I))
+      Last = I + 1;
+  Json Bs = Json::array();
+  for (unsigned I = 0; I < Last; ++I)
+    Bs.push(bucketCount(I));
+  J.set("buckets", std::move(Bs));
+  J.set("overflow", bucketCount(NumBounded));
+  return J;
+}
+
+void Histogram::reset() {
+  for (std::atomic<uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      double FirstBound,
+                                      unsigned NumBuckets) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>(FirstBound, NumBuckets);
+  return *Slot;
+}
+
+Json MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Json Cs = Json::object();
+  for (const auto &[Name, C] : Counters)
+    Cs.set(Name, C->value());
+  Json Gs = Json::object();
+  for (const auto &[Name, G] : Gauges)
+    Gs.set(Name, G->value());
+  Json Hs = Json::object();
+  for (const auto &[Name, H] : Histograms)
+    Hs.set(Name, H->toJson());
+  Json Root = Json::object();
+  Root.set("counters", std::move(Cs));
+  Root.set("gauges", std::move(Gs));
+  Root.set("histograms", std::move(Hs));
+  return Root;
+}
+
+void MetricsRegistry::resetValues() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+uint64_t MetricsRegistry::sumCounters(const std::string &Prefix) const {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t Total = 0;
+  for (const auto &[Name, C] : Counters)
+    if (Name.compare(0, Prefix.size(), Prefix) == 0)
+      Total += C->value();
+  return Total;
+}
+
+MetricsRegistry &obs::metrics() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+namespace {
+std::atomic<bool> MetricsOn{false};
+} // namespace
+
+bool obs::metricsEnabled() {
+  return MetricsOn.load(std::memory_order_relaxed);
+}
+
+void obs::setMetricsEnabled(bool Enabled) {
+  MetricsOn.store(Enabled, std::memory_order_relaxed);
+}

@@ -1,0 +1,152 @@
+//===- obs/Metrics.h - Thread-safe metrics registry ------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tuner's metrics system: named Counters (monotonic uint64), Gauges
+/// (settable/addable doubles), and Histograms (fixed log2-scale buckets)
+/// collected in a thread-safe MetricsRegistry that snapshots to JSON.
+/// Instrumented code writes through the process-wide registry
+/// (obs::metrics()) guarded by obs::metricsEnabled() — one relaxed atomic
+/// load when observability is off, so the hot path pays nothing unless
+/// the user asked for a metrics dump (--metrics-file / --progress).
+///
+/// All metric objects are updated with atomics only (no per-metric lock),
+/// so concurrent engine lanes increment freely; the registry's mutex
+/// covers only name lookup/creation, and returned references stay valid
+/// for the registry's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_OBS_METRICS_H
+#define ECO_OBS_METRICS_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eco {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { Val.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Val.load(std::memory_order_relaxed); }
+  void reset() { Val.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Val{0};
+};
+
+/// A point-in-time double; add() accumulates (CAS loop, exact for the
+/// integral-valued sums we keep, e.g. summed stall cycles).
+class Gauge {
+public:
+  void set(double V) { Val.store(V, std::memory_order_relaxed); }
+  void add(double Delta) {
+    double Cur = Val.load(std::memory_order_relaxed);
+    while (!Val.compare_exchange_weak(Cur, Cur + Delta,
+                                      std::memory_order_relaxed))
+      ;
+  }
+  double value() const { return Val.load(std::memory_order_relaxed); }
+  void reset() { Val.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> Val{0};
+};
+
+/// Fixed log2-scale histogram: bucket I holds values in
+/// (bound(I-1), bound(I)] with bound(I) = FirstBound * 2^I, plus one
+/// overflow bucket past the last bound. Values <= FirstBound land in
+/// bucket 0. Records are lock-free (atomic buckets + CAS'd sum/min/max).
+class Histogram {
+public:
+  /// \p FirstBound: upper bound of bucket 0 (must be > 0).
+  /// \p NumBuckets: bounded buckets; one overflow bucket is added.
+  explicit Histogram(double FirstBound = 1e-3, unsigned NumBuckets = 40);
+
+  void record(double V);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Smallest/largest recorded value (0 when empty).
+  double minValue() const;
+  double maxValue() const;
+
+  /// Bounded buckets only (excludes overflow).
+  unsigned numBuckets() const { return NumBounded; }
+  /// Upper bound of bucket \p I (I < numBuckets()).
+  double bucketBound(unsigned I) const;
+  /// Count in bucket \p I; I == numBuckets() addresses the overflow
+  /// bucket.
+  uint64_t bucketCount(unsigned I) const;
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"firstBound":..,
+  ///  "buckets":[..], "overflow":..} — buckets with trailing zeros
+  /// trimmed so dumps stay small.
+  Json toJson() const;
+
+  void reset();
+
+private:
+  double FirstBound;
+  unsigned NumBounded;
+  std::vector<std::atomic<uint64_t>> Buckets; ///< NumBounded + overflow
+  std::atomic<uint64_t> Count{0};
+  std::atomic<double> Sum{0};
+  std::atomic<double> Min{0}, Max{0}; ///< valid when Count > 0
+};
+
+/// Thread-safe name -> metric store. Lookup creates on first use; the
+/// returned references remain valid until the registry is destroyed
+/// (metrics are never erased, resetValues() zeroes them in place).
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// \p FirstBound / \p NumBuckets apply only on first creation.
+  Histogram &histogram(const std::string &Name, double FirstBound = 1e-3,
+                       unsigned NumBuckets = 40);
+
+  /// Point-in-time snapshot:
+  /// {"counters":{name:value}, "gauges":{...}, "histograms":{...}}.
+  Json toJson() const;
+
+  /// Zeroes every metric in place (references stay valid). Used by the
+  /// CLI at tune start and by tests.
+  void resetValues();
+
+  /// Sum of every counter whose name starts with \p Prefix — the
+  /// reconciliation helper (e.g. sum of "eval.points." counters must
+  /// equal TuneResult::TotalPoints).
+  uint64_t sumCounters(const std::string &Prefix) const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+/// The process-wide registry instrumented code writes to.
+MetricsRegistry &metrics();
+
+/// Global kill-switch for metric writes; default off. Instrumentation
+/// sites check this before touching the registry.
+bool metricsEnabled();
+void setMetricsEnabled(bool Enabled);
+
+} // namespace obs
+} // namespace eco
+
+#endif // ECO_OBS_METRICS_H

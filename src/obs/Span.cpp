@@ -1,0 +1,112 @@
+//===- obs/Span.cpp - Scoped spans + Chrome trace export ------------------===//
+
+#include "obs/Span.h"
+#include "obs/Log.h"
+
+using namespace eco;
+using namespace eco::obs;
+
+SpanCollector &SpanCollector::global() {
+  static SpanCollector Collector;
+  return Collector;
+}
+
+void SpanCollector::record(SpanRecord R) {
+  std::lock_guard<std::mutex> Lock(M);
+  Records.push_back(std::move(R));
+}
+
+void SpanCollector::setThreadName(int Tid, std::string Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  ThreadNames[Tid] = std::move(Name);
+}
+
+std::vector<SpanRecord> SpanCollector::records() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Records;
+}
+
+size_t SpanCollector::numRecords() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Records.size();
+}
+
+void SpanCollector::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Records.clear();
+  ThreadNames.clear();
+}
+
+Json SpanCollector::chromeTraceJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Json Events = Json::array();
+  for (const auto &[Tid, Name] : ThreadNames) {
+    Json Meta = Json::object();
+    Meta.set("ph", "M");
+    Meta.set("pid", 1);
+    Meta.set("tid", Tid);
+    Meta.set("name", "thread_name");
+    Json Args = Json::object();
+    Args.set("name", Name);
+    Meta.set("args", std::move(Args));
+    Events.push(std::move(Meta));
+  }
+  for (const SpanRecord &R : Records) {
+    Json E = Json::object();
+    E.set("ph", "X");
+    E.set("pid", 1);
+    E.set("tid", R.Tid);
+    E.set("ts", R.StartUs);
+    E.set("dur", R.DurUs);
+    E.set("name", R.Name);
+    if (!R.Cat.empty())
+      E.set("cat", R.Cat);
+    if (!R.Detail.empty()) {
+      Json Args = Json::object();
+      Args.set("detail", R.Detail);
+      E.set("args", std::move(Args));
+    }
+    Events.push(std::move(E));
+  }
+  Json Root = Json::object();
+  Root.set("displayTimeUnit", "ms");
+  Root.set("traceEvents", std::move(Events));
+  return Root;
+}
+
+bool SpanCollector::writeChromeTrace(const std::string &Path) const {
+  bool Ok = chromeTraceJson().saveFile(Path);
+  if (!Ok)
+    ECO_LOG(Error) << "cannot write Chrome trace to " << Path;
+  return Ok;
+}
+
+int eco::obs::currentThreadTid() {
+  static std::atomic<int> NextTid{0};
+  thread_local int Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+SpanScope::SpanScope(std::string Name, std::string Cat, std::string Detail,
+                     int Tid)
+    : Active(SpanCollector::global().enabled()) {
+  if (!Active)
+    return;
+  R.Name = std::move(Name);
+  R.Cat = std::move(Cat);
+  R.Detail = std::move(Detail);
+  R.Tid = Tid >= 0 ? Tid : currentThreadTid();
+  R.StartUs = monotonicMicros();
+}
+
+SpanScope::~SpanScope() {
+  if (!Active)
+    return;
+  R.DurUs = monotonicMicros() - R.StartUs;
+  SpanCollector::global().record(std::move(R));
+}
+
+void SpanScope::setDetail(std::string Detail) {
+  if (Active)
+    R.Detail = std::move(Detail);
+}

@@ -56,6 +56,24 @@ struct HWCounters {
     return static_cast<double>(Flops) * ClockMHz / cycles();
   }
 
+  /// Field-wise difference since an earlier snapshot of the same
+  /// accumulating counter set — how the engine attributes one backend
+  /// evaluation's hardware events to its (variant, stage) bucket.
+  HWCounters delta(const HWCounters &Since) const {
+    HWCounters D;
+    D.Loads = Loads - Since.Loads;
+    D.Stores = Stores - Since.Stores;
+    D.Prefetches = Prefetches - Since.Prefetches;
+    D.Flops = Flops - Since.Flops;
+    D.LoopIters = LoopIters - Since.LoopIters;
+    for (unsigned I = 0; I < MaxCacheLevels; ++I)
+      D.CacheMisses[I] = CacheMisses[I] - Since.CacheMisses[I];
+    D.TlbMisses = TlbMisses - Since.TlbMisses;
+    D.IssueCycles = IssueCycles - Since.IssueCycles;
+    D.StallCycles = StallCycles - Since.StallCycles;
+    return D;
+  }
+
   HWCounters &operator+=(const HWCounters &Other) {
     Loads += Other.Loads;
     Stores += Other.Stores;

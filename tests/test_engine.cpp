@@ -15,16 +15,20 @@
 #include "engine/EvalCache.h"
 #include "engine/ThreadPool.h"
 #include "kernels/Kernels.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <thread>
+#include <tuple>
 
 using namespace eco;
 
@@ -344,6 +348,7 @@ TEST(EngineTest, TraceFileIsParseableJsonl) {
     Json Rec = Json::parse(Line, &Err);
     ASSERT_TRUE(Err.empty()) << Err << " in: " << Line;
     EXPECT_TRUE(Rec.has("seq"));
+    EXPECT_TRUE(Rec.has("t_ms"));
     EXPECT_TRUE(Rec.has("variant"));
     EXPECT_TRUE(Rec.has("stage"));
     EXPECT_TRUE(Rec.has("config"));
@@ -355,6 +360,268 @@ TEST(EngineTest, TraceFileIsParseableJsonl) {
   EXPECT_EQ(Lines, Engine.trace().numRecords());
   EXPECT_GT(Lines, 0u);
   std::remove(Path.c_str());
+}
+
+TEST(EngineTest, TraceRecordsCarryMonotonicStartTimes) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EvalEngine Engine(Backend);
+  tune(MM, Engine, {{"N", 64}});
+
+  std::vector<TraceRecord> Recs = Engine.trace().records();
+  ASSERT_FALSE(Recs.empty());
+  for (const TraceRecord &R : Recs)
+    EXPECT_GT(R.TimeMs, 0.0); // append() stamps the obs clock
+  // Sequential evaluation: completion order == issue order, so the
+  // stamped start times are non-decreasing.
+  for (size_t I = 1; I < Recs.size(); ++I)
+    EXPECT_GE(Recs[I].TimeMs, Recs[I - 1].TimeMs);
+}
+
+TEST(TraceLogTest, ExplicitTimeMsIsPreserved) {
+  TraceLog Log;
+  Log.append({0, 1234.5, "v1", "register", "TI=8", 10.0, false, false,
+              2.0, 1});
+  Log.append({0, 0, "v1", "register", "TI=16", 11.0, false, false, 2.0,
+              1}); // 0 means "stamp now"
+  std::vector<TraceRecord> Recs = Log.records();
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_DOUBLE_EQ(Recs[0].TimeMs, 1234.5);
+  EXPECT_GT(Recs[1].TimeMs, 0.0);
+
+  std::string Err;
+  Json J = Json::parse(traceRecordJson(Recs[0]), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_DOUBLE_EQ(J.get("t_ms").asNumber(), 1234.5);
+}
+
+TEST(TraceLogTest, AppendModeKeepsExistingRecords) {
+  std::string Path = tempPath("eco_trace_append.jsonl");
+  std::remove(Path.c_str());
+  {
+    TraceLog First;
+    ASSERT_TRUE(First.openFile(Path));
+    First.append({0, 0, "v1", "initial", "TI=8", 1.0, false, false, 1.0,
+                  0});
+    First.flush();
+  } // killed run's stream closes here
+  {
+    TraceLog Resumed;
+    ASSERT_TRUE(Resumed.openFile(Path, /*Append=*/true));
+    Resumed.append({0, 0, "v2", "register", "TI=16", 2.0, false, false,
+                    1.0, 0});
+    Resumed.flush();
+  }
+
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Lines.push_back(Line);
+  ASSERT_EQ(Lines.size(), 2u); // pre-kill record survived
+  std::string Err;
+  EXPECT_EQ(Json::parse(Lines[0], &Err).get("variant").asString(), "v1");
+  EXPECT_EQ(Json::parse(Lines[1], &Err).get("variant").asString(), "v2");
+  std::remove(Path.c_str());
+}
+
+TEST(EngineTest, ResumedTuneAppendsTraceInsteadOfClobbering) {
+  // The --resume flow: a first (killed) tune streams trace records; the
+  // resumed engine opens the same file with TraceAppend and must extend
+  // it, not truncate it.
+  std::string Path = tempPath("eco_trace_resume.jsonl");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  const ParamBindings Problem = {{"N", 64}};
+  MachineDesc M = sgiScaled();
+
+  size_t FirstLines;
+  {
+    SimEvalBackend Backend(M);
+    EngineOptions Opts;
+    Opts.TraceFile = Path;
+    EvalEngine Engine(Backend, Opts);
+    tune(MM, Engine, Problem);
+    Engine.flush();
+    FirstLines = Engine.trace().numRecords();
+    ASSERT_GT(FirstLines, 0u);
+  }
+
+  {
+    SimEvalBackend Backend(M);
+    EngineOptions Opts;
+    Opts.TraceFile = Path;
+    Opts.TraceAppend = true; // what --resume sets
+    EvalEngine Engine(Backend, Opts);
+    tune(MM, Engine, Problem);
+    Engine.flush();
+  }
+
+  size_t TotalLines = 0;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      ++TotalLines;
+  EXPECT_GT(TotalLines, FirstLines); // old records still there
+  std::remove(Path.c_str());
+}
+
+// ---- Telemetry ----------------------------------------------------------
+
+TEST(EngineTest, TelemetryReconcilesWithStatsAndStages) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.Jobs = 2;
+  EvalEngine Engine(Backend, Opts);
+  tune(MM, Engine, {{"N", 64}});
+
+  std::vector<StageTelemetry> Rows = Engine.telemetry();
+  ASSERT_FALSE(Rows.empty());
+
+  // Counts must sum to the engine's totals...
+  EvalStats Total = Engine.stats();
+  size_t Evals = 0, Hits = 0;
+  for (const StageTelemetry &Row : Rows) {
+    Evals += Row.Evaluations;
+    Hits += Row.CacheHits;
+  }
+  EXPECT_EQ(Evals, Total.Evaluations);
+  EXPECT_EQ(Hits, Total.CacheHits);
+
+  // ...and, aggregated per stage, reproduce stageStats().
+  std::map<std::string, EvalEngine::StageStats> ByStage;
+  for (const StageTelemetry &Row : Rows) {
+    ByStage[Row.Stage].Evaluations += Row.Evaluations;
+    ByStage[Row.Stage].CacheHits += Row.CacheHits;
+    ByStage[Row.Stage].BackendSeconds += Row.BackendSeconds;
+  }
+  std::map<std::string, EvalEngine::StageStats> Expected =
+      Engine.stageStats();
+  ASSERT_EQ(ByStage.size(), Expected.size());
+  for (const auto &[Stage, SS] : Expected) {
+    ASSERT_TRUE(ByStage.count(Stage)) << Stage;
+    EXPECT_EQ(ByStage[Stage].Evaluations, SS.Evaluations) << Stage;
+    EXPECT_EQ(ByStage[Stage].CacheHits, SS.CacheHits) << Stage;
+    EXPECT_NEAR(ByStage[Stage].BackendSeconds, SS.BackendSeconds,
+                1e-9 * std::max(1.0, SS.BackendSeconds))
+        << Stage;
+  }
+
+  // The sim backend exposes hwCounters(), so every row with real
+  // evaluations carries HW deltas, and simulated work costs cycles.
+  for (const StageTelemetry &Row : Rows)
+    if (Row.Evaluations > 0) {
+      EXPECT_TRUE(Row.HasHW) << Row.Variant << "/" << Row.Stage;
+      EXPECT_GT(Row.HW.cycles(), 0.0) << Row.Variant << "/" << Row.Stage;
+      EXPECT_GT(Row.HW.Loads, 0u) << Row.Variant << "/" << Row.Stage;
+    }
+
+  // Rows arrive sorted by (variant, stage).
+  for (size_t I = 1; I < Rows.size(); ++I)
+    EXPECT_LT(std::tie(Rows[I - 1].Variant, Rows[I - 1].Stage),
+              std::tie(Rows[I].Variant, Rows[I].Stage));
+}
+
+TEST(EngineTest, TuneResultTelemetryMatchesTotals) {
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EvalEngine Engine(Backend);
+
+  // Two tunes through one engine: each TuneResult must report only its
+  // own slice of the cumulative telemetry (the second is all cache hits).
+  TuneResult First = tune(MM, Engine, {{"N", 64}});
+  TuneResult Second = tune(MM, Engine, {{"N", 64}});
+  for (const TuneResult *R : {&First, &Second}) {
+    size_t Evals = 0, Hits = 0;
+    for (const StageTelemetry &Row : R->Telemetry) {
+      Evals += Row.Evaluations;
+      Hits += Row.CacheHits;
+    }
+    EXPECT_EQ(Evals, R->TotalPoints);
+    EXPECT_EQ(Hits, R->TotalCacheHits);
+  }
+  EXPECT_GT(First.TotalPoints, 0u);
+  EXPECT_EQ(Second.TotalPoints, 0u); // fully memoized replay
+  EXPECT_GT(Second.TotalCacheHits, 0u);
+}
+
+TEST(EngineTest, MetricsRegistryReconcilesWithTune) {
+  // With metrics enabled, the registry's eval counters must agree
+  // exactly with the tune's own accounting.
+  obs::metrics().resetValues();
+  obs::setMetricsEnabled(true);
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.Jobs = 2;
+  EvalEngine Engine(Backend, Opts);
+  TuneResult R = tune(MM, Engine, {{"N", 64}});
+  obs::setMetricsEnabled(false);
+
+  obs::MetricsRegistry &Reg = obs::metrics();
+  EXPECT_EQ(Reg.counter("eval.evaluations").value(), R.TotalPoints);
+  EXPECT_EQ(Reg.counter("eval.cache_hits").value(), R.TotalCacheHits);
+  EXPECT_EQ(Reg.sumCounters("eval.points."), R.TotalPoints);
+  EXPECT_EQ(Reg.sumCounters("eval.hits."), R.TotalCacheHits);
+  EXPECT_EQ(Reg.histogram("eval.latency_ms").count(), R.TotalPoints);
+  EXPECT_GT(Reg.counter("hw.loads").value(), 0u);
+  EXPECT_GT(Reg.gauge("hw.stall_cycles").value(), 0.0);
+  EXPECT_DOUBLE_EQ(Reg.gauge("tune.variants_done").value(),
+                   Reg.gauge("tune.variants_total").value());
+  obs::metrics().resetValues();
+}
+
+TEST(EngineTest, ChromeTraceCoversEvaluationsWithLaneAttribution) {
+  obs::SpanCollector &C = obs::SpanCollector::global();
+  C.clear();
+  C.setEnabled(true);
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.Jobs = 2;
+  EvalEngine Engine(Backend, Opts);
+  TuneResult R = tune(MM, Engine, {{"N", 64}});
+  C.setEnabled(false);
+
+  std::vector<obs::SpanRecord> Spans = C.records();
+  size_t EvalSpans = 0;
+  bool SawNonZeroLane = false;
+  uint64_t TuneDur = 0, ChildMax = 0;
+  for (const obs::SpanRecord &S : Spans) {
+    if (S.Cat == "eval") {
+      ++EvalSpans;
+      EXPECT_GE(S.Tid, 0);
+      EXPECT_LT(S.Tid, 2);
+      SawNonZeroLane |= S.Tid != 0;
+    }
+    if (S.Name == "tune")
+      TuneDur = S.DurUs;
+    else
+      ChildMax = std::max(ChildMax, S.StartUs + S.DurUs);
+  }
+  // One eval span per real backend evaluation.
+  EXPECT_EQ(EvalSpans, R.TotalPoints);
+  EXPECT_TRUE(SawNonZeroLane); // warm batches really ran on lane 1
+  ASSERT_GT(TuneDur, 0u);
+  // The stage/search spans nest inside the tune span's interval.
+  for (const obs::SpanRecord &S : Spans)
+    if (S.Name != "tune") {
+      EXPECT_LE(S.DurUs, TuneDur);
+    }
+
+  std::string Err;
+  Json Root = Json::parse(C.chromeTraceJson().dump(), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_GT(Root.get("traceEvents").size(), EvalSpans);
+  C.clear();
 }
 
 TEST(EngineTest, StatsFeedTunerAccounting) {

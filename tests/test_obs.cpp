@@ -1,0 +1,349 @@
+//===- tests/test_obs.cpp - obs/ unit tests -------------------------------===//
+//
+// Covers the observability subsystem: metric semantics (histogram bucket
+// boundaries, concurrent updates under the engine's ThreadPool), span
+// collection and Chrome trace export, JSON escaping of hostile names, and
+// the leveled logger's zero-evaluation guarantee when disabled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ThreadPool.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace eco;
+
+namespace {
+
+/// Fresh registry per test so suites don't see each other's metrics (the
+/// global obs::metrics() is shared process state).
+obs::MetricsRegistry makeRegistry() { return obs::MetricsRegistry(); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Counter / Gauge
+//===----------------------------------------------------------------------===//
+
+TEST(ObsCounter, IncAndReset) {
+  obs::Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  obs::Gauge G;
+  G.set(2.5);
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+  G.add(1.5);
+  EXPECT_DOUBLE_EQ(G.value(), 4.0);
+  G.reset();
+  EXPECT_DOUBLE_EQ(G.value(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket boundaries
+//===----------------------------------------------------------------------===//
+
+TEST(ObsHistogram, BucketBoundsDouble) {
+  obs::Histogram H(/*FirstBound=*/1.0, /*NumBuckets=*/8);
+  ASSERT_EQ(H.numBuckets(), 8u);
+  for (unsigned I = 0; I < H.numBuckets(); ++I)
+    EXPECT_DOUBLE_EQ(H.bucketBound(I), static_cast<double>(1u << I));
+}
+
+TEST(ObsHistogram, BoundaryValuesLandInclusive) {
+  // Bucket I holds (bound(I-1), bound(I)]: a value exactly at a bound
+  // belongs to that bucket, one ulp above belongs to the next.
+  obs::Histogram H(1.0, 8);
+  H.record(1.0); // == bound(0) -> bucket 0
+  H.record(2.0); // == bound(1) -> bucket 1
+  H.record(2.0000001); // just above bound(1) -> bucket 2
+  H.record(0.001);     // far below FirstBound -> bucket 0
+  H.record(-5.0);      // non-positive clamps into bucket 0
+  EXPECT_EQ(H.bucketCount(0), 3u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.count(), 5u);
+}
+
+TEST(ObsHistogram, OverflowBucket) {
+  obs::Histogram H(1.0, 4); // bounds 1,2,4,8
+  H.record(8.0);  // == last bound -> last bounded bucket
+  H.record(8.1);  // past every bound -> overflow
+  H.record(1e9);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.bucketCount(H.numBuckets()), 2u); // overflow slot
+  EXPECT_EQ(H.count(), 3u);
+}
+
+TEST(ObsHistogram, SumMinMax) {
+  obs::Histogram H(1e-3, 10);
+  EXPECT_DOUBLE_EQ(H.minValue(), 0.0); // empty
+  EXPECT_DOUBLE_EQ(H.maxValue(), 0.0);
+  H.record(3.0);
+  H.record(1.0);
+  H.record(2.0);
+  EXPECT_DOUBLE_EQ(H.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(H.minValue(), 1.0);
+  EXPECT_DOUBLE_EQ(H.maxValue(), 3.0);
+}
+
+TEST(ObsHistogram, JsonRoundTrip) {
+  obs::Histogram H(1.0, 6);
+  H.record(0.5);
+  H.record(3.0);
+  H.record(100.0); // overflow
+  Json J = H.toJson();
+  std::string Err;
+  Json Back = Json::parse(J.dump(), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Back.get("count").asInt(), 3);
+  EXPECT_DOUBLE_EQ(Back.get("sum").asNumber(), 103.5);
+  EXPECT_EQ(Back.get("overflow").asInt(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: metric updates from engine ThreadPool lanes
+//===----------------------------------------------------------------------===//
+
+TEST(ObsConcurrency, CountersExactUnderThreadPool) {
+  obs::MetricsRegistry Reg = makeRegistry();
+  constexpr int NumTasks = 64;
+  constexpr int IncsPerTask = 1000;
+
+  ThreadPool Pool(4);
+  std::vector<std::function<void(int)>> Tasks;
+  for (int T = 0; T < NumTasks; ++T)
+    Tasks.push_back([&Reg](int Lane) {
+      for (int I = 0; I < IncsPerTask; ++I) {
+        Reg.counter("shared").inc();
+        Reg.counter("lane." + std::to_string(Lane)).inc();
+        Reg.gauge("acc").add(1.0);
+        Reg.histogram("h", 1.0, 8).record(static_cast<double>(I % 10));
+      }
+    });
+  Pool.runBatch(Tasks);
+
+  EXPECT_EQ(Reg.counter("shared").value(),
+            static_cast<uint64_t>(NumTasks) * IncsPerTask);
+  EXPECT_DOUBLE_EQ(Reg.gauge("acc").value(),
+                   static_cast<double>(NumTasks) * IncsPerTask);
+  EXPECT_EQ(Reg.histogram("h").count(),
+            static_cast<uint64_t>(NumTasks) * IncsPerTask);
+  uint64_t PerLane = Reg.sumCounters("lane.");
+  EXPECT_EQ(PerLane, static_cast<uint64_t>(NumTasks) * IncsPerTask);
+}
+
+TEST(ObsConcurrency, SpanCollectorUnderThreadPool) {
+  obs::SpanCollector C;
+  C.setEnabled(true);
+  ThreadPool Pool(4);
+  std::vector<std::function<void(int)>> Tasks;
+  for (int T = 0; T < 32; ++T)
+    Tasks.push_back([&C](int Lane) {
+      C.record({"task", "test", "", 10, 5, Lane});
+    });
+  Pool.runBatch(Tasks);
+  EXPECT_EQ(C.numRecords(), 32u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistry, StableReferencesAndReset) {
+  obs::MetricsRegistry Reg = makeRegistry();
+  obs::Counter &C = Reg.counter("a");
+  C.inc(7);
+  EXPECT_EQ(&Reg.counter("a"), &C); // lookup returns the same object
+  Reg.resetValues();
+  EXPECT_EQ(C.value(), 0u); // zeroed in place, reference still valid
+}
+
+TEST(ObsRegistry, JsonSnapshotParsesBack) {
+  obs::MetricsRegistry Reg = makeRegistry();
+  Reg.counter("evals").inc(12);
+  Reg.gauge("temp").set(3.5);
+  Reg.histogram("lat", 1e-3, 16).record(0.25);
+
+  std::string Err;
+  Json Back = Json::parse(Reg.toJson().dump(), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Back.get("counters").get("evals").asInt(), 12);
+  EXPECT_DOUBLE_EQ(Back.get("gauges").get("temp").asNumber(), 3.5);
+  EXPECT_EQ(Back.get("histograms").get("lat").get("count").asInt(), 1);
+}
+
+TEST(ObsRegistry, HostileMetricNamesEscapeCleanly) {
+  // Metric (and config/span) names flow user-controlled strings into
+  // JSON; quotes, backslashes, and control characters must survive a
+  // dump -> parse round trip unmangled.
+  obs::MetricsRegistry Reg = makeRegistry();
+  std::string Nasty = "ev\"al\\path\nwith\tctrl\x01chars";
+  Reg.counter(Nasty).inc(5);
+
+  std::string Err;
+  Json Back = Json::parse(Reg.toJson().dump(), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  const Json &Counters = Back.get("counters");
+  ASSERT_EQ(Counters.fields().size(), 1u);
+  EXPECT_EQ(Counters.fields()[0].first, Nasty);
+  EXPECT_EQ(Counters.fields()[0].second.asInt(), 5);
+}
+
+TEST(ObsRegistry, GlobalDisabledByDefault) {
+  // Instrumented code guards on metricsEnabled(); the default must be
+  // off so library users pay nothing without opting in.
+  EXPECT_FALSE(obs::metricsEnabled());
+}
+
+//===----------------------------------------------------------------------===//
+// Spans + Chrome trace export
+//===----------------------------------------------------------------------===//
+
+TEST(ObsSpan, DisabledCollectorRecordsNothing) {
+  obs::SpanCollector &G = obs::SpanCollector::global();
+  ASSERT_FALSE(G.enabled());
+  size_t Before = G.numRecords();
+  { obs::SpanScope S("ignored", "test"); }
+  EXPECT_EQ(G.numRecords(), Before);
+}
+
+TEST(ObsSpan, ScopeRecordsToGlobalWhenEnabled) {
+  obs::SpanCollector &G = obs::SpanCollector::global();
+  G.clear();
+  G.setEnabled(true);
+  {
+    obs::SpanScope S("outer", "test", "detail-text");
+    { obs::SpanScope Inner("inner", "test"); }
+  }
+  G.setEnabled(false);
+  std::vector<obs::SpanRecord> Recs = G.records();
+  ASSERT_EQ(Recs.size(), 2u);
+  // Inner closes first; outer encloses it on the timeline.
+  EXPECT_EQ(Recs[0].Name, "inner");
+  EXPECT_EQ(Recs[1].Name, "outer");
+  EXPECT_LE(Recs[1].StartUs, Recs[0].StartUs);
+  EXPECT_GE(Recs[1].StartUs + Recs[1].DurUs,
+            Recs[0].StartUs + Recs[0].DurUs);
+  EXPECT_EQ(Recs[1].Detail, "detail-text");
+  G.clear();
+}
+
+TEST(ObsSpan, ChromeTraceShapeAndEscaping) {
+  obs::SpanCollector C;
+  C.setEnabled(true);
+  C.setThreadName(0, "lane 0 (search)");
+  std::string Nasty = "v1\"quoted\"\nname\x02";
+  C.record({Nasty, "eval", "TI=16\tTJ=32", 100, 50, 0});
+
+  std::string Err;
+  Json Root = Json::parse(C.chromeTraceJson().dump(), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Root.get("displayTimeUnit").asString(), "ms");
+  const Json &Events = Root.get("traceEvents");
+  ASSERT_TRUE(Events.isArray());
+  ASSERT_EQ(Events.size(), 2u); // thread_name metadata + one X event
+
+  const Json &Meta = Events.at(0);
+  EXPECT_EQ(Meta.get("ph").asString(), "M");
+  EXPECT_EQ(Meta.get("name").asString(), "thread_name");
+  EXPECT_EQ(Meta.get("args").get("name").asString(), "lane 0 (search)");
+
+  const Json &Ev = Events.at(1);
+  EXPECT_EQ(Ev.get("ph").asString(), "X");
+  EXPECT_EQ(Ev.get("name").asString(), Nasty); // survived escaping
+  EXPECT_EQ(Ev.get("cat").asString(), "eval");
+  EXPECT_EQ(Ev.get("ts").asInt(), 100);
+  EXPECT_EQ(Ev.get("dur").asInt(), 50);
+  EXPECT_EQ(Ev.get("tid").asInt(), 0);
+  EXPECT_EQ(Ev.get("args").get("detail").asString(), "TI=16\tTJ=32");
+}
+
+TEST(ObsSpan, ExplicitTidOverridesThreadId) {
+  obs::SpanCollector &G = obs::SpanCollector::global();
+  G.clear();
+  G.setEnabled(true);
+  { obs::SpanScope S("lane-span", "eval", "", /*Tid=*/3); }
+  G.setEnabled(false);
+  ASSERT_EQ(G.numRecords(), 1u);
+  EXPECT_EQ(G.records()[0].Tid, 3);
+  G.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Logger
+//===----------------------------------------------------------------------===//
+
+namespace {
+int SideEffects = 0;
+int touch() {
+  ++SideEffects;
+  return 0;
+}
+} // namespace
+
+TEST(ObsLog, DisabledLevelsSkipArgumentEvaluation) {
+  obs::LogLevel Saved = obs::logLevel();
+  obs::setLogLevel(obs::LogLevel::Error);
+  SideEffects = 0;
+  ECO_LOG(Debug) << "never evaluated: " << touch();
+  ECO_LOG(Info) << touch();
+  ECO_LOG(Warn) << touch();
+  EXPECT_EQ(SideEffects, 0);
+  obs::setLogLevel(obs::LogLevel::Off);
+  ECO_LOG(Error) << touch();
+  EXPECT_EQ(SideEffects, 0);
+  obs::setLogLevel(Saved);
+}
+
+TEST(ObsLog, EnabledLevelEvaluatesOnce) {
+  obs::LogLevel Saved = obs::logLevel();
+  obs::setLogLevel(obs::LogLevel::Debug);
+  SideEffects = 0;
+  ECO_LOG(Debug) << "evaluated: " << touch();
+  EXPECT_EQ(SideEffects, 1);
+  obs::setLogLevel(Saved);
+}
+
+TEST(ObsLog, LevelNameParsing) {
+  obs::LogLevel Saved = obs::logLevel();
+  EXPECT_TRUE(obs::setLogLevelByName("debug"));
+  EXPECT_EQ(obs::logLevel(), obs::LogLevel::Debug);
+  EXPECT_TRUE(obs::setLogLevelByName("off"));
+  EXPECT_EQ(obs::logLevel(), obs::LogLevel::Off);
+  EXPECT_FALSE(obs::setLogLevelByName("verbose")); // unknown: unchanged
+  EXPECT_EQ(obs::logLevel(), obs::LogLevel::Off);
+  obs::setLogLevel(Saved);
+}
+
+TEST(ObsLog, MacroIsStatementSafe) {
+  // The dangling-else form must compose with unbraced if/else.
+  obs::LogLevel Saved = obs::logLevel();
+  obs::setLogLevel(obs::LogLevel::Off);
+  bool Taken = false;
+  if (true)
+    ECO_LOG(Error) << "then-branch";
+  else
+    Taken = true;
+  EXPECT_FALSE(Taken);
+  obs::setLogLevel(Saved);
+}
+
+TEST(ObsClock, MonotonicMicrosNeverGoesBackward) {
+  uint64_t A = obs::monotonicMicros();
+  uint64_t B = obs::monotonicMicros();
+  EXPECT_LE(A, B);
+}
