@@ -1,0 +1,276 @@
+//===- check/TraceAudit.cpp - Search-invariant trace replay ---------------===//
+
+#include "check/TraceAudit.h"
+#include "core/Tuner.h"
+#include "engine/Engine.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+
+using namespace eco;
+using namespace eco::check;
+
+bool eco::check::parseTraceLine(const std::string &Line, TraceRecord &R,
+                                std::string *Error) {
+  std::string ParseError;
+  Json J = Json::parse(Line, &ParseError);
+  if (!J.isObject()) {
+    if (Error)
+      *Error = ParseError.empty() ? "not a JSON object" : ParseError;
+    return false;
+  }
+  for (const char *Key :
+       {"seq", "variant", "stage", "config", "cost", "cacheHit"})
+    if (!J.has(Key)) {
+      if (Error)
+        *Error = strformat("missing field '%s'", Key);
+      return false;
+    }
+  R.Seq = static_cast<uint64_t>(J.get("seq").asInt());
+  R.TimeMs = J.get("t_ms").asNumber();
+  R.Variant = J.get("variant").asString();
+  R.Stage = J.get("stage").asString();
+  R.Config = J.get("config").asString();
+  R.Cost = J.get("cost").asNumber();
+  R.CacheHit = J.get("cacheHit").asBool();
+  R.Warm = J.get("warm").asBool();
+  R.Millis = J.get("ms").asNumber();
+  R.Lane = static_cast<int>(J.get("lane").asInt());
+  return true;
+}
+
+namespace {
+
+/// Pipeline position of a stage name; -1 for unknown stages. Tile stages
+/// carry their level so tile1 after tile0 is ordered, and the closing
+/// stages sit above any realistic tile depth.
+int stageRank(const std::string &Stage) {
+  if (Stage == "rank")
+    return 0;
+  if (Stage == "initial")
+    return 1;
+  if (Stage == "register")
+    return 2;
+  if (Stage.rfind("tile", 0) == 0 && Stage.size() > 4) {
+    int Level = 0;
+    for (size_t I = 4; I < Stage.size(); ++I) {
+      if (Stage[I] < '0' || Stage[I] > '9')
+        return -1;
+      Level = Level * 10 + (Stage[I] - '0');
+    }
+    return 3 + Level;
+  }
+  if (Stage == "prefetch")
+    return 1000;
+  if (Stage == "adjust")
+    return 1001;
+  return -1;
+}
+
+} // namespace
+
+TraceAuditReport eco::check::auditTrace(const std::vector<TraceRecord> &Records,
+                                        const TraceAuditOptions &Opts) {
+  TraceAuditReport Report;
+  Report.Records = Records.size();
+  Report.BestCost = std::numeric_limits<double>::infinity();
+
+  auto Issue = [&Report](const std::string &Kind, uint64_t Seq,
+                         std::string Detail) {
+    Report.Issues.push_back({Kind, Seq, std::move(Detail)});
+  };
+
+  // Costs must agree bit-for-bit for the same point across the WHOLE
+  // trace (segments share the persistent cache, so a resumed run must
+  // reproduce its predecessor's numbers too).
+  std::map<std::string, double> CostOf; // "variant|config" -> cost
+  // Points seen as real evaluations, keyed by config BODY (the "{...}"
+  // part without the variant prefix): the engine memoizes under the
+  // instantiated nest, so two variants whose skeletons instantiate
+  // identically legitimately share cache entries across variant names.
+  std::set<std::string> Evaluated;
+  auto BodyOf = [](const std::string &Config) {
+    size_t Brace = Config.find('{');
+    return Brace == std::string::npos ? Config : Config.substr(Brace);
+  };
+
+  uint64_t ExpectSeq = 0;
+  // Per-(segment, variant): the highest-ranked stage seen so far. The
+  // search leaves stages in order; once left, a stage never emits again.
+  std::map<std::string, int> MaxStage;
+
+  for (const TraceRecord &R : Records) {
+    if (R.Seq == 0 && ExpectSeq != 0) {
+      // Seq restarting at 0 marks a new segment (a resumed tune's
+      // records appended after the killed run's).
+      ++Report.Segments;
+      ExpectSeq = 0;
+      MaxStage.clear();
+    }
+    if (Report.Segments == 0)
+      Report.Segments = 1;
+    if (R.Seq != ExpectSeq)
+      Issue("seq", R.Seq,
+            strformat("expected seq %llu, saw %llu",
+                      static_cast<unsigned long long>(ExpectSeq),
+                      static_cast<unsigned long long>(R.Seq)));
+    ExpectSeq = R.Seq + 1;
+
+    // Well-formed cost: NaN or negative can only come from a broken
+    // backend or a corrupted line.
+    if (std::isnan(R.Cost) || R.Cost < 0)
+      Issue("bad-cost", R.Seq,
+            strformat("variant %s stage %s cost %g", R.Variant.c_str(),
+                      R.Stage.c_str(), R.Cost));
+
+    // Cost-cache consistency.
+    std::string Key = R.Variant + "|" + R.Config;
+    auto [It, Fresh] = CostOf.emplace(Key, R.Cost);
+    if (!Fresh && It->second != R.Cost)
+      Issue("cost-mismatch", R.Seq,
+            strformat("%s: cost %.17g earlier, %.17g now", Key.c_str(),
+                      It->second, R.Cost));
+    if (Opts.AssumeColdCache && R.CacheHit &&
+        !Evaluated.count(BodyOf(R.Config)))
+      Issue("cost-mismatch", R.Seq,
+            "cache hit for never-evaluated point " + Key +
+                " under cold-cache assumption");
+    if (!R.CacheHit)
+      Evaluated.insert(BodyOf(R.Config));
+
+    // Stage ordering per (segment, variant).
+    int Rank = stageRank(R.Stage);
+    if (Rank < 0) {
+      Issue("schema", R.Seq, "unknown stage '" + R.Stage + "'");
+    } else {
+      auto [SIt, First] = MaxStage.emplace(R.Variant, Rank);
+      if (!First) {
+        if (Rank < SIt->second)
+          Issue("stage-order", R.Seq,
+                strformat("variant %s: stage %s after a later stage",
+                          R.Variant.c_str(), R.Stage.c_str()));
+        SIt->second = std::max(SIt->second, Rank);
+      }
+    }
+
+    if (!std::isnan(R.Cost))
+      Report.BestCost = std::min(Report.BestCost, R.Cost);
+  }
+
+  // Acceptance monotonicity, cross-checked against the tune's own
+  // answer: every traced point costs at least the reported best (the
+  // searched variants' minima dominate the unsearched rank points), and
+  // the best itself was actually evaluated — so the two minima must be
+  // bitwise equal.
+  if (Opts.HasExpectedBestCost && !Records.empty() &&
+      Report.BestCost != Opts.ExpectedBestCost)
+    Issue("regression", 0,
+          strformat("tune reported best cost %.17g but trace minimum is "
+                    "%.17g",
+                    Opts.ExpectedBestCost, Report.BestCost));
+  return Report;
+}
+
+TraceAuditReport eco::check::auditTraceFile(const std::string &Path,
+                                            const TraceAuditOptions &Opts) {
+  std::ifstream In(Path);
+  if (!In) {
+    TraceAuditReport Report;
+    Report.Issues.push_back({"parse", 0, "cannot open " + Path});
+    return Report;
+  }
+  std::vector<TraceRecord> Records;
+  std::vector<TraceIssue> ParseIssues;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    TraceRecord R;
+    std::string Error;
+    if (parseTraceLine(Line, R, &Error))
+      Records.push_back(std::move(R));
+    else
+      ParseIssues.push_back(
+          {"parse", 0, strformat("line %zu: %s", LineNo, Error.c_str())});
+  }
+  TraceAuditReport Report = auditTrace(Records, Opts);
+  Report.Issues.insert(Report.Issues.begin(), ParseIssues.begin(),
+                       ParseIssues.end());
+  return Report;
+}
+
+std::string TraceAuditReport::summary() const {
+  std::string Out = strformat(
+      "trace-audit: %zu record(s), %zu segment(s), best cost %g -> "
+      "%zu issue(s)\n",
+      Records, Segments, BestCost, Issues.size());
+  for (const TraceIssue &I : Issues)
+    Out += strformat("  ISSUE [%s] seq=%llu %s\n", I.Kind.c_str(),
+                     static_cast<unsigned long long>(I.Seq),
+                     I.Detail.c_str());
+  return Out;
+}
+
+JobsDeterminismResult eco::check::checkJobsDeterminism(
+    const LoopNest &Nest, const MachineDesc &Machine,
+    const ParamBindings &Problem, int Jobs, const std::string &TmpDir) {
+  JobsDeterminismResult Result;
+
+  auto RunOnce = [&](int J, const std::string &TracePath, std::string *Winner,
+                     double *Cost, TraceAuditReport *Audit) -> bool {
+    SimEvalBackend Backend(Machine);
+    EngineOptions EO;
+    EO.Jobs = J;
+    EO.TraceFile = TracePath;
+    EvalEngine Engine(Backend, EO);
+    TuneResult R = tune(Nest, Engine, Problem);
+    Engine.flush();
+    if (R.BestVariant < 0)
+      return false;
+    *Winner = R.best().Spec.Name + "|" + R.best().configString(R.BestConfig);
+    *Cost = R.BestCost;
+    TraceAuditOptions AO;
+    AO.AssumeColdCache = true; // fresh engine, no CacheFile
+    AO.HasExpectedBestCost = true;
+    AO.ExpectedBestCost = R.BestCost;
+    *Audit = auditTraceFile(TracePath, AO);
+    return true;
+  };
+
+  bool SeqOk = RunOnce(1, TmpDir + "/trace_jobs1.jsonl", &Result.WinnerSeq,
+                       &Result.CostSeq, &Result.AuditSeq);
+  bool ParOk = RunOnce(Jobs, TmpDir + "/trace_jobsN.jsonl", &Result.WinnerPar,
+                       &Result.CostPar, &Result.AuditPar);
+  Result.Ran = SeqOk && ParOk;
+  if (!Result.Ran)
+    Result.Detail = "tune failed (no best variant)";
+  else if (Result.WinnerSeq != Result.WinnerPar)
+    Result.Detail = "winner differs: jobs=1 -> " + Result.WinnerSeq +
+                    ", jobs=" + std::to_string(Jobs) + " -> " +
+                    Result.WinnerPar;
+  else if (Result.CostSeq != Result.CostPar)
+    Result.Detail = strformat("winner cost differs: %.17g vs %.17g",
+                              Result.CostSeq, Result.CostPar);
+  return Result;
+}
+
+std::string JobsDeterminismResult::summary() const {
+  std::string Out =
+      strformat("jobs-determinism: %s\n", ok() ? "OK" : "FAILED");
+  if (!Detail.empty())
+    Out += "  " + Detail + "\n";
+  Out += "  jobs=1: " + WinnerSeq + strformat(" cost %.17g\n", CostSeq);
+  Out += "  jobs=N: " + WinnerPar + strformat(" cost %.17g\n", CostPar);
+  if (!AuditSeq.ok())
+    Out += AuditSeq.summary();
+  if (!AuditPar.ok())
+    Out += AuditPar.summary();
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- check/TraceAudit.h - Search-invariant trace replay ------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariant auditing over the engine's JSONL search traces. A trace is
+/// the engine's own account of what the search did; re-reading it lets us
+/// assert properties the search code only promises:
+///
+///  * every line parses and carries the full record schema;
+///  * sequence numbers are dense per segment (a resumed tune appends a
+///    new segment whose seq restarts at 0 — gaps or duplicates within a
+///    segment mean records were lost or double-emitted);
+///  * cost-cache consistency: the same (variant, config) pair always
+///    reports the same cost, bit-for-bit — a violation means the memo
+///    table or a backend clone is non-deterministic;
+///  * costs are well-formed (never NaN, never negative);
+///  * stages appear in the pipeline's order per (segment, variant):
+///    rank, initial, register, tile0.., prefetch, adjust — warm batches
+///    may prefetch *within* a stage but must never emit for a stage the
+///    search already left;
+///  * acceptance monotonicity: the tune's reported best cost must equal
+///    the minimum cost in its trace, bit-for-bit. Model pruning searches
+///    the top-ranked variants, and a search never returns worse than its
+///    own evaluated minimum, so every traced point costs at least the
+///    reported best — a cheaper traced point means an accept step lost
+///    the incumbent; a missing one means the result was never evaluated.
+///
+/// checkJobsDeterminism() replays an actual tune at --jobs 1 and --jobs N
+/// and asserts the winning configuration is bit-identical — the engine's
+/// central determinism promise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CHECK_TRACEAUDIT_H
+#define ECO_CHECK_TRACEAUDIT_H
+
+#include "engine/TraceLog.h"
+#include "exec/Run.h"
+#include "ir/Loop.h"
+#include "machine/MachineDesc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eco {
+namespace check {
+
+/// One invariant violation found in a trace.
+struct TraceIssue {
+  std::string Kind; ///< "parse", "seq", "cost-mismatch", "bad-cost",
+                    ///  "stage-order", "regression", "schema"
+  uint64_t Seq = 0; ///< seq of the offending record (0 for parse errors)
+  std::string Detail;
+};
+
+struct TraceAuditOptions {
+  /// When true, a cacheHit record for a configuration never evaluated
+  /// earlier in the trace is an issue — valid only for traces produced
+  /// with a cold (empty or absent) persistent cache. Keyed by the config
+  /// body (without the variant prefix): the engine memoizes under the
+  /// instantiated nest, so variants whose skeletons instantiate
+  /// identically share entries across variant names.
+  bool AssumeColdCache = false;
+  /// When set, the trace's minimum cost must equal this bit-for-bit (the
+  /// acceptance-monotonicity cross-check against TuneResult::BestCost);
+  /// a disagreement is a "regression" issue. Unset = skipped.
+  bool HasExpectedBestCost = false;
+  double ExpectedBestCost = 0;
+};
+
+struct TraceAuditReport {
+  size_t Records = 0;
+  size_t Segments = 0;
+  double BestCost = 0; ///< running min over finite costs (inf if none)
+  std::vector<TraceIssue> Issues;
+
+  bool ok() const { return Issues.empty(); }
+  std::string summary() const;
+};
+
+/// Parses one JSONL trace line into \p R. Returns false (with \p Error)
+/// when the line is not valid JSON or misses required fields.
+bool parseTraceLine(const std::string &Line, TraceRecord &R,
+                    std::string *Error = nullptr);
+
+/// Audits in-memory records (e.g. straight from TraceLog::records()).
+TraceAuditReport auditTrace(const std::vector<TraceRecord> &Records,
+                            const TraceAuditOptions &Opts = {});
+
+/// Reads \p Path as JSONL and audits it. Unreadable file => one "parse"
+/// issue; blank lines are ignored.
+TraceAuditReport auditTraceFile(const std::string &Path,
+                                const TraceAuditOptions &Opts = {});
+
+/// Outcome of the jobs-determinism replay.
+struct JobsDeterminismResult {
+  bool Ran = false;           ///< false when either tune failed outright
+  std::string WinnerSeq;      ///< winning variant|configString at jobs=1
+  std::string WinnerPar;      ///< ... at jobs=N
+  double CostSeq = 0, CostPar = 0;
+  TraceAuditReport AuditSeq, AuditPar;
+  std::string Detail;
+
+  bool ok() const {
+    return Ran && WinnerSeq == WinnerPar && CostSeq == CostPar &&
+           AuditSeq.ok() && AuditPar.ok();
+  }
+  std::string summary() const;
+};
+
+/// Tunes \p Nest twice through fresh engines — jobs=1 and jobs=\p Jobs —
+/// with traces streamed into \p TmpDir, asserts the winners are
+/// bit-identical, and audits both traces (cold-cache mode).
+JobsDeterminismResult checkJobsDeterminism(const LoopNest &Nest,
+                                           const MachineDesc &Machine,
+                                           const ParamBindings &Problem,
+                                           int Jobs,
+                                           const std::string &TmpDir);
+
+} // namespace check
+} // namespace eco
+
+#endif // ECO_CHECK_TRACEAUDIT_H

@@ -44,9 +44,21 @@ namespace eco {
 /// Knobs for variant derivation.
 struct DeriveOptions {
   int64_t RepresentativeSize = 256; ///< problem size for trip-count models
+  /// True once the caller pinned RepresentativeSize explicitly (via
+  /// setRepresentativeSize). eco::tune substitutes the actual problem
+  /// size only while this is false — sentinel-comparing against the
+  /// default (the old behavior) stomped explicit overrides as soon as a
+  /// second, larger problem binding was folded in.
+  bool RepresentativeSizeSet = false;
   bool ForkCopyVariants = true;
   bool ForkPrunedTilings = true;
   unsigned MaxVariants = 24; ///< hard cap (derivation order is stable)
+
+  /// Pins the representative size; eco::tune will not override it.
+  void setRepresentativeSize(int64_t Size) {
+    RepresentativeSize = Size;
+    RepresentativeSizeSet = true;
+  }
 };
 
 /// Derives the parameterized variants of \p Original for \p Machine.

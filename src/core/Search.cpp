@@ -169,7 +169,15 @@ Env eco::initialConfig(const DerivedVariant &V, const MachineDesc &Machine,
   Env E(Nest.Syms.size());
   for (const auto &[Name, Value] : Problem) {
     SymbolId Id = Nest.Syms.lookup(Name);
-    assert(Id >= 0 && "problem binding names an unknown symbol");
+    if (Id < 0) {
+      // A misspelled binding must not become Env::set(-1, ...) — that is
+      // UB once NDEBUG compiles the old assert out. Surface it and skip;
+      // eco::tune additionally rejects such problems up front.
+      ECO_LOG(Error) << "problem binding '" << Name
+                     << "' names no symbol of variant " << V.Spec.Name
+                     << "; ignoring it";
+      continue;
+    }
     E.set(Id, Value);
   }
 

@@ -51,17 +51,38 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
   std::vector<StageTelemetry> StartTele = Eval.telemetry();
   TuneResult Result;
 
-  // Use the actual problem size as the representative size for the
-  // reuse/footprint models when the caller did not override it.
-  DeriveOptions DOpts = Opts.Derive;
+  // Reject unknown problem bindings before any work: every derived
+  // variant's skeleton extends the original symbol table, so a name that
+  // does not resolve here can never bind downstream either. Returning an
+  // empty result (BestVariant = -1) keeps the failure recoverable.
   for (const auto &[Name, Value] : Problem) {
-    SymbolId Id = Original.Syms.lookup(Name);
-    if (Id >= 0 && Original.Syms.kind(Id) == SymbolKind::ProblemSize)
-      DOpts.RepresentativeSize = std::max(DOpts.RepresentativeSize == 256
-                                              ? Value
-                                              : DOpts.RepresentativeSize,
-                                          Value);
+    (void)Value;
+    if (Original.Syms.lookup(Name) < 0) {
+      ECO_LOG(Error) << "problem binding '" << Name
+                     << "' names no symbol of " << Original.Name
+                     << "; cannot tune";
+      return Result;
+    }
   }
+
+  // Use the actual problem size as the representative size for the
+  // reuse/footprint models when the caller did not pin one explicitly.
+  // (The old `== 256` sentinel only protected the first binding: any
+  // later, larger binding re-entered the max() and stomped an explicit
+  // caller override.)
+  DeriveOptions DOpts = Opts.Derive;
+  if (!DOpts.RepresentativeSizeSet) {
+    bool Bound = false;
+    for (const auto &[Name, Value] : Problem) {
+      SymbolId Id = Original.Syms.lookup(Name);
+      if (Id >= 0 && Original.Syms.kind(Id) == SymbolKind::ProblemSize) {
+        DOpts.RepresentativeSize =
+            Bound ? std::max(DOpts.RepresentativeSize, Value) : Value;
+        Bound = true;
+      }
+    }
+  }
+  Result.RepresentativeSizeUsed = DOpts.RepresentativeSize;
 
   {
     obs::SpanScope S("derive", "tune");

@@ -81,6 +81,10 @@ struct TuneResult {
   size_t TotalPoints = 0;    ///< backend evaluations (Section 4.3)
   size_t TotalCacheHits = 0; ///< evaluator memo hits across the tune
   double TotalSeconds = 0;
+  /// The representative size derivation actually ran with: the caller's
+  /// pinned value (DeriveOptions::setRepresentativeSize) or the largest
+  /// problem-size binding.
+  int64_t RepresentativeSizeUsed = 0;
 
   /// Per-(variant, stage) telemetry for THIS tune (the evaluator's
   /// cumulative rows are diffed against a snapshot taken at entry).

@@ -93,6 +93,7 @@ EvalEngine::~EvalEngine() { flush(); }
 void EvalEngine::flush() {
   if (!Opts.CacheFile.empty()) {
     obs::SpanScope S("cache.save", "io", Opts.CacheFile);
+    std::lock_guard<std::mutex> SaveLock(SaveMutex);
     Cache.save(Opts.CacheFile);
   }
   Trace.flush();
@@ -208,8 +209,14 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
   if (obs::metricsEnabled())
     mirrorToMetrics(V.Spec.Name, Stage, /*CacheHit=*/false, O.Millis,
                     LiveHW ? &Delta : nullptr);
-  if (SaveNow)
-    Cache.save(Opts.CacheFile); // periodic durability for kill/resume
+  if (SaveNow) {
+    // Periodic durability for kill/resume. Saves are serialized: when
+    // another lane is already writing the snapshot, skip rather than
+    // race it — this lane's insert lands in the next save or in flush().
+    std::unique_lock<std::mutex> SaveLock(SaveMutex, std::try_to_lock);
+    if (SaveLock.owns_lock())
+      Cache.save(Opts.CacheFile);
+  }
   Trace.append({0, StartMs, V.Spec.Name, Stage, V.configString(Config),
                 O.Cost, /*CacheHit=*/false, Warm, O.Millis, Lane});
   return O;

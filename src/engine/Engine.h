@@ -156,6 +156,14 @@ private:
   std::map<std::pair<std::string, std::string>, StageTelemetry>
       VariantStages;
   size_t InsertsSinceSave = 0;
+
+  /// Serializes cache-file writes. Periodic saves from worker lanes
+  /// try-lock and skip when a save is already in flight (two lanes can
+  /// trip the interval in the same batch; one snapshot is enough and the
+  /// skipped lane's insert is covered by the next save or by flush()).
+  /// flush() takes the lock unconditionally so the final save never
+  /// overlaps a periodic one.
+  std::mutex SaveMutex;
 };
 
 } // namespace eco

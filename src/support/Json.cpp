@@ -2,12 +2,15 @@
 
 #include "support/Json.h"
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace eco;
 
@@ -349,14 +352,27 @@ Json Json::loadFile(const std::string &Path, std::string *Error) {
 }
 
 bool Json::saveFile(const std::string &Path) const {
-  std::string Tmp = Path + ".tmp";
+  // The temp name must be unique per writer: a fixed "<path>.tmp" let two
+  // concurrent savers interleave writes into the same temp file and then
+  // publish the torn result via rename. (pid, counter) makes the staging
+  // file private to this write; rename() stays the atomic publish step,
+  // so readers only ever observe a complete document.
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(TmpCounter.fetch_add(1));
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
       return false;
     Out << dumpPretty();
-    if (!Out.good())
+    if (!Out.good()) {
+      std::remove(Tmp.c_str());
       return false;
+    }
   }
-  return std::rename(Tmp.c_str(), Path.c_str()) == 0;
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }

@@ -1,0 +1,343 @@
+//===- tests/test_check.cpp - eco::check self-check harness tests ---------===//
+//
+// Covers the check subsystem: the kernel x config differential harness
+// (simulator and native legs against the golden references, including one
+// adversarial corner per transform), the JSONL trace auditor (clean
+// traces pass; tampered traces are caught), the jobs-determinism replay,
+// and the persistence fault-injection matrix. Carries the "check" ctest
+// label (ctest -L check).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/DiffCheck.h"
+#include "check/FaultInject.h"
+#include "check/TraceAudit.h"
+#include "core/Tuner.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+using namespace eco;
+using namespace eco::check;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + Name;
+}
+
+/// A diff run bounded for test time: the simulator leg alone already
+/// cross-checks instantiate()+Executor against the references; the
+/// native leg gets its own (smaller) dedicated cases below.
+DiffCheckOptions simOnlyOptions(const std::string &Kernel) {
+  DiffCheckOptions Opts;
+  Opts.KernelFilter = Kernel;
+  Opts.CheckNative = false;
+  Opts.Seed = 7;
+  return Opts;
+}
+
+} // namespace
+
+// ---- ulpDiff ------------------------------------------------------------
+
+TEST(UlpDiffTest, BasicProperties) {
+  EXPECT_EQ(ulpDiff(1.0, 1.0), 0u);
+  EXPECT_EQ(ulpDiff(0.0, -0.0), 0u);
+  EXPECT_EQ(ulpDiff(1.0, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(ulpDiff(1.0, std::nextafter(std::nextafter(1.0, 2.0), 2.0)),
+            2u);
+  // Symmetric, and ordered across the sign boundary.
+  EXPECT_EQ(ulpDiff(-1.0, 1.0), ulpDiff(1.0, -1.0));
+  EXPECT_GT(ulpDiff(-1.0, 1.0), ulpDiff(0.0, 1.0));
+  EXPECT_EQ(ulpDiff(std::nan(""), 1.0), UINT64_MAX);
+}
+
+// ---- differential harness, simulator leg (every kernel) ----------------
+
+TEST(DiffCheckTest, MatMulAllVariantsMatchReference) {
+  DiffCheckReport Report = runDiffCheck(simOnlyOptions("matmul"));
+  EXPECT_EQ(Report.Kernels, 1u);
+  EXPECT_GE(Report.Variants, 2u);
+  EXPECT_GT(Report.Comparisons, 0u);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+}
+
+TEST(DiffCheckTest, JacobiAllVariantsMatchReference) {
+  DiffCheckReport Report = runDiffCheck(simOnlyOptions("jacobi"));
+  EXPECT_EQ(Report.Kernels, 1u);
+  EXPECT_GE(Report.Variants, 1u);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+}
+
+TEST(DiffCheckTest, MatVecAllVariantsMatchReference) {
+  DiffCheckReport Report = runDiffCheck(simOnlyOptions("matvec"));
+  EXPECT_EQ(Report.Kernels, 1u);
+  EXPECT_GE(Report.Variants, 1u);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+}
+
+TEST(DiffCheckTest, AdversarialCornersAreExercised) {
+  // With adversarial corners on, each kernel draws strictly more configs
+  // than the (initial + random) baseline — the tile=1 / max-unroll /
+  // prefetch-on corners must survive feasibility repair, not vanish.
+  DiffCheckOptions With = simOnlyOptions("matmul");
+  DiffCheckOptions Without = simOnlyOptions("matmul");
+  Without.Adversarial = false;
+  DiffCheckReport RWith = runDiffCheck(With);
+  DiffCheckReport RWithout = runDiffCheck(Without);
+  EXPECT_GT(RWith.Configs, RWithout.Configs);
+  EXPECT_TRUE(RWith.ok()) << RWith.summary();
+}
+
+TEST(DiffCheckTest, NativeLegMatchesReferenceOnEveryKernel) {
+  // One variant per kernel through the full emitC -> cc -> dlopen leg,
+  // still with adversarial corners. Small N keeps compile counts sane.
+  for (const char *Kernel : {"matmul", "jacobi", "matvec"}) {
+    DiffCheckOptions Opts;
+    Opts.KernelFilter = Kernel;
+    Opts.MaxVariantsPerKernel = 1;
+    Opts.RandomConfigsPerVariant = 1;
+    Opts.ProblemSize = 9;
+    DiffCheckReport Report = runDiffCheck(Opts);
+    EXPECT_EQ(Report.Kernels, 1u) << Kernel;
+    EXPECT_TRUE(Report.ok()) << Kernel << "\n" << Report.summary();
+  }
+}
+
+TEST(DiffCheckTest, DeterministicForFixedSeed) {
+  DiffCheckOptions Opts = simOnlyOptions("matvec");
+  DiffCheckReport A = runDiffCheck(Opts);
+  DiffCheckReport B = runDiffCheck(Opts);
+  EXPECT_EQ(A.Configs, B.Configs);
+  EXPECT_EQ(A.Comparisons, B.Comparisons);
+  EXPECT_EQ(A.SkippedInfeasible, B.SkippedInfeasible);
+}
+
+// ---- trace auditor ------------------------------------------------------
+
+namespace {
+
+TraceRecord record(uint64_t Seq, const std::string &Variant,
+                   const std::string &Stage, const std::string &Config,
+                   double Cost, bool CacheHit = false) {
+  TraceRecord R;
+  R.Seq = Seq;
+  R.TimeMs = 1;
+  R.Variant = Variant;
+  R.Stage = Stage;
+  R.Config = Config;
+  R.Cost = Cost;
+  R.CacheHit = CacheHit;
+  return R;
+}
+
+} // namespace
+
+TEST(TraceAuditTest, CleanSyntheticTracePasses) {
+  std::vector<TraceRecord> Trace = {
+      record(0, "v1", "rank", "a", 9.0),
+      record(1, "v1", "initial", "a", 9.0, /*CacheHit=*/true),
+      record(2, "v1", "register", "b", 7.0),
+      record(3, "v1", "tile0", "c", 5.0),
+      record(4, "v1", "prefetch", "d", 6.0),
+      record(5, "v1", "adjust", "c", 5.0, /*CacheHit=*/true),
+  };
+  TraceAuditOptions Opts;
+  Opts.AssumeColdCache = true;
+  TraceAuditReport Report = auditTrace(Trace, Opts);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+  EXPECT_EQ(Report.Records, 6u);
+  EXPECT_EQ(Report.Segments, 1u);
+  EXPECT_EQ(Report.BestCost, 5.0);
+}
+
+TEST(TraceAuditTest, CostInconsistencyIsCaught) {
+  // Same (variant, config) with two different costs: the memo table or a
+  // backend clone went non-deterministic.
+  std::vector<TraceRecord> Trace = {
+      record(0, "v1", "initial", "a", 9.0),
+      record(1, "v1", "register", "a", 8.0),
+  };
+  TraceAuditReport Report = auditTrace(Trace);
+  ASSERT_EQ(Report.Issues.size(), 1u) << Report.summary();
+  EXPECT_EQ(Report.Issues[0].Kind, "cost-mismatch");
+}
+
+TEST(TraceAuditTest, SeqGapAndStageRegressionAreCaught) {
+  std::vector<TraceRecord> Trace = {
+      record(0, "v1", "initial", "a", 9.0),
+      record(2, "v1", "tile0", "b", 7.0),    // seq 1 lost
+      record(3, "v1", "register", "c", 8.0), // stage went backwards
+  };
+  TraceAuditReport Report = auditTrace(Trace);
+  EXPECT_FALSE(Report.ok());
+  bool SawSeq = false, SawStage = false;
+  for (const TraceIssue &I : Report.Issues) {
+    SawSeq |= I.Kind == "seq";
+    SawStage |= I.Kind == "stage-order";
+  }
+  EXPECT_TRUE(SawSeq) << Report.summary();
+  EXPECT_TRUE(SawStage) << Report.summary();
+}
+
+TEST(TraceAuditTest, BadCostAndColdCacheHitAreCaught) {
+  std::vector<TraceRecord> Trace = {
+      record(0, "v1", "initial", "a",
+             std::numeric_limits<double>::quiet_NaN()),
+      record(1, "v1", "register", "b", 5.0, /*CacheHit=*/true),
+  };
+  TraceAuditOptions Opts;
+  Opts.AssumeColdCache = true;
+  TraceAuditReport Report = auditTrace(Trace, Opts);
+  bool SawBadCost = false, SawColdHit = false;
+  for (const TraceIssue &I : Report.Issues) {
+    SawBadCost |= I.Kind == "bad-cost";
+    SawColdHit |= I.Kind == "cost-mismatch";
+  }
+  EXPECT_TRUE(SawBadCost) << Report.summary();
+  EXPECT_TRUE(SawColdHit) << Report.summary();
+}
+
+TEST(TraceAuditTest, ReportedBestMustMatchTraceMinimum) {
+  std::vector<TraceRecord> Trace = {
+      record(0, "v1", "initial", "a", 9.0),
+      record(1, "v1", "register", "b", 7.0),
+  };
+  TraceAuditOptions Opts;
+  Opts.HasExpectedBestCost = true;
+  Opts.ExpectedBestCost = 7.0;
+  EXPECT_TRUE(auditTrace(Trace, Opts).ok());
+  Opts.ExpectedBestCost = 6.5; // claims a point the trace never saw
+  TraceAuditReport Report = auditTrace(Trace, Opts);
+  ASSERT_EQ(Report.Issues.size(), 1u);
+  EXPECT_EQ(Report.Issues[0].Kind, "regression");
+}
+
+TEST(TraceAuditTest, SegmentsRestartSequencesAndStages) {
+  // A resumed tune appends a second segment whose seq restarts at 0 and
+  // whose stages begin again — neither is an issue.
+  std::vector<TraceRecord> Trace = {
+      record(0, "v1", "initial", "a", 9.0),
+      record(1, "v1", "tile0", "b", 7.0),
+      record(0, "v1", "initial", "a", 9.0), // resume
+      record(1, "v1", "register", "c", 8.0),
+  };
+  TraceAuditReport Report = auditTrace(Trace);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+  EXPECT_EQ(Report.Segments, 2u);
+}
+
+TEST(TraceAuditTest, RealEngineTracePassesAudit) {
+  const std::string Path = tempPath("check_audit_real.jsonl");
+  std::remove(Path.c_str());
+  double BestCost;
+  {
+    SimEvalBackend Backend(MachineDesc::sgiR10000().scaledBy(16));
+    EngineOptions EO;
+    EO.TraceFile = Path;
+    EvalEngine Engine(Backend, EO);
+    TuneResult R = tune(makeMatMul(), Engine, {{"N", 24}});
+    ASSERT_GE(R.BestVariant, 0);
+    BestCost = R.BestCost;
+    Engine.flush();
+  }
+  TraceAuditOptions Opts;
+  Opts.AssumeColdCache = true;
+  Opts.HasExpectedBestCost = true;
+  Opts.ExpectedBestCost = BestCost;
+  TraceAuditReport Report = auditTraceFile(Path, Opts);
+  EXPECT_GT(Report.Records, 0u);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+  std::remove(Path.c_str());
+}
+
+TEST(TraceAuditTest, TamperedTraceFileIsCaught) {
+  const std::string Clean = tempPath("check_audit_clean.jsonl");
+  const std::string Tampered = tempPath("check_audit_tampered.jsonl");
+  std::remove(Clean.c_str());
+  {
+    SimEvalBackend Backend(MachineDesc::sgiR10000().scaledBy(16));
+    EngineOptions EO;
+    EO.TraceFile = Clean;
+    EvalEngine Engine(Backend, EO);
+    TuneResult R = tune(makeMatVec(), Engine, {{"N", 24}});
+    ASSERT_GE(R.BestVariant, 0);
+    Engine.flush();
+  }
+
+  // Drop one line and truncate another mid-record: the auditor must see
+  // both the seq gap and the parse failure.
+  std::ifstream In(Clean);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  ASSERT_GE(Lines.size(), 4u);
+  {
+    std::ofstream Out(Tampered, std::ios::trunc);
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (I == 1)
+        continue; // deleted record
+      if (I == 3) {
+        Out << Lines[I].substr(0, Lines[I].size() / 2) << "\n";
+        continue; // torn record
+      }
+      Out << Lines[I] << "\n";
+    }
+  }
+  TraceAuditReport Report = auditTraceFile(Tampered);
+  EXPECT_FALSE(Report.ok());
+  bool SawSeq = false, SawParse = false;
+  for (const TraceIssue &I : Report.Issues) {
+    SawSeq |= I.Kind == "seq";
+    SawParse |= I.Kind == "parse";
+  }
+  EXPECT_TRUE(SawSeq) << Report.summary();
+  EXPECT_TRUE(SawParse) << Report.summary();
+  std::remove(Clean.c_str());
+  std::remove(Tampered.c_str());
+}
+
+// ---- jobs determinism ---------------------------------------------------
+
+TEST(JobsDeterminismTest, WinnerBitIdenticalAcrossJobs) {
+  JobsDeterminismResult R = checkJobsDeterminism(
+      makeMatMul(), MachineDesc::sgiR10000().scaledBy(16), {{"N", 24}},
+      /*Jobs=*/2, ::testing::TempDir());
+  EXPECT_TRUE(R.ok()) << R.summary();
+  EXPECT_EQ(R.WinnerSeq, R.WinnerPar);
+}
+
+// ---- persistence fault injection ---------------------------------------
+
+TEST(FaultInjectTest, InjectorsActuallyDamageFiles) {
+  for (Fault F : AllFaults) {
+    const std::string Path =
+        tempPath(std::string("check_inject_") + faultName(F) + ".json");
+    {
+      std::ofstream Out(Path, std::ios::trunc);
+      Out << "{\n  \"k\": [1, 2, 3]\n}\n";
+    }
+    ASSERT_TRUE(injectFault(Path, F)) << faultName(F);
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    EXPECT_NE(SS.str(), "{\n  \"k\": [1, 2, 3]\n}\n") << faultName(F);
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(FaultInjectTest, FullPersistenceFaultMatrixPasses) {
+  FaultCheckReport Report =
+      runPersistenceFaultChecks(::testing::TempDir());
+  EXPECT_GE(Report.Scenarios, 12u);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+}

@@ -531,3 +531,69 @@ TEST(ReportTest, OptionsControlSections) {
   EXPECT_EQ(Report.find("Optimized code"), std::string::npos);
   EXPECT_NE(Report.find("seconds"), std::string::npos);
 }
+
+// ---- problem-binding and representative-size regressions ----------------
+
+TEST(TunerTest, PinnedRepresentativeSizeIsNotStomped) {
+  // A caller-pinned representative size must survive even when the
+  // actual problem binding is larger. (The old `== 256` sentinel check
+  // only guarded the first binding: any larger binding re-entered the
+  // max() and stomped the explicit override.)
+  LoopNest MM = makeMatMul();
+  SimEvalBackend Backend(sgiScaled());
+  TuneOptions Opts;
+  Opts.Derive.setRepresentativeSize(48);
+  Opts.MaxVariantsToSearch = 1;
+  TuneResult R = tune(MM, Backend, {{"N", 96}}, Opts);
+  ASSERT_GE(R.BestVariant, 0);
+  EXPECT_EQ(R.RepresentativeSizeUsed, 48);
+}
+
+TEST(TunerTest, PinnedDefaultValuedRepresentativeSizeSticks) {
+  // Pinning exactly the default (256) is indistinguishable from "unset"
+  // under sentinel comparison — the explicit-flag fix keeps it.
+  LoopNest MM = makeMatMul();
+  SimEvalBackend Backend(sgiScaled());
+  TuneOptions Opts;
+  Opts.Derive.setRepresentativeSize(256);
+  Opts.MaxVariantsToSearch = 1;
+  TuneResult R = tune(MM, Backend, {{"N", 96}}, Opts);
+  ASSERT_GE(R.BestVariant, 0);
+  EXPECT_EQ(R.RepresentativeSizeUsed, 256);
+}
+
+TEST(TunerTest, UnpinnedRepresentativeSizeTracksProblem) {
+  LoopNest MM = makeMatMul();
+  SimEvalBackend Backend(sgiScaled());
+  TuneOptions Opts;
+  Opts.MaxVariantsToSearch = 1;
+  TuneResult R = tune(MM, Backend, {{"N", 96}}, Opts);
+  ASSERT_GE(R.BestVariant, 0);
+  EXPECT_EQ(R.RepresentativeSizeUsed, 96);
+}
+
+TEST(TunerTest, MisspelledProblemBindingFailsRecoverably) {
+  // "M" names no symbol of matmul. Under NDEBUG the old assert-only
+  // guard compiled away and Env::set(-1, ...) was undefined behavior;
+  // now the tune reports failure and returns an empty result.
+  LoopNest MM = makeMatMul();
+  SimEvalBackend Backend(sgiScaled());
+  TuneResult R = tune(MM, Backend, {{"M", 64}});
+  EXPECT_LT(R.BestVariant, 0);
+  EXPECT_TRUE(R.Variants.empty());
+  EXPECT_EQ(R.TotalPoints, 0u);
+}
+
+TEST(SearchTest, InitialConfigIgnoresUnknownBindingName) {
+  // The per-variant binding loop must also survive a name that does not
+  // resolve (skeletons extend the symbol table, so this is the same UB
+  // under NDEBUG) — the bad name is logged and skipped.
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  std::vector<DerivedVariant> Vs = deriveVariants(MM, M);
+  ASSERT_FALSE(Vs.empty());
+  Env Init = initialConfig(Vs[0], M, {{"BOGUS", 7}, {"N", 32}});
+  SymbolId N = Vs[0].Skeleton.Syms.lookup("N");
+  ASSERT_GE(N, 0);
+  EXPECT_EQ(Init.get(N), 32);
+}

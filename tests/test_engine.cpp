@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <thread>
 #include <tuple>
 
@@ -772,5 +773,106 @@ TEST(CheckpointTest, IncompatibleCheckpointIsIgnored) {
   LoopNest Jac = makeJacobi();
   TuneCheckpoint OtherKernel(Path, Jac, M, {{"N", 64}}, true);
   EXPECT_EQ(OtherKernel.numLoaded(), 0u);
+  std::remove(Path.c_str());
+}
+
+// ---- persistence robustness ---------------------------------------------
+
+TEST(EngineTest, PeriodicSavesFromWarmBatchesNeverPublishTornFiles) {
+  // CacheSaveInterval=1 + jobs=4 makes every lane trip the periodic-save
+  // threshold inside the same warm batch — the exact overlap that used
+  // to let two lanes write the cache file concurrently (and, with the
+  // old fixed ".tmp" staging name, interleave into one temp file and
+  // rename torn JSON into place). A reader polls the file for the whole
+  // tune: it must never observe an unparseable document.
+  std::string Path = tempPath("eco_engine_save_hammer.json");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+
+  std::atomic<bool> Stop{false};
+  std::atomic<size_t> Torn{0}, Good{0};
+  std::thread Reader([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      std::ifstream Probe(Path);
+      if (!Probe)
+        continue; // not yet published
+      std::string Error;
+      if (Json::loadFile(Path, &Error).isObject())
+        Good.fetch_add(1, std::memory_order_relaxed);
+      else
+        Torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  double Best;
+  {
+    SimEvalBackend Backend(M);
+    EngineOptions Opts;
+    Opts.CacheFile = Path;
+    Opts.CacheSaveInterval = 1;
+    Opts.Jobs = 4;
+    EvalEngine Engine(Backend, Opts);
+    Best = tune(MM, Engine, {{"N", 64}}).BestCost;
+  }
+  Stop.store(true);
+  Reader.join();
+
+  EXPECT_EQ(Torn.load(), 0u)
+      << Torn.load() << " torn observation(s), " << Good.load()
+      << " clean";
+  EXPECT_GT(Good.load(), 0u);
+
+  // And the final snapshot replays the whole tune.
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.CacheFile = Path;
+  EvalEngine Engine(Backend, Opts);
+  EXPECT_GT(Engine.cache().size(), 0u);
+  EXPECT_EQ(tune(MM, Engine, {{"N", 64}}).BestCost, Best);
+  std::remove(Path.c_str());
+}
+
+TEST(EngineTest, TruncatedCacheFileRecoversToColdRunAnswer) {
+  // A kill mid-write used to leave half a JSON document at the cache
+  // path. Loading must warn and start empty — never crash, never serve
+  // entries the file no longer proves — and the next tune must rebuild
+  // both the answer and a healthy file.
+  std::string Path = tempPath("eco_engine_truncated_cache.json");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  MachineDesc M = sgiScaled();
+  const ParamBindings Problem = {{"N", 64}};
+
+  double ColdBest;
+  {
+    SimEvalBackend Backend(M);
+    EngineOptions Opts;
+    Opts.CacheFile = Path;
+    EvalEngine Engine(Backend, Opts);
+    ColdBest = tune(MM, Engine, Problem).BestCost;
+  } // destructor saves a healthy file
+
+  // Truncate it to half, as a kill between write and rename would.
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    std::string Half = SS.str().substr(0, SS.str().size() / 2);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Half;
+  }
+
+  SimEvalBackend Backend(M);
+  EngineOptions Opts;
+  Opts.CacheFile = Path;
+  EvalEngine Engine(Backend, Opts); // must not crash
+  EXPECT_EQ(Engine.cache().size(), 0u) << "entries from a torn file";
+  TuneResult R = tune(MM, Engine, Problem);
+  EXPECT_EQ(R.BestCost, ColdBest);
+  EXPECT_GT(Engine.stats().Evaluations, 0u); // really re-evaluated
+  Engine.flush();
+  std::string Error;
+  EXPECT_TRUE(Json::loadFile(Path, &Error).isObject()) << Error;
   std::remove(Path.c_str());
 }

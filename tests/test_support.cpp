@@ -186,8 +186,12 @@ TEST(ChartTest, ConstantSeriesDoesNotDivideByZero) {
 #include "support/Json.h"
 #include "support/NestHash.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
+#include <thread>
 
 TEST(HashTest, Fnv1aMatchesReferenceVectors) {
   // Published FNV-1a test vectors; the hashes persist to disk, so they
@@ -390,4 +394,78 @@ TEST(JsonTest, FileRoundTrip) {
   EXPECT_EQ(Back.get("cost").asNumber(), 8.25e6);
   EXPECT_EQ(Back.get("hits").asInt(), 12);
   std::remove(Path.c_str());
+}
+
+// ---- atomic persistence -------------------------------------------------
+
+TEST(JsonTest, ConcurrentSaveFileAlwaysPublishesCompleteDocuments) {
+  // Several writers snapshot different documents into ONE path while a
+  // reader parses it in a loop. saveFile must stage each write under a
+  // writer-unique temp name and publish via rename, so the reader only
+  // ever observes a complete document. (The old fixed "<path>.tmp"
+  // staging file let two writers interleave and rename torn JSON into
+  // place — this test fails against that code.)
+  const std::string Path =
+      ::testing::TempDir() + "json_concurrent_save.json";
+  constexpr int Writers = 4, SavesPerWriter = 30;
+
+  auto docFor = [](int W) {
+    Json J = Json::object();
+    // Distinct payload sizes per writer so interleavings are visible.
+    for (int I = 0; I <= W * 8; ++I)
+      J.set(strformat("key_%d_%d", W, I), I * 1.5);
+    return J;
+  };
+  ASSERT_TRUE(docFor(0).saveFile(Path));
+
+  std::atomic<bool> Stop{false};
+  std::atomic<size_t> Torn{0}, Good{0};
+  std::thread Reader([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      std::string Error;
+      if (Json::loadFile(Path, &Error).isObject())
+        Good.fetch_add(1, std::memory_order_relaxed);
+      else
+        Torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < Writers; ++W)
+    Threads.emplace_back([&docFor, &Path, W] {
+      Json Mine = docFor(W);
+      for (int S = 0; S < SavesPerWriter; ++S)
+        ASSERT_TRUE(Mine.saveFile(Path));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Stop.store(true);
+  Reader.join();
+
+  EXPECT_EQ(Torn.load(), 0u) << "reader observed torn JSON "
+                             << Torn.load() << " time(s) ("
+                             << Good.load() << " clean reads)";
+  std::string Error;
+  EXPECT_TRUE(Json::loadFile(Path, &Error).isObject()) << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(JsonTest, SaveFileLeavesNoTempDroppings) {
+  // Every staged temp file must be renamed away or cleaned up.
+  const std::string Dir = ::testing::TempDir() + "json_tmp_check/";
+  (void)std::system(("rm -rf '" + Dir + "' && mkdir -p '" + Dir + "'").c_str());
+  Json J = Json::object();
+  J.set("a", 1);
+  const std::string Path = Dir + "doc.json";
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE(J.saveFile(Path));
+  // Only the published file may remain in the directory.
+  const std::string CountFile = ::testing::TempDir() + "json_tmp_count";
+  std::string Cmd = "ls -1 '" + Dir + "' | wc -l > '" + CountFile + "'";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  std::ifstream Count(CountFile);
+  int Entries = 0;
+  Count >> Entries;
+  EXPECT_EQ(Entries, 1); // doc.json only, no temp droppings
+  std::remove(CountFile.c_str());
 }
