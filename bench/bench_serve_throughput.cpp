@@ -1,0 +1,220 @@
+//===- bench/bench_serve_throughput.cpp - Tuning-service throughput -------===//
+//
+// Measures the serve layer end to end, through the real daemon plumbing
+// (TuneService + Server + Client over a unix-domain socket):
+//
+//  * phase A — cold vs warm economics: a fresh service tunes a matmul
+//    size sweep cold, then a second fresh service tunes the anchor size
+//    cold and warm-starts every other size from the growing ConfigDB.
+//    Reports per-size evaluation counts and costs, and checks the PR's
+//    acceptance bars at the anchor's neighbor (warm evals <= 50% of
+//    cold, warm cost within 2% of cold best).
+//
+//  * phase B — request throughput: with the database fully populated,
+//    a client fleet replays a mixed request stream (every request an
+//    exact hit — the steady state a long-running daemon converges to)
+//    and reports jobs/sec plus p50/p95 queue latency from the service's
+//    own per-job accounting.
+//
+// Results are emitted as BENCH_serve_throughput.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace eco;
+using namespace eco::serve;
+
+namespace {
+
+void banner(const char *Title) {
+  std::printf("\n=== %s ===\n", Title);
+}
+
+JobSpec specFor(const std::string &Kernel, int64_t N) {
+  JobSpec Spec;
+  Spec.Kernel = Kernel;
+  Spec.Machine = "sgi";
+  Spec.Scale = 16;
+  Spec.N = N;
+  return Spec;
+}
+
+struct SweepPoint {
+  const char *Kernel;
+  int64_t N;
+  bool Gate; ///< carries the PR's acceptance bars
+};
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t Idx = static_cast<size_t>(P * (V.size() - 1) + 0.5);
+  return V[std::min(Idx, V.size() - 1)];
+}
+
+} // namespace
+
+int main() {
+  // matmul anchors the warm-start chain; 112 (one hop from the anchor)
+  // carries the acceptance bars; jacobi gets its own anchor + hop.
+  const std::vector<SweepPoint> Sizes = {{"matmul", 96, false},
+                                         {"matmul", 112, true},
+                                         {"matmul", 128, false},
+                                         {"matmul", 144, false},
+                                         {"jacobi", 48, false},
+                                         {"jacobi", 56, false}};
+
+  banner("phase A: cold vs warm tuning economics (matmul+jacobi @ sgi/16)");
+
+  // Cold baseline: every size tuned by a fresh service with an empty DB.
+  std::vector<JobResult> Cold;
+  for (const SweepPoint &P : Sizes) {
+    TuneService Service; // fresh DB + cache per size: no reuse at all
+    Cold.push_back(Service.run(specFor(P.Kernel, P.N)));
+    if (!Cold.back().ok()) {
+      std::fprintf(stderr, "cold tune %s n=%lld failed: %s\n", P.Kernel,
+                   static_cast<long long>(P.N), Cold.back().Error.c_str());
+      return 1;
+    }
+  }
+
+  // Warm sweep: one service, anchor first, the rest seeded by the DB.
+  TuneService Warm;
+  std::vector<JobResult> WarmResults;
+  for (const SweepPoint &P : Sizes) {
+    WarmResults.push_back(Warm.run(specFor(P.Kernel, P.N)));
+    if (!WarmResults.back().ok()) {
+      std::fprintf(stderr, "warm tune %s n=%lld failed\n", P.Kernel,
+                   static_cast<long long>(P.N));
+      return 1;
+    }
+  }
+
+  std::printf("%-7s %6s %8s %14s %8s %14s %9s %8s\n", "kernel", "n",
+              "cold ev", "cold cost", "warm ev", "warm cost", "cost delta",
+              "ev ratio");
+  Json SweepJson = Json::array();
+  bool BarsPass = true;
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    const JobResult &C = Cold[I];
+    const JobResult &W = WarmResults[I];
+    double CostDelta = C.Cost > 0 ? (W.Cost - C.Cost) / C.Cost : 0;
+    double EvRatio =
+        C.Evaluations ? double(W.Evaluations) / C.Evaluations : 0;
+    std::printf("%-7s %6lld %8llu %14.0f %8llu %14.0f %8.2f%% %7.0f%%\n",
+                Sizes[I].Kernel, static_cast<long long>(Sizes[I].N),
+                static_cast<unsigned long long>(C.Evaluations), C.Cost,
+                static_cast<unsigned long long>(W.Evaluations), W.Cost,
+                100 * CostDelta, 100 * EvRatio);
+    Json Row = Json::object();
+    Row.set("kernel", Sizes[I].Kernel);
+    Row.set("n", Sizes[I].N);
+    Row.set("coldEvaluations", C.Evaluations);
+    Row.set("coldCost", C.Cost);
+    Row.set("warmStart", W.WarmStart);
+    Row.set("warmEvaluations", W.Evaluations);
+    Row.set("warmCost", W.Cost);
+    Row.set("costDelta", CostDelta);
+    Row.set("evalRatio", EvRatio);
+    SweepJson.push(std::move(Row));
+
+    // The acceptance bars are pinned at the anchor's nearest neighbor
+    // (one warm-start hop); far sizes are reported but not gated — a
+    // conflict-miss cliff (e.g. a power-of-two n) can put the cold
+    // winner outside any nearby seed's basin (see DESIGN.md).
+    if (Sizes[I].Gate) {
+      bool EvOk = W.Evaluations * 2 <= C.Evaluations;
+      bool CostOk = W.Cost <= C.Cost * 1.02;
+      std::printf("  acceptance @ %s n=%lld: evals %s (%.0f%% of cold), "
+                  "cost %s (%+.2f%%)\n",
+                  Sizes[I].Kernel, static_cast<long long>(Sizes[I].N),
+                  EvOk ? "PASS" : "FAIL", 100 * EvRatio,
+                  CostOk ? "PASS" : "FAIL", 100 * CostDelta);
+      BarsPass = EvOk && CostOk;
+    }
+  }
+
+  banner("phase B: steady-state request throughput (exact hits)");
+
+  // Serve the populated DB over a real socket to a client fleet.
+  ServerOptions SrvOpts;
+  SrvOpts.UnixPath = "bench_serve_throughput.sock";
+  std::remove(SrvOpts.UnixPath.c_str());
+  Server Srv(Warm, SrvOpts);
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "server start failed: %s\n", Err.c_str());
+    return 1;
+  }
+
+  const int Clients = 4, RequestsPerClient = 50;
+  std::vector<double> QueueMs(Clients * RequestsPerClient, 0);
+  std::vector<int> ExactHits(Clients, 0);
+  Timer Wall;
+  std::vector<std::thread> Fleet;
+  for (int CI = 0; CI < Clients; ++CI)
+    Fleet.emplace_back([&, CI] {
+      auto C = Client::connectUnix(SrvOpts.UnixPath);
+      if (!C)
+        return;
+      for (int R = 0; R < RequestsPerClient; ++R) {
+        const SweepPoint &P = Sizes[(CI + R) % Sizes.size()];
+        JobResult Res = C->submit(specFor(P.Kernel, P.N));
+        QueueMs[CI * RequestsPerClient + R] = Res.QueueMs;
+        if (Res.ok() && Res.WarmStart == "exact")
+          ++ExactHits[CI];
+      }
+    });
+  for (std::thread &T : Fleet)
+    T.join();
+  double Seconds = Wall.seconds();
+  Srv.stop();
+  std::remove(SrvOpts.UnixPath.c_str());
+
+  int TotalRequests = Clients * RequestsPerClient;
+  int TotalExact = 0;
+  for (int H : ExactHits)
+    TotalExact += H;
+  double JobsPerSec = Seconds > 0 ? TotalRequests / Seconds : 0;
+  double P50 = percentile(QueueMs, 0.50);
+  double P95 = percentile(QueueMs, 0.95);
+  std::printf("%d clients x %d requests: %.0f jobs/s  queue p50 %.3fms  "
+              "p95 %.3fms  (%d/%d exact hits)\n",
+              Clients, RequestsPerClient, JobsPerSec, P50, P95, TotalExact,
+              TotalRequests);
+
+  Json Out = Json::object();
+  Out.set("bench", "serve_throughput");
+  Out.set("machine", "sgi/16");
+  Out.set("sweep", std::move(SweepJson));
+  Out.set("acceptanceBarsPass", BarsPass);
+  Json Tput = Json::object();
+  Tput.set("clients", Clients);
+  Tput.set("requestsPerClient", RequestsPerClient);
+  Tput.set("exactHits", TotalExact);
+  Tput.set("seconds", Seconds);
+  Tput.set("jobsPerSec", JobsPerSec);
+  Tput.set("queueMsP50", P50);
+  Tput.set("queueMsP95", P95);
+  Out.set("throughput", std::move(Tput));
+
+  if (!Out.saveFile("BENCH_serve_throughput.json"))
+    std::fprintf(stderr,
+                 "warning: could not write BENCH_serve_throughput.json\n");
+  else
+    std::printf("\nwrote BENCH_serve_throughput.json\n");
+  return BarsPass ? 0 : 1;
+}

@@ -19,15 +19,19 @@
 //             [--n=SIZE] [--scale=K] [--max-ulps=U] [--max-variants=V]
 //             [--jobs=N] [--skip-native] [--skip-diff] [--skip-replay]
 //             [--skip-faults] [--fuzz=ROUNDS] [--audit-trace=FILE]
-//             [--tmpdir=DIR] [--log-level=off|error|warn|info|debug]
+//             [--audit-db=FILE] [--tmpdir=DIR] [--log-level=off|error|warn|info|debug]
 //
 //   --fuzz=R        run R extra diff rounds with fresh random seeds
 //   --audit-trace=F audit an existing JSONL trace file and exit
+//   --audit-db=F    replay-audit a tuned-config database (ConfigDB JSON)
+//                   and exit: every stored best cost must be bitwise
+//                   reproducible through a fresh simulator
 //
 // Exit status: 0 all checks clean, 1 any mismatch/issue, 2 usage error.
 //
 //===----------------------------------------------------------------------===//
 
+#include "check/DbAudit.h"
 #include "check/DiffCheck.h"
 #include "check/FaultInject.h"
 #include "check/TraceAudit.h"
@@ -55,6 +59,7 @@ struct ToolOptions {
   bool RunReplay = true;
   bool RunFaults = true;
   std::string AuditTrace;
+  std::string AuditDb;
   std::string TmpDir;
 };
 
@@ -108,6 +113,10 @@ bool parseArg(ToolOptions &Opts, const std::string &Arg) {
     Opts.AuditTrace = V;
     return true;
   }
+  if (const char *V = valueOf("--audit-db=")) {
+    Opts.AuditDb = V;
+    return true;
+  }
   if (const char *V = valueOf("--tmpdir=")) {
     Opts.TmpDir = V;
     return true;
@@ -145,16 +154,21 @@ int main(int Argc, char **Argv) {
           "[--configs=N] [--n=SIZE] [--scale=K] [--max-ulps=U] "
           "[--max-variants=V] [--jobs=N] [--skip-native] [--skip-diff] "
           "[--skip-replay] [--skip-faults] [--fuzz[=ROUNDS]] "
-          "[--audit-trace=FILE] [--tmpdir=DIR] "
+          "[--audit-trace=FILE] [--audit-db=FILE] [--tmpdir=DIR] "
           "[--log-level=off|error|warn|info|debug]\n",
           Argv[0]);
       return 2;
     }
   }
 
-  // --audit-trace is a standalone mode: audit the file and report.
+  // --audit-trace / --audit-db are standalone modes: audit and report.
   if (!Opts.AuditTrace.empty()) {
     TraceAuditReport Report = auditTraceFile(Opts.AuditTrace);
+    std::printf("%s", Report.summary().c_str());
+    return Report.ok() ? 0 : 1;
+  }
+  if (!Opts.AuditDb.empty()) {
+    DbAuditReport Report = auditConfigDBFile(Opts.AuditDb);
     std::printf("%s", Report.summary().c_str());
     return Report.ok() ? 0 : 1;
   }

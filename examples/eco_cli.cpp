@@ -39,10 +39,12 @@
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Span.h"
+#include "serve/Tool.h"
 #include "support/StringUtils.h"
 
 #include <atomic>
 #include <chrono>
+#include <vector>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -215,6 +217,15 @@ bool parseArg(CliOptions &Opts, const std::string &Arg) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Subcommand spellings of the serving tools: `eco_cli serve` is the
+  // eco_served daemon, `eco_cli submit` the client.
+  if (Argc > 1 && std::strcmp(Argv[1], "serve") == 0)
+    return serve::serveToolMain(
+        std::vector<std::string>(Argv + 2, Argv + Argc));
+  if (Argc > 1 && std::strcmp(Argv[1], "submit") == 0)
+    return serve::submitToolMain(
+        std::vector<std::string>(Argv + 2, Argv + Argc));
+
   CliOptions Opts;
   for (int A = 1; A < Argc; ++A) {
     if (!parseArg(Opts, Argv[A])) {
@@ -340,6 +351,10 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: tuning produced no feasible variant\n");
     return 1;
   }
+  // The tune ran to completion: stamp the checkpoint clean so a later
+  // --resume knows it restores a full variant set, not a partial one.
+  if (Ckpt && !R.Cancelled)
+    Ckpt->markComplete();
 
   if (Opts.Report) {
     ReportOptions ROpts;

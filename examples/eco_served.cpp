@@ -1,0 +1,18 @@
+//===- examples/eco_served.cpp - Tuning-as-a-service daemon ----------------===//
+//
+// Standalone spelling of `eco_cli serve`: a daemon that accepts tuning
+// requests over a unix/TCP socket, answers repeats from its persistent
+// tuned-config database, warm-starts nearby sizes, and drains gracefully
+// on SIGTERM. All behavior lives in serve/Tool.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Tool.h"
+
+#include <string>
+#include <vector>
+
+int main(int Argc, char **Argv) {
+  return eco::serve::serveToolMain(
+      std::vector<std::string>(Argv + 1, Argv + Argc));
+}

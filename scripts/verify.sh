@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+#===- scripts/verify.sh - One-command verification sweep -----------------===//
+#
+# Runs the checks a PR must pass, in cost order:
+#
+#   1. tier-1: plain build + the full ctest suite (ROADMAP.md);
+#   2. UBSan:  -DECO_SANITIZE=undefined build, labeled suites only;
+#   3. TSan:   -DECO_SANITIZE=thread build, labeled suites only.
+#
+# The labeled suites (engine|sim|obs|check|serve) are the ones with real
+# concurrency or UB surface; running only them keeps the sanitizer passes
+# tractable on small machines. Knobs:
+#
+#   ECO_VERIFY_JOBS=N      build/test parallelism   (default: nproc)
+#   ECO_VERIFY_SKIP_TSAN=1   skip the TSan pass
+#   ECO_VERIFY_SKIP_UBSAN=1  skip the UBSan pass
+#
+# Usage: scripts/verify.sh   (from anywhere inside the repo)
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${ECO_VERIFY_JOBS:-$(nproc)}"
+LABELS="engine|sim|obs|check|serve"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+run_suite() { # run_suite <build-dir> <cmake-extra...> -- <ctest-args...>
+  local Dir="$1"; shift
+  local CMakeArgs=()
+  while [ "$1" != "--" ]; do CMakeArgs+=("$1"); shift; done
+  shift
+  cmake -B "$REPO/$Dir" -S "$REPO" "${CMakeArgs[@]}"
+  cmake --build "$REPO/$Dir" -j "$JOBS"
+  (cd "$REPO/$Dir" && ctest --output-on-failure -j "$JOBS" "$@")
+}
+
+step "tier-1: build + full test suite"
+run_suite build --
+
+if [ "${ECO_VERIFY_SKIP_UBSAN:-0}" != "1" ]; then
+  step "UBSan: labeled suites ($LABELS)"
+  run_suite build-ubsan -DECO_SANITIZE=undefined -- -L "$LABELS"
+else
+  step "UBSan: skipped (ECO_VERIFY_SKIP_UBSAN=1)"
+fi
+
+if [ "${ECO_VERIFY_SKIP_TSAN:-0}" != "1" ]; then
+  step "TSan: labeled suites ($LABELS)"
+  run_suite build-tsan -DECO_SANITIZE=thread -- -L "$LABELS"
+else
+  step "TSan: skipped (ECO_VERIFY_SKIP_TSAN=1)"
+fi
+
+step "verify: all passes green"

@@ -1,0 +1,68 @@
+//===- check/DbAudit.h - Tuned-config database replay audit ----*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replay auditing for the serve layer's ConfigDB, in the same spirit as
+/// the trace audit: the database is the service's public promise ("this
+/// configuration costs this much on this machine"), and the simulator is
+/// a pure function, so every stored entry must be *bitwise* reproducible
+/// from scratch. For each entry the audit
+///
+///  * rebuilds the named kernel and machine preset and checks the stored
+///    machine fingerprint matches (a fingerprint drift means the entry
+///    was tuned by an incompatible simulator or the file was edited);
+///  * re-derives the variant set and finds the stored winning variant;
+///  * rebinds the stored configuration against the freshly built
+///    skeleton (name-based, so symbol ids may differ) and rejects
+///    configurations naming unknown symbols;
+///  * re-evaluates through a fresh simulator and compares the cost to
+///    the stored best bit-for-bit.
+///
+/// Any mismatch is corruption, tampering, or a simulator behavior change
+/// — all of which must fail loudly before the entry is served again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CHECK_DBAUDIT_H
+#define ECO_CHECK_DBAUDIT_H
+
+#include "serve/ConfigDB.h"
+
+#include <string>
+#include <vector>
+
+namespace eco {
+namespace check {
+
+/// One invariant violation found in the database.
+struct DbIssue {
+  std::string Kind; ///< "schema", "identity", "variant", "config",
+                    ///  "cost-mismatch"
+  std::string Key;  ///< "kernel@machine n=N" of the offending entry
+  std::string Detail;
+};
+
+struct DbAuditReport {
+  size_t Entries = 0;  ///< entries examined
+  size_t Replayed = 0; ///< entries that reached the re-evaluation step
+  std::vector<DbIssue> Issues;
+
+  bool ok() const { return Issues.empty(); }
+  std::string summary() const;
+};
+
+/// Audits every entry of \p Db (replaying each through a fresh
+/// simulator).
+DbAuditReport auditConfigDB(const serve::ConfigDB &Db);
+
+/// Loads \p Path as a ConfigDB and audits it. An unreadable file yields
+/// one "schema" issue (an empty-but-readable DB audits clean).
+DbAuditReport auditConfigDBFile(const std::string &Path);
+
+} // namespace check
+} // namespace eco
+
+#endif // ECO_CHECK_DBAUDIT_H

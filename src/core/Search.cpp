@@ -276,12 +276,14 @@ public:
            const ParamBindings &Problem, const SearchOptions &Opts)
       : V(V), Eval(Eval), Opts(Opts) {
     Cur = initialConfig(V, Eval.machine(), Problem);
+    HeuristicInit = Cur;
     for (const auto &[Var, Param] : V.TileParamOf)
       TileParams.push_back(Param);
     for (const UnrollSpec &U : V.Spec.Unrolls)
       UnrollParams.push_back(U.FactorParam);
     for (const PrefetchSpec &P : V.Prefetch)
       PfParams.push_back(P.DistanceParam);
+    applyWarmStart();
   }
 
   VariantSearchResult run() {
@@ -290,13 +292,32 @@ public:
       obs::SpanScope Span("stage:initial", "search", V.Spec.Name);
       Stage = "initial";
       CurCost = eval(Cur);
+      if (WarmSeeded) {
+        // Guarded warm start: the seed came from a *neighboring* problem
+        // size, and across a cache cliff (e.g. a power-of-two N whose
+        // conflict misses reshape the whole cost surface) it can drop
+        // the greedy stages into a worse basin than the model's own
+        // initial point. One extra evaluation buys the better of the two
+        // starts; when the model point wins, the seed windows are
+        // dropped too so the search explores at full cold width.
+        double HeuristicCost = eval(HeuristicInit);
+        if (HeuristicCost < CurCost) {
+          ECO_LOG(Debug) << "variant " << V.Spec.Name
+                         << ": warm-start seed loses to the model "
+                            "initial point; reverting to a cold start";
+          Cur = HeuristicInit;
+          CurCost = HeuristicCost;
+          SeedBounds.clear();
+        }
+      }
     }
     // If even the heuristic point is infeasible something is off; bail
     // with what we have.
-    if (CurCost >= Inf)
+    if (CurCost >= Inf) {
       ECO_LOG(Warn) << "variant " << V.Spec.Name
                     << ": model-heuristic initial point is infeasible; "
                        "skipping its search";
+    }
     if (CurCost < Inf) {
       // Stage 1: register factors.
       if (!UnrollParams.empty()) {
@@ -340,6 +361,60 @@ private:
     return std::max<int64_t>(Eval.machine().cache(0).LineBytes / 8, 1);
   }
 
+  /// Overlays SearchOptions::WarmStartConfig onto the model-heuristic
+  /// initial point. Only this variant's search parameters participate
+  /// (matched by name); problem sizes and unknown names pass through
+  /// untouched. When WarmStartBoundFactor is set, each seeded tile or
+  /// unroll parameter additionally gets a [seed/F, seed*F] stage bound.
+  void applyWarmStart() {
+    if (Opts.WarmStartConfig.empty())
+      return;
+    std::set<SymbolId> SearchParams;
+    for (SymbolId P : TileParams)
+      SearchParams.insert(P);
+    for (SymbolId P : UnrollParams)
+      SearchParams.insert(P);
+    for (SymbolId P : PfParams)
+      SearchParams.insert(P);
+    bool Seeded = false;
+    for (const auto &[Name, Value] : Opts.WarmStartConfig) {
+      SymbolId Id = V.Skeleton.Syms.lookup(Name);
+      if (Id < 0 || !SearchParams.count(Id) || Value < 0)
+        continue;
+      Cur.set(Id, Value);
+      Seeded = true;
+      if (Opts.WarmStartBoundFactor > 0 && Value > 0 &&
+          !std::count(PfParams.begin(), PfParams.end(), Id)) {
+        int64_t F = Opts.WarmStartBoundFactor;
+        SeedBounds[Id] = {std::max<int64_t>(Value / F, 1), Value * F};
+      }
+    }
+    if (!Seeded)
+      return;
+    WarmSeeded = true;
+    // Repair: the seed came from a neighboring problem size, so it may
+    // overflow a constraint here; halve the largest tile until feasible
+    // (the same repair rule initialConfig applies to the heuristic).
+    for (int Guard = 0; Guard < 64 && !V.feasible(Cur); ++Guard) {
+      SymbolId Largest = -1;
+      int64_t LargestVal = 1;
+      for (SymbolId P : TileParams)
+        if (Cur.get(P) > LargestVal) {
+          LargestVal = Cur.get(P);
+          Largest = P;
+        }
+      if (Largest < 0)
+        break;
+      Cur.set(Largest, LargestVal / 2);
+    }
+    // Feasibility repair may have pushed a seeded parameter below its
+    // window; widen so the starting point itself is always in bounds.
+    for (auto &[P, Window] : SeedBounds) {
+      Window.first = std::min(Window.first, Cur.get(P));
+      Window.second = std::max(Window.second, Cur.get(P));
+    }
+  }
+
   bool withinBounds(const Env &E) const {
     for (SymbolId P : UnrollParams) {
       int64_t F = E.get(P);
@@ -356,10 +431,21 @@ private:
       if (D < 0 || D > Opts.MaxPrefetchDistance)
         return false;
     }
+    for (const auto &[P, Window] : SeedBounds) {
+      int64_t T = E.get(P);
+      if (T < Window.first || T > Window.second)
+        return false;
+    }
     return true;
   }
 
   double eval(const Env &E) {
+    // Cooperative cancellation: once the caller's deadline fires, stop
+    // spending evaluations — every further candidate reads as
+    // infeasible, the stage loops run dry, and run() returns the best
+    // configuration found so far.
+    if (Opts.ShouldStop && Opts.ShouldStop())
+      return Inf;
     if (!withinBounds(E) || !V.feasible(E))
       return Inf;
     std::string Key = V.configString(E);
@@ -390,6 +476,8 @@ private:
   /// search has already costed, or that bounds/constraints would reject
   /// without executing, are filtered exactly as eval() would.
   void warmBatch(std::vector<Env> Cands) {
+    if (Opts.ShouldStop && Opts.ShouldStop())
+      return; // cancelled: don't fan speculative work out to the lanes
     std::vector<Env> Fresh;
     Fresh.reserve(Cands.size());
     for (Env &E : Cands) {
@@ -584,6 +672,12 @@ private:
   SearchTrace Trace;
   std::map<std::string, double> CostCache;
   std::vector<SymbolId> TileParams, UnrollParams, PfParams;
+  /// The model-heuristic initial point, kept for the guarded warm start.
+  Env HeuristicInit;
+  /// True when applyWarmStart() actually overlaid at least one value.
+  bool WarmSeeded = false;
+  /// Warm-start stage bounds: seeded param -> [lo, hi] window.
+  std::map<SymbolId, std::pair<int64_t, int64_t>> SeedBounds;
 };
 
 } // namespace

@@ -35,6 +35,7 @@
 #include "core/Variant.h"
 #include "exec/Run.h"
 
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -208,6 +209,27 @@ struct SearchOptions {
   bool SearchPrefetch = true;
   bool AdjustAfterPrefetch = true;
   int LinearRefineSteps = 2; ///< +-step attempts per parameter
+
+  /// Warm start (the serve layer's cross-request reuse): (name, value)
+  /// pairs from a previously tuned configuration. Search parameters
+  /// named here (tile sizes, unroll factors, prefetch distances — looked
+  /// up by name in the variant's skeleton) replace the model-heuristic
+  /// initial point; names a variant does not declare, and non-search
+  /// symbols such as problem sizes, are ignored. The seeded point is
+  /// repaired back to feasibility exactly like the heuristic one.
+  ParamBindings WarmStartConfig;
+  /// When > 0 and WarmStartConfig seeded at least one parameter, each
+  /// seeded tile/unroll parameter's stage search is bounded to
+  /// [seed/Factor, seed*Factor] — the stored optimum anchors the window,
+  /// so a re-tune near a known configuration converges in a fraction of
+  /// the cold evaluation count. 0 keeps the global bounds.
+  int WarmStartBoundFactor = 0;
+
+  /// Cooperative cancellation (deadlines, shutdown): polled before every
+  /// evaluation. Once it returns true the search stops exploring —
+  /// remaining candidates read as infeasible — and returns the best
+  /// configuration found so far. Empty = never cancel.
+  std::function<bool()> ShouldStop;
 };
 
 /// One evaluated point. The first two fields are the classic (config,

@@ -130,6 +130,16 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
                    [](const Ranked &A, const Ranked &B) {
                      return A.Cost < B.Cost;
                    });
+  if (!Opts.PreferVariant.empty()) {
+    for (size_t R = 0; R < Ranking.size(); ++R) {
+      if (Result.Variants[Ranking[R].Index].Spec.Name != Opts.PreferVariant)
+        continue;
+      Ranked Preferred = Ranking[R];
+      Ranking.erase(Ranking.begin() + static_cast<ptrdiff_t>(R));
+      Ranking.insert(Ranking.begin(), Preferred);
+      break;
+    }
+  }
 
   // Full search on the top candidates. Per-variant Points/CacheHits come
   // from the evaluator's stats deltas (not a hand-maintained count in
@@ -143,7 +153,19 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
         static_cast<double>(ToSearch));
     obs::metrics().gauge("tune.variants_done").set(0);
   }
+  // A caller-level ShouldStop also cancels inside each search: copy it
+  // into the search hook when the caller did not set one explicitly.
+  SearchOptions SOpts = Opts.Search;
+  if (!SOpts.ShouldStop && Opts.ShouldStop)
+    SOpts.ShouldStop = Opts.ShouldStop;
   for (size_t R = 0; R < ToSearch; ++R) {
+    if (Opts.ShouldStop && Opts.ShouldStop()) {
+      Result.Cancelled = true;
+      ECO_LOG(Info) << "tune of " << Original.Name
+                    << " cancelled after " << R << " of " << ToSearch
+                    << " variant searches";
+      break;
+    }
     size_t VI = Ranking[R].Index;
     const DerivedVariant &V = Result.Variants[VI];
     VariantSummary &Sum = Result.Summaries[VI];
@@ -155,7 +177,7 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
       obs::SpanScope S("search:" + V.Spec.Name, "tune");
       EvalStats Before = Eval.stats();
       Timer SearchTime;
-      SR = searchVariant(V, Eval, Problem, Opts.Search);
+      SR = searchVariant(V, Eval, Problem, SOpts);
       EvalStats After = Eval.stats();
       Sum.Points = After.Evaluations - Before.Evaluations;
       Sum.CacheHits = After.CacheHits - Before.CacheHits;
@@ -184,6 +206,11 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
       Result.BestConfig = SR.BestConfig;
     }
   }
+
+  // A cancellation during the last variant's search never reaches the
+  // loop-top check; the flag must still reach the caller.
+  if (!Result.Cancelled && Opts.ShouldStop && Opts.ShouldStop())
+    Result.Cancelled = true;
 
   if (Result.BestVariant >= 0)
     Result.BestExecutable = Result.Variants[Result.BestVariant].instantiate(

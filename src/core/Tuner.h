@@ -55,6 +55,13 @@ struct TuneOptions {
   /// point) receive a full empirical search.
   unsigned MaxVariantsToSearch = 4;
 
+  /// Warm start: a variant name to search first, regardless of its
+  /// heuristic rank. The serve layer passes the ConfigDB seed's winning
+  /// variant here so a narrowed warm search (MaxVariantsToSearch = 1)
+  /// cannot prune away the family the seeded configuration belongs to.
+  /// Unknown names are ignored.
+  std::string PreferVariant;
+
   /// Checkpoint hooks (installed by engine::TuneCheckpoint; both empty by
   /// default). TryRestoreVariant returns true when it can supply the
   /// variant's search result from a previous run, filling \p Result and
@@ -67,6 +74,14 @@ struct TuneOptions {
   std::function<void(const DerivedVariant &, const VariantSearchResult &,
                      const VariantSummary &)>
       OnVariantSearched;
+
+  /// Cooperative cancellation (the serve layer's deadlines and graceful
+  /// shutdown): polled before derivation, before each variant search,
+  /// and inside the search's evaluation loop (it is copied into
+  /// SearchOptions::ShouldStop when that hook is unset). Once it returns
+  /// true the tune stops starting new work and returns the best result
+  /// found so far with TuneResult::Cancelled set. Empty = never cancel.
+  std::function<bool()> ShouldStop;
 };
 
 /// Outcome of a full tuning run.
@@ -81,6 +96,9 @@ struct TuneResult {
   size_t TotalPoints = 0;    ///< backend evaluations (Section 4.3)
   size_t TotalCacheHits = 0; ///< evaluator memo hits across the tune
   double TotalSeconds = 0;
+  /// True when TuneOptions::ShouldStop fired: the result is the best
+  /// configuration found before cancellation, not a completed tune.
+  bool Cancelled = false;
   /// The representative size derivation actually ran with: the caller's
   /// pinned value (DeriveOptions::setRepresentativeSize) or the largest
   /// problem-size binding.

@@ -48,6 +48,11 @@ TuneCheckpoint::TuneCheckpoint(std::string CkptPath,
   const Json &Variants = Root.get("variants");
   if (!Variants.isObject())
     return;
+  // Files written while a tune is in flight carry clean=false; only
+  // markComplete() stamps clean=true. Legacy files without the field
+  // predate the stamp, so they are indistinguishable from a partial
+  // write — treat them as unclean too.
+  LoadedClean = Root.get("clean").asBool(false);
   for (const auto &[Name, E] : Variants.fields()) {
     Entry Loading;
     const Json &Config = E.get("config");
@@ -60,9 +65,17 @@ TuneCheckpoint::TuneCheckpoint(std::string CkptPath,
     Entries[Name] = std::move(Loading);
     ++Loaded;
   }
-  if (Loaded)
+  if (Loaded) {
     ECO_LOG(Info) << "checkpoint: resumed " << Loaded
                   << " variant(s) from " << Path;
+    if (!LoadedClean) {
+      ECO_LOG(Warn) << "checkpoint " << Path
+                    << " is not marked clean: the previous tune was "
+                       "interrupted mid-run, so the restored variants "
+                       "may be a partial set (missing searches will be "
+                       "re-run)";
+    }
+  }
 }
 
 bool TuneCheckpoint::tryRestore(const DerivedVariant &V,
@@ -92,6 +105,12 @@ void TuneCheckpoint::record(const DerivedVariant &V,
   E.CacheHits = Summary.CacheHits;
   E.Seconds = Summary.Seconds;
   Entries[V.Spec.Name] = std::move(E);
+  Complete = false; // mid-tune: a kill from here on leaves a partial set
+  save();
+}
+
+void TuneCheckpoint::markComplete() {
+  Complete = true;
   save();
 }
 
@@ -112,6 +131,7 @@ void TuneCheckpoint::save() const {
   }
   Json Root = Json::object();
   Root.set("version", 1);
+  Root.set("clean", Complete);
   Root.set("nest", hashHex(NestHash));
   Root.set("machine", hashHex(MachineHash));
   Root.set("problem", hashHex(ProblemHash));

@@ -57,6 +57,19 @@ public:
   /// Number of restore hits served to the current tune.
   size_t numRestored() const { return Restored; }
 
+  /// Whether the file loaded at construction carried the clean stamp.
+  /// Checkpoints are written clean=false while a tune is in flight and
+  /// re-stamped clean=true by markComplete(); resuming an unclean file
+  /// (the tune was killed mid-run — a SIGINT between variant searches
+  /// leaves a perfectly parseable but partial file) is legal and warned
+  /// about, not an error. True when no file was loaded.
+  bool loadedClean() const { return LoadedClean; }
+
+  /// Stamps the file clean: the tune that owns this checkpoint ran to
+  /// completion, so every variant entry is final. Call after tune()
+  /// returns successfully.
+  void markComplete();
+
   /// True if \p V has a recorded entry; fills \p Result and the
   /// accounting fields of \p Summary when it does.
   bool tryRestore(const DerivedVariant &V, VariantSearchResult &Result,
@@ -84,6 +97,8 @@ private:
   std::map<std::string, Entry> Entries; ///< by variant name
   size_t Loaded = 0;
   size_t Restored = 0;
+  bool LoadedClean = true; ///< stamp of the file loaded at construction
+  bool Complete = false;   ///< what save() writes as the clean stamp
 };
 
 } // namespace eco

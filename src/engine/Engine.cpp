@@ -50,6 +50,8 @@ EvalEngine::EvalEngine(EvalBackend &Backend, EngineOptions EOpts)
     : Base(Backend), Opts(std::move(EOpts)) {
   MachineHash = Base.machine().fingerprint();
   MachineHash = hashString(Base.cacheSalt(), MachineHash);
+  CachePtr = Opts.SharedCache ? Opts.SharedCache
+                              : std::make_shared<EvalCache>();
 
   int Jobs = std::max(Opts.Jobs, 1);
   LaneBackends.resize(1); // lane 0 runs on Base
@@ -79,7 +81,7 @@ EvalEngine::EvalEngine(EvalBackend &Backend, EngineOptions EOpts)
   }
 
   if (!Opts.CacheFile.empty())
-    Cache.load(Opts.CacheFile);
+    CachePtr->load(Opts.CacheFile, MachineHash);
   if (!Opts.TraceFile.empty())
     Trace.openFile(Opts.TraceFile, Opts.TraceAppend);
   ECO_LOG(Info) << "engine ready: jobs=" << Jobs << " cache="
@@ -94,7 +96,7 @@ void EvalEngine::flush() {
   if (!Opts.CacheFile.empty()) {
     obs::SpanScope S("cache.save", "io", Opts.CacheFile);
     std::lock_guard<std::mutex> SaveLock(SaveMutex);
-    Cache.save(Opts.CacheFile);
+    CachePtr->save(Opts.CacheFile);
   }
   Trace.flush();
 }
@@ -138,7 +140,7 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
   EvalKey Key = keyFor(V, Inst, Config);
 
   EvalOutcome O;
-  if (std::optional<double> Hit = Cache.lookup(Key)) {
+  if (std::optional<double> Hit = CachePtr->lookup(Key)) {
     if (Warm)
       return O; // speculative work already done — nothing to record
     O.Cost = *Hit;
@@ -176,7 +178,7 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
   HWCounters Delta;
   if (LiveHW)
     Delta = LiveHW->delta(Before);
-  Cache.insert(Key, O.Cost);
+  CachePtr->insert(Key, O.Cost);
 
   if (obs::SpanCollector::global().enabled())
     obs::SpanCollector::global().record(
@@ -215,7 +217,7 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     // race it — this lane's insert lands in the next save or in flush().
     std::unique_lock<std::mutex> SaveLock(SaveMutex, std::try_to_lock);
     if (SaveLock.owns_lock())
-      Cache.save(Opts.CacheFile);
+      CachePtr->save(Opts.CacheFile);
   }
   Trace.append({0, StartMs, V.Spec.Name, Stage, V.configString(Config),
                 O.Cost, /*CacheHit=*/false, Warm, O.Millis, Lane});

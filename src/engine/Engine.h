@@ -61,6 +61,12 @@ struct EngineOptions {
   /// points — a rarely-reached interval means a killed tune saves
   /// nothing and resume re-evaluates from scratch.
   size_t CacheSaveInterval = 16;
+  /// When set, this engine memoizes into the given cache instead of a
+  /// private one — the serve layer hands every worker's engine the same
+  /// cache so concurrent tuning jobs share each other's evaluations
+  /// (EvalCache is fully thread-safe). CacheFile load/save still apply,
+  /// against the shared instance.
+  std::shared_ptr<EvalCache> SharedCache;
 };
 
 /// The parallel, memoizing, tracing Evaluator.
@@ -105,7 +111,7 @@ public:
   /// Effective parallelism after backend-clonability degradation.
   int jobs() const { return Pool->jobs(); }
 
-  EvalCache &cache() { return Cache; }
+  EvalCache &cache() { return *CachePtr; }
   const TraceLog &trace() const { return Trace; }
   TraceLog &trace() { return Trace; }
 
@@ -140,7 +146,7 @@ private:
   /// lanes >= 1 own clones.
   std::vector<std::unique_ptr<EvalBackend>> LaneBackends;
 
-  EvalCache Cache;
+  std::shared_ptr<EvalCache> CachePtr; ///< Opts.SharedCache or private
   TraceLog Trace;
   uint64_t MachineHash = 0;
 

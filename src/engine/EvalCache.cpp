@@ -63,7 +63,8 @@ void EvalCache::resetCounters() {
   Misses.store(0, std::memory_order_relaxed);
 }
 
-size_t EvalCache::load(const std::string &Path) {
+size_t EvalCache::load(const std::string &Path,
+                       uint64_t RequireMachineHash) {
   Json Root = Json::loadFile(Path);
   const Json &Entries = Root.get("entries");
   if (!Entries.isObject()) {
@@ -75,14 +76,30 @@ size_t EvalCache::load(const std::string &Path) {
     }
     return 0;
   }
-  size_t Loaded = 0;
+  // Keys render as "nest-machine-env" in fixed-width hex; the middle
+  // segment is the machine fingerprint the entry was measured on.
+  const std::string Expected =
+      RequireMachineHash ? hashHex(RequireMachineHash) : std::string();
+  size_t Loaded = 0, Foreign = 0;
   for (const auto &[KeyText, Cost] : Entries.fields()) {
     if (!Cost.isNumber())
       continue;
+    if (!Expected.empty() &&
+        (KeyText.size() < 50 || KeyText.compare(17, 16, Expected) != 0)) {
+      ++Foreign;
+      continue;
+    }
     Shard &S = shardFor(KeyText);
     std::lock_guard<std::mutex> Lock(S.M);
     S.Map[KeyText] = Cost.asNumber();
     ++Loaded;
+  }
+  if (Foreign) {
+    ECO_LOG(Warn) << "eval cache: rejected " << Foreign
+                  << " entr" << (Foreign == 1 ? "y" : "ies") << " from "
+                  << Path << " measured on a different machine";
+    if (obs::metricsEnabled())
+      obs::metrics().counter("cache.foreign_rejected").inc(Foreign);
   }
   ECO_LOG(Info) << "eval cache: loaded " << Loaded << " entries from "
                 << Path;

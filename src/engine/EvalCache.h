@@ -71,7 +71,16 @@ public:
   /// Loads entries from a JSON file previously written by save(); merges
   /// into the current contents. Returns the number of entries loaded
   /// (0 for a missing or malformed file — a fresh cache is not an error).
-  size_t load(const std::string &Path);
+  ///
+  /// When \p RequireMachineHash is non-zero, only entries whose key's
+  /// machine-fingerprint segment matches it are accepted; entries from
+  /// another machine (someone pointed --cache-file at a different
+  /// target's cache) are rejected and counted on the
+  /// "cache.foreign_rejected" metric instead of sitting in memory and
+  /// being re-saved into this machine's file. Foreign costs could never
+  /// be *served* (the lookup key embeds the machine hash), but silently
+  /// carrying them forward made a wrong file look valid forever.
+  size_t load(const std::string &Path, uint64_t RequireMachineHash = 0);
 
   /// Writes every entry to \p Path as pretty JSON (atomic rename).
   bool save(const std::string &Path) const;

@@ -1,0 +1,178 @@
+//===- serve/Client.cpp - Tuning-service client ---------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace eco;
+using namespace eco::serve;
+
+static void setError(std::string *Error, const std::string &Msg,
+                     bool WithErrno = true) {
+  if (!Error)
+    return;
+  *Error = Msg;
+  if (WithErrno)
+    *Error += std::string(" (") + std::strerror(errno) + ")";
+}
+
+std::unique_ptr<Client> Client::connectUnix(const std::string &Path,
+                                            std::string *Error) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    setError(Error, "unix socket path too long: " + Path, false);
+    return nullptr;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Error, "cannot create unix socket");
+    return nullptr;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    setError(Error, "cannot connect to " + Path);
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(Fd));
+}
+
+std::unique_ptr<Client> Client::connectTcp(const std::string &Host, int Port,
+                                           std::string *Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Error, "cannot create TCP socket");
+    return nullptr;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    setError(Error, "bad host " + Host, false);
+    ::close(Fd);
+    return nullptr;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    setError(Error,
+             "cannot connect to " + Host + ":" + std::to_string(Port));
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(Fd));
+}
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool Client::roundTrip(const Json &Request, Json &Response,
+                       std::string *Error) {
+  std::string Out = Request.dump() + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      setError(Error, "send failed");
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  char Chunk[4096];
+  for (;;) {
+    size_t Pos = Buf.find('\n');
+    if (Pos != std::string::npos) {
+      std::string Line = Buf.substr(0, Pos);
+      Buf.erase(0, Pos + 1);
+      std::string ParseError;
+      Response = Json::parse(Line, &ParseError);
+      if (!Response.isObject()) {
+        setError(Error, "bad response: " + ParseError, false);
+        return false;
+      }
+      return true;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      setError(Error, "connection closed mid-response",
+               /*WithErrno=*/N < 0);
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+JobResult Client::submit(const JobSpec &Spec) {
+  Json Req = toJson(Spec);
+  Req.set("op", "submit");
+  Json Resp;
+  std::string Error;
+  if (!roundTrip(Req, Resp, &Error)) {
+    JobResult R;
+    R.Status = "failed";
+    R.Error = Error;
+    return R;
+  }
+  return jobResultFromJson(Resp);
+}
+
+Json Client::query(const JobSpec &Spec) {
+  Json Req = toJson(Spec);
+  Req.set("op", "query");
+  Json Resp;
+  std::string Error;
+  if (roundTrip(Req, Resp, &Error))
+    return Resp;
+  Json J = Json::object();
+  J.set("ok", false);
+  J.set("error", Error);
+  return J;
+}
+
+bool Client::ping(std::string *Error) {
+  Json Req = Json::object();
+  Req.set("op", "ping");
+  Json Resp;
+  if (!roundTrip(Req, Resp, Error))
+    return false;
+  if (!Resp.get("ok").asBool(false)) {
+    if (Error)
+      *Error = "ping refused: " + Resp.get("error").asString();
+    return false;
+  }
+  return true;
+}
+
+Json Client::stats() {
+  Json Req = Json::object();
+  Req.set("op", "stats");
+  Json Resp;
+  std::string Error;
+  if (roundTrip(Req, Resp, &Error))
+    return Resp;
+  Json J = Json::object();
+  J.set("ok", false);
+  J.set("error", Error);
+  return J;
+}
+
+bool Client::requestShutdown(std::string *Error) {
+  Json Req = Json::object();
+  Req.set("op", "shutdown");
+  Json Resp;
+  if (!roundTrip(Req, Resp, Error))
+    return false;
+  return Resp.get("ok").asBool(false);
+}

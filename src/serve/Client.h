@@ -1,0 +1,70 @@
+//===- serve/Client.h - Tuning-service client ------------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client for the serve protocol: connect over a unix-domain
+/// socket or TCP, send one JSON line per request, read one JSON line per
+/// response. One connection handles any number of sequential requests;
+/// a submit blocks until the job resolves (use one client per concurrent
+/// submission). Used by `eco_cli submit`, the serve tests, and the
+/// throughput bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SERVE_CLIENT_H
+#define ECO_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <memory>
+#include <string>
+
+namespace eco {
+namespace serve {
+
+class Client {
+public:
+  /// Connects to a daemon's unix socket / TCP endpoint; nullptr +
+  /// \p Error on failure.
+  static std::unique_ptr<Client> connectUnix(const std::string &Path,
+                                             std::string *Error = nullptr);
+  static std::unique_ptr<Client> connectTcp(const std::string &Host,
+                                            int Port,
+                                            std::string *Error = nullptr);
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Sends \p Request as one line, blocks for the response line. False +
+  /// \p Error on transport or parse failure.
+  bool roundTrip(const Json &Request, Json &Response,
+                 std::string *Error = nullptr);
+
+  /// Submits \p Spec and blocks until it resolves. Transport failures
+  /// come back as status "failed" with the error text.
+  JobResult submit(const JobSpec &Spec);
+
+  /// ConfigDB probe (never tunes). The raw response: status "hit" with
+  /// the stored config, or "miss".
+  Json query(const JobSpec &Spec);
+
+  bool ping(std::string *Error = nullptr);
+  Json stats();
+  /// Asks the daemon to shut down (it drains gracefully).
+  bool requestShutdown(std::string *Error = nullptr);
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+
+  int Fd = -1;
+  std::string Buf; ///< bytes past the last consumed response line
+};
+
+} // namespace serve
+} // namespace eco
+
+#endif // ECO_SERVE_CLIENT_H

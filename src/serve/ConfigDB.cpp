@@ -1,0 +1,179 @@
+//===- serve/ConfigDB.cpp - Persistent tuned-config database --------------===//
+
+#include "serve/ConfigDB.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+
+#include <cmath>
+#include <fstream>
+
+using namespace eco;
+using namespace eco::serve;
+
+std::string ConfigDB::keyOf(const std::string &Kernel,
+                            uint64_t MachineHash, int64_t N) {
+  return Kernel + "-" + hashHex(MachineHash) + "-n" + std::to_string(N);
+}
+
+ConfigDB::ConfigDB(std::string Path) : PersistPath(std::move(Path)) {
+  if (!PersistPath.empty())
+    load(PersistPath);
+}
+
+std::optional<TunedEntry> ConfigDB::exact(const std::string &Kernel,
+                                          uint64_t MachineHash,
+                                          int64_t N) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Entries.find(keyOf(Kernel, MachineHash, N));
+  if (It == Entries.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<TunedEntry> ConfigDB::nearest(const std::string &Kernel,
+                                            uint64_t MachineHash,
+                                            int64_t N) const {
+  std::lock_guard<std::mutex> Lock(M);
+  const TunedEntry *Best = nullptr;
+  double BestDist = 0;
+  for (const auto &[Key, E] : Entries) {
+    (void)Key;
+    if (E.Kernel != Kernel || E.MachineHash != MachineHash || E.N <= 0 ||
+        N <= 0)
+      continue;
+    // Log-space distance: tile footprints scale multiplicatively with
+    // the problem size, so 64 is as close to 128 as 128 is to 256.
+    double Dist = std::fabs(std::log(static_cast<double>(E.N)) -
+                            std::log(static_cast<double>(N)));
+    if (!Best || Dist < BestDist) {
+      Best = &E;
+      BestDist = Dist;
+    }
+  }
+  if (!Best)
+    return std::nullopt;
+  return *Best;
+}
+
+bool ConfigDB::put(const TunedEntry &E) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Key = keyOf(E.Kernel, E.MachineHash, E.N);
+  auto It = Entries.find(Key);
+  if (It != Entries.end() && It->second.BestCost < E.BestCost)
+    return false; // keep the better stored result
+  Entries[Key] = E;
+  return true;
+}
+
+size_t ConfigDB::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Entries.size();
+}
+
+void ConfigDB::forEach(
+    const std::function<void(const TunedEntry &)> &Fn) const {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &[Key, E] : Entries) {
+    (void)Key;
+    Fn(E);
+  }
+}
+
+bool ConfigDB::save() const {
+  if (PersistPath.empty())
+    return true;
+  return save(PersistPath);
+}
+
+bool ConfigDB::save(const std::string &Path) const {
+  Json List = Json::array();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &[Key, E] : Entries) {
+      (void)Key;
+      Json Config = Json::object();
+      for (const auto &[Name, Value] : E.Config)
+        Config.set(Name, Value);
+      Json Row = Json::object();
+      Row.set("kernel", E.Kernel);
+      Row.set("machineName", E.MachineName);
+      Row.set("scale", static_cast<int64_t>(E.Scale));
+      Row.set("machine", hashHex(E.MachineHash));
+      Row.set("n", E.N);
+      Row.set("variant", E.Variant);
+      Row.set("config", std::move(Config));
+      Row.set("cost", E.BestCost);
+      Row.set("evaluations", E.Evaluations);
+      Row.set("seconds", E.Seconds);
+      Row.set("warmStart", E.WarmStart);
+      List.push(std::move(Row));
+    }
+  }
+  Json Root = Json::object();
+  Root.set("version", 1);
+  Root.set("entries", std::move(List));
+  bool Ok = Root.saveFile(Path);
+  if (!Ok)
+    ECO_LOG(Warn) << "config db: cannot save to " << Path;
+  else if (obs::metricsEnabled())
+    obs::metrics().counter("serve.db_saves").inc();
+  return Ok;
+}
+
+size_t ConfigDB::load(const std::string &Path) {
+  Json Root = Json::loadFile(Path);
+  const Json &List = Root.get("entries");
+  if (!List.isArray()) {
+    if (std::ifstream(Path).good()) {
+      ECO_LOG(Warn) << "config db: ignoring unreadable " << Path
+                    << "; starting empty";
+    }
+    return 0;
+  }
+  size_t Loaded = 0;
+  for (size_t I = 0; I < List.size(); ++I) {
+    const Json &Row = List.at(I);
+    TunedEntry E;
+    E.Kernel = Row.get("kernel").asString();
+    E.MachineName = Row.get("machineName").asString();
+    E.Scale = static_cast<unsigned>(Row.get("scale").asInt(1));
+    E.N = Row.get("n").asInt();
+    E.Variant = Row.get("variant").asString();
+    E.BestCost = Row.get("cost").asNumber();
+    E.Evaluations = static_cast<uint64_t>(Row.get("evaluations").asInt());
+    E.Seconds = Row.get("seconds").asNumber();
+    E.WarmStart = Row.get("warmStart").asString();
+    // The machine hash persists as fixed-width hex (same rendering as
+    // the eval-cache keys); reparse it.
+    const std::string &Hex = Row.get("machine").asString();
+    if (E.Kernel.empty() || E.N <= 0 || Hex.size() != 16 ||
+        !Row.get("config").isObject())
+      continue; // malformed row: skip, keep loading the rest
+    uint64_t Hash = 0;
+    bool BadHex = false;
+    for (char C : Hex) {
+      Hash <<= 4;
+      if (C >= '0' && C <= '9')
+        Hash |= static_cast<uint64_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Hash |= static_cast<uint64_t>(C - 'a' + 10);
+      else
+        BadHex = true;
+    }
+    if (BadHex)
+      continue;
+    E.MachineHash = Hash;
+    for (const auto &[Name, Value] : Row.get("config").fields())
+      E.Config.emplace_back(Name, Value.asInt());
+    std::lock_guard<std::mutex> Lock(M);
+    Entries[keyOf(E.Kernel, E.MachineHash, E.N)] = std::move(E);
+    ++Loaded;
+  }
+  if (Loaded) {
+    ECO_LOG(Info) << "config db: loaded " << Loaded << " entries from "
+                  << Path;
+  }
+  return Loaded;
+}

@@ -1,0 +1,113 @@
+//===- serve/ConfigDB.h - Persistent tuned-config database ----*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve layer's durable artifact store: every completed tune's
+/// winning configuration, keyed by (kernel, machine fingerprint, problem
+/// size). Two lookups power cross-request reuse:
+///
+///  * exact(): the same (kernel, machine, N) was tuned before — hand the
+///    stored configuration back with *zero* evaluations;
+///  * nearest(): a different N of the same (kernel, machine) was tuned
+///    before — its configuration seeds the new search's initial point
+///    and stage bounds (SearchOptions::WarmStartConfig), so the re-tune
+///    converges in a fraction of the cold evaluation count.
+///
+/// Entries carry enough identity (kernel name, machine preset + scale,
+/// winning variant, full configuration bindings) for check/DbAudit to
+/// rebuild the evaluation from scratch and assert the stored best cost
+/// is bitwise reproducible — a tamper/corruption tripwire in the same
+/// spirit as the trace audit.
+///
+/// Thread-safe (one mutex; lookups copy entries out) with atomic JSON
+/// persistence through support/Json's write-temp-then-rename.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SERVE_CONFIGDB_H
+#define ECO_SERVE_CONFIGDB_H
+
+#include "exec/Run.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace eco {
+namespace serve {
+
+/// One tuned result: the unit the database stores and serves.
+struct TunedEntry {
+  std::string Kernel;      ///< builder name: "matmul", "jacobi", ...
+  std::string MachineName; ///< preset name: "sgi", "sun", "host"
+  unsigned Scale = 1;      ///< MachineDesc::scaledBy factor (1 for host)
+  uint64_t MachineHash = 0;///< MachineDesc::fingerprint() of the target
+  int64_t N = 0;           ///< problem size the tune ran at
+  std::string Variant;     ///< winning variant name ("v1", ...)
+  ParamBindings Config;    ///< full winning configuration, by name
+  double BestCost = 0;     ///< winning cost (simulated cycles)
+  uint64_t Evaluations = 0;///< backend evaluations the tune spent
+  double Seconds = 0;      ///< tune wall time
+  std::string WarmStart;   ///< how this tune started: "cold"/"nearest"
+};
+
+/// Thread-safe persistent map of tuned results.
+class ConfigDB {
+public:
+  /// \p Path: JSON persistence target; entries are loaded from it when
+  /// it exists. Empty = in-memory only (save() becomes a no-op).
+  explicit ConfigDB(std::string Path = "");
+
+  /// The stored result for exactly (kernel, machine, N), if any.
+  std::optional<TunedEntry> exact(const std::string &Kernel,
+                                  uint64_t MachineHash, int64_t N) const;
+
+  /// The stored result of the same (kernel, machine) whose size is
+  /// closest to \p N in log space — the warm-start seed. Returns the
+  /// exact entry when one exists.
+  std::optional<TunedEntry> nearest(const std::string &Kernel,
+                                    uint64_t MachineHash, int64_t N) const;
+
+  /// Stores \p E under its (kernel, machine, N) key. An existing entry
+  /// is replaced only when the new cost is no worse — tunes are
+  /// deterministic, but a warm-started re-tune may legitimately end
+  /// slightly off the cold optimum, and the database keeps the best.
+  /// Returns true when the entry was stored (new or improved).
+  bool put(const TunedEntry &E);
+
+  size_t size() const;
+
+  /// Visits every entry (sorted by key) under the lock.
+  void forEach(const std::function<void(const TunedEntry &)> &Fn) const;
+
+  /// Atomically writes every entry to the construction path (no-op
+  /// without one) or to \p Path.
+  bool save() const;
+  bool save(const std::string &Path) const;
+
+  /// Merges entries from \p Path into memory; malformed files load as
+  /// empty (warned, never fatal), malformed entries are skipped.
+  /// Returns the number of entries loaded.
+  size_t load(const std::string &Path);
+
+  const std::string &path() const { return PersistPath; }
+
+private:
+  static std::string keyOf(const std::string &Kernel, uint64_t MachineHash,
+                           int64_t N);
+
+  std::string PersistPath;
+  mutable std::mutex M;
+  std::map<std::string, TunedEntry> Entries;
+};
+
+} // namespace serve
+} // namespace eco
+
+#endif // ECO_SERVE_CONFIGDB_H

@@ -1,0 +1,138 @@
+//===- serve/Protocol.cpp - Line-delimited JSON wire protocol -------------===//
+
+#include "serve/Protocol.h"
+
+using namespace eco;
+using namespace eco::serve;
+
+std::string JobSpec::summary() const {
+  std::string S = Kernel + "@" + Machine;
+  if (Machine != "host")
+    S += "/" + std::to_string(Scale);
+  S += " n=" + std::to_string(N);
+  return S;
+}
+
+Json eco::serve::toJson(const JobSpec &Spec) {
+  Json J = Json::object();
+  J.set("kernel", Spec.Kernel);
+  J.set("machine", Spec.Machine);
+  J.set("scale", static_cast<int64_t>(Spec.Scale));
+  J.set("n", Spec.N);
+  if (Spec.Priority)
+    J.set("priority", Spec.Priority);
+  if (Spec.DeadlineMs)
+    J.set("deadline_ms", Spec.DeadlineMs);
+  if (Spec.ForceRetune)
+    J.set("force", true);
+  return J;
+}
+
+bool eco::serve::jobSpecFromJson(const Json &J, JobSpec &Spec,
+                                 std::string *Error) {
+  if (!J.isObject()) {
+    if (Error)
+      *Error = "request is not a JSON object";
+    return false;
+  }
+  if (J.has("kernel"))
+    Spec.Kernel = J.get("kernel").asString();
+  if (J.has("machine"))
+    Spec.Machine = J.get("machine").asString();
+  if (J.has("scale"))
+    Spec.Scale = static_cast<unsigned>(J.get("scale").asInt(16));
+  if (J.has("n"))
+    Spec.N = J.get("n").asInt();
+  Spec.Priority = static_cast<int>(J.get("priority").asInt(0));
+  Spec.DeadlineMs = J.get("deadline_ms").asInt(0);
+  Spec.ForceRetune = J.get("force").asBool(false);
+  if (Spec.Kernel != "matmul" && Spec.Kernel != "jacobi" &&
+      Spec.Kernel != "matvec") {
+    if (Error)
+      *Error = "unknown kernel '" + Spec.Kernel + "'";
+    return false;
+  }
+  if (Spec.Machine != "sgi" && Spec.Machine != "sun" &&
+      Spec.Machine != "host") {
+    if (Error)
+      *Error = "unknown machine '" + Spec.Machine + "'";
+    return false;
+  }
+  if (Spec.N < 4 || Spec.N > (1 << 20)) {
+    if (Error)
+      *Error = "n out of range [4, 2^20]";
+    return false;
+  }
+  if (Spec.Scale < 1 || Spec.Scale > 4096) {
+    if (Error)
+      *Error = "scale out of range [1, 4096]";
+    return false;
+  }
+  if (Spec.DeadlineMs < 0) {
+    if (Error)
+      *Error = "deadline_ms must be >= 0";
+    return false;
+  }
+  return true;
+}
+
+Json eco::serve::toJson(const JobResult &R) {
+  Json J = Json::object();
+  J.set("ok", R.ok());
+  J.set("status", R.Status);
+  if (!R.Error.empty())
+    J.set("error", R.Error);
+  if (!R.WarmStart.empty())
+    J.set("warm_start", R.WarmStart);
+  if (R.ok() || !R.Config.empty()) {
+    J.set("cost", R.Cost);
+    J.set("variant", R.Variant);
+    Json Config = Json::object();
+    for (const auto &[Name, Value] : R.Config)
+      Config.set(Name, Value);
+    J.set("config", std::move(Config));
+  }
+  J.set("evaluations", R.Evaluations);
+  J.set("cache_hits", R.CacheHits);
+  J.set("queue_ms", R.QueueMs);
+  J.set("run_ms", R.RunMs);
+  return J;
+}
+
+JobResult eco::serve::jobResultFromJson(const Json &J) {
+  JobResult R;
+  if (!J.isObject()) {
+    R.Error = "response is not a JSON object";
+    return R;
+  }
+  R.Status = J.get("status").asString();
+  if (R.Status.empty())
+    R.Status = J.get("ok").asBool(false) ? "done" : "failed";
+  R.Error = J.get("error").asString();
+  R.WarmStart = J.get("warm_start").asString();
+  R.Cost = J.get("cost").asNumber();
+  R.Variant = J.get("variant").asString();
+  for (const auto &[Name, Value] : J.get("config").fields())
+    R.Config.emplace_back(Name, Value.asInt());
+  R.Evaluations = static_cast<uint64_t>(J.get("evaluations").asInt());
+  R.CacheHits = static_cast<uint64_t>(J.get("cache_hits").asInt());
+  R.QueueMs = J.get("queue_ms").asNumber();
+  R.RunMs = J.get("run_ms").asNumber();
+  return R;
+}
+
+Json eco::serve::queryHitToJson(const TunedEntry &E) {
+  Json J = Json::object();
+  J.set("ok", true);
+  J.set("status", "hit");
+  J.set("cost", E.BestCost);
+  J.set("variant", E.Variant);
+  Json Config = Json::object();
+  for (const auto &[Name, Value] : E.Config)
+    Config.set(Name, Value);
+  J.set("config", std::move(Config));
+  J.set("n", E.N);
+  J.set("warm_start", E.WarmStart);
+  J.set("evaluations", static_cast<int64_t>(0));
+  return J;
+}

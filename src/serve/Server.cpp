@@ -1,0 +1,679 @@
+//===- serve/Server.cpp - Tuning-as-a-service daemon core -----------------===//
+
+#include "serve/Server.h"
+
+#include "core/Tuner.h"
+#include "engine/Engine.h"
+#include "kernels/Kernels.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace eco;
+using namespace eco::serve;
+
+using Clock = std::chrono::steady_clock;
+
+static double msBetween(Clock::time_point From, Clock::time_point To) {
+  return std::chrono::duration<double, std::milli>(To - From).count();
+}
+
+bool eco::serve::buildKernel(const std::string &Kernel, LoopNest &Nest) {
+  if (Kernel == "matmul")
+    Nest = makeMatMul();
+  else if (Kernel == "jacobi")
+    Nest = makeJacobi();
+  else if (Kernel == "matvec")
+    Nest = makeMatVec();
+  else
+    return false;
+  return true;
+}
+
+bool eco::serve::buildMachine(const std::string &Machine, unsigned Scale,
+                              MachineDesc &Out) {
+  if (Machine == "sgi")
+    Out = MachineDesc::sgiR10000().scaledBy(Scale);
+  else if (Machine == "sun")
+    Out = MachineDesc::ultraSparcIIe().scaledBy(Scale);
+  else if (Machine == "host")
+    Out = MachineDesc::genericHost();
+  else
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ServeJob
+//===----------------------------------------------------------------------===//
+
+bool ServeJob::done() const {
+  std::lock_guard<std::mutex> Lock(const_cast<std::mutex &>(M));
+  return Finished;
+}
+
+JobResult ServeJob::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  CV.wait(Lock, [this] { return Finished; });
+  return Result;
+}
+
+void ServeJob::finish(JobResult R) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Finished)
+      return; // first resolution wins
+    Result = std::move(R);
+    Finished = true;
+  }
+  CV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// TuneService
+//===----------------------------------------------------------------------===//
+
+TuneService::TuneService(ServiceOptions O)
+    : Opts(std::move(O)), Db(Opts.DbPath),
+      SharedCache(std::make_shared<EvalCache>()) {
+  if (Opts.Workers < 1)
+    Opts.Workers = 1;
+  if (Opts.QueueCapacity < 1)
+    Opts.QueueCapacity = 1;
+  for (int W = 0; W < Opts.Workers; ++W)
+    Workers.emplace_back([this] { workerLoop(); });
+  ECO_LOG(Info) << "serve: service up (" << Opts.Workers << " worker(s), "
+                << "queue capacity " << Opts.QueueCapacity << ", db '"
+                << Opts.DbPath << "' with " << Db.size() << " entries)";
+}
+
+TuneService::~TuneService() { drain(); }
+
+std::shared_ptr<ServeJob> TuneService::submit(const JobSpec &Spec) {
+  auto Now = Clock::now();
+  std::string RejectReason;
+  std::shared_ptr<ServeJob> Job;
+  {
+    std::lock_guard<std::mutex> Lock(QM);
+    Job = std::make_shared<ServeJob>(NextJobId++, Spec);
+    Job->SubmitTime = Now;
+    if (Spec.DeadlineMs > 0)
+      Job->Deadline = Now + std::chrono::milliseconds(Spec.DeadlineMs);
+    if (Draining)
+      RejectReason = "service is draining";
+    else if (Queue.size() >= Opts.QueueCapacity)
+      RejectReason = "queue full (capacity " +
+                     std::to_string(Opts.QueueCapacity) + ")";
+    else {
+      Queue.emplace(std::make_pair(-Spec.Priority, NextSeq++), Job);
+      if (obs::metricsEnabled())
+        obs::metrics().gauge("serve.queue_depth")
+            .set(static_cast<double>(Queue.size()));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SM);
+    ++Submitted;
+  }
+  if (obs::metricsEnabled())
+    obs::metrics().counter("serve.submitted").inc();
+  if (!RejectReason.empty()) {
+    // Explicit backpressure: the caller learns immediately instead of
+    // blocking on a queue slot that may be minutes away.
+    JobResult R;
+    R.Status = "rejected";
+    R.Error = RejectReason;
+    finishJob(*Job, std::move(R));
+    return Job;
+  }
+  QCV.notify_one();
+  return Job;
+}
+
+size_t TuneService::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QM);
+  return Queue.size();
+}
+
+size_t TuneService::numRunning() const {
+  std::lock_guard<std::mutex> Lock(QM);
+  return Running;
+}
+
+Json TuneService::statsJson() const {
+  Json J = Json::object();
+  {
+    std::lock_guard<std::mutex> Lock(QM);
+    J.set("queue_depth", static_cast<int64_t>(Queue.size()));
+    J.set("running", static_cast<int64_t>(Running));
+    J.set("draining", Draining);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SM);
+    J.set("submitted", Submitted);
+    Json Status = Json::object();
+    for (const auto &[Name, Count] : StatusCounts)
+      Status.set(Name, Count);
+    J.set("status", std::move(Status));
+    Json Warm = Json::object();
+    for (const auto &[Name, Count] : WarmCounts)
+      Warm.set(Name, Count);
+    J.set("warm_start", std::move(Warm));
+  }
+  J.set("db_entries", static_cast<int64_t>(Db.size()));
+  J.set("cache_entries", static_cast<int64_t>(SharedCache->size()));
+  J.set("cache_hits", SharedCache->hits());
+  J.set("cache_misses", SharedCache->misses());
+  return J;
+}
+
+size_t TuneService::cancelQueued() {
+  std::vector<std::shared_ptr<ServeJob>> Dropped;
+  {
+    std::lock_guard<std::mutex> Lock(QM);
+    for (auto &[Key, Job] : Queue) {
+      (void)Key;
+      Dropped.push_back(Job);
+    }
+    Queue.clear();
+    if (obs::metricsEnabled())
+      obs::metrics().gauge("serve.queue_depth").set(0);
+    if (Running == 0)
+      DrainCV.notify_all();
+  }
+  for (auto &Job : Dropped) {
+    JobResult R;
+    R.Status = "cancelled";
+    R.Error = "cancelled while queued";
+    finishJob(*Job, std::move(R));
+  }
+  return Dropped.size();
+}
+
+void TuneService::drain() {
+  {
+    std::unique_lock<std::mutex> Lock(QM);
+    Draining = true;
+    QCV.notify_all();
+    DrainCV.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+  }
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Db.save();
+}
+
+void TuneService::workerLoop() {
+  for (;;) {
+    std::shared_ptr<ServeJob> Job;
+    {
+      std::unique_lock<std::mutex> Lock(QM);
+      QCV.wait(Lock, [this] { return Draining || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Draining)
+          return;
+        continue; // spurious wake
+      }
+      auto It = Queue.begin(); // highest priority, oldest sequence
+      Job = It->second;
+      Queue.erase(It);
+      ++Running;
+      if (obs::metricsEnabled())
+        obs::metrics().gauge("serve.queue_depth")
+            .set(static_cast<double>(Queue.size()));
+    }
+    execute(*Job);
+    {
+      std::lock_guard<std::mutex> Lock(QM);
+      --Running;
+      if (Queue.empty() && Running == 0)
+        DrainCV.notify_all();
+    }
+  }
+}
+
+void TuneService::finishJob(ServeJob &Job, JobResult R) {
+  {
+    std::lock_guard<std::mutex> Lock(SM);
+    ++StatusCounts[R.Status];
+    if (!R.WarmStart.empty())
+      ++WarmCounts[R.WarmStart];
+  }
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry &Reg = obs::metrics();
+    Reg.counter("serve." + R.Status).inc();
+    if (!R.WarmStart.empty())
+      Reg.counter("serve.warm_" + R.WarmStart).inc();
+    // Millisecond histograms: first bucket <= 0.01ms, ~40 log2 buckets
+    // reach minutes of latency.
+    Reg.histogram("serve.wait_ms", 0.01).record(R.QueueMs);
+    Reg.histogram("serve.run_ms", 0.01).record(R.RunMs);
+  }
+  ECO_LOG(Info) << "serve: job " << Job.Id << " (" << Job.Spec.summary()
+                << ") -> " << R.Status
+                << (R.WarmStart.empty() ? "" : " [" + R.WarmStart + "]")
+                << " after " << R.Evaluations << " evaluation(s)";
+  Job.finish(std::move(R));
+}
+
+void TuneService::execute(ServeJob &Job) {
+  auto Start = Clock::now();
+  if (Opts.TestGate)
+    Opts.TestGate(Job.Spec);
+
+  JobResult R;
+  R.QueueMs = msBetween(Job.SubmitTime, Start);
+
+  auto deadlinePassed = [&Job] {
+    return Job.Spec.DeadlineMs > 0 && Clock::now() >= Job.Deadline;
+  };
+  if (Job.cancelRequested()) {
+    R.Status = "cancelled";
+    R.Error = "cancelled before start";
+    finishJob(Job, std::move(R));
+    return;
+  }
+  if (deadlinePassed()) {
+    R.Status = "expired";
+    R.Error = "deadline expired while queued";
+    finishJob(Job, std::move(R));
+    return;
+  }
+
+  LoopNest Nest;
+  MachineDesc Machine;
+  if (!buildKernel(Job.Spec.Kernel, Nest) ||
+      !buildMachine(Job.Spec.Machine, Job.Spec.Scale, Machine)) {
+    R.Status = "failed";
+    R.Error = "unknown kernel or machine"; // submit validation screens this
+    finishJob(Job, std::move(R));
+    return;
+  }
+  uint64_t MHash = Machine.fingerprint();
+
+  obs::SpanScope Span("serve.job", "serve", Job.Spec.summary());
+
+  // Exact hit: the same (kernel, machine, N) was tuned before. The
+  // stored configuration comes back with zero evaluations — the
+  // service's whole reason to exist.
+  if (!Job.Spec.ForceRetune) {
+    if (auto Hit = Db.exact(Job.Spec.Kernel, MHash, Job.Spec.N)) {
+      R.Status = "done";
+      R.WarmStart = "exact";
+      R.Cost = Hit->BestCost;
+      R.Variant = Hit->Variant;
+      R.Config = Hit->Config;
+      R.Evaluations = 0;
+      R.RunMs = msBetween(Start, Clock::now());
+      finishJob(Job, std::move(R));
+      return;
+    }
+  }
+
+  TuneOptions TOpts;
+  TOpts.MaxVariantsToSearch = Opts.ColdVariantsToSearch;
+  R.WarmStart = "cold";
+  if (auto Seed = Db.nearest(Job.Spec.Kernel, MHash, Job.Spec.N)) {
+    // Nearest hit: seed the search's initial point and clamp the stage
+    // bounds around it; the seed also tells us which variant family won
+    // nearby, so warm tunes search fewer variants.
+    TOpts.Search.WarmStartConfig = Seed->Config;
+    TOpts.Search.WarmStartBoundFactor = Opts.WarmStartBoundFactor;
+    TOpts.MaxVariantsToSearch = Opts.WarmVariantsToSearch;
+    // A seed for this very size (a --force retune) names the known
+    // winner: make sure the narrowed search covers its family. Across
+    // sizes the variant landscape shifts, so the model's re-ranking
+    // chooses better than the neighbor's winner.
+    if (Seed->N == Job.Spec.N)
+      TOpts.PreferVariant = Seed->Variant;
+    R.WarmStart = "nearest";
+    ECO_LOG(Debug) << "serve: job " << Job.Id << " warm-starts from n="
+                   << Seed->N;
+  }
+  TOpts.ShouldStop = [&Job, deadlinePassed] {
+    return Job.cancelRequested() || deadlinePassed();
+  };
+
+  // Per-job backend + engine (a simulator is machine-specific), but one
+  // process-wide EvalCache: concurrent and successive jobs share every
+  // evaluation (keys embed the machine fingerprint, so entries never
+  // cross machines).
+  SimEvalBackend Backend(Machine);
+  EngineOptions EOpts;
+  EOpts.Jobs = Opts.EngineJobs;
+  EOpts.SharedCache = SharedCache;
+  EvalEngine Engine(Backend, EOpts);
+
+  auto TuneStart = Clock::now();
+  TuneResult TR = tune(Nest, Engine, {{"N", Job.Spec.N}}, TOpts);
+  R.RunMs = msBetween(TuneStart, Clock::now());
+  R.Evaluations = TR.TotalPoints;
+  R.CacheHits = TR.TotalCacheHits;
+  if (TR.BestVariant >= 0) {
+    R.Cost = TR.BestCost;
+    R.Variant = TR.best().Spec.Name;
+    R.Config = envToBindings(TR.best().Skeleton, TR.BestConfig);
+  }
+
+  if (TR.Cancelled) {
+    // Best-so-far is reported but never stored: a truncated search's
+    // winner would poison warm-starts and the exact-hit shortcut.
+    R.Status = Job.cancelRequested() ? "cancelled" : "expired";
+    R.Error = R.Status == "expired" ? "deadline expired mid-search"
+                                    : "cancelled mid-search";
+    finishJob(Job, std::move(R));
+    return;
+  }
+  if (TR.BestVariant < 0) {
+    R.Status = "failed";
+    R.Error = "tuning produced no feasible variant";
+    finishJob(Job, std::move(R));
+    return;
+  }
+
+  R.Status = "done";
+  TunedEntry E;
+  E.Kernel = Job.Spec.Kernel;
+  E.MachineName = Job.Spec.Machine;
+  E.Scale = Job.Spec.Scale;
+  E.MachineHash = MHash;
+  E.N = Job.Spec.N;
+  E.Variant = R.Variant;
+  E.Config = R.Config;
+  E.BestCost = R.Cost;
+  E.Evaluations = R.Evaluations;
+  E.Seconds = TR.TotalSeconds;
+  E.WarmStart = R.WarmStart;
+  Db.put(E);
+  Db.save(); // atomic rewrite; a kill never leaves a torn DB
+
+  finishJob(Job, std::move(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+namespace eco {
+namespace serve {
+
+/// One listening socket (unix or TCP); owns the fd and, for unix
+/// listeners, unlinks the path on teardown.
+class Listener {
+public:
+  /// Atomic: close() (from stop()) races with acceptLoop's reads by
+  /// design — shutdown() is what actually wakes a blocked accept().
+  std::atomic<int> Fd{-1};
+  bool IsUnix = false;
+  std::string Path;
+
+  ~Listener() { close(); }
+
+  void close() {
+    int Old = Fd.exchange(-1, std::memory_order_acq_rel);
+    if (Old >= 0) {
+      ::shutdown(Old, SHUT_RDWR);
+      ::close(Old);
+    }
+    if (IsUnix && !Path.empty()) {
+      ::unlink(Path.c_str());
+      Path.clear();
+    }
+  }
+};
+
+} // namespace serve
+} // namespace eco
+
+static bool sendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+Server::Server(TuneService &Service, ServerOptions O)
+    : Service(Service), Opts(std::move(O)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Error) {
+  auto fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg + " (" + std::strerror(errno) + ")";
+    Listeners.clear();
+    return false;
+  };
+
+  if (!Opts.UnixPath.empty()) {
+    sockaddr_un Addr{};
+    if (Opts.UnixPath.size() >= sizeof(Addr.sun_path))
+      return fail("unix socket path too long: " + Opts.UnixPath);
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return fail("cannot create unix socket");
+    ::unlink(Opts.UnixPath.c_str()); // stale socket from a dead daemon
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Opts.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+        ::listen(Fd, 16) < 0) {
+      ::close(Fd);
+      return fail("cannot bind unix socket " + Opts.UnixPath);
+    }
+    auto L = std::make_unique<Listener>();
+    L->Fd = Fd;
+    L->IsUnix = true;
+    L->Path = Opts.UnixPath;
+    Listeners.push_back(std::move(L));
+  }
+
+  if (Opts.TcpPort >= 0) {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return fail("cannot create TCP socket");
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Opts.TcpPort));
+    if (::inet_pton(AF_INET, Opts.TcpHost.c_str(), &Addr.sin_addr) != 1) {
+      ::close(Fd);
+      return fail("bad TCP host " + Opts.TcpHost);
+    }
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+        ::listen(Fd, 16) < 0) {
+      ::close(Fd);
+      return fail("cannot bind TCP " + Opts.TcpHost + ":" +
+                  std::to_string(Opts.TcpPort));
+    }
+    sockaddr_in Bound{};
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) == 0)
+      BoundPort = ntohs(Bound.sin_port);
+    auto L = std::make_unique<Listener>();
+    L->Fd = Fd;
+    Listeners.push_back(std::move(L));
+  }
+
+  if (Listeners.empty()) {
+    if (Error)
+      *Error = "no listener configured (need a unix path or a TCP port)";
+    return false;
+  }
+  for (auto &L : Listeners)
+    AcceptThreads.emplace_back([this, Raw = L.get()] { acceptLoop(Raw); });
+  ECO_LOG(Info) << "serve: listening"
+                << (Opts.UnixPath.empty() ? "" : " on unix " + Opts.UnixPath)
+                << (BoundPort < 0 ? ""
+                                  : " on tcp " + Opts.TcpHost + ":" +
+                                        std::to_string(BoundPort));
+  return true;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    if (Stopping && Listeners.empty() && ConnThreads.empty())
+      return; // already stopped
+    Stopping = true;
+    // Unblock handlers stuck in recv(); handlers close their own fd.
+    for (int Fd : ConnFds)
+      if (Fd >= 0)
+        ::shutdown(Fd, SHUT_RDWR);
+  }
+  for (auto &L : Listeners)
+    L->close(); // accept() returns with an error -> loops exit
+  for (std::thread &T : AcceptThreads)
+    if (T.joinable())
+      T.join();
+  AcceptThreads.clear();
+  Listeners.clear();
+  // Handlers waiting on an in-flight job resolve once workers finish it
+  // (the service is drained after stop(), not before).
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Conns.swap(ConnThreads);
+  }
+  for (std::thread &T : Conns)
+    if (T.joinable())
+      T.join();
+}
+
+void Server::acceptLoop(Listener *L) {
+  for (;;) {
+    int LFd = L->Fd.load(std::memory_order_acquire);
+    if (LFd < 0)
+      return; // stop() already closed the listener
+    int Fd = ::accept(LFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listener closed (stop()) or fatal
+    }
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    if (Stopping) {
+      ::close(Fd);
+      return;
+    }
+    ConnFds.push_back(Fd);
+    ConnThreads.emplace_back([this, Fd] { handleConnection(Fd); });
+  }
+}
+
+void Server::handleConnection(int Fd) {
+  std::string Buf;
+  char Chunk[4096];
+  bool Alive = true;
+  while (Alive) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break; // peer closed or stop() shut us down
+    Buf.append(Chunk, static_cast<size_t>(N));
+    size_t Pos;
+    while (Alive && (Pos = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, Pos);
+      Buf.erase(0, Pos + 1);
+      if (Line.find_first_not_of(" \t\r") == std::string::npos)
+        continue;
+      std::string ParseError;
+      Json Req = Json::parse(Line, &ParseError);
+      Json Resp;
+      if (!Req.isObject()) {
+        Resp = Json::object();
+        Resp.set("ok", false);
+        Resp.set("error", "bad request: " + ParseError);
+      } else {
+        Resp = handleRequest(Req);
+      }
+      Alive = sendAll(Fd, Resp.dump() + "\n");
+    }
+  }
+  // Close under the lock so stop()'s shutdown() sweep never races a
+  // reused fd number.
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  for (int &Open : ConnFds)
+    if (Open == Fd)
+      Open = -1;
+  ::close(Fd);
+}
+
+Json Server::handleRequest(const Json &Req) {
+  std::string Op = Req.get("op").asString();
+  if (Op == "ping") {
+    Json J = Json::object();
+    J.set("ok", true);
+    J.set("op", "pong");
+    return J;
+  }
+  if (Op == "stats") {
+    Json J = Service.statsJson();
+    J.set("ok", true);
+    return J;
+  }
+  if (Op == "shutdown") {
+    ShutdownFlag.store(true, std::memory_order_relaxed);
+    Json J = Json::object();
+    J.set("ok", true);
+    J.set("status", "shutting_down");
+    return J;
+  }
+  if (Op == "query") {
+    JobSpec Spec;
+    std::string Err;
+    MachineDesc Machine;
+    if (!jobSpecFromJson(Req, Spec, &Err) ||
+        !buildMachine(Spec.Machine, Spec.Scale, Machine)) {
+      Json J = Json::object();
+      J.set("ok", false);
+      J.set("error", Err.empty() ? "bad query" : Err);
+      return J;
+    }
+    auto Hit =
+        Service.db().exact(Spec.Kernel, Machine.fingerprint(), Spec.N);
+    if (!Hit) {
+      Json J = Json::object();
+      J.set("ok", true);
+      J.set("status", "miss");
+      return J;
+    }
+    return queryHitToJson(*Hit);
+  }
+  if (Op == "submit") {
+    JobSpec Spec;
+    std::string Err;
+    if (!jobSpecFromJson(Req, Spec, &Err)) {
+      JobResult R;
+      R.Status = "rejected";
+      R.Error = Err;
+      return toJson(R);
+    }
+    // Blocks this connection (only) until the scheduler resolves the
+    // job; rejected submissions resolve immediately.
+    return toJson(Service.submit(Spec)->wait());
+  }
+  Json J = Json::object();
+  J.set("ok", false);
+  J.set("error", "unknown op '" + Op + "'");
+  return J;
+}

@@ -1,0 +1,251 @@
+//===- serve/Server.h - Tuning-as-a-service daemon core --------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve subsystem's two halves:
+///
+///  * TuneService — the scheduler. A bounded priority queue of tuning
+///    jobs drains into a worker pool; each worker builds the requested
+///    kernel + machine, consults the ConfigDB (exact hit -> answer with
+///    zero evaluations; nearest hit -> warm-start the search through
+///    SearchOptions::WarmStartConfig), and runs the regular two-phase
+///    tune through an EvalEngine. All workers' engines memoize into one
+///    shared EvalCache, so concurrent jobs reuse each other's
+///    evaluations. Deadlines and shutdown cancel cooperatively through
+///    TuneOptions::ShouldStop — a cancelled tune returns its best-so-far
+///    but is not stored. Backpressure is explicit: submitting to a full
+///    queue (or a draining service) resolves immediately with
+///    status "rejected", never blocks.
+///
+///  * Server — the wire front end. Listens on a unix-domain socket
+///    and/or a TCP port, one thread per connection, speaking the
+///    line-delimited JSON protocol (serve/Protocol.h). A "shutdown"
+///    request flips a flag the daemon's main loop watches; the daemon
+///    then stops the listeners and drains the service.
+///
+/// Serving is simulator-only by design: the simulated cost is a pure
+/// function of (kernel, machine, config), which is what makes stored
+/// results bitwise replayable (check/DbAudit) and cache sharing sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SERVE_SERVER_H
+#define ECO_SERVE_SERVER_H
+
+#include "engine/EvalCache.h"
+#include "serve/ConfigDB.h"
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eco {
+namespace serve {
+
+/// One submitted job: the spec, its place in time, and a promise-like
+/// completion slot the submitting connection blocks on.
+class ServeJob {
+public:
+  ServeJob(uint64_t Id, JobSpec Spec) : Id(Id), Spec(std::move(Spec)) {}
+
+  const uint64_t Id;
+  const JobSpec Spec;
+  /// Stamped by TuneService::submit.
+  std::chrono::steady_clock::time_point SubmitTime;
+  /// SubmitTime + DeadlineMs; only meaningful when Spec.DeadlineMs > 0.
+  std::chrono::steady_clock::time_point Deadline;
+
+  /// Requests cooperative cancellation; the running tune notices at its
+  /// next evaluation and returns best-so-far.
+  void cancel() { Cancelled.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return Cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// True once the job resolved (done/rejected/expired/cancelled/failed).
+  bool done() const;
+  /// Blocks until the job resolves; returns the result.
+  JobResult wait();
+  /// Resolves the job (exactly once) and wakes waiters.
+  void finish(JobResult R);
+
+private:
+  std::mutex M;
+  std::condition_variable CV;
+  bool Finished = false;
+  JobResult Result;
+  std::atomic<bool> Cancelled{false};
+};
+
+/// TuneService construction knobs.
+struct ServiceOptions {
+  /// ConfigDB persistence path; empty = in-memory DB.
+  std::string DbPath;
+  /// Worker threads draining the queue (concurrent tunes).
+  int Workers = 1;
+  /// Jobs admitted but not yet running; submit() past this rejects.
+  size_t QueueCapacity = 16;
+  /// EvalEngine lanes per worker (per-job tune parallelism).
+  int EngineJobs = 1;
+  /// Warm-start window: stage bounds clamp to [seed/F, seed*F] around
+  /// the seeded configuration (SearchOptions::WarmStartBoundFactor).
+  int WarmStartBoundFactor = 4;
+  /// Model-pruning width for warm-started searches. The seed already
+  /// encodes which variant family won nearby, so warm tunes search
+  /// fewer variants than cold ones — the larger half of the eval-count
+  /// saving the acceptance bench measures.
+  unsigned WarmVariantsToSearch = 1;
+  /// Model-pruning width for cold searches (TuneOptions default).
+  unsigned ColdVariantsToSearch = 4;
+  /// Test-only gate, called by a worker after popping a job and before
+  /// any tuning work. Tests block in it to hold workers busy, making
+  /// queue-full and cancellation scenarios deterministic.
+  std::function<void(const JobSpec &)> TestGate;
+};
+
+/// The tuning scheduler: bounded priority queue + worker pool + ConfigDB.
+class TuneService {
+public:
+  explicit TuneService(ServiceOptions Opts = {});
+  /// Drains (waits for queued + running jobs) and persists the DB.
+  ~TuneService();
+
+  /// Enqueues \p Spec. Always returns a job; when the queue is full or
+  /// the service is draining the job is already resolved with
+  /// status "rejected" (explicit backpressure, no blocking). Higher
+  /// Priority pops first; FIFO within a priority.
+  std::shared_ptr<ServeJob> submit(const JobSpec &Spec);
+
+  /// Convenience: submit and block until resolution.
+  JobResult run(const JobSpec &Spec) { return submit(Spec)->wait(); }
+
+  ConfigDB &db() { return Db; }
+
+  /// Jobs admitted but not yet popped by a worker.
+  size_t queueDepth() const;
+  /// Jobs currently executing.
+  size_t numRunning() const;
+
+  /// Lifetime counters + queue state as a JSON object (the "stats" op).
+  Json statsJson() const;
+
+  /// Stops accepting new jobs, waits for the queue to empty and every
+  /// running job to finish, joins the workers, and saves the DB. Jobs
+  /// already admitted run to completion (graceful SIGTERM semantics);
+  /// call cancelQueued() first for a faster exit.
+  void drain();
+
+  /// Cancels every queued (not yet running) job with status
+  /// "cancelled". Running jobs are unaffected.
+  size_t cancelQueued();
+
+private:
+  void workerLoop();
+  void execute(ServeJob &Job);
+  /// Resolves \p Job, bumps the status counter, records latency metrics.
+  void finishJob(ServeJob &Job, JobResult R);
+
+  ServiceOptions Opts;
+  ConfigDB Db;
+  std::shared_ptr<EvalCache> SharedCache;
+
+  mutable std::mutex QM;
+  std::condition_variable QCV;    ///< workers wait: queue non-empty | stop
+  std::condition_variable DrainCV;///< drain waits: queue empty & idle
+  /// {-Priority, Seq} -> job: begin() is the highest priority, oldest.
+  std::map<std::pair<int, uint64_t>, std::shared_ptr<ServeJob>> Queue;
+  uint64_t NextSeq = 0;
+  uint64_t NextJobId = 1;
+  size_t Running = 0;
+  bool Draining = false;
+
+  std::vector<std::thread> Workers;
+
+  // Lifetime accounting (also mirrored into obs metrics when enabled).
+  mutable std::mutex SM;
+  std::map<std::string, uint64_t> StatusCounts; ///< by JobResult::Status
+  std::map<std::string, uint64_t> WarmCounts;   ///< exact/nearest/cold
+  uint64_t Submitted = 0;
+};
+
+// Forward-declared here so Server.cpp owns the POSIX socket details.
+class Listener;
+
+/// Server construction knobs.
+struct ServerOptions {
+  /// Unix-domain socket path; empty = no unix listener.
+  std::string UnixPath;
+  /// TCP port; -1 = no TCP listener, 0 = bind an ephemeral port
+  /// (query it back with Server::port()).
+  int TcpPort = -1;
+  std::string TcpHost = "127.0.0.1";
+};
+
+/// Socket front end over a TuneService.
+class Server {
+public:
+  Server(TuneService &Service, ServerOptions Opts);
+  ~Server();
+
+  /// Binds and starts the accept loops. False + \p Error when no
+  /// listener could be created.
+  bool start(std::string *Error = nullptr);
+
+  /// Closes listeners, disconnects clients, joins every thread.
+  /// Idempotent. Does NOT drain the service — the daemon does that
+  /// after stop() so in-flight jobs still resolve.
+  void stop();
+
+  /// The TCP port actually bound (-1 without a TCP listener).
+  int port() const { return BoundPort; }
+  const std::string &unixPath() const { return Opts.UnixPath; }
+
+  /// A client sent {"op":"shutdown"}.
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_relaxed);
+  }
+
+private:
+  void acceptLoop(Listener *L);
+  void handleConnection(int Fd);
+  /// One request -> one response object.
+  Json handleRequest(const Json &Request);
+
+  TuneService &Service;
+  ServerOptions Opts;
+  int BoundPort = -1;
+  std::vector<std::unique_ptr<Listener>> Listeners;
+  std::vector<std::thread> AcceptThreads;
+
+  std::mutex ConnMutex;
+  std::vector<std::thread> ConnThreads;
+  std::vector<int> ConnFds; ///< open connection fds, for stop()
+  bool Stopping = false;
+
+  std::atomic<bool> ShutdownFlag{false};
+};
+
+/// Builds the kernel nest / machine a JobSpec names. Shared by the
+/// service and check/DbAudit so both resolve specs identically.
+/// Returns false on an unknown name (submit validation normally
+/// prevents this).
+bool buildKernel(const std::string &Kernel, LoopNest &Nest);
+bool buildMachine(const std::string &Machine, unsigned Scale,
+                  MachineDesc &Out);
+
+} // namespace serve
+} // namespace eco
+
+#endif // ECO_SERVE_SERVER_H

@@ -876,3 +876,89 @@ TEST(EngineTest, TruncatedCacheFileRecoversToColdRunAnswer) {
   EXPECT_TRUE(Json::loadFile(Path, &Error).isObject()) << Error;
   std::remove(Path.c_str());
 }
+
+// ---- Cache machine filtering / checkpoint clean stamp -------------------
+
+TEST(EvalCacheTest, ForeignMachineEntriesAreRejectedOnLoad) {
+  std::string Path = tempPath("eco_cache_foreign.json");
+  std::string Resaved = tempPath("eco_cache_foreign_resave.json");
+  std::remove(Path.c_str());
+  std::remove(Resaved.c_str());
+
+  // Four entries for machine 0xAAAA, three for 0xBBBB, in one file —
+  // the state a --cache-file pointed at another target's cache has.
+  EvalCache Mixed;
+  for (uint64_t I = 1; I <= 4; ++I)
+    Mixed.insert(EvalKey{I, 0xAAAA, I * 3}, static_cast<double>(I));
+  for (uint64_t I = 1; I <= 3; ++I)
+    Mixed.insert(EvalKey{I, 0xBBBB, I * 3}, 100.0 + static_cast<double>(I));
+  ASSERT_TRUE(Mixed.save(Path));
+
+  bool MetricsWere = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+  uint64_t Before =
+      obs::metrics().counter("cache.foreign_rejected").value();
+
+  EvalCache Filtered;
+  EXPECT_EQ(Filtered.load(Path, 0xAAAA), 4u);
+  EXPECT_EQ(Filtered.size(), 4u);
+  EXPECT_TRUE(Filtered.lookup(EvalKey{1, 0xAAAA, 3}).has_value());
+  EXPECT_FALSE(Filtered.lookup(EvalKey{1, 0xBBBB, 3}).has_value());
+  EXPECT_EQ(obs::metrics().counter("cache.foreign_rejected").value(),
+            Before + 3);
+  obs::setMetricsEnabled(MetricsWere);
+
+  // The rejected entries are gone for good: a re-save no longer carries
+  // them forward (the silent-poisoning mode the filter exists to stop).
+  ASSERT_TRUE(Filtered.save(Resaved));
+  EvalCache Reloaded;
+  EXPECT_EQ(Reloaded.load(Resaved), 4u);
+
+  // A filter-less load still takes everything (merge tooling relies on
+  // it), and a matching filter is a no-op.
+  EvalCache All;
+  EXPECT_EQ(All.load(Path), 7u);
+  std::remove(Path.c_str());
+  std::remove(Resaved.c_str());
+}
+
+TEST(CheckpointTest, CleanFlagStampsCompletedTunes) {
+  std::string Path = tempPath("eco_ckpt_clean.json");
+  std::remove(Path.c_str());
+  LoopNest MM = makeMatMul();
+  const ParamBindings Problem = {{"N", 64}};
+  MachineDesc M = sgiScaled();
+
+  {
+    SimEvalBackend B(M);
+    TuneCheckpoint Ckpt(Path, MM, M, Problem, /*Resume=*/false);
+    TuneOptions Opts;
+    Ckpt.installHooks(Opts);
+    ASSERT_GE(tune(MM, B, Problem, Opts).BestVariant, 0);
+
+    // Until markComplete(), the file on disk is stamped unclean — what
+    // a kill at this exact moment would leave behind.
+    TuneCheckpoint MidFlight(Path, MM, M, Problem, /*Resume=*/true);
+    EXPECT_GT(MidFlight.numLoaded(), 0u);
+    EXPECT_FALSE(MidFlight.loadedClean());
+
+    Ckpt.markComplete();
+  }
+  TuneCheckpoint Done(Path, MM, M, Problem, /*Resume=*/true);
+  EXPECT_GT(Done.numLoaded(), 0u);
+  EXPECT_TRUE(Done.loadedClean());
+
+  // Legacy files predate the stamp and are indistinguishable from a
+  // partial write, so they resume as unclean.
+  Json Root = Json::loadFile(Path);
+  ASSERT_TRUE(Root.isObject());
+  Json Legacy = Json::object();
+  for (const auto &[Key, Value] : Root.fields())
+    if (Key != "clean")
+      Legacy.set(Key, Value);
+  ASSERT_TRUE(Legacy.saveFile(Path));
+  TuneCheckpoint FromLegacy(Path, MM, M, Problem, /*Resume=*/true);
+  EXPECT_GT(FromLegacy.numLoaded(), 0u);
+  EXPECT_FALSE(FromLegacy.loadedClean());
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,826 @@
+//===- tests/test_serve.cpp - eco::serve subsystem tests ------------------===//
+//
+// Covers the tuning-as-a-service layer: the persistent ConfigDB (lookup
+// semantics, keep-best, JSON round-trip, malformed-row tolerance,
+// concurrency, fault-injection matrix), the wire protocol, the
+// TuneService scheduler (exact-hit shortcut, nearest-size warm start
+// with the PR's acceptance bars, priority order, queue-full
+// backpressure, deadlines, cancellation, graceful drain), the socket
+// server + client, check/DbAudit, and a fork/exec SIGTERM drain of the
+// real eco_served daemon. Carries the "serve" ctest label and runs under
+// ThreadSanitizer via -DECO_SANITIZE=thread (ctest -L serve).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/DbAudit.h"
+#include "check/FaultInject.h"
+#include "obs/Metrics.h"
+#include "serve/Client.h"
+#include "serve/ConfigDB.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#if defined(__SANITIZE_THREAD__)
+#define ECO_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ECO_UNDER_TSAN 1
+#endif
+#endif
+
+using namespace eco;
+using namespace eco::serve;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + Name;
+}
+
+uint64_t sgiHash() {
+  MachineDesc M;
+  EXPECT_TRUE(buildMachine("sgi", 16, M));
+  return M.fingerprint();
+}
+
+TunedEntry makeEntry(const std::string &Kernel, int64_t N, double Cost,
+                     uint64_t MachineHash = 0x1111222233334444ULL) {
+  TunedEntry E;
+  E.Kernel = Kernel;
+  E.MachineName = "sgi";
+  E.Scale = 16;
+  E.MachineHash = MachineHash;
+  E.N = N;
+  E.Variant = "v1";
+  E.Config = {{"N", N}, {"TI", 16}, {"UJ", 4}};
+  E.BestCost = Cost;
+  E.Evaluations = 10;
+  E.Seconds = 0.5;
+  E.WarmStart = "cold";
+  return E;
+}
+
+/// A small spec every scheduler test can afford to actually tune.
+JobSpec smallSpec(int64_t N = 32) {
+  JobSpec Spec;
+  Spec.Kernel = "matmul";
+  Spec.Machine = "sgi";
+  Spec.Scale = 16;
+  Spec.N = N;
+  return Spec;
+}
+
+/// A releasable gate for ServiceOptions::TestGate: workers block in
+/// enter() until release(); every popped spec is recorded in order.
+struct WorkerGate {
+  std::mutex M;
+  std::condition_variable CV;
+  bool Released = false;
+  std::vector<JobSpec> Popped;
+
+  void enter(const JobSpec &Spec) {
+    std::unique_lock<std::mutex> Lock(M);
+    Popped.push_back(Spec);
+    CV.notify_all();
+    CV.wait(Lock, [&] { return Released; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> Lock(M);
+    Released = true;
+    CV.notify_all();
+  }
+  /// Blocks until \p Count jobs entered the gate.
+  void awaitPopped(size_t Count) {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Popped.size() >= Count; });
+  }
+};
+
+} // namespace
+
+// ---- ConfigDB -----------------------------------------------------------
+
+TEST(ConfigDBTest, ExactAndNearestLookups) {
+  ConfigDB Db;
+  EXPECT_EQ(Db.size(), 0u);
+  EXPECT_FALSE(Db.exact("matmul", 1, 96).has_value());
+  EXPECT_FALSE(Db.nearest("matmul", 1, 96).has_value());
+
+  EXPECT_TRUE(Db.put(makeEntry("matmul", 96, 100.0)));
+  EXPECT_TRUE(Db.put(makeEntry("matmul", 200, 250.0)));
+  EXPECT_TRUE(Db.put(makeEntry("jacobi", 100, 50.0)));
+  EXPECT_EQ(Db.size(), 3u);
+
+  auto Exact = Db.exact("matmul", 0x1111222233334444ULL, 96);
+  ASSERT_TRUE(Exact.has_value());
+  EXPECT_EQ(Exact->N, 96);
+  EXPECT_EQ(Exact->BestCost, 100.0);
+
+  // Wrong machine or kernel: no hit even at the right size.
+  EXPECT_FALSE(Db.exact("matmul", 0xdeadULL, 96).has_value());
+  EXPECT_FALSE(Db.exact("matvec", 0x1111222233334444ULL, 96).has_value());
+
+  // Log-space nearest: 112 is ~0.15 from 96 and ~0.58 from 200.
+  auto Near = Db.nearest("matmul", 0x1111222233334444ULL, 112);
+  ASSERT_TRUE(Near.has_value());
+  EXPECT_EQ(Near->N, 96);
+  // ...and 170 is closer to 200 (0.16) than to 96 (0.57).
+  Near = Db.nearest("matmul", 0x1111222233334444ULL, 170);
+  ASSERT_TRUE(Near.has_value());
+  EXPECT_EQ(Near->N, 200);
+  // nearest() never crosses kernel or machine.
+  EXPECT_FALSE(Db.nearest("matmul", 0xdeadULL, 112).has_value());
+  auto JacobiNear = Db.nearest("jacobi", 0x1111222233334444ULL, 112);
+  ASSERT_TRUE(JacobiNear.has_value());
+  EXPECT_EQ(JacobiNear->Kernel, "jacobi");
+}
+
+TEST(ConfigDBTest, PutKeepsTheBetterEntry) {
+  ConfigDB Db;
+  EXPECT_TRUE(Db.put(makeEntry("matmul", 96, 100.0)));
+  // A worse result for the same key must not clobber the stored best.
+  EXPECT_FALSE(Db.put(makeEntry("matmul", 96, 150.0)));
+  EXPECT_EQ(Db.exact("matmul", 0x1111222233334444ULL, 96)->BestCost, 100.0);
+  // An improvement replaces.
+  EXPECT_TRUE(Db.put(makeEntry("matmul", 96, 80.0)));
+  EXPECT_EQ(Db.exact("matmul", 0x1111222233334444ULL, 96)->BestCost, 80.0);
+  EXPECT_EQ(Db.size(), 1u);
+}
+
+TEST(ConfigDBTest, SaveLoadRoundTrip) {
+  std::string Path = tempPath("configdb_roundtrip.json");
+  std::remove(Path.c_str());
+
+  ConfigDB Db;
+  TunedEntry E = makeEntry("matmul", 96, 1840446.0);
+  E.WarmStart = "nearest";
+  E.Evaluations = 41;
+  ASSERT_TRUE(Db.put(E));
+  ASSERT_TRUE(Db.put(makeEntry("jacobi", 48, 0.125)));
+  ASSERT_TRUE(Db.save(Path));
+
+  ConfigDB Loaded;
+  EXPECT_EQ(Loaded.load(Path), 2u);
+  auto Hit = Loaded.exact("matmul", E.MachineHash, 96);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->MachineName, "sgi");
+  EXPECT_EQ(Hit->Scale, 16u);
+  EXPECT_EQ(Hit->MachineHash, E.MachineHash);
+  EXPECT_EQ(Hit->Variant, "v1");
+  EXPECT_EQ(Hit->BestCost, 1840446.0); // bitwise through JSON
+  EXPECT_EQ(Hit->Evaluations, 41u);
+  EXPECT_EQ(Hit->WarmStart, "nearest");
+  ASSERT_EQ(Hit->Config.size(), E.Config.size());
+  for (size_t I = 0; I < E.Config.size(); ++I)
+    EXPECT_EQ(Hit->Config[I].second, E.Config[I].second);
+
+  // A construction-path DB loads eagerly.
+  ConfigDB Persistent(Path);
+  EXPECT_EQ(Persistent.size(), 2u);
+  EXPECT_EQ(Persistent.path(), Path);
+  std::remove(Path.c_str());
+}
+
+TEST(ConfigDBTest, MalformedRowsAreSkippedNotFatal) {
+  std::string Path = tempPath("configdb_malformed.json");
+  ConfigDB Db;
+  ASSERT_TRUE(Db.put(makeEntry("matmul", 96, 100.0)));
+  ASSERT_TRUE(Db.save(Path));
+
+  // Append damaged rows: bad hex, missing kernel, non-positive n,
+  // config that is not an object.
+  Json Root = Json::loadFile(Path);
+  ASSERT_TRUE(Root.isObject());
+  Json List = Root.get("entries");
+  Json Bad1 = List.at(0);
+  Bad1.set("machine", "zznothex");
+  Json Bad2 = List.at(0);
+  Bad2.set("kernel", "");
+  Json Bad3 = List.at(0);
+  Bad3.set("n", -4);
+  Json Bad4 = List.at(0);
+  Bad4.set("config", "not-an-object");
+  // Distinct sizes so the good row is not simply re-keyed over.
+  Bad2.set("n", 101);
+  Bad4.set("n", 102);
+  List.push(std::move(Bad1));
+  List.push(std::move(Bad2));
+  List.push(std::move(Bad3));
+  List.push(std::move(Bad4));
+  Root.set("entries", std::move(List));
+  ASSERT_TRUE(Root.saveFile(Path));
+
+  ConfigDB Reloaded;
+  EXPECT_EQ(Reloaded.load(Path), 1u);
+  EXPECT_TRUE(
+      Reloaded.exact("matmul", 0x1111222233334444ULL, 96).has_value());
+
+  // A file that is not a DB at all loads as empty.
+  std::ofstream(Path) << "\"just a string\"";
+  ConfigDB Empty;
+  EXPECT_EQ(Empty.load(Path), 0u);
+  EXPECT_EQ(Empty.size(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ConfigDBTest, ConcurrentPutLookupSaveIsSafe) {
+  std::string Path = tempPath("configdb_concurrent.json");
+  std::remove(Path.c_str());
+  ConfigDB Db(Path);
+
+  constexpr int WritersN = 3, PerWriter = 24;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < WritersN; ++W)
+    Threads.emplace_back([&Db, W] {
+      for (int I = 0; I < PerWriter; ++I)
+        Db.put(makeEntry("matmul", W * PerWriter + I + 1, 100.0 + I));
+    });
+  // Readers + a saver hammer the same instance throughout.
+  Threads.emplace_back([&Db, &Stop] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Db.exact("matmul", 0x1111222233334444ULL, 7);
+      Db.nearest("matmul", 0x1111222233334444ULL, 40);
+      Db.forEach([](const TunedEntry &) {});
+    }
+  });
+  Threads.emplace_back([&Db, &Stop] {
+    while (!Stop.load(std::memory_order_relaxed))
+      Db.save();
+  });
+  for (int W = 0; W < WritersN; ++W)
+    Threads[W].join();
+  Stop.store(true, std::memory_order_relaxed);
+  for (size_t T = WritersN; T < Threads.size(); ++T)
+    Threads[T].join();
+
+  EXPECT_EQ(Db.size(), static_cast<size_t>(WritersN * PerWriter));
+  ASSERT_TRUE(Db.save());
+  ConfigDB Reloaded;
+  EXPECT_EQ(Reloaded.load(Path), static_cast<size_t>(WritersN * PerWriter));
+  std::remove(Path.c_str());
+}
+
+TEST(ConfigDBTest, FaultMatrixNeverCrashesTheLoader) {
+  std::string Path = tempPath("configdb_faults.json");
+  ConfigDB Db;
+  for (int N : {32, 64, 96, 128})
+    ASSERT_TRUE(Db.put(makeEntry("matmul", N, 100.0 * N)));
+
+  for (check::Fault F : check::AllFaults) {
+    ASSERT_TRUE(Db.save(Path)) << check::faultName(F);
+    ASSERT_TRUE(check::injectFault(Path, F)) << check::faultName(F);
+    ConfigDB Victim;
+    // The contract: a damaged file never crashes and never invents
+    // entries — it loads some prefix of the real rows or nothing.
+    size_t Loaded = Victim.load(Path);
+    EXPECT_LE(Loaded, 4u) << check::faultName(F);
+    EXPECT_EQ(Victim.size(), Loaded) << check::faultName(F);
+    // Whatever did load is genuine.
+    Victim.forEach([&](const TunedEntry &E) {
+      EXPECT_EQ(E.Kernel, "matmul");
+      EXPECT_TRUE(Db.exact(E.Kernel, E.MachineHash, E.N).has_value());
+    });
+    // Saving over the damaged file recovers it completely.
+    ASSERT_TRUE(Db.save(Path)) << check::faultName(F);
+    ConfigDB Recovered;
+    EXPECT_EQ(Recovered.load(Path), 4u) << check::faultName(F);
+  }
+  std::remove(Path.c_str());
+}
+
+// ---- Protocol -----------------------------------------------------------
+
+TEST(ProtocolTest, JobSpecRoundTrip) {
+  JobSpec Spec;
+  Spec.Kernel = "jacobi";
+  Spec.Machine = "sun";
+  Spec.Scale = 8;
+  Spec.N = 200;
+  Spec.Priority = 3;
+  Spec.DeadlineMs = 1500;
+  Spec.ForceRetune = true;
+
+  JobSpec Back;
+  std::string Err;
+  ASSERT_TRUE(jobSpecFromJson(toJson(Spec), Back, &Err)) << Err;
+  EXPECT_EQ(Back.Kernel, "jacobi");
+  EXPECT_EQ(Back.Machine, "sun");
+  EXPECT_EQ(Back.Scale, 8u);
+  EXPECT_EQ(Back.N, 200);
+  EXPECT_EQ(Back.Priority, 3);
+  EXPECT_EQ(Back.DeadlineMs, 1500);
+  EXPECT_TRUE(Back.ForceRetune);
+  EXPECT_EQ(Spec.summary(), "jacobi@sun/8 n=200");
+}
+
+TEST(ProtocolTest, JobSpecValidationRejectsBadRequests) {
+  auto rejects = [](const char *Field, Json Value) {
+    Json J = toJson(JobSpec{});
+    J.set(Field, std::move(Value));
+    JobSpec Spec;
+    std::string Err;
+    bool Ok = jobSpecFromJson(J, Spec, &Err);
+    EXPECT_FALSE(Ok) << Field;
+    EXPECT_FALSE(Err.empty()) << Field;
+  };
+  rejects("kernel", Json("fft"));
+  rejects("machine", Json("cray"));
+  rejects("n", Json(0));
+  rejects("n", Json(static_cast<int64_t>(1) << 30));
+  rejects("scale", Json(0));
+  rejects("deadline_ms", Json(-5));
+}
+
+TEST(ProtocolTest, JobResultRoundTrip) {
+  JobResult R;
+  R.Status = "done";
+  R.WarmStart = "nearest";
+  R.Cost = 2690098.0;
+  R.Variant = "v7";
+  R.Config = {{"N", 112}, {"TI", 28}};
+  R.Evaluations = 32;
+  R.CacheHits = 5;
+  R.QueueMs = 0.25;
+  R.RunMs = 1830.5;
+
+  Json J = toJson(R);
+  EXPECT_TRUE(J.get("ok").asBool(false));
+  JobResult Back = jobResultFromJson(J);
+  EXPECT_TRUE(Back.ok());
+  EXPECT_EQ(Back.WarmStart, "nearest");
+  EXPECT_EQ(Back.Cost, 2690098.0);
+  EXPECT_EQ(Back.Variant, "v7");
+  EXPECT_EQ(Back.Evaluations, 32u);
+  EXPECT_EQ(Back.CacheHits, 5u);
+  ASSERT_EQ(Back.Config.size(), 2u);
+  EXPECT_EQ(Back.Config[0].first, "N");
+
+  R.Status = "rejected";
+  R.Error = "queue full";
+  Json Rej = toJson(R);
+  EXPECT_FALSE(Rej.get("ok").asBool(true));
+  EXPECT_EQ(jobResultFromJson(Rej).Error, "queue full");
+}
+
+// ---- TuneService --------------------------------------------------------
+
+TEST(ServeServiceTest, ExactResubmitIsFree) {
+  std::string Path = tempPath("serve_exact.json");
+  std::remove(Path.c_str());
+  ServiceOptions Opts;
+  Opts.DbPath = Path;
+  TuneService Service(Opts);
+
+  JobResult Cold = Service.run(smallSpec());
+  ASSERT_TRUE(Cold.ok()) << Cold.Error;
+  EXPECT_EQ(Cold.WarmStart, "cold");
+  EXPECT_GT(Cold.Evaluations, 0u);
+  EXPECT_GT(Cold.Cost, 0.0);
+
+  // Resubmitting the identical spec is answered from the DB: zero
+  // evaluations, bit-identical cost and config.
+  JobResult Hit = Service.run(smallSpec());
+  ASSERT_TRUE(Hit.ok()) << Hit.Error;
+  EXPECT_EQ(Hit.WarmStart, "exact");
+  EXPECT_EQ(Hit.Evaluations, 0u);
+  EXPECT_EQ(Hit.Cost, Cold.Cost);
+  EXPECT_EQ(Hit.Variant, Cold.Variant);
+  EXPECT_EQ(Hit.Config, Cold.Config);
+
+  // --force skips the shortcut but still reuses the shared EvalCache +
+  // warm seed; it must re-tune (evaluations happen) without regressing.
+  JobSpec Force = smallSpec();
+  Force.ForceRetune = true;
+  JobResult Retune = Service.run(Force);
+  ASSERT_TRUE(Retune.ok()) << Retune.Error;
+  EXPECT_NE(Retune.WarmStart, "exact");
+  EXPECT_LE(Retune.Cost, Cold.Cost * 1.0001);
+  EXPECT_GT(Retune.CacheHits, 0u);
+
+  Service.drain();
+  // The DB survived to disk with the cold result.
+  ConfigDB Reloaded;
+  ASSERT_GE(Reloaded.load(Path), 1u);
+  auto Stored = Reloaded.exact("matmul", sgiHash(), 32);
+  ASSERT_TRUE(Stored.has_value());
+  EXPECT_EQ(Stored->BestCost, Cold.Cost);
+  std::remove(Path.c_str());
+}
+
+// The PR's acceptance bars, asserted at the sizes the throughput bench
+// reports: a nearest-size warm start must reach within 2% of the
+// cold-tuned best cost while spending at most 50% of the cold
+// evaluation count.
+TEST(ServeServiceTest, WarmStartNearbyIsCheaperAndClose) {
+  // Cold baseline for N=112 from a fresh service (empty DB).
+  JobResult Cold112;
+  {
+    TuneService Baseline;
+    Cold112 = Baseline.run(smallSpec(112));
+    ASSERT_TRUE(Cold112.ok()) << Cold112.Error;
+    EXPECT_EQ(Cold112.WarmStart, "cold");
+  }
+
+  // A second service tunes N=96 cold, then N=112 warm-starts from it.
+  TuneService Service;
+  JobResult Cold96 = Service.run(smallSpec(96));
+  ASSERT_TRUE(Cold96.ok()) << Cold96.Error;
+  JobResult Warm112 = Service.run(smallSpec(112));
+  ASSERT_TRUE(Warm112.ok()) << Warm112.Error;
+  EXPECT_EQ(Warm112.WarmStart, "nearest");
+
+  EXPECT_GT(Warm112.Evaluations, 0u);
+  EXPECT_LE(Warm112.Evaluations * 2, Cold112.Evaluations)
+      << "warm start spent " << Warm112.Evaluations << " vs cold "
+      << Cold112.Evaluations;
+  EXPECT_LE(Warm112.Cost, Cold112.Cost * 1.02)
+      << "warm cost " << Warm112.Cost << " vs cold " << Cold112.Cost;
+}
+
+TEST(ServeServiceTest, QueueFullRejectsImmediately) {
+  WorkerGate Gate;
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 1;
+  Opts.TestGate = [&Gate](const JobSpec &S) { Gate.enter(S); };
+  TuneService Service(Opts);
+
+  // A occupies the worker (blocked in the gate); B fills the queue.
+  auto A = Service.submit(smallSpec(24));
+  Gate.awaitPopped(1);
+  auto B = Service.submit(smallSpec(26));
+  EXPECT_FALSE(B->done());
+  EXPECT_EQ(Service.queueDepth(), 1u);
+
+  // C finds the queue full: explicit, immediate rejection.
+  auto C = Service.submit(smallSpec(28));
+  ASSERT_TRUE(C->done());
+  JobResult Rejected = C->wait();
+  EXPECT_EQ(Rejected.Status, "rejected");
+  EXPECT_FALSE(Rejected.Error.empty());
+
+  Gate.release();
+  EXPECT_TRUE(A->wait().ok());
+  EXPECT_TRUE(B->wait().ok());
+  Json Stats = Service.statsJson();
+  EXPECT_EQ(Stats.get("status").get("rejected").asInt(), 1);
+  EXPECT_EQ(Stats.get("status").get("done").asInt(), 2);
+}
+
+TEST(ServeServiceTest, DeadlineExpiresInQueue) {
+  WorkerGate Gate;
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.TestGate = [&Gate](const JobSpec &S) { Gate.enter(S); };
+  TuneService Service(Opts);
+
+  auto Blocker = Service.submit(smallSpec(24));
+  Gate.awaitPopped(1);
+
+  JobSpec Doomed = smallSpec(26);
+  Doomed.DeadlineMs = 1;
+  auto B = Service.submit(Doomed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Gate.release();
+
+  JobResult R = B->wait();
+  EXPECT_EQ(R.Status, "expired");
+  EXPECT_EQ(R.Evaluations, 0u);
+  EXPECT_TRUE(Blocker->wait().ok());
+  // An expired job must not have been stored.
+  EXPECT_FALSE(Service.db().exact("matmul", sgiHash(), 26).has_value());
+}
+
+TEST(ServeServiceTest, DeadlineExpiresMidSearchCooperatively) {
+  TuneService Service;
+  // A deadline far shorter than this tune's wall time: the job starts,
+  // spends real evaluations, then notices the deadline inside the
+  // search loop (TuneOptions::ShouldStop) and stops cooperatively.
+  JobSpec Spec = smallSpec(144);
+  Spec.DeadlineMs = 30;
+  JobResult R = Service.run(Spec);
+  EXPECT_EQ(R.Status, "expired");
+  EXPECT_GT(R.Evaluations, 0u);
+  EXPECT_FALSE(Service.db().exact("matmul", sgiHash(), 144).has_value());
+}
+
+TEST(ServeServiceTest, CancelResolvesWithoutStoring) {
+  WorkerGate Gate;
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.TestGate = [&Gate](const JobSpec &S) { Gate.enter(S); };
+  TuneService Service(Opts);
+
+  auto Job = Service.submit(smallSpec(24));
+  Gate.awaitPopped(1);
+  Job->cancel();
+  Gate.release();
+  JobResult R = Job->wait();
+  EXPECT_EQ(R.Status, "cancelled");
+  EXPECT_EQ(R.Evaluations, 0u);
+  EXPECT_FALSE(Service.db().exact("matmul", sgiHash(), 24).has_value());
+
+  // cancelQueued drops waiting jobs (the worker is busy again).
+  auto Blocker = Service.submit(smallSpec(24));
+  Gate.awaitPopped(2);
+  auto Queued = Service.submit(smallSpec(26));
+  EXPECT_EQ(Service.cancelQueued(), 1u);
+  EXPECT_EQ(Queued->wait().Status, "cancelled");
+  Gate.release();
+  EXPECT_TRUE(Blocker->wait().ok());
+}
+
+TEST(ServeServiceTest, PriorityOrdersTheQueue) {
+  WorkerGate Gate;
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 8;
+  Opts.TestGate = [&Gate](const JobSpec &S) { Gate.enter(S); };
+  TuneService Service(Opts);
+
+  // The blocker holds the worker while the real queue builds up.
+  auto Blocker = Service.submit(smallSpec(24));
+  Gate.awaitPopped(1);
+
+  std::vector<std::shared_ptr<ServeJob>> Jobs;
+  auto enqueue = [&](int64_t N, int Priority) {
+    JobSpec S = smallSpec(N);
+    S.Priority = Priority;
+    Jobs.push_back(Service.submit(S));
+  };
+  enqueue(26, 0);
+  enqueue(28, 5);
+  enqueue(30, 1);
+  enqueue(32, 5); // same priority as 28: FIFO within the class
+
+  Gate.release();
+  for (auto &J : Jobs)
+    EXPECT_TRUE(J->wait().ok());
+
+  std::vector<int64_t> PopOrder;
+  {
+    std::lock_guard<std::mutex> Lock(Gate.M);
+    for (const JobSpec &S : Gate.Popped)
+      PopOrder.push_back(S.N);
+  }
+  ASSERT_EQ(PopOrder.size(), 5u);
+  EXPECT_EQ(PopOrder[0], 24); // the blocker
+  EXPECT_EQ(PopOrder[1], 28); // priority 5, submitted first
+  EXPECT_EQ(PopOrder[2], 32); // priority 5, submitted second
+  EXPECT_EQ(PopOrder[3], 30); // priority 1
+  EXPECT_EQ(PopOrder[4], 26); // priority 0
+}
+
+TEST(ServeServiceTest, DrainPersistsAndRejectsNewWork) {
+  std::string Path = tempPath("serve_drain.json");
+  std::remove(Path.c_str());
+  ServiceOptions Opts;
+  Opts.DbPath = Path;
+  TuneService Service(Opts);
+
+  ASSERT_TRUE(Service.run(smallSpec(24)).ok());
+  Service.drain();
+
+  // Post-drain submissions resolve immediately as rejected.
+  JobResult Late = Service.run(smallSpec(26));
+  EXPECT_EQ(Late.Status, "rejected");
+
+  // The database reached disk and audits bitwise-clean.
+  check::DbAuditReport Report = check::auditConfigDBFile(Path);
+  EXPECT_EQ(Report.Entries, 1u);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+  std::remove(Path.c_str());
+}
+
+TEST(ServeServiceTest, CountsWarmStartsAndStatusesInMetrics) {
+  bool SavedEnabled = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+  uint64_t Done0 = obs::metrics().counter("serve.done").value();
+  uint64_t Exact0 = obs::metrics().counter("serve.warm_exact").value();
+  {
+    TuneService Service;
+    ASSERT_TRUE(Service.run(smallSpec(24)).ok());
+    ASSERT_TRUE(Service.run(smallSpec(24)).ok()); // exact hit
+    Json Stats = Service.statsJson();
+    EXPECT_EQ(Stats.get("submitted").asInt(), 2);
+    EXPECT_EQ(Stats.get("status").get("done").asInt(), 2);
+    EXPECT_EQ(Stats.get("warm_start").get("cold").asInt(), 1);
+    EXPECT_EQ(Stats.get("warm_start").get("exact").asInt(), 1);
+    EXPECT_EQ(Stats.get("db_entries").asInt(), 1);
+  }
+  EXPECT_EQ(obs::metrics().counter("serve.done").value(), Done0 + 2);
+  EXPECT_EQ(obs::metrics().counter("serve.warm_exact").value(), Exact0 + 1);
+  obs::setMetricsEnabled(SavedEnabled);
+}
+
+// ---- Server + Client ----------------------------------------------------
+
+TEST(ServeServerTest, UnixSocketEndToEnd) {
+  std::string Sock = tempPath("eco_serve_test.sock");
+  std::remove(Sock.c_str());
+  TuneService Service;
+  ServerOptions Opts;
+  Opts.UnixPath = Sock;
+  Server Srv(Service, Opts);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  auto C = Client::connectUnix(Sock, &Err);
+  ASSERT_NE(C, nullptr) << Err;
+  EXPECT_TRUE(C->ping(&Err)) << Err;
+
+  JobResult R = C->submit(smallSpec(24));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.WarmStart, "cold");
+  EXPECT_GT(R.Evaluations, 0u);
+
+  // query is a pure DB probe: hit for the tuned size, miss otherwise.
+  Json Hit = C->query(smallSpec(24));
+  EXPECT_TRUE(Hit.get("ok").asBool(false));
+  EXPECT_EQ(Hit.get("status").asString(), "hit");
+  EXPECT_EQ(Hit.get("cost").asNumber(), R.Cost);
+  EXPECT_EQ(Hit.get("evaluations").asInt(), 0);
+  Json Miss = C->query(smallSpec(999));
+  EXPECT_EQ(Miss.get("status").asString(), "miss");
+
+  Json Stats = C->stats();
+  EXPECT_TRUE(Stats.get("ok").asBool(false));
+  EXPECT_GE(Stats.get("submitted").asInt(), 1);
+
+  // A second concurrent connection works (thread per connection).
+  auto C2 = Client::connectUnix(Sock, &Err);
+  ASSERT_NE(C2, nullptr) << Err;
+  EXPECT_TRUE(C2->ping());
+
+  EXPECT_FALSE(Srv.shutdownRequested());
+  EXPECT_TRUE(C->requestShutdown(&Err)) << Err;
+  EXPECT_TRUE(Srv.shutdownRequested());
+  Srv.stop();
+  Service.drain();
+}
+
+TEST(ServeServerTest, MalformedRequestsGetExplicitErrors) {
+  std::string Sock = tempPath("eco_serve_err.sock");
+  std::remove(Sock.c_str());
+  TuneService Service;
+  ServerOptions Opts;
+  Opts.UnixPath = Sock;
+  Server Srv(Service, Opts);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+  auto C = Client::connectUnix(Sock, &Err);
+  ASSERT_NE(C, nullptr) << Err;
+
+  Json Req = Json::object();
+  Req.set("op", "frobnicate");
+  Json Resp;
+  ASSERT_TRUE(C->roundTrip(Req, Resp, &Err)) << Err;
+  EXPECT_FALSE(Resp.get("ok").asBool(true));
+  EXPECT_FALSE(Resp.get("error").asString().empty());
+
+  // An invalid submit is rejected by validation, not executed.
+  Req = toJson(JobSpec{});
+  Req.set("op", "submit");
+  Req.set("kernel", "fft");
+  ASSERT_TRUE(C->roundTrip(Req, Resp, &Err)) << Err;
+  EXPECT_EQ(Resp.get("status").asString(), "rejected");
+
+  Srv.stop();
+  Service.drain();
+}
+
+// ---- check/DbAudit ------------------------------------------------------
+
+TEST(DbAuditTest, TunedDatabaseAuditsCleanAndTamperingIsCaught) {
+  std::string Path = tempPath("serve_audit.json");
+  std::remove(Path.c_str());
+  {
+    ServiceOptions Opts;
+    Opts.DbPath = Path;
+    TuneService Service(Opts);
+    ASSERT_TRUE(Service.run(smallSpec(24)).ok());
+    Service.drain();
+  }
+  check::DbAuditReport Clean = check::auditConfigDBFile(Path);
+  EXPECT_EQ(Clean.Entries, 1u);
+  EXPECT_EQ(Clean.Replayed, 1u);
+  EXPECT_TRUE(Clean.ok()) << Clean.summary();
+
+  auto tamper = [&](const std::function<void(Json &)> &Mutate,
+                    const std::string &WantKind) {
+    Json Root = Json::loadFile(Path);
+    ASSERT_TRUE(Root.isObject());
+    Json Row = Root.get("entries").at(0);
+    Mutate(Row);
+    Json List = Json::array();
+    List.push(std::move(Row));
+    Root.set("entries", std::move(List));
+    std::string Tampered = tempPath("serve_audit_tampered.json");
+    ASSERT_TRUE(Root.saveFile(Tampered));
+    check::DbAuditReport Report = check::auditConfigDBFile(Tampered);
+    ASSERT_FALSE(Report.ok()) << WantKind;
+    EXPECT_EQ(Report.Issues[0].Kind, WantKind) << Report.summary();
+    std::remove(Tampered.c_str());
+  };
+  // A shaved cost claim is a bitwise mismatch on replay.
+  tamper([](Json &Row) { Row.set("cost", Row.get("cost").asNumber() * 0.99); },
+         "cost-mismatch");
+  // A config edit lands on a different (honest) cost — also caught.
+  tamper([](Json &Row) {
+    Json Cfg = Row.get("config");
+    Cfg.set("TI", 2);
+    Row.set("config", std::move(Cfg));
+  }, "cost-mismatch");
+  tamper([](Json &Row) { Row.set("variant", "v99"); }, "variant");
+  tamper([](Json &Row) {
+    Json Cfg = Row.get("config");
+    Cfg.set("BOGUS", 1);
+    Row.set("config", std::move(Cfg));
+  }, "config");
+  tamper([](Json &Row) { Row.set("machine", "00000000deadbeef"); },
+         "identity");
+  tamper([](Json &Row) { Row.set("kernel", "fft"); }, "schema");
+
+  // A missing file is one schema issue, not a crash.
+  check::DbAuditReport Gone = check::auditConfigDBFile(Path + ".nope");
+  EXPECT_FALSE(Gone.ok());
+  EXPECT_EQ(Gone.Issues[0].Kind, "schema");
+  std::remove(Path.c_str());
+}
+
+// ---- eco_served daemon (fork/exec) --------------------------------------
+
+TEST(ServeDaemonTest, SigtermDrainsPersistsAndExitsCleanly) {
+#ifdef ECO_UNDER_TSAN
+  GTEST_SKIP() << "fork/exec of the daemon is not meaningful under TSan";
+#else
+  // The daemon binary lives next to this test's tree:
+  // build/tests/test_serve -> build/examples/eco_served.
+  char Exe[4096];
+  ssize_t Len = ::readlink("/proc/self/exe", Exe, sizeof(Exe) - 1);
+  ASSERT_GT(Len, 0);
+  Exe[Len] = '\0';
+  std::string Daemon(Exe);
+  Daemon = Daemon.substr(0, Daemon.find_last_of('/'));
+  Daemon = Daemon.substr(0, Daemon.find_last_of('/'));
+  Daemon += "/examples/eco_served";
+  if (::access(Daemon.c_str(), X_OK) != 0)
+    GTEST_SKIP() << "eco_served not built at " << Daemon;
+
+  std::string Sock = tempPath("eco_served_it.sock");
+  std::string Db = tempPath("eco_served_it.json");
+  std::remove(Sock.c_str());
+  std::remove(Db.c_str());
+
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    std::string SockArg = "--socket=" + Sock;
+    std::string DbArg = "--db=" + Db;
+    ::execl(Daemon.c_str(), "eco_served", SockArg.c_str(), DbArg.c_str(),
+            "--log-level=off", static_cast<char *>(nullptr));
+    ::_exit(127);
+  }
+
+  // Wait for the socket, then tune one small job through it.
+  std::unique_ptr<Client> C;
+  for (int Tries = 0; Tries < 200 && !C; ++Tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    C = Client::connectUnix(Sock);
+  }
+  ASSERT_NE(C, nullptr) << "daemon never opened " << Sock;
+  JobResult R = C->submit(smallSpec(24));
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  // SIGTERM must drain and persist, then exit 0.
+  ASSERT_EQ(::kill(Pid, SIGTERM), 0);
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Pid, &Status, 0), Pid);
+  EXPECT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+
+  check::DbAuditReport Report = check::auditConfigDBFile(Db);
+  EXPECT_EQ(Report.Entries, 1u);
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+  std::remove(Sock.c_str());
+  std::remove(Db.c_str());
+#endif
+}
