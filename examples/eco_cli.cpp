@@ -40,6 +40,7 @@
 #include "obs/Metrics.h"
 #include "obs/Span.h"
 #include "serve/Tool.h"
+#include "support/ParseInt.h"
 #include "support/StringUtils.h"
 
 #include <atomic>
@@ -147,17 +148,28 @@ bool parseArg(CliOptions &Opts, const std::string &Arg) {
     Opts.Machine = V;
     return true;
   }
+  // Numeric flags parse strictly: "--scale=-1" must be a usage error,
+  // not a 2^32 wraparound, and "--n=64x" must not silently mean 64.
   if (const char *V = valueOf("--n=")) {
-    Opts.N = std::atoll(V);
-    return Opts.N > 0;
+    int64_t N = 0;
+    if (!parseIntInRange(V, 1, int64_t(1) << 30, &N))
+      return false;
+    Opts.N = N;
+    return true;
   }
   if (const char *V = valueOf("--scale=")) {
-    Opts.Scale = static_cast<unsigned>(std::atoi(V));
-    return Opts.Scale > 0;
+    int64_t Scale = 0;
+    if (!parseIntInRange(V, 1, 1 << 20, &Scale))
+      return false;
+    Opts.Scale = static_cast<unsigned>(Scale);
+    return true;
   }
   if (const char *V = valueOf("--jobs=")) {
-    Opts.Jobs = std::atoi(V);
-    return Opts.Jobs >= 1;
+    int64_t Jobs = 0;
+    if (!parseIntInRange(V, 1, 4096, &Jobs))
+      return false;
+    Opts.Jobs = static_cast<int>(Jobs);
+    return true;
   }
   if (const char *V = valueOf("--cache-file=")) {
     Opts.CacheFile = V;

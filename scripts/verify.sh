@@ -4,12 +4,13 @@
 # Runs the checks a PR must pass, in cost order:
 #
 #   1. tier-1: plain build + the full ctest suite (ROADMAP.md);
-#   2. UBSan:  -DECO_SANITIZE=undefined build, labeled suites only;
-#   3. TSan:   -DECO_SANITIZE=thread build, labeled suites only.
+#   2. fuzz:   a bounded eco_fuzz differential sweep (fixed seed);
+#   3. UBSan:  -DECO_SANITIZE=undefined build, labeled suites only;
+#   4. TSan:   -DECO_SANITIZE=thread build, labeled suites only.
 #
-# The labeled suites (engine|sim|obs|check|serve) are the ones with real
-# concurrency or UB surface; running only them keeps the sanitizer passes
-# tractable on small machines. Knobs:
+# The labeled suites (engine|sim|obs|check|serve|fuzz) are the ones with
+# real concurrency or UB surface; running only them keeps the sanitizer
+# passes tractable on small machines. Knobs:
 #
 #   ECO_VERIFY_JOBS=N      build/test parallelism   (default: nproc)
 #   ECO_VERIFY_SKIP_TSAN=1   skip the TSan pass
@@ -23,7 +24,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${ECO_VERIFY_JOBS:-$(nproc)}"
-LABELS="engine|sim|obs|check|serve"
+LABELS="engine|sim|obs|check|serve|fuzz"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
@@ -39,6 +40,9 @@ run_suite() { # run_suite <build-dir> <cmake-extra...> -- <ctest-args...>
 
 step "tier-1: build + full test suite"
 run_suite build --
+
+step "fuzz smoke: eco_fuzz --iters=200 --seed=7"
+"$REPO/build/examples/eco_fuzz" --iters=200 --seed=7
 
 if [ "${ECO_VERIFY_SKIP_UBSAN:-0}" != "1" ]; then
   step "UBSan: labeled suites ($LABELS)"

@@ -3,17 +3,25 @@
 #include "analysis/Dependence.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+
 using namespace eco;
 
 namespace {
 
+enum class SolveResult {
+  Solved,      ///< unique distance vector found
+  Independent, ///< provably no integer/lattice solution: no dependence
+  Unsolvable,  ///< could not resolve uniquely: caller must assume worst
+};
+
 /// Solves offset = sum_v t_v * coeffvec(v) for per-loop distances t_v,
 /// greedily resolving each variable from a dimension it alone drives.
-/// Returns false if no unique solution is found that way.
-bool solveDistances(const ArrayRef &Rep,
-                    const std::vector<SymbolId> &Loops,
-                    std::vector<int64_t> Offset,
-                    std::vector<int64_t> &Distance) {
+SolveResult solveDistances(const ArrayRef &Rep,
+                           const std::vector<SymbolId> &Loops,
+                           const std::vector<int64_t> &Steps,
+                           std::vector<int64_t> Offset,
+                           std::vector<int64_t> &Distance) {
   Distance.assign(Loops.size(), 0);
   std::vector<bool> Solved(Loops.size(), false);
 
@@ -34,7 +42,7 @@ bool solveDistances(const ArrayRef &Rep,
         if (!Alone)
           continue;
         if (Offset[D] % Coeff != 0)
-          return false; // no integer solution: no dependence, treat as 0
+          return SolveResult::Independent; // no integer solution
         Distance[L] = Offset[D] / Coeff;
         // Subtract this variable's contribution everywhere.
         for (unsigned D2 = 0; D2 < Rep.rank(); ++D2)
@@ -62,20 +70,33 @@ bool solveDistances(const ArrayRef &Rep,
 
   for (bool S : Solved)
     if (!S)
-      return false;
-  // Verify the residual is zero.
+      return SolveResult::Unsolvable;
+  // Verify the residual is zero (the solution must explain every
+  // dimension; a leftover means the system has no solution at all).
   for (unsigned D = 0; D < Rep.rank(); ++D)
     if (Offset[D] != 0)
-      return false;
-  return true;
+      return SolveResult::Independent;
+  // Distances are solved in value space; a loop stepping by S (an
+  // unrolled loop advancing by its factor) only realizes multiples of S,
+  // so a non-multiple means the pair never aliases (e.g. the jammed
+  // copies C[I,J] and C[I,J+1] under a step-U J loop). Divisible
+  // distances are normalized to iteration counts.
+  for (size_t L = 0; L < Loops.size(); ++L) {
+    if (Steps[L] <= 1)
+      continue;
+    if (Distance[L] % Steps[L] != 0)
+      return SolveResult::Independent;
+    Distance[L] /= Steps[L];
+  }
+  return SolveResult::Solved;
 }
 
 } // namespace
 
 DependenceInfo eco::analyzeDependences(const LoopNest &Nest) {
-  DependenceInfo Info;
+  std::vector<SymbolId> Loops;
   for (const Loop *L : Nest.spine())
-    Info.Loops.push_back(L->Var);
+    Loops.push_back(L->Var);
 
   // Gather all references.
   std::vector<std::pair<ArrayRef, bool>> Refs;
@@ -84,6 +105,23 @@ DependenceInfo eco::analyzeDependences(const LoopNest &Nest) {
       Refs.push_back({Ref, IsWrite});
     });
   });
+  return analyzeDependencesOver(Nest, std::move(Loops), Refs);
+}
+
+DependenceInfo eco::analyzeDependencesOver(
+    const LoopNest &Nest, std::vector<SymbolId> Loops,
+    const std::vector<std::pair<ArrayRef, bool>> &Refs) {
+  DependenceInfo Info;
+  Info.Loops = std::move(Loops);
+
+  // Concrete steps restrict the iteration lattice (unrolled loops
+  // advance by their factor); a parameter step (tile control) is an
+  // unknown multiple, treated conservatively as 1.
+  std::vector<int64_t> Steps(Info.Loops.size(), 1);
+  for (size_t L = 0; L < Info.Loops.size(); ++L)
+    if (const Loop *LoopPtr = Nest.findLoop(Info.Loops[L]))
+      if (!LoopPtr->hasParamStep())
+        Steps[L] = std::max<int64_t>(LoopPtr->Step, 1);
 
   for (size_t A = 0; A < Refs.size(); ++A) {
     for (size_t B = A; B < Refs.size(); ++B) {
@@ -108,9 +146,11 @@ DependenceInfo eco::analyzeDependences(const LoopNest &Nest) {
         continue;
       }
 
-      if (!solveDistances(Refs[A].first, Info.Loops, *Offset,
-                          Dep.Distance)) {
-        // Either no integer solution (independent) or unsolvable system.
+      SolveResult SR = solveDistances(Refs[A].first, Info.Loops, Steps,
+                                      *Offset, Dep.Distance);
+      if (SR == SolveResult::Independent)
+        continue; // provably never aliases: no dependence
+      if (SR == SolveResult::Unsolvable) {
         bool AllZeroOffset = true;
         for (int64_t O : *Offset)
           if (O != 0)
@@ -125,16 +165,40 @@ DependenceInfo eco::analyzeDependences(const LoopNest &Nest) {
         continue;
       }
 
+      // Loops absent from the family's subscripts carry the dependence
+      // at every distance: record the "*" mask for legality checks.
+      Dep.Star.assign(Info.Loops.size(), false);
+      for (size_t L = 0; L < Info.Loops.size(); ++L) {
+        bool Appears = false;
+        for (unsigned D = 0; D < Refs[A].first.rank(); ++D)
+          if (Refs[A].first.Subs[D].coeff(Info.Loops[L]) != 0)
+            Appears = true;
+        Dep.Star[L] = !Appears;
+      }
+
       // Sign consistency check.
-      bool AnyPos = false, AnyNeg = false;
-      for (int64_t T : Dep.Distance) {
-        AnyPos |= T > 0;
-        AnyNeg |= T < 0;
+      bool AnyPos = false, AnyNeg = false, AnyStar = false;
+      for (size_t L = 0; L < Dep.Distance.size(); ++L) {
+        AnyPos |= Dep.Distance[L] > 0;
+        AnyNeg |= Dep.Distance[L] < 0;
+        AnyStar |= Dep.Star[L];
       }
       if (AnyPos && AnyNeg) {
         Info.FullyPermutable = false;
         Info.Notes.push_back("sign-mixed dependence distance on array " +
                              Nest.array(Refs[A].first.Array).Name);
+      }
+      // A starred loop carries the dependence at every distance. With a
+      // nonzero known component the vector can be driven lexicographically
+      // negative by ordering the starred loop outside the known-distance
+      // one, so such dependences block free permutation (a pure update
+      // chain — all known components zero — only reassociates and stays
+      // permutable).
+      if (AnyStar && (AnyPos || AnyNeg)) {
+        Info.FullyPermutable = false;
+        Info.Notes.push_back(
+            "dependence on array " + Nest.array(Refs[A].first.Array).Name +
+            " mixes a '*' direction with a nonzero distance");
       }
       Info.Deps.push_back(std::move(Dep));
     }

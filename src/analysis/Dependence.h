@@ -18,8 +18,12 @@
 ///    all <= 0) — e.g. Matrix Multiply's C read/write at distance zero.
 ///
 /// Loops whose variable does not appear in the family's subscripts carry
-/// the dependence at every distance ("="/"*" direction, the reduction loop
-/// K in Matrix Multiply); these do not block permutation or tiling.
+/// the dependence at every distance ("*" direction, the reduction loop K
+/// in Matrix Multiply). When every known component is zero the dependence
+/// is a same-cell update chain and reordering only reassociates it, so it
+/// does not block permutation or tiling; a "*" combined with a nonzero
+/// known distance does (ordering the starred loop outside the carrying
+/// loop could reverse the dependence).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +44,11 @@ struct Dependence {
   /// Distance per spine loop (parallel to loops()); 0 for "=" and for
   /// loops absent from the subscripts.
   std::vector<int64_t> Distance;
+  /// Parallel to Distance: true where the loop variable is absent from
+  /// the family's subscripts, so the distance is really "*" (any value),
+  /// not the 0 stored in Distance. Legality checks that reorder loops
+  /// must treat starred components as unconstrained.
+  std::vector<bool> Star;
   bool Unknown = false; ///< could not be analyzed precisely
 };
 
@@ -53,6 +62,15 @@ struct DependenceInfo {
 
 /// Analyzes all pairs of conflicting references in \p Nest.
 DependenceInfo analyzeDependences(const LoopNest &Nest);
+
+/// Same analysis restricted to an explicit loop set and reference list
+/// (each ref paired with its is-write flag). Transform legality checks
+/// use this to analyze a subtree (e.g. the loops an unroll-and-jam would
+/// reorder) of a nest whose global spine is no longer perfect.
+DependenceInfo
+analyzeDependencesOver(const LoopNest &Nest,
+                       std::vector<SymbolId> Loops,
+                       const std::vector<std::pair<ArrayRef, bool>> &Refs);
 
 } // namespace eco
 

@@ -11,6 +11,7 @@
 #include "obs/Log.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "transform/TransformError.h"
 
 #include <bit>
 #include <cmath>
@@ -309,7 +310,16 @@ DiffCheckReport eco::check::runDiffCheck(const DiffCheckOptions &Opts) {
       for (const Env &Cfg : sampleConfigs(V, Machine, {{"N", N}}, R, Opts,
                                           &Report.SkippedInfeasible)) {
         ++Report.Configs;
-        LoopNest Exec = V.instantiate(Cfg, Machine);
+        LoopNest Exec;
+        try {
+          Exec = V.instantiate(Cfg, Machine);
+        } catch (const TransformError &) {
+          // Sampled config asks for an illegal transform: nothing to
+          // compare, the rejection itself is the correct behavior.
+          --Report.Configs;
+          ++Report.SkippedInfeasible;
+          continue;
+        }
 
         compareLeg(runSimLeg(Exec, Cfg, Machine, K), Want, "sim", K, V,
                    Cfg, Opts, Report);

@@ -3,10 +3,13 @@
 #include "core/DeriveVariants.h"
 #include "analysis/Dependence.h"
 #include "analysis/Reuse.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 #include "transform/Copy.h"
 #include "transform/Permute.h"
 #include "transform/Tile.h"
+#include "transform/TransformError.h"
 #include "transform/Utils.h"
 
 #include <algorithm>
@@ -278,6 +281,7 @@ eco::deriveVariants(const LoopNest &Original, const MachineDesc &Machine,
   std::vector<DerivedVariant> Variants;
   int Index = 1;
   for (const Partial &P : Partials) {
+    try {
     DerivedVariant DV;
     DV.Spec.Name = "v" + std::to_string(Index++);
     DV.Spec.RegLoop = P.RegLoop;
@@ -461,6 +465,25 @@ eco::deriveVariants(const LoopNest &Original, const MachineDesc &Machine,
       DV.Constraints.push_back(std::move(Tlb));
     }
 
+    Variants.push_back(std::move(DV));
+    } catch (const TransformError &E) {
+      // A transform refused this partial's tiling/ordering plan: the plan
+      // would have produced wrong code, so rejection is variant pruning,
+      // not an error.
+      ECO_LOG(Warn) << "variant pruned (illegal transform): " << E.what();
+      if (obs::metricsEnabled())
+        obs::metrics().counter("transform.rejected").inc();
+    }
+  }
+
+  // Every plan was rejected: fall back to the (always legal) original so
+  // the tuner still has something to run.
+  if (Variants.empty()) {
+    DerivedVariant DV;
+    DV.Spec.Name = "v0-untransformed";
+    DV.Spec.RegLoop = Spine.empty() ? -1 : Spine.back();
+    DV.Spec.FinalOrder = Spine;
+    DV.Skeleton = Original.clone();
     Variants.push_back(std::move(DV));
   }
   return Variants;

@@ -3,6 +3,7 @@
 #include "core/Heuristics.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
+#include "transform/TransformError.h"
 
 #include <algorithm>
 #include <cmath>
@@ -53,8 +54,15 @@ public:
     for (SymbolId P : PfParams)
       InstKey += std::to_string(E.get(P)) + ",";
     auto It = InstCache.find(InstKey);
-    if (It == InstCache.end())
-      It = InstCache.emplace(InstKey, V.instantiate(E, B.machine())).first;
+    if (It == InstCache.end()) {
+      try {
+        It = InstCache.emplace(InstKey, V.instantiate(E, B.machine())).first;
+      } catch (const TransformError &) {
+        // Illegal unroll request at this point: infeasible, not fatal.
+        CostCache[Key] = Inf;
+        return Inf;
+      }
+    }
 
     double Cost = B.evaluate(It->second, E);
     CostCache[Key] = Cost;

@@ -4,12 +4,15 @@
 #include "codegen/CEmitter.h"
 #include "codegen/NativeRunner.h"
 #include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "obs/Span.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
+#include "transform/TransformError.h"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <set>
@@ -711,11 +714,23 @@ EvalOutcome DirectEvaluator::evaluate(const DerivedVariant &V,
   std::pair<const void *, std::string> InstKey{&V,
                                                instantiationKey(V, Config)};
   auto InstIt = InstMemo.find(InstKey);
-  if (InstIt == InstMemo.end())
-    InstIt = InstMemo
-                 .emplace(std::move(InstKey),
-                          V.instantiate(Config, Backend.machine()))
-                 .first;
+  if (InstIt == InstMemo.end()) {
+    try {
+      InstIt = InstMemo
+                   .emplace(std::move(InstKey),
+                            V.instantiate(Config, Backend.machine()))
+                   .first;
+    } catch (const TransformError &E) {
+      // An illegal unroll/prefetch request at this point: treat like a
+      // failed native compile — infinite cost, search moves on.
+      ECO_LOG(Warn) << "config rejected (illegal transform): " << E.what();
+      if (obs::metricsEnabled())
+        obs::metrics().counter("transform.rejected").inc();
+      O.Cost = std::numeric_limits<double>::infinity();
+      CostMemo.emplace(std::move(CostKey), O.Cost);
+      return O;
+    }
+  }
 
   Timer T;
   O.Cost = Backend.evaluate(InstIt->second, Config);

@@ -6,7 +6,9 @@
 #include "obs/Span.h"
 #include "support/NestHash.h"
 #include "support/Timer.h"
+#include "transform/TransformError.h"
 
+#include <limits>
 #include <set>
 
 using namespace eco;
@@ -136,7 +138,21 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
                                 const std::string &Stage, int Lane,
                                 bool Warm) {
   double StartMs = static_cast<double>(obs::monotonicMicros()) / 1e3;
-  const Instantiation &Inst = instantiated(V, Config);
+  const Instantiation *InstPtr = nullptr;
+  try {
+    InstPtr = &instantiated(V, Config);
+  } catch (const TransformError &E) {
+    // Illegal unroll/prefetch request for this config: infinite cost,
+    // never an escaping exception (evalOne runs on lane threads).
+    ECO_LOG(Warn) << "config rejected (illegal transform): " << E.what();
+    if (obs::metricsEnabled())
+      obs::metrics().counter("transform.rejected").inc();
+    EvalOutcome Bad;
+    Bad.Cost = std::numeric_limits<double>::infinity();
+    Bad.Lane = Lane;
+    return Bad;
+  }
+  const Instantiation &Inst = *InstPtr;
   EvalKey Key = keyFor(V, Inst, Config);
 
   EvalOutcome O;

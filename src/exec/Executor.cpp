@@ -244,7 +244,8 @@ void Executor::runFastLoop(FastTable &FT, int64_t Step, int64_t Iters) {
   for (size_t A = 0, N = FT.Meta.size(); A < N; ++A) {
     const FastAccessMeta &AM = FT.Meta[A];
     Accesses[A] = {AMap.addrOfFlat(AM.Arr, AM.Flat.eval(E)),
-                   AM.DeltaPerStep * Step, AM.Kind};
+                   AM.DeltaPerStep * Step, AM.Kind, AMap.baseOf(AM.Arr),
+                   AMap.addrOfFlat(AM.Arr, AMap.numElements(AM.Arr))};
   }
 
   HWCounters &C = Sim.counters();
@@ -254,9 +255,11 @@ void Executor::runFastLoop(FastTable &FT, int64_t Step, int64_t Iters) {
       for (unsigned A = FS.First, End = FS.First + FS.Count; A != End; ++A) {
         FastAccess &FA = Accesses[A];
         double Now = std::max(FpCy, std::max(MemCy, OvhCy)) + StallCy;
-        if (FA.Kind == AccessKind::Prefetch)
-          Sim.prefetch(FA.Addr, Now);
-        else
+        if (FA.Kind == AccessKind::Prefetch) {
+          // Out-of-bounds prefetches are dropped (see execStmt).
+          if (FA.Addr >= FA.Base && FA.Addr < FA.End)
+            Sim.prefetch(FA.Addr, Now);
+        } else
           StallCy += Sim.access(FA.Addr, FA.Kind == AccessKind::Store, Now);
         FA.Addr = static_cast<uint64_t>(
             static_cast<int64_t>(FA.Addr) + FA.Delta);
@@ -318,9 +321,16 @@ void Executor::execStmt(const StmtPlan &SP) {
     return;
   }
 
-  // Issue the planned accesses in order.
+  // Issue the planned accesses in order. A prefetch whose address fell
+  // outside its array (e.g. distance overshooting the last iterations)
+  // is dropped: hardware treats faulting prefetch hints as no-ops, and
+  // letting it through would charge the sim for a phantom line.
   for (const AccessPlan &AP : SP.Accesses) {
-    uint64_t Addr = AMap.addrOfFlat(AP.Arr, AP.Flat.eval(E));
+    int64_t Flat = AP.Flat.eval(E);
+    if (AP.Kind == AccessKind::Prefetch &&
+        (Flat < 0 || Flat >= AMap.numElements(AP.Arr)))
+      continue;
+    uint64_t Addr = AMap.addrOfFlat(AP.Arr, Flat);
     StallCy += issueAccess(AP, Addr);
   }
   FpCy += SP.FpCycles;

@@ -105,6 +105,8 @@ private:
     uint64_t Addr;
     int64_t Delta;
     AccessKind Kind;
+    uint64_t Base; ///< array's first byte (prefetch bounds check)
+    uint64_t End;  ///< one past the array's last byte
   };
   struct FastAccessMeta { ///< cold compile-time shape of one access
     ArrayId Arr;

@@ -3,6 +3,7 @@
 #include "ir/Verifier.h"
 #include "support/StringUtils.h"
 
+#include <map>
 #include <set>
 
 using namespace eco;
@@ -20,6 +21,8 @@ public:
       if (Nest.Syms.kind(static_cast<SymbolId>(S)) != SymbolKind::LoopVar)
         Bound.insert(static_cast<SymbolId>(S));
     walkBody(Nest.Items, Bound, /*InUnrolled=*/false);
+    checkUniqueNames();
+    checkRegisterDataflow();
     return std::move(Problems);
   }
 
@@ -66,8 +69,28 @@ private:
       problem(strformat("%s: rank %u reference into rank-%u array %s",
                         What, Ref.rank(), Decl.rank(),
                         Decl.Name.c_str()));
-    for (const AffineExpr &S : Ref.Subs)
+    for (const AffineExpr &S : Ref.Subs) {
       checkExpr(S, Bound, What);
+      checkSubscriptMagnitude(S, What);
+    }
+  }
+
+  /// AffineExpr is affine by construction, so the only way a non-affine
+  /// value reaches a subscript is numerically: repeated scaled()/
+  /// substitute() chains (tiling, unrolling) that overflow and wrap. Any
+  /// coefficient or constant beyond 2^40 cannot come from a legitimate
+  /// transform pipeline and is treated as a smuggled non-affine value.
+  void checkSubscriptMagnitude(const AffineExpr &E, const char *What) {
+    constexpr int64_t Limit = int64_t(1) << 40;
+    bool Bad = E.constTerm() > Limit || E.constTerm() < -Limit;
+    for (SymbolId S : E.symbols()) {
+      int64_t C = E.coeff(S);
+      Bad = Bad || C > Limit || C < -Limit;
+    }
+    if (Bad)
+      problem(strformat("%s subscript has an implausible coefficient "
+                        "(overflowed affine expression)",
+                        What));
   }
 
   void checkReg(int Reg, const char *What) {
@@ -200,6 +223,86 @@ private:
       walkBody(L.Items, Inner, InUnrolled || L.Unroll > 1);
       walkBody(L.Epilogue, Inner, InUnrolled);
     }
+  }
+
+  /// Symbol and array names must be unique: generated C binds every
+  /// non-loop symbol and every array by name in one function scope, and
+  /// the printer distinguishes loops only by name. Tiling with a control
+  /// variable or tile parameter that is already taken (e.g. tiling the
+  /// same loop twice as "KK"/"TK") silently corrupts both surfaces.
+  void checkUniqueNames() {
+    std::map<std::string, int> SymCount;
+    for (size_t S = 0; S < Nest.Syms.size(); ++S)
+      ++SymCount[Nest.Syms.name(static_cast<SymbolId>(S))];
+    for (const auto &[Name, Count] : SymCount)
+      if (Count > 1)
+        problem(strformat("duplicate symbol name '%s' (declared %d "
+                          "times)",
+                          Name.c_str(), Count));
+    std::map<std::string, int> ArrCount;
+    for (const ArrayDecl &A : Nest.Arrays)
+      ++ArrCount[A.Name];
+    for (const auto &[Name, Count] : ArrCount) {
+      if (Count > 1)
+        problem(strformat("duplicate array name '%s' (declared %d times)",
+                          Name.c_str(), Count));
+      if (SymCount.count(Name))
+        problem(strformat("array name '%s' collides with a symbol name",
+                          Name.c_str()));
+    }
+  }
+
+  /// Register def-use coverage over the whole nest. Scalar replacement
+  /// allocates registers, rewrites reads/writes through them, and inserts
+  /// the loads/stores; a bug in any of those steps leaves a register that
+  /// is consumed without ever being produced, or allocated and then
+  /// abandoned (a dangling symbol the emitted C still declares).
+  void checkRegisterDataflow() {
+    std::set<int> Written, Read;
+    forEachStmtIn(Nest.Items, [&](const Stmt &S) {
+      switch (S.Kind) {
+      case StmtKind::Compute:
+        if (S.LhsReg >= 0)
+          Written.insert(S.LhsReg);
+        {
+          std::function<void(const ScalarExpr &)> Walk =
+              [&](const ScalarExpr &E) {
+                if (E.Kind == ScalarExprKind::RegRead)
+                  Read.insert(E.Reg);
+                if (E.Lhs)
+                  Walk(*E.Lhs);
+                if (E.Rhs)
+                  Walk(*E.Rhs);
+              };
+          Walk(*S.Rhs);
+        }
+        break;
+      case StmtKind::RegLoad:
+        Written.insert(S.Reg);
+        break;
+      case StmtKind::RegStore:
+        Read.insert(S.Reg);
+        break;
+      case StmtKind::RegRotate:
+        for (const auto &[Dst, Src] : S.Moves) {
+          Written.insert(Dst);
+          Read.insert(Src);
+        }
+        break;
+      case StmtKind::CopyIn:
+      case StmtKind::Prefetch:
+        break;
+      }
+    });
+    for (int R : Read)
+      if (R >= 0 && R < Nest.NumRegs && !Written.count(R))
+        problem(strformat("register r%d is read but never written", R));
+    for (int R = 0; R < Nest.NumRegs; ++R)
+      if (!Written.count(R) && !Read.count(R))
+        problem(strformat("register r%d is allocated but never "
+                          "referenced (dangling after scalar "
+                          "replacement)",
+                          R));
   }
 
   const LoopNest &Nest;

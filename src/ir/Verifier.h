@@ -20,7 +20,15 @@
 ///    step by their unroll factor;
 ///  * CopyIn regions have one dimension per source dimension and target a
 ///    CopyBuffer of equal rank;
-///  * statement kinds carry the fields they require.
+///  * statement kinds carry the fields they require;
+///  * symbol and array names are unique (C emission binds by name, so a
+///    tiling pass reusing "KK"/"TK" corrupts the generated code);
+///  * every register that is read is written somewhere, and every
+///    allocated register is referenced (no dangling scalar-replacement
+///    leftovers);
+///  * subscript coefficients stay within 2^40 — beyond that they can only
+///    be an overflowed (wrapped) affine chain, i.e. a non-affine value
+///    smuggled into the subscript language.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,45 @@
+//===- support/ParseInt.h - Strict integer flag parsing --------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict numeric parsing for command-line flags. Unlike atoi/atoll,
+/// rejects empty strings, trailing garbage ("64x"), values outside the
+/// caller's range, and out-of-range literals — a negative handed to an
+/// unsigned flag must be a usage error, not a silent 2^64 wraparound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SUPPORT_PARSEINT_H
+#define ECO_SUPPORT_PARSEINT_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace eco {
+
+/// Parses \p Text as a decimal integer in [Lo, Hi]. Returns false (and
+/// leaves \p Out untouched) on empty input, trailing garbage, overflow,
+/// or a value outside the range.
+inline bool parseIntInRange(const std::string &Text, int64_t Lo, int64_t Hi,
+                            int64_t *Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Text.c_str(), &End, 10);
+  if (errno == ERANGE || End == Text.c_str() || *End != '\0')
+    return false;
+  if (V < Lo || V > Hi)
+    return false;
+  *Out = V;
+  return true;
+}
+
+} // namespace eco
+
+#endif // ECO_SUPPORT_PARSEINT_H

@@ -1,6 +1,7 @@
 //===- transform/Copy.cpp - Copy optimization ------------------------------===//
 
 #include "transform/Copy.h"
+#include "transform/TransformError.h"
 #include "transform/Utils.h"
 
 using namespace eco;
@@ -11,29 +12,93 @@ ArrayId eco::applyCopy(LoopNest &Nest, ArrayId Src, SymbolId BeforeLoopVar,
   const ArrayDecl &SrcDecl = Nest.array(Src);
   assert(Dims.size() == SrcDecl.rank() && "one CopyDimSpec per dimension");
 
-  // Declare the buffer: extents are the (unclamped) tile parameters, so
-  // its storage is tile-sized and contiguous.
+  LoopLocation Loc = findUniqueLoop(Nest, BeforeLoopVar);
+
+  // Every value-bearing reference to Src inside the loop is about to be
+  // retargeted at the buffer, so the region must cover their combined
+  // footprint, not just the caller's anchor reference. References may
+  // differ from the anchor only by a non-negative constant per dimension
+  // (a stencil halo); the maximum offset widens the buffer and the
+  // region below. Writes cannot be retargeted at a copy-in buffer (there
+  // is no copy-back), and a negative offset would need the region to
+  // start before Dims[D].Start — both are rejected rather than silently
+  // miscompiled. Prefetches are exempt: they are hints, and both the
+  // simulator and the emitted C already drop out-of-bounds prefetches.
+  std::vector<int64_t> MaxOff(Dims.size(), 0);
+  std::optional<std::vector<AffineExpr>> Base;
+  auto Collect = [&](const Stmt &St) {
+    if (St.Kind == StmtKind::Prefetch)
+      return;
+    St.forEachRef([&](const ArrayRef &Ref, bool IsWrite) {
+      if (Ref.Array != Src)
+        return;
+      if (IsWrite)
+        throw TransformError(TransformErrorCode::BadRequest,
+                             "copy-in cannot retarget writes to '" +
+                                 SrcDecl.Name + "' (no copy-back)");
+      std::vector<AffineExpr> RefBase;
+      for (size_t D = 0; D < Ref.Subs.size(); ++D)
+        RefBase.push_back(Ref.Subs[D] - Ref.Subs[D].constTerm());
+      if (!Base)
+        Base = RefBase;
+      else if (*Base != RefBase)
+        throw TransformError(TransformErrorCode::BadRequest,
+                             "references to '" + SrcDecl.Name +
+                                 "' differ by more than a constant; the "
+                                 "copy region cannot cover them");
+      for (size_t D = 0; D < Ref.Subs.size() && D < Dims.size(); ++D) {
+        int64_t Off = Ref.Subs[D].constTerm();
+        if (Off < 0)
+          throw TransformError(TransformErrorCode::BadRequest,
+                               "negative reference offset into '" +
+                                   SrcDecl.Name +
+                                   "' lies before the copy region");
+        MaxOff[D] = std::max(MaxOff[D], Off);
+      }
+    });
+  };
+  forEachStmtIn(Loc.L->Items, Collect);
+  forEachStmtIn(Loc.L->Epilogue, Collect);
+
+  // Declare the buffer: extents are the (unclamped) tile parameters plus
+  // the footprint halo, so its storage is tile-sized and contiguous.
   ArrayDecl Buffer;
   Buffer.Name = BufferName;
   Buffer.ElemBytes = SrcDecl.ElemBytes;
   Buffer.Order = SrcDecl.Order;
   Buffer.Role = ArrayRole::CopyBuffer;
-  for (const CopyDimSpec &Dim : Dims)
-    Buffer.Extents.push_back(AffineExpr::sym(Dim.SizeParam));
+  for (size_t D = 0; D < Dims.size(); ++D)
+    Buffer.Extents.push_back(AffineExpr::sym(Dims[D].SizeParam) +
+                             MaxOff[D]);
   ArrayId Buf = Nest.declareArray(std::move(Buffer));
 
   // Retarget references inside the target loop.
-  LoopLocation Loc = findUniqueLoop(Nest, BeforeLoopVar);
   std::vector<AffineExpr> Starts;
   for (const CopyDimSpec &Dim : Dims)
     Starts.push_back(Dim.Start);
   retargetRefs(Loc.L->Items, Src, Buf, Starts);
   retargetRefs(Loc.L->Epilogue, Src, Buf, Starts);
 
-  // Insert the CopyIn just before the loop.
+  // Insert the CopyIn just before the loop. Every region dimension is
+  // widened by the footprint halo (each min-term individually, so the
+  // caller's own edge clamps stay correct at the last tile) and then
+  // clamped to the buffer's capacity and to what remains of the source
+  // past the start: a tile equal to, larger than, or partially
+  // overhanging the extent must never copy out of bounds (the executor
+  // and the emitted C both walk exactly [Start, Start+Size)), and a
+  // start at/past the extent yields a non-positive size, i.e. an empty
+  // copy.
   std::vector<CopyRegionDim> Region;
-  for (const CopyDimSpec &Dim : Dims)
-    Region.push_back({Dim.Start, Dim.Size});
+  for (size_t D = 0; D < Dims.size(); ++D) {
+    const std::vector<AffineExpr> &Given = Dims[D].Size.exprs();
+    Bound Size(Given.front() + MaxOff[D]);
+    for (size_t E = 1; E < Given.size(); ++E)
+      Size.clampTo(Given[E] + MaxOff[D]);
+    Size.clampTo(AffineExpr::sym(Dims[D].SizeParam) + MaxOff[D]);
+    // Re-fetch: declareArray above may have reallocated Nest.Arrays.
+    Size.clampTo(Nest.array(Src).Extents[D] - Dims[D].Start);
+    Region.push_back({Dims[D].Start, std::move(Size)});
+  }
   Loc.Parent->insert(Loc.Parent->begin() + Loc.Index,
                      BodyItem(Stmt::makeCopyIn(Buf, Src, Region)));
   return Buf;

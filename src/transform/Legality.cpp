@@ -1,0 +1,461 @@
+//===- transform/Legality.cpp - Dependence-based transform legality -------===//
+
+#include "transform/Legality.h"
+#include "analysis/Dependence.h"
+#include "transform/Utils.h"
+
+#include <algorithm>
+
+using namespace eco;
+
+namespace {
+
+/// Lexicographically negative: the first nonzero component is < 0.
+bool lexNegative(const std::vector<int64_t> &V) {
+  for (int64_t C : V) {
+    if (C > 0)
+      return false;
+    if (C < 0)
+      return true;
+  }
+  return false;
+}
+
+/// True when every non-starred component is zero: a same-cell update
+/// chain carried only by loops absent from the subscripts. Reordering
+/// such a chain reassociates the per-cell update sequence, which the
+/// differential policy tolerates (ulp comparison), so it never blocks —
+/// PROVIDED the update is a commutative reduction (see starSkipSafe).
+bool isPureStar(const Dependence &Dep) {
+  for (size_t L = 0; L < Dep.Distance.size(); ++L)
+    if (!Dep.Star[L] && Dep.Distance[L] != 0)
+      return false;
+  return true;
+}
+
+/// Leaves of the +/- spine of \p E: recursing through Add on both sides
+/// and Sub on the left (a - b - c reassociates like a + (-b) + (-c)),
+/// every other node is an addend subtree.
+void addendsOf(const ScalarExpr &E, std::vector<const ScalarExpr *> &Out) {
+  if (E.Kind == ScalarExprKind::Add) {
+    addendsOf(*E.Lhs, Out);
+    addendsOf(*E.Rhs, Out);
+    return;
+  }
+  if (E.Kind == ScalarExprKind::Sub) {
+    addendsOf(*E.Lhs, Out);
+    Out.push_back(E.Rhs.get());
+    return;
+  }
+  Out.push_back(&E);
+}
+
+/// True if the expression tree contains a register-read leaf.
+bool readsRegister(const ScalarExpr &E) {
+  if (E.Kind == ScalarExprKind::RegRead)
+    return true;
+  return (E.Lhs && readsRegister(*E.Lhs)) || (E.Rhs && readsRegister(*E.Rhs));
+}
+
+bool readsArray(const ScalarExpr &E, ArrayId A) {
+  bool Found = false;
+  const_cast<ScalarExpr &>(E).forEachRead([&](ScalarExpr &Leaf) {
+    Found = Found || Leaf.Ref.Array == A;
+  });
+  return Found;
+}
+
+/// Whether a pure-star dependence on cell \p Cell may be skipped: every
+/// Compute statement in the nest that touches the cell must be exactly
+/// the commutative reduction `A[s] = A[s] + e` — the written ref appears
+/// once in the RHS as a direct addend, and no other read of the array
+/// occurs anywhere in the statement. Then reordering the starred loops
+/// only reassociates a sum. Anything else — a second read of the cell
+/// (`F[i] = F[i] + (F[i] + x)` is the recurrence x -> 2x + e, whose
+/// updates do NOT commute), the cell read by a different statement, a
+/// multiplicative update — makes the update order observable, so the
+/// dependence must face the full reorder test. Prefetch touches are
+/// hints and exempt.
+bool starSkipSafe(const LoopNest &Nest, const ArrayRef &Cell) {
+  bool Safe = true;
+  forEachStmtIn(Nest.Items, [&](const Stmt &S) {
+    if (!Safe || S.Kind == StmtKind::Prefetch)
+      return;
+    bool Touches = false;
+    S.forEachRef([&](const ArrayRef &Ref, bool) {
+      Touches = Touches || (Ref.Array == Cell.Array && Ref.Subs == Cell.Subs);
+    });
+    if (!Touches)
+      return;
+    if (S.Kind != StmtKind::Compute || !S.LhsRef ||
+        !(S.LhsRef->Array == Cell.Array && S.LhsRef->Subs == Cell.Subs)) {
+      Safe = false;
+      return;
+    }
+    std::vector<const ScalarExpr *> Addends;
+    addendsOf(*S.Rhs, Addends);
+    int CellReads = 0;
+    for (const ScalarExpr *Term : Addends) {
+      if (Term->Kind == ScalarExprKind::Read &&
+          Term->Ref.Array == Cell.Array && Term->Ref.Subs == Cell.Subs) {
+        ++CellReads;
+        continue;
+      }
+      if (readsArray(*Term, Cell.Array)) {
+        Safe = false;
+        return;
+      }
+    }
+    if (CellReads != 1)
+      Safe = false;
+  });
+  return Safe;
+}
+
+/// The other safe shape: the cell is only ever WRITTEN, and every
+/// writing statement's right-hand side is independent of the starred
+/// loops — then every starred instance computes and stores the identical
+/// value, so their order cannot be observed. This is the tile-control
+/// case: after tiling, KK/JJ are absent from A[I,J,K]'s subscripts
+/// (starred) but the statement never mentions them either; the spurious
+/// write-write "dependence" the analysis reports across KK/JJ is
+/// order-free. A register read in the RHS is conservatively unsafe (its
+/// value may depend on a starred loop through dataflow the subscript
+/// scan cannot see).
+bool writeOnlyStarIndependent(const LoopNest &Nest, const ArrayRef &Cell,
+                              const std::vector<SymbolId> &StarVars) {
+  bool Safe = true;
+  forEachStmtIn(Nest.Items, [&](const Stmt &S) {
+    if (!Safe || S.Kind == StmtKind::Prefetch)
+      return;
+    bool Touches = false;
+    S.forEachRef([&](const ArrayRef &Ref, bool) {
+      Touches = Touches || (Ref.Array == Cell.Array && Ref.Subs == Cell.Subs);
+    });
+    if (!Touches)
+      return;
+    if (S.Kind != StmtKind::Compute || !S.LhsRef ||
+        !(S.LhsRef->Array == Cell.Array && S.LhsRef->Subs == Cell.Subs) ||
+        !S.Rhs) {
+      Safe = false;
+      return;
+    }
+    if (readsRegister(*S.Rhs)) {
+      Safe = false;
+      return;
+    }
+    const_cast<ScalarExpr &>(*S.Rhs).forEachRead([&](ScalarExpr &Leaf) {
+      if (Leaf.Ref.Array == Cell.Array && Leaf.Ref.Subs == Cell.Subs) {
+        Safe = false; // the cell is read after all
+        return;
+      }
+      for (const AffineExpr &Sub : Leaf.Ref.Subs)
+        for (SymbolId V : StarVars)
+          if (Sub.coeff(V) != 0)
+            Safe = false; // value varies across the starred loop
+    });
+  });
+  return Safe;
+}
+
+/// isPureStar plus a safety requirement on both endpoints: either a
+/// commutative reduction chain, or star-independent same-value writes.
+bool skippableStar(const LoopNest &Nest,
+                   const std::vector<SymbolId> &Loops,
+                   const Dependence &Dep) {
+  if (!isPureStar(Dep))
+    return false;
+  std::vector<SymbolId> StarVars;
+  for (size_t L = 0; L < Dep.Star.size() && L < Loops.size(); ++L)
+    if (Dep.Star[L])
+      StarVars.push_back(Loops[L]);
+  // No star components at all means every distance is a known zero: Src
+  // and Dst are the same iteration point, and no loop reorder can flip
+  // an intra-iteration order.
+  if (StarVars.empty())
+    return true;
+  // Starred loops map several iterations onto the SAME cell and their
+  // relative order changes under reorder; that is only harmless when the
+  // updates commute or write the same value.
+  auto EndpointOk = [&](const ArrayRef &Cell) {
+    return starSkipSafe(Nest, Cell) ||
+           writeOnlyStarIndependent(Nest, Cell, StarVars);
+  };
+  return EndpointOk(Dep.Src) && EndpointOk(Dep.Dst);
+}
+
+/// Does \p Dep stay lexicographically non-negative when components are
+/// reordered by \p Perm (Perm[NewPos] = old index)? Star components are
+/// enumerated over {-1, 0, +1}; each realized vector is canonicalized
+/// (negated when it is lexicographically negative in the CURRENT order,
+/// i.e. the pair is really the mirrored one) before the permuted test.
+bool depSurvivesReorder(const Dependence &Dep,
+                        const std::vector<size_t> &Perm) {
+  std::vector<size_t> StarIdx;
+  for (size_t L = 0; L < Dep.Distance.size(); ++L)
+    if (Dep.Star[L])
+      StarIdx.push_back(L);
+
+  size_t Combos = 1;
+  for (size_t S = 0; S < StarIdx.size(); ++S)
+    Combos *= 3;
+
+  std::vector<int64_t> V(Dep.Distance.size());
+  for (size_t Combo = 0; Combo < Combos; ++Combo) {
+    V = Dep.Distance;
+    size_t Rem = Combo;
+    for (size_t S : StarIdx) {
+      V[S] = static_cast<int64_t>(Rem % 3) - 1; // -1, 0, +1
+      Rem /= 3;
+    }
+    if (lexNegative(V))
+      for (int64_t &C : V)
+        C = -C;
+    std::vector<int64_t> P(V.size());
+    for (size_t N = 0; N < Perm.size(); ++N)
+      P[N] = V[Perm[N]];
+    if (lexNegative(P))
+      return false;
+  }
+  return true;
+}
+
+/// Runs the reorder test for every dependence; \p What names the request
+/// for the reason string.
+std::string checkDeps(const LoopNest &Nest, const DependenceInfo &DI,
+                      const std::vector<size_t> &Perm,
+                      const std::string &What) {
+  bool Identity = true;
+  for (size_t N = 0; N < Perm.size(); ++N)
+    Identity &= Perm[N] == N;
+  if (Identity)
+    return "";
+
+  for (const Dependence &Dep : DI.Deps) {
+    if (Dep.Unknown)
+      return What + " blocked: dependence on array " +
+             Nest.array(Dep.Src.Array).Name +
+             " has unknown distance (non-uniform or unsolvable pair)";
+    if (skippableStar(Nest, DI.Loops, Dep))
+      continue;
+    if (!depSurvivesReorder(Dep, Perm))
+      return What + " blocked: dependence on array " +
+             Nest.array(Dep.Src.Array).Name +
+             " would flow backwards under the new order";
+  }
+  return "";
+}
+
+} // namespace
+
+std::string
+eco::permutationLegality(const LoopNest &Nest,
+                         const std::vector<SymbolId> &NewOrder) {
+  DependenceInfo DI = analyzeDependences(Nest);
+  if (DI.Loops.size() != NewOrder.size())
+    return "permutation does not cover the spine";
+
+  std::vector<size_t> Perm(NewOrder.size());
+  for (size_t N = 0; N < NewOrder.size(); ++N) {
+    auto It = std::find(DI.Loops.begin(), DI.Loops.end(), NewOrder[N]);
+    if (It == DI.Loops.end())
+      return "permutation names a non-spine variable";
+    Perm[N] = static_cast<size_t>(It - DI.Loops.begin());
+  }
+  return checkDeps(Nest, DI, Perm, "permute");
+}
+
+namespace {
+
+/// References of one body item's subtree (a statement, or a loop with
+/// everything below it including epilogues).
+std::vector<std::pair<ArrayRef, bool>> itemRefs(const BodyItem &Item) {
+  std::vector<std::pair<ArrayRef, bool>> Refs;
+  auto Collect = [&](Stmt &S) {
+    S.forEachRef([&](ArrayRef &Ref, bool IsWrite) {
+      Refs.push_back({Ref, IsWrite});
+    });
+  };
+  if (Item.isStmt()) {
+    Collect(const_cast<Stmt &>(Item.stmt()));
+  } else {
+    Loop &L = const_cast<Loop &>(Item.loop());
+    forEachStmtIn(L.Items, Collect);
+    forEachStmtIn(L.Epilogue, Collect);
+  }
+  return Refs;
+}
+
+/// True if any statement under \p Items carries register dataflow:
+/// register loads/stores/rotates, or computes that read or write a
+/// register. Register values flow between statements of ONE iteration
+/// (load -> compute -> rotate); the dependence analysis below only sees
+/// array references, so jamming such a body would silently interleave
+/// the copies' register chains (copy 1's load clobbers r before copy
+/// 0's compute reads it).
+bool carriesRegisterDataflow(const Body &Items) {
+  bool Found = false;
+  forEachStmtIn(const_cast<Body &>(Items), [&](Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::RegLoad:
+    case StmtKind::RegStore:
+    case StmtKind::RegRotate:
+      Found = true;
+      break;
+    case StmtKind::Compute:
+      if (S.LhsReg >= 0 || (S.Rhs && readsRegister(*S.Rhs)))
+        Found = true;
+      break;
+    default:
+      break;
+    }
+  });
+  return Found;
+}
+
+} // namespace
+
+std::string eco::unrollJamLegality(const LoopNest &Nest, SymbolId Var,
+                                   int Factor) {
+  if (Factor <= 1)
+    return "";
+
+  // The pass mutates nothing here; occurrence lookup wants a non-const
+  // nest only for its mutable Loop pointers.
+  LoopNest &MutNest = const_cast<LoopNest &>(Nest);
+  for (const LoopLocation &Loc : findLoopOccurrences(MutNest, Var)) {
+    const Body &Items = Loc.L->Items;
+
+    // Registers are invisible to the array dependence analysis below, so
+    // any register dataflow in the body makes the jam unverifiable (and
+    // in general wrong: the jam replicates each load per copy, clobbering
+    // the register before earlier copies' computes read it). Jam first,
+    // scalar-replace after — the canonical pipeline order.
+    if (carriesRegisterDataflow(Items) ||
+        carriesRegisterDataflow(Loc.L->Epilogue))
+      return "unroll-and-jam blocked: body carries register dataflow "
+             "(scalar-replaced); apply unroll-and-jam before scalar "
+             "replacement";
+
+    // Every distinct loop variable below the occurrence: the local
+    // dependence problems must cover them all to be solvable.
+    std::vector<SymbolId> SubVars;
+    forEachLoopIn(const_cast<Body &>(Items), [&](Loop &L) {
+      if (std::find(SubVars.begin(), SubVars.end(), L.Var) ==
+          SubVars.end())
+        SubVars.push_back(L.Var);
+    });
+    std::vector<SymbolId> Vars;
+    Vars.push_back(Var);
+    Vars.insert(Vars.end(), SubVars.begin(), SubVars.end());
+
+    // (a) Cross-item ordering. The jam groups the Factor copies per body
+    // item (statement copies run back to back; sibling loops get their
+    // own jammed copies), so iteration Var+u of an EARLIER item runs
+    // before iteration Var of a LATER one. Any dependence between
+    // different items that Var carries is therefore reordered: require
+    // known distance 0 (pure same-cell update chains only reassociate
+    // and stay legal).
+    for (size_t I = 0; I + 1 < Items.size(); ++I) {
+      std::vector<std::pair<ArrayRef, bool>> RefsI = itemRefs(Items[I]);
+      for (size_t J = I + 1; J < Items.size(); ++J) {
+        for (const auto &A : RefsI)
+          for (const auto &B : itemRefs(Items[J])) {
+            if (A.first.Array != B.first.Array ||
+                (!A.second && !B.second))
+              continue;
+            DependenceInfo DI =
+                analyzeDependencesOver(Nest, Vars, {A, B});
+            for (const Dependence &Dep : DI.Deps) {
+              if (Dep.Unknown)
+                return "unroll-and-jam blocked: unknown dependence on "
+                       "array " +
+                       Nest.array(Dep.Src.Array).Name +
+                       " between jammed body items";
+              if (skippableStar(Nest, DI.Loops, Dep))
+                continue;
+              if (Dep.Star[0] || Dep.Distance[0] != 0)
+                return "unroll-and-jam blocked: dependence on array " +
+                       Nest.array(Dep.Src.Array).Name +
+                       " is carried by the jammed loop across body "
+                       "items";
+            }
+          }
+      }
+    }
+
+    // (b) Within each loop item, the jam is equivalent to moving Var
+    // innermost across that subtree's loops.
+    for (const BodyItem &Item : Items) {
+      if (!Item.isLoop())
+        continue; // a single statement's copies stay in original order
+
+      // Chain walk: at most one distinct child variable per level.
+      std::vector<SymbolId> ChainVars;
+      bool IsChain = true;
+      const Loop *Cur = &Item.loop();
+      while (Cur) {
+        ChainVars.push_back(Cur->Var);
+        std::vector<const Loop *> Children;
+        for (const BodyItem &Sub : Cur->Items)
+          if (Sub.isLoop())
+            Children.push_back(&Sub.loop());
+        if (Children.empty())
+          break;
+        SymbolId ChildVar = Children.front()->Var;
+        for (const Loop *C : Children)
+          if (C->Var != ChildVar)
+            IsChain = false;
+        if (!IsChain)
+          break;
+        Cur = Children.front();
+      }
+
+      std::vector<std::pair<ArrayRef, bool>> Refs = itemRefs(Item);
+      if (!IsChain) {
+        // Sibling subtrees inside the item: fall back to requiring that
+        // Var carries nothing here at all.
+        DependenceInfo DI = analyzeDependencesOver(Nest, Vars, Refs);
+        for (const Dependence &Dep : DI.Deps) {
+          if (Dep.Unknown)
+            return "unroll-and-jam blocked: unknown dependence on "
+                   "array " +
+                   Nest.array(Dep.Src.Array).Name + " inside jammed body";
+          if (skippableStar(Nest, DI.Loops, Dep))
+            continue;
+          if (Dep.Star[0] || Dep.Distance[0] != 0)
+            return "unroll-and-jam blocked: dependence on array " +
+                   Nest.array(Dep.Src.Array).Name +
+                   " is carried by the jammed loop across sibling loops";
+        }
+        continue;
+      }
+
+      // Single chain: test the move-innermost permutation over
+      // [Var, chain...] with this item's references.
+      std::vector<SymbolId> ItemVars;
+      ItemVars.push_back(Var);
+      ItemVars.insert(ItemVars.end(), ChainVars.begin(), ChainVars.end());
+      DependenceInfo DI = analyzeDependencesOver(Nest, ItemVars, Refs);
+      std::vector<size_t> Perm;
+      for (size_t C = 1; C < ItemVars.size(); ++C)
+        Perm.push_back(C);
+      Perm.push_back(0);
+      std::string Reason = checkDeps(Nest, DI, Perm, "unroll-and-jam");
+      if (!Reason.empty())
+        return Reason;
+    }
+  }
+  return "";
+}
+
+std::string eco::tileLegality(const LoopNest &Nest, SymbolId Var) {
+  DependenceInfo DI = analyzeDependences(Nest);
+  for (const Dependence &Dep : DI.Deps)
+    if (Dep.Unknown &&
+        (Dep.Src.uses(Var) || Dep.Dst.uses(Var)))
+      return "tile blocked: dependence on array " +
+             Nest.array(Dep.Src.Array).Name +
+             " involving the tiled loop has unknown distance";
+  return "";
+}

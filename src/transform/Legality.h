@@ -1,0 +1,61 @@
+//===- transform/Legality.h - Dependence-based transform legality -*- C++ -*-//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence-vector legality tests behind the transform layer's typed
+/// rejections. Each test answers "would this reordering let some
+/// dependence flow backwards?" over the distance/direction vectors from
+/// analysis/Dependence:
+///
+///  * a known distance vector must stay lexicographically non-negative
+///    under the new loop order;
+///  * a starred component ("*": the loop is absent from the family's
+///    subscripts) ranges over every sign, so star positions are
+///    enumerated over {-1, 0, +1} — signs are all that lexicographic
+///    comparison sees;
+///  * a dependence whose known components are all zero (same cell,
+///    carried only by starred loops) is a reduction-style update chain:
+///    any reorder merely reassociates the per-cell update sequence, which
+///    the tuner's ulp policy accepts, so these never block;
+///  * an Unknown dependence (non-uniform pair, unsolvable system) blocks
+///    every non-identity reorder.
+///
+/// Each function returns an empty string when the request is legal and a
+/// human-readable reason otherwise; the transforms wrap the reason in a
+/// TransformError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_TRANSFORM_LEGALITY_H
+#define ECO_TRANSFORM_LEGALITY_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace eco {
+
+/// Legality of permuting the nest's perfect spine into \p NewOrder
+/// (a permutation of the current spine variables, outermost first).
+std::string permutationLegality(const LoopNest &Nest,
+                                const std::vector<SymbolId> &NewOrder);
+
+/// Legality of unroll-and-jamming \p Var by \p Factor: jamming moves the
+/// Var loop innermost across every loop nested inside it, so the test is
+/// the move-to-innermost permutation over each occurrence's subtree.
+std::string unrollJamLegality(const LoopNest &Nest, SymbolId Var,
+                              int Factor);
+
+/// Legality of strip-mining \p Var. Strip-mining itself preserves
+/// iteration order, but the control loop it introduces will be hoisted
+/// through the band later, so tiling refuses loops whose carried
+/// dependences cannot be analyzed (Unknown pairs using \p Var).
+std::string tileLegality(const LoopNest &Nest, SymbolId Var);
+
+} // namespace eco
+
+#endif // ECO_TRANSFORM_LEGALITY_H

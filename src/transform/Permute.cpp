@@ -1,14 +1,84 @@
 //===- transform/Permute.cpp - Loop permutation ---------------------------===//
 
 #include "transform/Permute.h"
+#include "transform/Legality.h"
+#include "transform/TransformError.h"
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 using namespace eco;
 
 void eco::permuteSpine(LoopNest &Nest, const std::vector<SymbolId> &NewOrder) {
-  // Collect and verify the perfect spine.
+  // First pass, read-only: validate the perfect spine and the request
+  // before touching the nest, so a rejection leaves it intact.
+  std::vector<const Loop *> Spine;
+  {
+    const Body *Level = &Nest.Items;
+    while (true) {
+      size_t LoopCount = 0;
+      for (const BodyItem &Item : *Level)
+        if (Item.isLoop())
+          ++LoopCount;
+      if (LoopCount == 0)
+        break;
+      if (Level->size() != 1 || !(*Level)[0].isLoop())
+        throw TransformError(
+            TransformErrorCode::NotPerfectSpine,
+            "permute: spine is not perfect (statements between loops)");
+      const Loop &L = (*Level)[0].loop();
+      if (L.Unroll != 1 || !L.Epilogue.empty())
+        throw TransformError(TransformErrorCode::AlreadyUnrolled,
+                             "permute: spine loop already unrolled");
+      Spine.push_back(&L);
+      Level = &L.Items;
+    }
+  }
+  if (Spine.size() != NewOrder.size())
+    throw TransformError(TransformErrorCode::BadRequest,
+                         "permute: new order must cover the whole spine");
+
+  std::set<SymbolId> SpineVars, OrderVars;
+  for (const Loop *L : Spine) {
+    if (!SpineVars.insert(L->Var).second)
+      throw TransformError(TransformErrorCode::BadRequest,
+                           "permute: duplicate spine variable");
+  }
+  for (SymbolId V : NewOrder) {
+    if (!SpineVars.count(V))
+      throw TransformError(TransformErrorCode::BadRequest,
+                           "permute: new order names a non-spine variable");
+    if (!OrderVars.insert(V).second)
+      throw TransformError(TransformErrorCode::BadRequest,
+                           "permute: new order repeats a variable");
+  }
+
+  // A loop's bounds may only reference variables of loops outside it.
+  {
+    std::map<SymbolId, const Loop *> ByVarCheck;
+    for (const Loop *L : Spine)
+      ByVarCheck[L->Var] = L;
+    for (size_t P = 0; P < NewOrder.size(); ++P) {
+      const Loop &L = *ByVarCheck[NewOrder[P]];
+      for (size_t Q = P + 1; Q < NewOrder.size(); ++Q) {
+        SymbolId InnerVar = NewOrder[Q];
+        if (L.Lower.uses(InnerVar) || L.Upper.uses(InnerVar))
+          throw TransformError(
+              TransformErrorCode::BadRequest,
+              "permute: loop bound would reference an inner loop's "
+              "variable");
+      }
+    }
+  }
+
+  // Data-dependence legality: every distance/direction vector must stay
+  // lexicographically non-negative under the new order.
+  std::string Reason = permutationLegality(Nest, NewOrder);
+  if (!Reason.empty())
+    throw TransformError(TransformErrorCode::IllegalDependence, Reason);
+
+  // Second pass: dismantle and rebuild.
   std::vector<std::unique_ptr<Loop>> Chain;
   Body *Level = &Nest.Items;
   while (true) {
@@ -18,42 +88,21 @@ void eco::permuteSpine(LoopNest &Nest, const std::vector<SymbolId> &NewOrder) {
         ++LoopCount;
     if (LoopCount == 0)
       break;
-    assert(Level->size() == 1 && (*Level)[0].isLoop() &&
-           "spine is not perfect: permute before inserting statements");
     std::unique_ptr<Loop> L = (*Level)[0].takeLoop();
-    assert(L->Unroll == 1 && L->Epilogue.empty() &&
-           "permute before unroll-and-jam");
     Level->clear();
     Body *Next = &L->Items;
     Chain.push_back(std::move(L));
     Level = Next;
   }
-  assert(Chain.size() == NewOrder.size() &&
-         "new order must cover the whole spine");
 
   // Innermost statement body.
   Body StmtBody = std::move(Chain.back()->Items);
   Chain.back()->Items.clear();
 
-  // Index loops by variable and check the order is a permutation.
   std::map<SymbolId, std::unique_ptr<Loop>> ByVar;
   for (std::unique_ptr<Loop> &L : Chain) {
     SymbolId V = L->Var;
-    assert(!ByVar.count(V) && "duplicate spine variable");
     ByVar[V] = std::move(L);
-  }
-  for (SymbolId V : NewOrder)
-    assert(ByVar.count(V) && "new order names a non-spine variable");
-
-  // A loop's bounds may only reference variables of loops outside it.
-  for (size_t P = 0; P < NewOrder.size(); ++P) {
-    const Loop &L = *ByVar[NewOrder[P]];
-    for (size_t Q = P + 1; Q < NewOrder.size(); ++Q) {
-      SymbolId InnerVar = NewOrder[Q];
-      assert(!L.Lower.uses(InnerVar) && !L.Upper.uses(InnerVar) &&
-             "loop bound would reference an inner loop's variable");
-      (void)InnerVar;
-    }
   }
 
   // Rebuild innermost-outward.

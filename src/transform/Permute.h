@@ -23,17 +23,19 @@ namespace eco {
 
 /// Reorders the perfect spine of \p Nest to \p NewOrder (outermost first).
 ///
-/// Requirements (asserted):
+/// Requirements (violations throw TransformError, leaving the nest
+/// intact):
 ///  * the nest's spine is perfect: each spine loop's body is exactly the
 ///    next spine loop (statements only at the innermost level) — permute
 ///    before tiling/copy insertion/unrolling;
 ///  * \p NewOrder is a permutation of the spine variables;
 ///  * no loop's bounds may use a variable that would move inside it
 ///    (min-bounds of tiled loops reference their control variable, so a
-///    tiled loop must stay inside its controller).
-///
-/// Legality w.r.t. data dependences is the caller's responsibility (check
-/// DependenceInfo::FullyPermutable).
+///    tiled loop must stay inside its controller);
+///  * every data dependence stays lexicographically non-negative under
+///    the new order (transform/Legality.h) — an illegal request throws
+///    TransformError(IllegalDependence) instead of silently producing
+///    wrong code.
 void permuteSpine(LoopNest &Nest, const std::vector<SymbolId> &NewOrder);
 
 } // namespace eco

@@ -26,6 +26,11 @@ std::string clusterKey(const ArrayRef &Ref, unsigned ContigDim,
 int eco::insertPrefetch(LoopNest &Nest, ArrayId Target, SymbolId InnerVar,
                         int Distance, int LineElems) {
   assert(LineElems > 0 && "line length must be positive");
+  // Distance 0 would prefetch the line the iteration is about to touch
+  // anyway (pure overhead), and negative distances trail the
+  // computation; both are refused rather than inserted.
+  if (Distance <= 0)
+    return 0;
   const ArrayDecl &Decl = Nest.array(Target);
   unsigned ContigDim =
       Decl.Order == Layout::ColMajor ? 0 : Decl.rank() - 1;

@@ -45,18 +45,15 @@ ScalarReplaceStats eco::scalarReplaceInvariant(LoopNest &Nest,
     LoopLocation Loc = Locs[Occ];
     Loop &L = *Loc.L;
 
-    // Collect invariant refs from direct Compute statements.
-    std::map<RefKey, int> RegOf;
+    // Collect invariant candidate refs from direct Compute statements.
     std::map<RefKey, bool> IsRead, IsWritten;
     std::vector<ArrayRef> Order; // stable ordering for codegen
     auto consider = [&](const ArrayRef &Ref, bool Write) {
       if (Ref.uses(InnerVar))
         return;
       RefKey Key(Ref);
-      if (!RegOf.count(Key)) {
-        RegOf[Key] = Nest.allocReg();
+      if (!IsRead.count(Key) && !IsWritten.count(Key))
         Order.push_back(Ref);
-      }
       (Write ? IsWritten[Key] : IsRead[Key]) = true;
     };
     // An unrolled loop runs leftover iterations through its epilogue; the
@@ -71,6 +68,102 @@ ScalarReplaceStats eco::scalarReplaceInvariant(LoopNest &Nest,
         S.Rhs->forEachRead(
             [&](ScalarExpr &Leaf) { consider(Leaf.Ref, false); });
       }
+
+    // References the rewrite will NOT redirect to registers: anything
+    // inside nested loops, refs of non-Compute statements, and direct
+    // refs that use the inner variable. Caching a candidate that aliases
+    // a write among these reads stale values; a cached WRITE that aliases
+    // any such ref defers its store past observers. CopyIn moves whole
+    // arrays, so it taints both of its arrays.
+    std::vector<std::pair<ArrayRef, bool>> Hidden;
+    std::vector<std::pair<ArrayId, bool>> HiddenArrays;
+    for (Body *B : {&L.Items, &L.Epilogue})
+      for (BodyItem &Item : *B) {
+        if (Item.isStmt() && Item.stmt().Kind == StmtKind::Compute) {
+          Stmt &S = Item.stmt();
+          if (S.LhsRef && S.LhsRef->uses(InnerVar))
+            Hidden.push_back({*S.LhsRef, true});
+          S.Rhs->forEachRead([&](ScalarExpr &Leaf) {
+            if (Leaf.Ref.uses(InnerVar))
+              Hidden.push_back({Leaf.Ref, false});
+          });
+          continue;
+        }
+        auto addStmt = [&](Stmt &S) {
+          S.forEachRef([&](ArrayRef &Ref, bool IsWrite) {
+            Hidden.push_back({Ref, IsWrite});
+          });
+          if (S.Kind == StmtKind::CopyIn) {
+            HiddenArrays.push_back({S.CopyDst, true});
+            HiddenArrays.push_back({S.CopySrc, false});
+          }
+        };
+        if (Item.isStmt()) {
+          addStmt(Item.stmt());
+        } else {
+          forEachStmtIn(Item.loop().Items, addStmt);
+          forEachStmtIn(Item.loop().Epilogue, addStmt);
+        }
+      }
+
+    // Provably different elements: a constant per-dimension offset with
+    // some nonzero component.
+    auto distinct = [](const ArrayRef &A, const ArrayRef &B) {
+      auto Off = A.constOffsetTo(B);
+      if (!Off)
+        return false;
+      for (int64_t C : *Off)
+        if (C != 0)
+          return true;
+      return false;
+    };
+
+    // Filter: drop candidates that may alias an unredirected ref (with a
+    // write on either side), or another candidate of the same array
+    // (again with a write involved) — two registers for one address lose
+    // updates. Structurally identical refs share one register and stay
+    // safe.
+    std::vector<ArrayRef> Safe;
+    for (const ArrayRef &Ref : Order) {
+      RefKey Key(Ref);
+      bool Written = IsWritten.count(Key) != 0;
+      bool Ok = true;
+      for (const auto &[Arr, ArrWrite] : HiddenArrays)
+        if (Arr == Ref.Array && (ArrWrite || Written)) {
+          Ok = false;
+          break;
+        }
+      if (Ok)
+        for (const auto &[H, HWrite] : Hidden) {
+          if (H.Array != Ref.Array || (!HWrite && !Written))
+            continue;
+          if (!distinct(Ref, H)) {
+            Ok = false;
+            break;
+          }
+        }
+      if (Ok)
+        for (const ArrayRef &Other : Order) {
+          if (Other.Array != Ref.Array)
+            continue;
+          RefKey OKey(Other);
+          if (!(Key < OKey) && !(OKey < Key))
+            continue; // same structural ref: same register
+          if (!Written && !IsWritten.count(OKey))
+            continue;
+          if (!distinct(Ref, Other)) {
+            Ok = false;
+            break;
+          }
+        }
+      if (Ok)
+        Safe.push_back(Ref);
+    }
+    Order = std::move(Safe);
+
+    std::map<RefKey, int> RegOf;
+    for (const ArrayRef &Ref : Order)
+      RegOf[RefKey(Ref)] = Nest.allocReg();
     if (RegOf.empty()) {
       ++Stats.LoopsProcessed;
       continue;
@@ -83,14 +176,20 @@ ScalarReplaceStats eco::scalarReplaceInvariant(LoopNest &Nest,
           continue;
         Stmt &S = Item.stmt();
         if (S.LhsRef && !S.LhsRef->uses(InnerVar)) {
-          S.LhsReg = RegOf.at(RefKey(*S.LhsRef));
-          S.LhsRef.reset();
-          ++Stats.RefsReplaced;
+          auto It = RegOf.find(RefKey(*S.LhsRef));
+          if (It != RegOf.end()) {
+            S.LhsReg = It->second;
+            S.LhsRef.reset();
+            ++Stats.RefsReplaced;
+          }
         }
         S.Rhs->forEachRead([&](ScalarExpr &Leaf) {
           if (Leaf.Ref.uses(InnerVar))
             return;
-          Leaf.Reg = RegOf.at(RefKey(Leaf.Ref));
+          auto It = RegOf.find(RefKey(Leaf.Ref));
+          if (It == RegOf.end())
+            return;
+          Leaf.Reg = It->second;
           Leaf.Kind = ScalarExprKind::RegRead;
           Leaf.Ref = ArrayRef();
           ++Stats.RefsReplaced;

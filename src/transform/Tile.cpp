@@ -1,6 +1,8 @@
 //===- transform/Tile.cpp - Strip-mine and tile ----------------------------===//
 
 #include "transform/Tile.h"
+#include "transform/Legality.h"
+#include "transform/TransformError.h"
 #include "transform/Utils.h"
 
 using namespace eco;
@@ -8,12 +10,27 @@ using namespace eco;
 TileResult eco::tileLoop(LoopNest &Nest, SymbolId Var,
                          const std::string &ControlName,
                          const std::string &ParamName) {
-  LoopLocation Loc = findUniqueLoop(Nest, Var);
+  std::vector<LoopLocation> Occurrences = findLoopOccurrences(Nest, Var);
+  if (Occurrences.size() != 1)
+    throw TransformError(TransformErrorCode::BadRequest,
+                         Occurrences.empty()
+                             ? "tile: no loop with this variable"
+                             : "tile: variable names several occurrences");
+  LoopLocation Loc = Occurrences.front();
   Loop &Element = *Loc.L;
-  assert(Element.Unroll == 1 && Element.Epilogue.empty() &&
-         "tile before unroll-and-jam");
-  assert(!Element.hasParamStep() && Element.Step == 1 &&
-         "tiling a non-unit-step loop is not supported");
+  if (Element.Unroll != 1 || !Element.Epilogue.empty())
+    throw TransformError(TransformErrorCode::AlreadyUnrolled,
+                         "tile: loop already unrolled (tile first)");
+  if (Element.hasParamStep() || Element.Step != 1)
+    throw TransformError(TransformErrorCode::NonUnitStep,
+                         "tile: non-unit-step loop is not supported");
+
+  // Strip-mining preserves iteration order, but the control loop will be
+  // hoisted through the band later; refuse when the loop's carried
+  // dependences cannot be analyzed.
+  std::string Reason = tileLegality(Nest, Var);
+  if (!Reason.empty())
+    throw TransformError(TransformErrorCode::IllegalDependence, Reason);
 
   SymbolId ControlVar = Nest.declareLoopVar(ControlName);
   SymbolId TileParam = Nest.declareParam(ParamName);

@@ -34,8 +34,10 @@ struct TileResult {
 
 /// Strip-mines the unique loop of \p Var by a fresh tile parameter.
 /// \p ControlName / \p ParamName name the new symbols (e.g. "JJ", "TJ").
-/// The loop must not be unrolled yet. Legality (full permutability) is the
-/// caller's responsibility.
+/// The loop must not be unrolled yet and must have unit step; the loop's
+/// carried dependences must be analyzable (the control loop gets hoisted
+/// later, so an Unknown dependence involving \p Var is refused). Illegal
+/// requests throw TransformError, leaving the nest intact.
 TileResult tileLoop(LoopNest &Nest, SymbolId Var,
                     const std::string &ControlName,
                     const std::string &ParamName);

@@ -1,0 +1,49 @@
+//===- transform/TransformError.h - Typed transform rejection --*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed error every transformation throws when a request is illegal —
+/// structurally (no such loop, already unrolled, non-unit step) or
+/// semantically (the permutation/jam would reverse a data dependence).
+/// Callers that explore transform space (DeriveVariants, the search, the
+/// fuzzer) catch TransformError and treat it as variant pruning; a request
+/// that would silently produce a fast *wrong* kernel is never applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_TRANSFORM_TRANSFORMERROR_H
+#define ECO_TRANSFORM_TRANSFORMERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace eco {
+
+/// Why a transformation request was rejected.
+enum class TransformErrorCode {
+  BadRequest,       ///< structurally invalid (missing loop, bad factor...)
+  NotPerfectSpine,  ///< the pass needs a perfect loop spine
+  AlreadyUnrolled,  ///< loop already carries an unroll/epilogue
+  NonUnitStep,      ///< pass requires a unit-step loop
+  IllegalDependence ///< would reverse a data dependence
+};
+
+/// Thrown by Permute/Tile/UnrollJam (and friends) instead of applying an
+/// illegal transformation.
+class TransformError : public std::runtime_error {
+public:
+  TransformError(TransformErrorCode Code, const std::string &What)
+      : std::runtime_error(What), Code(Code) {}
+
+  TransformErrorCode code() const { return Code; }
+
+private:
+  TransformErrorCode Code;
+};
+
+} // namespace eco
+
+#endif // ECO_TRANSFORM_TRANSFORMERROR_H

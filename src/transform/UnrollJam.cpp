@@ -1,6 +1,8 @@
 //===- transform/UnrollJam.cpp - Unroll-and-jam ----------------------------===//
 
 #include "transform/UnrollJam.h"
+#include "transform/Legality.h"
+#include "transform/TransformError.h"
 #include "transform/Utils.h"
 
 using namespace eco;
@@ -23,8 +25,6 @@ Body jamCopies(const Body &Orig, SymbolId Var, int Factor) {
       continue;
     }
     const Loop &Inner = Item.loop();
-    assert(!Inner.Lower.uses(Var) && !Inner.Upper.uses(Var) &&
-           "inner loop bounds may not use the unrolled variable");
     std::unique_ptr<Loop> Jammed = std::make_unique<Loop>();
     Jammed->Var = Inner.Var;
     Jammed->Lower = Inner.Lower;
@@ -40,19 +40,87 @@ Body jamCopies(const Body &Orig, SymbolId Var, int Factor) {
   return Out;
 }
 
+/// True if any statement in \p B (recursively) reads or writes a
+/// register. Jam copies share register numbers, so replicating register
+/// state across an inner loop would be wrong code.
+bool touchesRegisters(const Body &B) {
+  bool Touches = false;
+  forEachStmtIn(const_cast<Body &>(B), [&](Stmt &S) {
+    if (S.Kind == StmtKind::RegLoad || S.Kind == StmtKind::RegStore ||
+        S.Kind == StmtKind::RegRotate || S.LhsReg >= 0)
+      Touches = true;
+    // RegRead leaves are not Read leaves; walk the tree directly.
+    std::function<void(const ScalarExpr &)> Walk =
+        [&](const ScalarExpr &E) {
+          if (E.Kind == ScalarExprKind::RegRead)
+            Touches = true;
+          if (E.Lhs)
+            Walk(*E.Lhs);
+          if (E.Rhs)
+            Walk(*E.Rhs);
+        };
+    if (S.Rhs)
+      Walk(*S.Rhs);
+  });
+  return Touches;
+}
+
+/// True if \p B (recursively) contains a nested loop.
+bool containsLoop(const Body &B) {
+  for (const BodyItem &Item : B)
+    if (Item.isLoop())
+      return true;
+  return false;
+}
+
 } // namespace
 
 void eco::unrollAndJam(LoopNest &Nest, SymbolId Var, int Factor) {
-  assert(Factor >= 1 && "unroll factor must be positive");
+  if (Factor < 1)
+    throw TransformError(TransformErrorCode::BadRequest,
+                         "unroll-and-jam: factor must be positive");
   if (Factor == 1)
     return;
   std::vector<LoopLocation> Occurrences = findLoopOccurrences(Nest, Var);
-  assert(!Occurrences.empty() && "no loop with this variable");
+  if (Occurrences.empty())
+    throw TransformError(TransformErrorCode::BadRequest,
+                         "unroll-and-jam: no loop with this variable");
+
+  // Validate every occurrence before mutating any, so a rejection leaves
+  // the nest intact.
   for (const LoopLocation &Loc : Occurrences) {
     Loop &L = *Loc.L;
-    assert(L.Unroll == 1 && L.Epilogue.empty() && "already unrolled");
-    assert(!L.hasParamStep() && L.Step == 1 &&
-           "unroll-and-jam requires a unit-step loop");
+    if (L.Unroll != 1 || !L.Epilogue.empty())
+      throw TransformError(TransformErrorCode::AlreadyUnrolled,
+                           "unroll-and-jam: loop already unrolled");
+    if (L.hasParamStep() || L.Step != 1)
+      throw TransformError(TransformErrorCode::NonUnitStep,
+                           "unroll-and-jam: requires a unit-step loop");
+    bool BoundUsesVar = false;
+    forEachLoopIn(L.Items, [&](Loop &Inner) {
+      if (Inner.Lower.uses(Var) || Inner.Upper.uses(Var))
+        BoundUsesVar = true;
+    });
+    if (BoundUsesVar)
+      throw TransformError(
+          TransformErrorCode::BadRequest,
+          "unroll-and-jam: inner loop bounds may not use the unrolled "
+          "variable");
+    if (containsLoop(L.Items) && touchesRegisters(L.Items))
+      throw TransformError(
+          TransformErrorCode::BadRequest,
+          "unroll-and-jam: jam would replicate register state across an "
+          "inner loop (unroll before scalar replacement)");
+  }
+
+  // Data-dependence legality: jamming moves the Var loop innermost
+  // across everything nested inside it.
+  std::string Reason = unrollJamLegality(Nest, Var, Factor);
+  if (!Reason.empty())
+    throw TransformError(TransformErrorCode::IllegalDependence, Reason);
+
+  for (const LoopLocation &Loc : Occurrences) {
+    Loop &L = *Loc.L;
     Body Jammed = jamCopies(L.Items, Var, Factor);
     L.Epilogue = std::move(L.Items);
     L.Items = std::move(Jammed);

@@ -27,10 +27,15 @@ namespace eco {
 
 /// Unrolls-and-jams every occurrence of loop \p Var by \p Factor.
 ///
-/// Requirements (asserted): Factor >= 1; the loop has unit step and is not
-/// already unrolled; no inner loop's bounds use \p Var (guaranteed for
-/// tiled nests, whose inner bounds use control variables only). Legality
-/// w.r.t. dependences is the caller's responsibility.
+/// Requirements (violations throw TransformError, leaving the nest
+/// intact): Factor >= 1; the loop has unit step and is not already
+/// unrolled; no inner loop's bounds use \p Var (guaranteed for tiled
+/// nests, whose inner bounds use control variables only); the jammed
+/// subtree carries no register state (unroll before scalar replacement);
+/// and jamming must not reverse a data dependence — moving \p Var
+/// innermost across the loops nested inside it must keep every
+/// distance/direction vector lexicographically non-negative
+/// (transform/Legality.h).
 void unrollAndJam(LoopNest &Nest, SymbolId Var, int Factor);
 
 } // namespace eco

@@ -70,6 +70,24 @@ TEST(CEmitterTest, OptimizedSourceContainsAllConstructs) {
   EXPECT_NE(Src.find("KK += TK"), std::string::npos);       // control loop
 }
 
+TEST(CEmitterTest, PrefetchesAreBoundsGuarded) {
+  // No unguarded prefetch may appear: &A[i] with out-of-bounds i is UB,
+  // and large distances overshoot the footprint on every tail iteration.
+  MatMulIds Ids;
+  LoopNest Nest = buildOptimizedMM(Ids);
+  std::string Src = emitC(Nest, "mm_pf");
+  ASSERT_NE(Src.find("__builtin_prefetch"), std::string::npos);
+  size_t Pos = 0;
+  while ((Pos = Src.find("__builtin_prefetch", Pos)) != std::string::npos) {
+    // Each prefetch sits on a line that starts with its bounds guard.
+    size_t LineStart = Src.rfind('\n', Pos) + 1;
+    std::string Line = Src.substr(LineStart, Pos - LineStart);
+    EXPECT_NE(Line.find("if (pf"), std::string::npos)
+        << "unguarded prefetch: " << Src.substr(LineStart, 80);
+    ++Pos;
+  }
+}
+
 TEST(NativeRunnerTest, PlainMatMulMatchesReference) {
   MatMulIds Ids;
   LoopNest Nest = makeMatMul(&Ids);

@@ -12,8 +12,14 @@
 #include "core/DeriveVariants.h"
 #include "core/Search.h"
 #include "exec/Run.h"
+#include "ir/Verifier.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "transform/Copy.h"
+#include "transform/Permute.h"
+#include "transform/ScalarReplace.h"
+#include "transform/TransformError.h"
+#include "transform/UnrollJam.h"
 
 #include <gtest/gtest.h>
 
@@ -174,5 +180,370 @@ TEST_P(FuzzPipeline, VariantsMatchOriginal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<uint64_t>(1000, 1080));
+
+//===----------------------------------------------------------------------===//
+// Regression tests for bugs found by eco_fuzz. Each reconstructs the
+// minimized reproducer the shrinker produced and pins the fixed behavior.
+//===----------------------------------------------------------------------===//
+
+/// Value-mode execution with deterministic per-array fills; returns the
+/// final contents of \p Out.
+std::vector<double> runNestValues(const LoopNest &Nest, ArrayId Out,
+                                  const Env &Cfg) {
+  MemHierarchySim Sim(testMachine());
+  ExecOptions Opts;
+  Opts.ComputeValues = true;
+  Executor E(Nest, Cfg, Sim, Opts);
+  for (ArrayId A = 0; A < static_cast<ArrayId>(Nest.Arrays.size()); ++A) {
+    Rng Fill(1234 + static_cast<uint64_t>(A));
+    for (double &V : E.dataOf(A))
+      V = Fill.nextDouble() * 2 - 1;
+  }
+  E.run();
+  return E.dataOf(Out);
+}
+
+/// Wraps \p Items in DO Var = 0, Upper (inclusive).
+std::unique_ptr<Loop> constLoop(SymbolId Var, int64_t Upper, Body Items) {
+  auto L = std::make_unique<Loop>(Var, AffineExpr::constant(0),
+                                  Bound(AffineExpr::constant(Upper)));
+  L->Items = std::move(Items);
+  return L;
+}
+
+// Found by `eco_fuzz --seed=7 --iter=36` (minimized). The v1 loop writes
+// F0[v1+1], which aliases the v1-invariant read F0[v0] whenever
+// v0 == v1+1; caching F0[v0] in a register across the loop then reads a
+// stale value. Scalar replacement must leave such refs in memory.
+TEST(FuzzRegression, ScalarReplaceAliasedInvariantRead) {
+  LoopNest Nest;
+  Nest.Name = "sr_alias";
+  SymbolId V0 = Nest.declareLoopVar("v0");
+  SymbolId V1 = Nest.declareLoopVar("v1");
+  ArrayId F0 = Nest.declareArray({"F0", {AffineExpr::constant(4)}});
+  AffineExpr E0 = AffineExpr::sym(V0), E1 = AffineExpr::sym(V1);
+
+  // F0[v1+1] = F0[v1+1] + (F0[v1] + F0[v0])
+  auto Rhs = ScalarExpr::makeBinary(
+      ScalarExprKind::Add,
+      ScalarExpr::makeRead(ArrayRef(F0, {E1 + 1})),
+      ScalarExpr::makeBinary(ScalarExprKind::Add,
+                             ScalarExpr::makeRead(ArrayRef(F0, {E1})),
+                             ScalarExpr::makeRead(ArrayRef(F0, {E0}))));
+  Body Inner;
+  Inner.push_back(
+      BodyItem(Stmt::makeCompute(ArrayRef(F0, {E1 + 1}), std::move(Rhs))));
+  Body Outer;
+  Outer.push_back(BodyItem(constLoop(V1, 1, std::move(Inner))));
+  Nest.Items.push_back(BodyItem(constLoop(V0, 1, std::move(Outer))));
+
+  Env Cfg(Nest.Syms.size());
+  std::vector<double> Want = runNestValues(Nest, F0, Cfg);
+
+  scalarReplaceInvariant(Nest, V1);
+  EXPECT_TRUE(verify(Nest).empty()) << Nest.print();
+  std::vector<double> Got = runNestValues(Nest, F0, Cfg);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t X = 0; X < Want.size(); ++X)
+    ASSERT_DOUBLE_EQ(Got[X], Want[X]) << "idx " << X << "\n"
+                                      << Nest.print();
+}
+
+// The accumulator pattern that scalar replacement exists for must keep
+// working: identical read+write ref (matmul's C[I,J]) still gets a
+// register even though the loop "writes the array".
+TEST(FuzzRegression, ScalarReplaceAccumulatorStillFires) {
+  LoopNest Nest;
+  Nest.Name = "sr_acc";
+  SymbolId I = Nest.declareLoopVar("i");
+  SymbolId K = Nest.declareLoopVar("k");
+  ArrayId C = Nest.declareArray({"C", {AffineExpr::constant(8)}});
+  ArrayId A = Nest.declareArray({"A", {AffineExpr::constant(8)}});
+  AffineExpr EI = AffineExpr::sym(I), EK = AffineExpr::sym(K);
+
+  // C[i] = C[i] + A[k]
+  auto Rhs = ScalarExpr::makeBinary(
+      ScalarExprKind::Add, ScalarExpr::makeRead(ArrayRef(C, {EI})),
+      ScalarExpr::makeRead(ArrayRef(A, {EK})));
+  Body Inner;
+  Inner.push_back(
+      BodyItem(Stmt::makeCompute(ArrayRef(C, {EI}), std::move(Rhs))));
+  Body Outer;
+  Outer.push_back(BodyItem(constLoop(K, 7, std::move(Inner))));
+  Nest.Items.push_back(BodyItem(constLoop(I, 7, std::move(Outer))));
+
+  Env Cfg(Nest.Syms.size());
+  std::vector<double> Want = runNestValues(Nest, C, Cfg);
+
+  ScalarReplaceStats Stats = scalarReplaceInvariant(Nest, K);
+  EXPECT_GT(Stats.RegsAllocated, 0) << Nest.print();
+  std::vector<double> Got = runNestValues(Nest, C, Cfg);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t X = 0; X < Want.size(); ++X)
+    ASSERT_DOUBLE_EQ(Got[X], Want[X]) << "idx " << X;
+}
+
+// Found by `eco_fuzz --seed=7 --iter=45` (minimized further). Jamming
+// groups each statement's copies back to back, so with two statements
+// S1's copy at v+1 runs before S2's at v. When v carries a dependence
+// between the statements (S2 reads A[v+1], S1 writes A[v]), that reorder
+// changes values: the request must be rejected — or, if an
+// order-preserving jam is ever implemented, preserve semantics.
+TEST(FuzzRegression, UnrollJamCrossStatementCarriedDep) {
+  LoopNest Nest;
+  Nest.Name = "uj_cross";
+  SymbolId V = Nest.declareLoopVar("v");
+  ArrayId A = Nest.declareArray({"A", {AffineExpr::constant(9)}});
+  ArrayId B = Nest.declareArray({"B", {AffineExpr::constant(9)}});
+  ArrayId C = Nest.declareArray({"C", {AffineExpr::constant(9)}});
+  AffineExpr EV = AffineExpr::sym(V);
+
+  // S1: A[v] = A[v] + B[v];  S2: C[v] = C[v] + A[v+1]
+  Body Inner;
+  Inner.push_back(BodyItem(Stmt::makeCompute(
+      ArrayRef(A, {EV}),
+      ScalarExpr::makeBinary(ScalarExprKind::Add,
+                             ScalarExpr::makeRead(ArrayRef(A, {EV})),
+                             ScalarExpr::makeRead(ArrayRef(B, {EV}))))));
+  Inner.push_back(BodyItem(Stmt::makeCompute(
+      ArrayRef(C, {EV}),
+      ScalarExpr::makeBinary(ScalarExprKind::Add,
+                             ScalarExpr::makeRead(ArrayRef(C, {EV})),
+                             ScalarExpr::makeRead(ArrayRef(A, {EV + 1}))))));
+  Nest.Items.push_back(BodyItem(constLoop(V, 6, std::move(Inner))));
+
+  Env Cfg(Nest.Syms.size());
+  std::vector<double> WantA = runNestValues(Nest, A, Cfg);
+  std::vector<double> WantC = runNestValues(Nest, C, Cfg);
+
+  try {
+    unrollAndJam(Nest, V, 2);
+  } catch (const TransformError &) {
+    SUCCEED(); // rejected: the legality pass caught the reorder
+    return;
+  }
+  std::vector<double> GotA = runNestValues(Nest, A, Cfg);
+  std::vector<double> GotC = runNestValues(Nest, C, Cfg);
+  ASSERT_EQ(GotC.size(), WantC.size());
+  for (size_t X = 0; X < WantC.size(); ++X) {
+    ASSERT_DOUBLE_EQ(GotA[X], WantA[X]) << "A idx " << X << "\n"
+                                        << Nest.print();
+    ASSERT_DOUBLE_EQ(GotC[X], WantC[X]) << "C idx " << X << "\n"
+                                        << Nest.print();
+  }
+}
+
+// A dependence carried by a loop ABSENT from the subscripts (star
+// direction) mixed with a nonzero known component is not fully
+// permutable: A[j] = A[j+1] + ... carries an anti-dependence in j while
+// i is starred. Swapping i and j must be rejected — or preserve values.
+TEST(FuzzRegression, PermuteStarDirectionCarriedDep) {
+  LoopNest Nest;
+  Nest.Name = "perm_star";
+  SymbolId I = Nest.declareLoopVar("i");
+  SymbolId J = Nest.declareLoopVar("j");
+  ArrayId A = Nest.declareArray({"A", {AffineExpr::constant(9)}});
+  ArrayId B = Nest.declareArray(
+      {"B", {AffineExpr::constant(8), AffineExpr::constant(8)}});
+  AffineExpr EI = AffineExpr::sym(I), EJ = AffineExpr::sym(J);
+
+  // A[j] = A[j+1] + B[i,j]
+  Body Inner;
+  Inner.push_back(BodyItem(Stmt::makeCompute(
+      ArrayRef(A, {EJ}),
+      ScalarExpr::makeBinary(ScalarExprKind::Add,
+                             ScalarExpr::makeRead(ArrayRef(A, {EJ + 1})),
+                             ScalarExpr::makeRead(ArrayRef(B, {EI, EJ}))))));
+  Body Outer;
+  Outer.push_back(BodyItem(constLoop(J, 6, std::move(Inner))));
+  Nest.Items.push_back(BodyItem(constLoop(I, 6, std::move(Outer))));
+
+  Env Cfg(Nest.Syms.size());
+  std::vector<double> Want = runNestValues(Nest, A, Cfg);
+
+  try {
+    permuteSpine(Nest, {J, I});
+  } catch (const TransformError &) {
+    SUCCEED();
+    return;
+  }
+  std::vector<double> Got = runNestValues(Nest, A, Cfg);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t X = 0; X < Want.size(); ++X)
+    ASSERT_DOUBLE_EQ(Got[X], Want[X]) << "idx " << X << "\n"
+                                      << Nest.print();
+}
+
+// Found by `eco_fuzz --seed=7 --iter=110` (minimized). The loop reads
+// both F0[v0] and F0[v0+1]; copying "the tile" sized to the anchor
+// reference alone leaves the +1 halo outside the buffer, and the
+// retargeted read runs off the end. The copy must widen region and
+// buffer by the maximum constant offset across all retargeted refs.
+TEST(FuzzRegression, CopyWidensRegionToFootprintHalo) {
+  LoopNest Nest;
+  Nest.Name = "copy_halo";
+  SymbolId V0 = Nest.declareLoopVar("v0");
+  SymbolId TP = Nest.declareParam("T");
+  ArrayId F0 = Nest.declareArray({"F0", {AffineExpr::constant(10)}});
+  ArrayId F1 = Nest.declareArray({"F1", {AffineExpr::constant(10)}});
+  AffineExpr E0 = AffineExpr::sym(V0);
+
+  // F1[v0] = F0[v0] + F0[v0+1]
+  Body Inner;
+  Inner.push_back(BodyItem(Stmt::makeCompute(
+      ArrayRef(F1, {E0}),
+      ScalarExpr::makeBinary(ScalarExprKind::Add,
+                             ScalarExpr::makeRead(ArrayRef(F0, {E0})),
+                             ScalarExpr::makeRead(ArrayRef(F0, {E0 + 1}))))));
+  Nest.Items.push_back(BodyItem(constLoop(V0, 8, std::move(Inner))));
+
+  Env Cfg(Nest.Syms.size());
+  Cfg.set(TP, 9);
+  std::vector<double> Want = runNestValues(Nest, F1, Cfg);
+
+  CopyDimSpec Dim;
+  Dim.Start = AffineExpr::constant(0);
+  Dim.SizeParam = TP;
+  Dim.Size = Bound(AffineExpr::sym(TP));
+  applyCopy(Nest, F0, V0, "P0", {Dim});
+  EXPECT_TRUE(verify(Nest).empty()) << Nest.print();
+
+  Env Cfg2(Nest.Syms.size());
+  Cfg2.set(TP, 9);
+  std::vector<double> Got = runNestValues(Nest, F1, Cfg2);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t X = 0; X < Want.size(); ++X)
+    ASSERT_DOUBLE_EQ(Got[X], Want[X]) << "idx " << X << "\n"
+                                      << Nest.print();
+}
+
+// Found by `eco_fuzz --seed=7 --iter=536` (minimized). Both loops are
+// absent from the written cell's subscripts (pure-star self-dependence),
+// but the update x -> 2x + e is a RECURRENCE, not a commutative
+// reduction: permuting the loops reorders the e-sequence each cell sees
+// and changes the value. The pure-star skip may only fire for genuine
+// reductions (cell read exactly once, as a direct addend).
+TEST(FuzzRegression, PermuteStarRecurrenceRejected) {
+  LoopNest Nest;
+  Nest.Name = "perm_recur";
+  SymbolId V0 = Nest.declareLoopVar("v0");
+  SymbolId V1 = Nest.declareLoopVar("v1");
+  ArrayId F1 = Nest.declareArray({"F1", {AffineExpr::constant(4)}});
+  ArrayId F0 = Nest.declareArray({"F0", {AffineExpr::constant(32)}});
+  AffineExpr E0 = AffineExpr::sym(V0), E1 = AffineExpr::sym(V1);
+  AffineExpr Zero = AffineExpr::constant(0);
+
+  // F1[0] = F1[0] + (F1[0] + F0[v0+4*v1]): reads the cell twice.
+  auto Rhs = ScalarExpr::makeBinary(
+      ScalarExprKind::Add, ScalarExpr::makeRead(ArrayRef(F1, {Zero})),
+      ScalarExpr::makeBinary(
+          ScalarExprKind::Add, ScalarExpr::makeRead(ArrayRef(F1, {Zero})),
+          ScalarExpr::makeRead(ArrayRef(F0, {E0 + E1.scaled(4)}))));
+  Body Inner;
+  Inner.push_back(
+      BodyItem(Stmt::makeCompute(ArrayRef(F1, {Zero}), std::move(Rhs))));
+  Body Outer;
+  Outer.push_back(BodyItem(constLoop(V1, 3, std::move(Inner))));
+  Nest.Items.push_back(BodyItem(constLoop(V0, 3, std::move(Outer))));
+
+  Env Cfg(Nest.Syms.size());
+  std::vector<double> Want = runNestValues(Nest, F1, Cfg);
+
+  try {
+    permuteSpine(Nest, {V1, V0});
+  } catch (const TransformError &) {
+    SUCCEED(); // rejected: not a commutative reduction
+    return;
+  }
+  std::vector<double> Got = runNestValues(Nest, F1, Cfg);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t X = 0; X < Want.size(); ++X)
+    ASSERT_DOUBLE_EQ(Got[X], Want[X]) << "idx " << X << "\n"
+                                      << Nest.print();
+}
+
+// The flip side: a genuine commutative reduction into a star cell
+// (matmul's C[I,J] += A*B seen from the K loop) must STILL permute.
+TEST(FuzzRegression, PermuteStarReductionStillAllowed) {
+  LoopNest Nest;
+  Nest.Name = "perm_reduce";
+  SymbolId V0 = Nest.declareLoopVar("v0");
+  SymbolId V1 = Nest.declareLoopVar("v1");
+  ArrayId S = Nest.declareArray({"S", {AffineExpr::constant(1)}});
+  ArrayId B = Nest.declareArray(
+      {"B", {AffineExpr::constant(8), AffineExpr::constant(8)}});
+  AffineExpr E0 = AffineExpr::sym(V0), E1 = AffineExpr::sym(V1);
+  AffineExpr Zero = AffineExpr::constant(0);
+
+  // S[0] = S[0] + B[v0,v1]
+  Body Inner;
+  Inner.push_back(BodyItem(Stmt::makeCompute(
+      ArrayRef(S, {Zero}),
+      ScalarExpr::makeBinary(ScalarExprKind::Add,
+                             ScalarExpr::makeRead(ArrayRef(S, {Zero})),
+                             ScalarExpr::makeRead(ArrayRef(B, {E0, E1}))))));
+  Body Outer;
+  Outer.push_back(BodyItem(constLoop(V1, 6, std::move(Inner))));
+  Nest.Items.push_back(BodyItem(constLoop(V0, 6, std::move(Outer))));
+
+  Env Cfg(Nest.Syms.size());
+  std::vector<double> Want = runNestValues(Nest, S, Cfg);
+
+  EXPECT_NO_THROW(permuteSpine(Nest, {V1, V0})) << Nest.print();
+  std::vector<double> Got = runNestValues(Nest, S, Cfg);
+  ASSERT_EQ(Got.size(), Want.size());
+  // Reordering a sum only reassociates; with ~49 unit-magnitude terms
+  // the drift is far below 1e-9.
+  for (size_t X = 0; X < Want.size(); ++X)
+    ASSERT_NEAR(Got[X], Want[X], 1e-9) << "idx " << X;
+}
+
+// Found by `eco_fuzz --seed=7 --iter=735` (minimized). After rotating
+// scalar replacement the body carries register dataflow (load r2,
+// compute reading r2/r0, rotate). Jamming replicates each statement per
+// copy back to back, so copy 1's load clobbers r2 before copy 0's
+// compute reads it. Registers are invisible to the array dependence
+// analysis, so unroll-and-jam must reject scalar-replaced bodies.
+TEST(FuzzRegression, UnrollJamAfterScalarReplaceRejected) {
+  LoopNest Nest;
+  Nest.Name = "uj_regs";
+  SymbolId V0 = Nest.declareLoopVar("v0");
+  ArrayId F1 = Nest.declareArray({"F1", {AffineExpr::constant(8)}});
+  ArrayId F0 = Nest.declareArray({"F0", {AffineExpr::constant(8)}});
+  AffineExpr E0 = AffineExpr::sym(V0);
+
+  // F1[v0+1] = F1[v0+1] + F1[v0+1]*F0[v0+2]*F0[v0]
+  auto Rhs = ScalarExpr::makeBinary(
+      ScalarExprKind::Add, ScalarExpr::makeRead(ArrayRef(F1, {E0 + 1})),
+      ScalarExpr::makeBinary(
+          ScalarExprKind::Mul,
+          ScalarExpr::makeBinary(
+              ScalarExprKind::Mul,
+              ScalarExpr::makeRead(ArrayRef(F1, {E0 + 1})),
+              ScalarExpr::makeRead(ArrayRef(F0, {E0 + 2}))),
+          ScalarExpr::makeRead(ArrayRef(F0, {E0}))));
+  Body Inner;
+  Inner.push_back(
+      BodyItem(Stmt::makeCompute(ArrayRef(F1, {E0 + 1}), std::move(Rhs))));
+  Nest.Items.push_back(BodyItem(constLoop(V0, 3, std::move(Inner))));
+
+  Env Cfg(Nest.Syms.size());
+  std::vector<double> Want = runNestValues(Nest, F1, Cfg);
+
+  ScalarReplaceStats Stats = rotatingScalarReplace(Nest, V0);
+  ASSERT_GT(Stats.RegsAllocated, 0) << Nest.print();
+
+  try {
+    unrollAndJam(Nest, V0, 2);
+  } catch (const TransformError &) {
+    SUCCEED(); // rejected: register dataflow cannot be jammed
+    return;
+  }
+  std::vector<double> Got = runNestValues(Nest, F1, Cfg);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t X = 0; X < Want.size(); ++X)
+    ASSERT_DOUBLE_EQ(Got[X], Want[X]) << "idx " << X << "\n"
+                                      << Nest.print();
+}
 
 } // namespace

@@ -14,6 +14,7 @@
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "transform/Copy.h"
+#include "transform/Pad.h"
 #include "transform/Permute.h"
 #include "transform/Prefetch.h"
 #include "transform/ScalarReplace.h"
@@ -371,6 +372,98 @@ TEST(CopyTest, CopyEliminatesConflictMisses) {
   EXPECT_LT(RCopyBig.Cycles, RPlainBig.Cycles);
 }
 
+TEST(CopyTest, UnclampedTileSizesAreClampedToSourceExtent) {
+  // applyCopy must clamp the copy region itself: a caller-supplied size
+  // with no min() against the remaining extent would walk past the
+  // source array on the boundary tile (non-dividing), when the tile
+  // equals or exceeds the extent, and for extent-1 arrays.
+  struct Case {
+    int64_t N, TK, TJ;
+  };
+  for (Case C : {Case{13, 5, 5},   // non-dividing: last tile overhangs
+                 Case{8, 8, 8},    // tile == extent
+                 Case{7, 16, 16},  // tile > extent
+                 Case{1, 4, 4}}) { // extent 1
+    MatMulIds Ids;
+    LoopNest Nest = makeMatMul(&Ids);
+    TileResult TK = tileLoop(Nest, Ids.K, "KK", "TK");
+    TileResult TJ = tileLoop(Nest, Ids.J, "JJ", "TJ");
+    permuteSpine(Nest,
+                 {TK.ControlVar, TJ.ControlVar, Ids.I, Ids.J, Ids.K});
+    std::vector<CopyDimSpec> Dims(2);
+    // Deliberately unclamped: Size is the bare tile parameter.
+    Dims[0] = {AffineExpr::sym(TK.ControlVar), TK.TileParam,
+               Bound(AffineExpr::sym(TK.TileParam))};
+    Dims[1] = {AffineExpr::sym(TJ.ControlVar), TJ.TileParam,
+               Bound(AffineExpr::sym(TJ.TileParam))};
+    applyCopy(Nest, Ids.B, /*BeforeLoopVar=*/Ids.I, "P", Dims);
+    SCOPED_TRACE(strformat("N=%d TK=%d TJ=%d", (int)C.N, (int)C.TK,
+                           (int)C.TJ));
+    expectMMCorrect(Nest, Ids, C.N, {{"TK", C.TK}, {"TJ", C.TJ}});
+  }
+}
+
+TEST(PadTest, LeadingPadPreservesValuesAtEdgeExtents) {
+  // Padding changes the flat layout, not the logical contents; the
+  // kernel must compute identical results for N = 1 (extent-1 leading
+  // dim), tiny, and non-dividing sizes.
+  for (int64_t N : {1, 2, 13}) {
+    const int64_t Pad = 3;
+    MatMulIds Ids;
+    LoopNest Nest = makeMatMul(&Ids);
+    EXPECT_EQ(padLeadingDims(Nest, Pad), 3); // A, B, C all rank 2
+
+    MemHierarchySim Sim(testMachine());
+    ExecOptions Opts;
+    Opts.ComputeValues = true;
+    Executor Exec(Nest, makeEnv(Nest, {{"N", N}}), Sim, Opts);
+    // Column-major with a padded leading dimension: logical (i, j) lives
+    // at flat i + (N+Pad)*j.
+    auto fillLogical = [&](ArrayId Arr, std::vector<double> &Ref,
+                           uint64_t Seed) {
+      Ref.assign(static_cast<size_t>(N * N), 0.0);
+      fillDeterministic(Ref, Seed);
+      for (int64_t J = 0; J < N; ++J)
+        for (int64_t I = 0; I < N; ++I)
+          Exec.dataOf(Arr)[I + (N + Pad) * J] = Ref[I + N * J];
+    };
+    std::vector<double> A, B, C;
+    fillLogical(Ids.A, A, 1);
+    fillLogical(Ids.B, B, 2);
+    fillLogical(Ids.C, C, 3);
+    Exec.run();
+    referenceMatMul(A, B, C, N);
+    for (int64_t J = 0; J < N; ++J)
+      for (int64_t I = 0; I < N; ++I)
+        ASSERT_DOUBLE_EQ(Exec.dataOf(Ids.C)[I + (N + Pad) * J],
+                         C[I + N * J])
+            << "i=" << I << " j=" << J << " N=" << N;
+  }
+}
+
+TEST(PadTest, RankOneAndInnerDimRules) {
+  // Rank-1 arrays are never padded (there is no leading dimension to
+  // misalign), and padInnerDims leaves the slowest-varying dimension
+  // alone.
+  LoopNest Nest;
+  Nest.Name = "pads";
+  SymbolId V = Nest.declareLoopVar("v");
+  (void)V;
+  ArrayId R1 = Nest.declareArray({"R1", {AffineExpr::constant(7)}});
+  ArrayId R2 = Nest.declareArray(
+      {"R2", {AffineExpr::constant(1), AffineExpr::constant(5)}});
+  EXPECT_EQ(padLeadingDims(Nest, 2), 1); // only R2
+  Env E(Nest.Syms.size());
+  EXPECT_EQ(Nest.array(R1).Extents[0].eval(E), 7);
+  EXPECT_EQ(Nest.array(R2).Extents[0].eval(E), 3); // 1 + 2: extent-1 dim pads
+  EXPECT_EQ(Nest.array(R2).Extents[1].eval(E), 5); // slowest dim untouched
+
+  EXPECT_EQ(padInnerDims(Nest, 4), 1);
+  EXPECT_EQ(Nest.array(R2).Extents[0].eval(E), 7); // 3 + 4
+  EXPECT_EQ(Nest.array(R2).Extents[1].eval(E), 5);
+  EXPECT_EQ(padLeadingDims(Nest, 0), 0); // zero pad is a no-op
+}
+
 TEST(PrefetchTest, InsertionDedupesAtLineGranularity) {
   MatMulIds Ids;
   MMPipelineOpts Opts;
@@ -400,6 +493,41 @@ TEST(PrefetchTest, RemovePrefetchesUndoesInsertion) {
   RunResult ROff =
       simulateNest(Nest, {{"N", 16}, {"TK", 8}, {"TJ", 8}}, testMachine());
   EXPECT_EQ(ROff.Counters.Prefetches, 0u);
+}
+
+TEST(PrefetchTest, DistanceZeroAndNegativeAreRejected) {
+  MatMulIds Ids;
+  MMPipelineOpts Opts;
+  LoopNest Nest = buildMMVariant1(Ids, Opts);
+  EXPECT_EQ(insertPrefetch(Nest, Ids.A, Ids.K, 0, 4), 0);
+  EXPECT_EQ(insertPrefetch(Nest, Ids.A, Ids.K, -3, 4), 0);
+  RunResult R =
+      simulateNest(Nest, {{"N", 8}, {"TK", 4}, {"TJ", 4}}, testMachine());
+  EXPECT_EQ(R.Counters.Prefetches, 0u);
+}
+
+TEST(PrefetchTest, OutOfBoundsPrefetchesNeverReachTheSim) {
+  // A is N x N = 64 elements; distance 64 shifts every prefetch flat
+  // index by N*64 >= 512, so all of them fall outside A and none may be
+  // issued to the simulator (phantom lines would pollute its caches).
+  for (int Dist : {64, 1000}) {
+    MatMulIds Ids;
+    MMPipelineOpts Opts;
+    LoopNest Nest = buildMMVariant1(Ids, Opts);
+    insertPrefetch(Nest, Ids.A, Ids.K, Dist, 4);
+    RunResult R =
+        simulateNest(Nest, {{"N", 8}, {"TK", 4}, {"TJ", 4}}, testMachine());
+    EXPECT_EQ(R.Counters.Prefetches, 0u) << "dist " << Dist;
+  }
+  // A sane distance still prefetches, values stay right either way.
+  MatMulIds Ids;
+  MMPipelineOpts Opts;
+  LoopNest Nest = buildMMVariant1(Ids, Opts);
+  insertPrefetch(Nest, Ids.A, Ids.K, 2, 4);
+  RunResult R =
+      simulateNest(Nest, {{"N", 8}, {"TK", 4}, {"TJ", 4}}, testMachine());
+  EXPECT_GT(R.Counters.Prefetches, 0u);
+  expectMMCorrect(Nest, Ids, 8, {{"TK", 4}, {"TJ", 4}});
 }
 
 TEST(PrefetchTest, ValuesUnaffected) {

@@ -143,6 +143,66 @@ TEST(Verifier, DetectsCopyIntoNonBuffer) {
   EXPECT_NE(Problems[0].find("CopyBuffer"), std::string::npos);
 }
 
+TEST(Verifier, DetectsDuplicateInductionVariableNames) {
+  // Tiling that reuses an existing control-variable name: two distinct
+  // symbols both print and emit as "KK".
+  MatMulIds Ids;
+  LoopNest Nest = makeMatMul(&Ids);
+  tileLoop(Nest, Ids.K, "KK", "TK");
+  Nest.declareLoopVar("KK"); // what a second careless tiling would do
+  std::vector<std::string> Problems = verify(Nest);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(join(Problems, "; ").find("duplicate symbol name 'KK'"),
+            std::string::npos);
+}
+
+TEST(Verifier, DetectsArrayNameCollidingWithSymbol) {
+  LoopNest Nest;
+  SymbolId N = Nest.declareProblemSize("N");
+  Nest.declareArray({"N", {AffineExpr::sym(N)}});
+  std::vector<std::string> Problems = verify(Nest);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(join(Problems, "; ").find("collides"), std::string::npos);
+}
+
+TEST(Verifier, DetectsDanglingRegisters) {
+  LoopNest Nest;
+  SymbolId N = Nest.declareProblemSize("N");
+  ArrayId A = Nest.declareArray({"A", {AffineExpr::sym(N)}});
+  // r0 is stored to memory but nothing ever writes it; r1 is allocated
+  // and then abandoned — both are scalar-replacement failure modes.
+  Nest.allocReg();
+  Nest.allocReg();
+  Nest.Items.push_back(BodyItem(
+      Stmt::makeRegStore(ArrayRef(A, {AffineExpr::constant(0)}), 0)));
+  std::vector<std::string> Problems = verify(Nest);
+  std::string All = join(Problems, "; ");
+  EXPECT_NE(All.find("r0 is read but never written"), std::string::npos)
+      << All;
+  EXPECT_NE(All.find("r1 is allocated but never referenced"),
+            std::string::npos)
+      << All;
+}
+
+TEST(Verifier, DetectsOverflowedSubscripts) {
+  LoopNest Nest;
+  SymbolId N = Nest.declareProblemSize("N");
+  SymbolId I = Nest.declareLoopVar("I");
+  ArrayId A = Nest.declareArray({"A", {AffineExpr::sym(N)}});
+  // A coefficient no legitimate tiling/unrolling chain can produce —
+  // the signature of a wrapped (non-affine) subscript computation.
+  AffineExpr Sub = AffineExpr::sym(I).scaled(int64_t(1) << 41);
+  auto L = std::make_unique<Loop>(I, AffineExpr::constant(0),
+                                  Bound(AffineExpr::sym(N) - 1));
+  L->Items.push_back(BodyItem(
+      Stmt::makeCompute(ArrayRef(A, {Sub}), ScalarExpr::makeConst(0.0))));
+  Nest.Items.push_back(BodyItem(std::move(L)));
+  std::vector<std::string> Problems = verify(Nest);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("implausible coefficient"),
+            std::string::npos);
+}
+
 TEST(Verifier, DetectsLoopVarRebinding) {
   LoopNest Nest;
   SymbolId N = Nest.declareProblemSize("N");
