@@ -19,13 +19,18 @@
 //             [--n=SIZE] [--scale=K] [--max-ulps=U] [--max-variants=V]
 //             [--jobs=N] [--skip-native] [--skip-diff] [--skip-replay]
 //             [--skip-faults] [--fuzz=ROUNDS] [--audit-trace=FILE]
-//             [--audit-db=FILE] [--tmpdir=DIR] [--log-level=off|error|warn|info|debug]
+//             [--audit-db=FILE] [--audit-events=FILE] [--tmpdir=DIR]
+//             [--log-level=off|error|warn|info|debug]
 //
 //   --fuzz=R        run R extra diff rounds with fresh random seeds
 //   --audit-trace=F audit an existing JSONL trace file and exit
 //   --audit-db=F    replay-audit a tuned-config database (ConfigDB JSON)
 //                   and exit: every stored best cost must be bitwise
 //                   reproducible through a fresh simulator
+//   --audit-events=F audit a flight-recorder events file (JSONL) and
+//                   exit: schema, monotonic seq/timestamps, rejected-
+//                   event <-> counter pairing, and stream totals that
+//                   reconcile with each tune.done record
 //
 // Exit status: 0 all checks clean, 1 any mismatch/issue, 2 usage error.
 //
@@ -33,6 +38,7 @@
 
 #include "check/DbAudit.h"
 #include "check/DiffCheck.h"
+#include "check/EventAudit.h"
 #include "check/FaultInject.h"
 #include "check/TraceAudit.h"
 #include "kernels/Kernels.h"
@@ -60,6 +66,7 @@ struct ToolOptions {
   bool RunFaults = true;
   std::string AuditTrace;
   std::string AuditDb;
+  std::string AuditEvents;
   std::string TmpDir;
 };
 
@@ -117,6 +124,10 @@ bool parseArg(ToolOptions &Opts, const std::string &Arg) {
     Opts.AuditDb = V;
     return true;
   }
+  if (const char *V = valueOf("--audit-events=")) {
+    Opts.AuditEvents = V;
+    return true;
+  }
   if (const char *V = valueOf("--tmpdir=")) {
     Opts.TmpDir = V;
     return true;
@@ -154,7 +165,8 @@ int main(int Argc, char **Argv) {
           "[--configs=N] [--n=SIZE] [--scale=K] [--max-ulps=U] "
           "[--max-variants=V] [--jobs=N] [--skip-native] [--skip-diff] "
           "[--skip-replay] [--skip-faults] [--fuzz[=ROUNDS]] "
-          "[--audit-trace=FILE] [--audit-db=FILE] [--tmpdir=DIR] "
+          "[--audit-trace=FILE] [--audit-db=FILE] [--audit-events=FILE] "
+          "[--tmpdir=DIR] "
           "[--log-level=off|error|warn|info|debug]\n",
           Argv[0]);
       return 2;
@@ -169,6 +181,11 @@ int main(int Argc, char **Argv) {
   }
   if (!Opts.AuditDb.empty()) {
     DbAuditReport Report = auditConfigDBFile(Opts.AuditDb);
+    std::printf("%s", Report.summary().c_str());
+    return Report.ok() ? 0 : 1;
+  }
+  if (!Opts.AuditEvents.empty()) {
+    EventAuditReport Report = auditEventsFile(Opts.AuditEvents);
     std::printf("%s", Report.summary().c_str());
     return Report.ok() ? 0 : 1;
   }

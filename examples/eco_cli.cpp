@@ -6,7 +6,9 @@
 //           [--n=SIZE] [--scale=K] [--native] [--emit-c] [--variants]
 //           [--trace] [--jobs=N] [--cache-file=F] [--trace-file=F]
 //           [--checkpoint=F] [--resume] [--metrics-file=F]
-//           [--chrome-trace=F] [--log-level=LVL] [--progress]
+//           [--chrome-trace=F] [--events-file=F]
+//           [--log-level=LVL] [--progress]
+//   eco_cli report EVENTS.jsonl [--html] [--out=F]
 //
 //   --variants     print the derived variant set (Table 4 style) and exit
 //   --emit-c       print the winning variant as C source
@@ -23,6 +25,14 @@
 //                  histograms) to F as JSON after the tune
 //   --chrome-trace=F  export the tune's span timeline to F in Chrome
 //                  trace-event JSON (open in Perfetto/chrome://tracing)
+//   --events-file=F  flight recorder: stream every search decision
+//                  (variants derived/rejected, configs evaluated, winner
+//                  updates, tune.done totals) to F as JSONL; render with
+//                  `eco_cli report F`, audit with eco_check
+//   report F       turn a flight-recorder stream into a tune report
+//                  (Markdown; --html for HTML, --out=F to write a file).
+//                  Exits 1 when the stream does not reconcile with the
+//                  tuner's own tune.done totals.
 //   --log-level=L  stderr diagnostics: off|error|warn|info|debug
 //                  (default warn, or the ECO_LOG_LEVEL env var)
 //   --progress     periodic progress/ETA line on stderr while tuning
@@ -36,8 +46,10 @@
 #include "engine/Engine.h"
 #include "exec/Run.h"
 #include "kernels/Kernels.h"
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/Report.h"
 #include "obs/Span.h"
 #include "serve/Tool.h"
 #include "support/ParseInt.h"
@@ -50,6 +62,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,9 +89,68 @@ struct CliOptions {
   bool Resume = false;
   std::string MetricsFile;
   std::string ChromeTraceFile;
+  std::string EventsFile;
   std::string LogLevel;
   bool Progress = false;
 };
+
+/// `eco_cli report EVENTS.jsonl [--html] [--out=F]`: renders a
+/// flight-recorder stream as a tune report. Exit 1 when any tune window
+/// fails reconciliation against its own tune.done totals.
+int reportToolMain(const std::vector<std::string> &Args) {
+  std::string Path;
+  std::string OutFile;
+  bool Html = false;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--html")
+      Html = true;
+    else if (Arg.compare(0, 6, "--out=") == 0)
+      OutFile = Arg.substr(6);
+    else if (!Arg.empty() && Arg[0] != '-' && Path.empty())
+      Path = Arg;
+    else {
+      std::fprintf(stderr,
+                   "usage: eco_cli report EVENTS.jsonl [--html] "
+                   "[--out=F]\n");
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: eco_cli report EVENTS.jsonl [--html] "
+                         "[--out=F]\n");
+    return 2;
+  }
+  std::vector<obs::Event> Events;
+  std::string Error;
+  std::vector<std::string> LineErrors;
+  if (!obs::loadEventsFile(Path, Events, &Error, &LineErrors)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  for (const std::string &E : LineErrors)
+    std::fprintf(stderr, "warning: %s\n", E.c_str());
+  obs::FlightAnalysis A = obs::analyzeEvents(Events);
+  std::string Rendered = Html ? obs::renderHtml(A) : obs::renderMarkdown(A);
+  if (OutFile.empty()) {
+    std::printf("%s", Rendered.c_str());
+  } else {
+    std::ofstream Out(OutFile, std::ios::binary | std::ios::trunc);
+    Out << Rendered;
+    if (!Out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", OutFile.c_str());
+  }
+  bool Ok = true;
+  for (const obs::TuneReportData &T : A.Tunes)
+    if (T.HasDone && !T.reconciled())
+      Ok = false;
+  if (!Ok)
+    std::fprintf(stderr, "error: event stream does not reconcile with "
+                         "the tuner's own totals (see report)\n");
+  return Ok ? 0 : 1;
+}
 
 /// Background reporter for --progress: once a second prints variant
 /// progress, evaluation counts, and an ETA extrapolated from the pace of
@@ -191,6 +263,10 @@ bool parseArg(CliOptions &Opts, const std::string &Arg) {
     Opts.ChromeTraceFile = V;
     return !Opts.ChromeTraceFile.empty();
   }
+  if (const char *V = valueOf("--events-file=")) {
+    Opts.EventsFile = V;
+    return !Opts.EventsFile.empty();
+  }
   if (const char *V = valueOf("--log-level=")) {
     Opts.LogLevel = V;
     return obs::setLogLevelByName(Opts.LogLevel);
@@ -237,6 +313,8 @@ int main(int Argc, char **Argv) {
   if (Argc > 1 && std::strcmp(Argv[1], "submit") == 0)
     return serve::submitToolMain(
         std::vector<std::string>(Argv + 2, Argv + Argc));
+  if (Argc > 1 && std::strcmp(Argv[1], "report") == 0)
+    return reportToolMain(std::vector<std::string>(Argv + 2, Argv + Argc));
 
   CliOptions Opts;
   for (int A = 1; A < Argc; ++A) {
@@ -248,9 +326,11 @@ int main(int Argc, char **Argv) {
                    "[--report] [--jobs=N] [--cache-file=F] "
                    "[--trace-file=F] [--checkpoint=F] [--resume] "
                    "[--metrics-file=F] [--chrome-trace=F] "
+                   "[--events-file=F] "
                    "[--log-level=off|error|warn|info|debug] "
-                   "[--progress]\n",
-                   Argv[0]);
+                   "[--progress]\n       %s report EVENTS.jsonl "
+                   "[--html] [--out=F]\n",
+                   Argv[0], Argv[0]);
       return 2;
     }
   }
@@ -263,6 +343,14 @@ int main(int Argc, char **Argv) {
     obs::setMetricsEnabled(true);
   if (!Opts.ChromeTraceFile.empty())
     obs::SpanCollector::global().setEnabled(true);
+  if (!Opts.EventsFile.empty()) {
+    if (!obs::EventBus::global().openFile(Opts.EventsFile)) {
+      std::fprintf(stderr, "error: cannot open events file %s\n",
+                   Opts.EventsFile.c_str());
+      return 1;
+    }
+    obs::setEventsEnabled(true);
+  }
 
   LoopNest Nest;
   if (Opts.Kernel == "matmul")
@@ -347,6 +435,11 @@ int main(int Argc, char **Argv) {
     else
       std::fprintf(stderr, "error: cannot write metrics to %s\n",
                    Opts.MetricsFile.c_str());
+  }
+  if (!Opts.EventsFile.empty()) {
+    obs::EventBus::global().closeFile();
+    std::printf("events streamed to %s (render: eco_cli report %s)\n",
+                Opts.EventsFile.c_str(), Opts.EventsFile.c_str());
   }
   if (!Opts.ChromeTraceFile.empty()) {
     if (obs::SpanCollector::global().writeChromeTrace(

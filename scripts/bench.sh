@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+#===- scripts/bench.sh - Quick benchmark sweep ---------------------------===//
+#
+# Builds and runs the fast, self-gating benchmarks and leaves their
+# BENCH_*.json result files at the repo root:
+#
+#   bench_eval_throughput   engine evaluation throughput (lanes sweep)
+#   bench_serve_throughput  serve cold-vs-warm economics + request rate
+#   bench_obs_overhead      observability cost, on vs off (2% / 0.1% bars)
+#
+# Quick mode is the default (each bench's own reduced repetition count);
+# set ECO_BENCH_FULL=1 for the benches' full runs. Knobs:
+#
+#   ECO_BENCH_JOBS=N   build parallelism (default: nproc)
+#   ECO_BENCH_FULL=1   full repetition counts instead of quick mode
+#
+# Usage: scripts/bench.sh   (from anywhere inside the repo)
+#
+# Exit status is non-zero when any bench misses its acceptance bar.
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${ECO_BENCH_JOBS:-$(nproc)}"
+BENCHES=(bench_eval_throughput bench_serve_throughput bench_obs_overhead)
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "build: ${BENCHES[*]}"
+cmake -B "$REPO/build" -S "$REPO"
+cmake --build "$REPO/build" -j "$JOBS" --target "${BENCHES[@]}"
+
+# Run from the repo root so every BENCH_*.json lands there, next to the
+# sources that produced it.
+cd "$REPO"
+Fail=0
+for B in "${BENCHES[@]}"; do
+  step "run: $B"
+  if ! "$REPO/build/bench/$B"; then
+    echo "FAIL: $B missed its acceptance bar" >&2
+    Fail=1
+  fi
+done
+
+step "bench: results"
+ls -l "$REPO"/BENCH_*.json
+exit "$Fail"

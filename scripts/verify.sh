@@ -15,6 +15,7 @@
 #   ECO_VERIFY_JOBS=N      build/test parallelism   (default: nproc)
 #   ECO_VERIFY_SKIP_TSAN=1   skip the TSan pass
 #   ECO_VERIFY_SKIP_UBSAN=1  skip the UBSan pass
+#   ECO_VERIFY_SKIP_BENCH=1  skip the bench.sh smoke sweep
 #
 # Usage: scripts/verify.sh   (from anywhere inside the repo)
 #
@@ -43,6 +44,21 @@ run_suite build --
 
 step "fuzz smoke: eco_fuzz --iters=200 --seed=7"
 "$REPO/build/examples/eco_fuzz" --iters=200 --seed=7
+
+step "flight-recorder smoke: tune -> report -> audit-events"
+EV="$REPO/build/verify_events.jsonl"
+rm -f "$EV"
+"$REPO/build/examples/eco_cli" --kernel=matmul --n=48 --scale=16 \
+    --events-file="$EV" > /dev/null
+"$REPO/build/examples/eco_cli" report "$EV" > /dev/null
+"$REPO/build/examples/eco_check" --audit-events="$EV"
+
+if [ "${ECO_VERIFY_SKIP_BENCH:-0}" != "1" ]; then
+  step "bench smoke: scripts/bench.sh (quick mode)"
+  ECO_BENCH_JOBS="$JOBS" "$REPO/scripts/bench.sh"
+else
+  step "bench smoke: skipped (ECO_VERIFY_SKIP_BENCH=1)"
+fi
 
 if [ "${ECO_VERIFY_SKIP_UBSAN:-0}" != "1" ]; then
   step "UBSan: labeled suites ($LABELS)"

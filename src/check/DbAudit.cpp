@@ -61,6 +61,20 @@ static void auditEntry(const serve::TunedEntry &E, DbAuditReport &Report) {
     return;
   }
 
+  // Provenance sanity (rows written before the provenance blob carry
+  // zeros, which every check below treats as "unknown" and skips).
+  if (E.VariantsSearched > E.VariantsDerived && E.VariantsDerived > 0)
+    issue("provenance",
+          strformat("searched %llu variants but only %llu were derived",
+                    static_cast<unsigned long long>(E.VariantsSearched),
+                    static_cast<unsigned long long>(E.VariantsDerived)));
+  if (E.WarmStart == "nearest" && E.VariantsDerived > 0 &&
+      (E.SeedN <= 0 || E.SeedVariant.empty()))
+    issue("provenance",
+          "warm start 'nearest' but the provenance names no seed");
+  if (E.WarmStart == "cold" && (E.SeedN != 0 || !E.SeedVariant.empty()))
+    issue("provenance", "cold tune carries a warm-start seed lineage");
+
   std::vector<DerivedVariant> Variants = deriveVariants(Nest, Machine);
   const DerivedVariant *V = nullptr;
   for (const DerivedVariant &Cand : Variants)

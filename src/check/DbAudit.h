@@ -18,6 +18,9 @@
 ///  * rebinds the stored configuration against the freshly built
 ///    skeleton (name-based, so symbol ids may differ) and rejects
 ///    configurations naming unknown symbols;
+///  * sanity-checks the provenance blob (searched <= derived, a
+///    "nearest" warm start names its seed, a cold tune carries none);
+///    legacy rows without provenance load as zeros and are skipped;
 ///  * re-evaluates through a fresh simulator and compares the cost to
 ///    the stored best bit-for-bit.
 ///
@@ -40,7 +43,7 @@ namespace check {
 /// One invariant violation found in the database.
 struct DbIssue {
   std::string Kind; ///< "schema", "identity", "variant", "config",
-                    ///  "cost-mismatch"
+                    ///  "provenance", "cost-mismatch"
   std::string Key;  ///< "kernel@machine n=N" of the offending entry
   std::string Detail;
 };

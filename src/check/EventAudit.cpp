@@ -1,0 +1,142 @@
+//===- check/EventAudit.cpp - Flight-recorder stream auditing -------------===//
+
+#include "check/EventAudit.h"
+
+#include "obs/Report.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace eco;
+using namespace eco::check;
+
+std::string EventAuditReport::summary() const {
+  std::string Out = strformat(
+      "event-audit: %zu event(s), %zu segment(s), %zu tune(s) -> "
+      "%zu issue(s)\n",
+      Events, Segments, Tunes, Issues.size());
+  for (const EventIssue &I : Issues)
+    Out += strformat("  ISSUE [%s] seq=%llu %s\n", I.Kind.c_str(),
+                     static_cast<unsigned long long>(I.Seq),
+                     I.Detail.c_str());
+  return Out;
+}
+
+namespace {
+
+/// Per-type required payload fields (beyond the envelope itself, which
+/// eventFromJson already enforced).
+void checkSchema(const obs::Event &E, EventAuditReport &Report) {
+  auto Require = [&](const char *Field, bool Numeric = false) {
+    const Json &V = E.Fields.get(Field);
+    bool Ok = Numeric ? V.isNumber() : !V.isNull();
+    if (!Ok)
+      Report.Issues.push_back(
+          {"schema", E.Seq,
+           strformat("%s event missing field '%s'", E.Type.c_str(),
+                     Field)});
+  };
+  if (E.Type == "config.evaluated") {
+    Require("variant");
+    Require("stage");
+    Require("cost", /*Numeric=*/true);
+    Require("cache_hit");
+  } else if (E.Type == "config.rejected" || E.Type == "variant.rejected") {
+    Require("reason");
+  } else if (E.Type == "winner.updated" || E.Type == "variant.ranked") {
+    Require("variant");
+    Require("cost", /*Numeric=*/true);
+  } else if (E.Type == "tune.done") {
+    Require("points", /*Numeric=*/true);
+    Require("cache_hits", /*Numeric=*/true);
+    Require("variants_rejected", /*Numeric=*/true);
+    Require("configs_rejected", /*Numeric=*/true);
+    Require("best_cost", /*Numeric=*/true);
+  }
+}
+
+/// Segment-level ordering + per-tune reconciliation for \p Segment.
+void auditSegment(const std::vector<obs::Event> &Segment,
+                  const EventAuditOptions &Opts,
+                  EventAuditReport &Report) {
+  for (size_t I = 0; I < Segment.size(); ++I) {
+    const obs::Event &E = Segment[I];
+    checkSchema(E, Report);
+    if (I == 0)
+      continue;
+    const obs::Event &Prev = Segment[I - 1];
+    if (E.Seq == Prev.Seq)
+      Report.Issues.push_back(
+          {"seq", E.Seq, "duplicate sequence number"});
+    // The bus stamps seq and time under one mutex: any inversion means
+    // the stream was reordered or edited.
+    if (E.TimeUs < Prev.TimeUs)
+      Report.Issues.push_back(
+          {"time", E.Seq,
+           strformat("timestamp went backwards (%llu us after %llu us)",
+                     static_cast<unsigned long long>(E.TimeUs),
+                     static_cast<unsigned long long>(Prev.TimeUs))});
+  }
+
+  obs::FlightAnalysis A = obs::analyzeEvents(Segment);
+  for (const obs::TuneReportData &T : A.Tunes) {
+    if (T.HasDone)
+      ++Report.Tunes;
+    // The analysis already cross-checked every stream-derived total
+    // (including the variant.rejected / config.rejected counts, which
+    // are 1:1 with transform.rejected counter bumps by construction)
+    // against the tune.done totals the Tuner copied from TuneResult.
+    for (const std::string &M : T.Mismatches)
+      Report.Issues.push_back(
+          {M.compare(0, 6, "winner") == 0 ? "winner" : "reconcile", 0,
+           M});
+    if (Opts.HasExpectedBestCost && T.HasDone) {
+      double Best = T.Done.get("best_cost").asNumber();
+      if (Best != Opts.ExpectedBestCost)
+        Report.Issues.push_back(
+            {"winner", 0,
+             strformat("tune.done best_cost %.17g != expected "
+                       "TuneResult::BestCost %.17g",
+                       Best, Opts.ExpectedBestCost)});
+    }
+  }
+}
+
+} // namespace
+
+EventAuditReport check::auditEvents(const std::vector<obs::Event> &Events,
+                                    const EventAuditOptions &Opts) {
+  EventAuditReport Report;
+  Report.Events = Events.size();
+  // Split into segments: a restarted process appends events whose seq
+  // drops back to 0. Any other backwards jump is an ordering violation
+  // inside one segment, which auditSegment flags.
+  std::vector<std::vector<obs::Event>> Segments;
+  for (const obs::Event &E : Events) {
+    bool Restart = !Segments.empty() && !Segments.back().empty() &&
+                   E.Seq == 0 && Segments.back().back().Seq > 0;
+    if (Segments.empty() || Restart)
+      Segments.emplace_back();
+    Segments.back().push_back(E);
+  }
+  Report.Segments = Segments.size();
+  for (const std::vector<obs::Event> &S : Segments)
+    auditSegment(S, Opts, Report);
+  return Report;
+}
+
+EventAuditReport check::auditEventsFile(const std::string &Path,
+                                        const EventAuditOptions &Opts) {
+  std::vector<obs::Event> Events;
+  std::string Error;
+  std::vector<std::string> LineErrors;
+  if (!obs::loadEventsFile(Path, Events, &Error, &LineErrors)) {
+    EventAuditReport Report;
+    Report.Issues.push_back({"parse", 0, Error});
+    return Report;
+  }
+  EventAuditReport Report = auditEvents(Events, Opts);
+  for (const std::string &E : LineErrors)
+    Report.Issues.insert(Report.Issues.begin(), {"parse", 0, E});
+  return Report;
+}

@@ -1,0 +1,82 @@
+//===- check/EventAudit.h - Flight-recorder stream auditing ----*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariant auditing over flight-recorder event streams (obs/Event.h),
+/// the events-file sibling of TraceAudit. The stream is the tuner's own
+/// account of *why* it decided things; auditing it asserts:
+///
+///  * schema: every line parses and carries seq / t_us / type / fields;
+///  * ordering: sequence numbers are strictly increasing per segment (a
+///    restarted process appends a segment whose seq restarts at 0), and
+///    timestamps are monotonically non-decreasing in sequence order —
+///    the bus stamps both under one mutex, so any inversion means
+///    records were reordered or hand-edited;
+///  * counter pairing: every variant.rejected / config.rejected event is
+///    published at the exact site that bumps the `transform.rejected`
+///    metrics counter, so per tune window the event counts must equal
+///    the `variants_rejected` / `configs_rejected` totals the Tuner
+///    stamped into tune.done from its own TuneResult ledger;
+///  * reconciliation: evaluation and cache-hit counts recomputed from
+///    config.evaluated events match tune.done (modulo checkpoint-
+///    restored points, which an earlier run's stream accounts for);
+///  * winner provenance: the last winner.updated cost must equal
+///    tune.done's best_cost — which the Tuner copied bitwise from
+///    TuneResult::BestCost — and, when \p ExpectedBestCost is supplied
+///    by a caller holding the live TuneResult, that value too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_CHECK_EVENTAUDIT_H
+#define ECO_CHECK_EVENTAUDIT_H
+
+#include "obs/Event.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eco {
+namespace check {
+
+/// One invariant violation found in an event stream.
+struct EventIssue {
+  std::string Kind; ///< "parse", "schema", "seq", "time", "reconcile",
+                    ///  "winner"
+  uint64_t Seq = 0; ///< seq of the offending event (0 for parse errors)
+  std::string Detail;
+};
+
+struct EventAuditOptions {
+  /// When set, every completed tune window's best_cost must equal this
+  /// bit-for-bit (the caller holds the live TuneResult::BestCost).
+  bool HasExpectedBestCost = false;
+  double ExpectedBestCost = 0;
+};
+
+struct EventAuditReport {
+  size_t Events = 0;
+  size_t Segments = 0;
+  size_t Tunes = 0; ///< completed tune windows
+  std::vector<EventIssue> Issues;
+
+  bool ok() const { return Issues.empty(); }
+  std::string summary() const;
+};
+
+/// Audits in-memory events (e.g. straight from EventBus::snapshot()).
+EventAuditReport auditEvents(const std::vector<obs::Event> &Events,
+                             const EventAuditOptions &Opts = {});
+
+/// Reads \p Path as JSONL and audits it. Unreadable file => one "parse"
+/// issue; blank lines are ignored.
+EventAuditReport auditEventsFile(const std::string &Path,
+                                 const EventAuditOptions &Opts = {});
+
+} // namespace check
+} // namespace eco
+
+#endif // ECO_CHECK_EVENTAUDIT_H

@@ -3,6 +3,7 @@
 #include "core/DeriveVariants.h"
 #include "analysis/Dependence.h"
 #include "analysis/Reuse.h"
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "support/StringUtils.h"
@@ -87,7 +88,9 @@ bool isPerfectSpine(const LoopNest &Nest) {
 
 std::vector<DerivedVariant>
 eco::deriveVariants(const LoopNest &Original, const MachineDesc &Machine,
-                    const DeriveOptions &Opts) {
+                    const DeriveOptions &Opts, size_t *RejectedOut) {
+  if (RejectedOut)
+    *RejectedOut = 0;
   // Bind problem sizes to the representative size for the reuse models.
   Env SizeEnv(Original.Syms.size());
   for (size_t S = 0; S < Original.Syms.size(); ++S)
@@ -471,8 +474,18 @@ eco::deriveVariants(const LoopNest &Original, const MachineDesc &Machine,
       // would have produced wrong code, so rejection is variant pruning,
       // not an error.
       ECO_LOG(Warn) << "variant pruned (illegal transform): " << E.what();
+      if (RejectedOut)
+        ++*RejectedOut;
       if (obs::metricsEnabled())
         obs::metrics().counter("transform.rejected").inc();
+      if (obs::eventsEnabled()) {
+        // Kept 1:1 with the transform.rejected counter bump above — the
+        // event audit counts on that pairing.
+        Json F = Json::object();
+        F.set("plan", "v" + std::to_string(Index - 1));
+        F.set("reason", std::string(E.what()));
+        obs::publishEvent("variant.rejected", std::move(F));
+      }
     }
   }
 

@@ -65,9 +65,15 @@ struct DeriveOptions {
 ///
 /// If the nest is not provably fully permutable, a single untransformed
 /// variant is returned (the compiler must not speculate).
+///
+/// \p RejectedOut (optional) receives the number of tiling/ordering
+/// plans pruned because a transform refused them (TransformError) — the
+/// derivation-time half of the paper's model-pruning story, surfaced so
+/// TuneResult and the flight recorder can account for every plan.
 std::vector<DerivedVariant> deriveVariants(const LoopNest &Original,
                                            const MachineDesc &Machine,
-                                           const DeriveOptions &Opts = {});
+                                           const DeriveOptions &Opts = {},
+                                           size_t *RejectedOut = nullptr);
 
 } // namespace eco
 

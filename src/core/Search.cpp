@@ -3,6 +3,7 @@
 #include "core/Search.h"
 #include "codegen/CEmitter.h"
 #include "codegen/NativeRunner.h"
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Span.h"
@@ -308,6 +309,13 @@ public:
           ECO_LOG(Debug) << "variant " << V.Spec.Name
                          << ": warm-start seed loses to the model "
                             "initial point; reverting to a cold start";
+          if (obs::eventsEnabled()) {
+            Json F = Json::object();
+            F.set("variant", V.Spec.Name);
+            F.set("seed_cost", CurCost);
+            F.set("model_cost", HeuristicCost);
+            obs::publishEvent("warmstart.reverted", std::move(F));
+          }
           Cur = HeuristicInit;
           CurCost = HeuristicCost;
           SeedBounds.clear();
@@ -356,6 +364,7 @@ public:
     R.BestCost = CurCost;
     R.Trace = std::move(Trace);
     R.Trace.Seconds = Elapsed.seconds();
+    R.Infeasible = Infeasible;
     return R;
   }
 
@@ -416,6 +425,30 @@ private:
       Window.first = std::min(Window.first, Cur.get(P));
       Window.second = std::max(Window.second, Cur.get(P));
     }
+    if (obs::eventsEnabled()) {
+      Json Params = Json::array();
+      for (const auto &[Name, Value] : Opts.WarmStartConfig) {
+        SymbolId Id = V.Skeleton.Syms.lookup(Name);
+        if (Id < 0 || !SearchParams.count(Id) || Value < 0)
+          continue;
+        Json P = Json::object();
+        P.set("name", Name);
+        P.set("value", Cur.get(Id)); // post-repair starting value
+        Params.push(std::move(P));
+      }
+      Json F = Json::object();
+      F.set("variant", V.Spec.Name);
+      F.set("params", std::move(Params));
+      obs::publishEvent("warmstart.seeded", std::move(F));
+      for (const auto &[P, Window] : SeedBounds) {
+        Json B = Json::object();
+        B.set("variant", V.Spec.Name);
+        B.set("param", V.Skeleton.Syms.name(P));
+        B.set("lo", Window.first);
+        B.set("hi", Window.second);
+        obs::publishEvent("stage.bounds", std::move(B));
+      }
+    }
   }
 
   bool withinBounds(const Env &E) const {
@@ -449,8 +482,13 @@ private:
     // configuration found so far.
     if (Opts.ShouldStop && Opts.ShouldStop())
       return Inf;
-    if (!withinBounds(E) || !V.feasible(E))
+    if (!withinBounds(E) || !V.feasible(E)) {
+      // The models (or seed windows) pruned this candidate without
+      // spending an execution — the count the paper's Tables 3/4 story
+      // is about.
+      ++Infeasible;
       return Inf;
+    }
     std::string Key = V.configString(E);
     auto Cached = CostCache.find(Key);
     if (Cached != CostCache.end())
@@ -681,6 +719,8 @@ private:
   bool WarmSeeded = false;
   /// Warm-start stage bounds: seeded param -> [lo, hi] window.
   std::map<SymbolId, std::pair<int64_t, int64_t>> SeedBounds;
+  /// Candidates rejected by bounds/constraints without execution.
+  size_t Infeasible = 0;
 };
 
 } // namespace
@@ -697,10 +737,25 @@ std::string eco::instantiationKey(const DerivedVariant &V,
   return Key;
 }
 
+void eco::publishEvaluated(const DerivedVariant &V, const Env &Config,
+                           const std::string &Stage, const EvalOutcome &O,
+                           bool Warm) {
+  Json F = Json::object();
+  F.set("variant", V.Spec.Name);
+  F.set("stage", Stage);
+  F.set("config", V.configString(Config));
+  F.set("cost", O.Cost);
+  F.set("cache_hit", O.CacheHit);
+  if (Warm)
+    F.set("warm", true);
+  F.set("ms", O.Millis);
+  F.set("lane", O.Lane);
+  obs::publishEvent("config.evaluated", std::move(F));
+}
+
 EvalOutcome DirectEvaluator::evaluate(const DerivedVariant &V,
                                       const Env &Config,
                                       const std::string &Stage) {
-  (void)Stage;
   EvalOutcome O;
   std::pair<const void *, std::string> CostKey{&V, V.configString(Config)};
   auto Cached = CostMemo.find(CostKey);
@@ -708,6 +763,8 @@ EvalOutcome DirectEvaluator::evaluate(const DerivedVariant &V,
     ++Stats.CacheHits;
     O.Cost = Cached->second;
     O.CacheHit = true;
+    if (obs::eventsEnabled())
+      publishEvaluated(V, Config, Stage, O);
     return O;
   }
 
@@ -724,8 +781,19 @@ EvalOutcome DirectEvaluator::evaluate(const DerivedVariant &V,
       // An illegal unroll/prefetch request at this point: treat like a
       // failed native compile — infinite cost, search moves on.
       ECO_LOG(Warn) << "config rejected (illegal transform): " << E.what();
+      ++Stats.Rejected;
       if (obs::metricsEnabled())
         obs::metrics().counter("transform.rejected").inc();
+      if (obs::eventsEnabled()) {
+        // Paired 1:1 with the transform.rejected bump: the event audit
+        // reconciles config.rejected events against that counter.
+        Json F = Json::object();
+        F.set("variant", V.Spec.Name);
+        F.set("stage", Stage);
+        F.set("config", V.configString(Config));
+        F.set("reason", std::string(E.what()));
+        obs::publishEvent("config.rejected", std::move(F));
+      }
       O.Cost = std::numeric_limits<double>::infinity();
       CostMemo.emplace(std::move(CostKey), O.Cost);
       return O;
@@ -738,6 +806,8 @@ EvalOutcome DirectEvaluator::evaluate(const DerivedVariant &V,
   ++Stats.Evaluations;
   Stats.BackendSeconds += O.Millis / 1e3;
   CostMemo.emplace(std::move(CostKey), O.Cost);
+  if (obs::eventsEnabled())
+    publishEvaluated(V, Config, Stage, O);
   return O;
 }
 

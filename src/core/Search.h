@@ -256,6 +256,11 @@ struct VariantSearchResult {
   Env BestConfig;
   double BestCost = std::numeric_limits<double>::infinity();
   SearchTrace Trace;
+  /// Candidates the model constraints (or stage bounds) rejected without
+  /// executing — the per-variant share of the paper's pruning story.
+  /// Counted per rejection decision; a candidate revisited after an
+  /// earlier rejection counts again (infeasible points are not memoized).
+  size_t Infeasible = 0;
 };
 
 /// Outcome of one evaluation through an Evaluator.
@@ -271,6 +276,7 @@ struct EvalOutcome {
 struct EvalStats {
   size_t Evaluations = 0;   ///< real backend executions
   size_t CacheHits = 0;     ///< evaluate() calls served from the memo
+  size_t Rejected = 0;      ///< configs refused by a transform (inf cost)
   double BackendSeconds = 0;///< summed backend wall time (CPU seconds)
 };
 
@@ -362,6 +368,15 @@ private:
 /// The unroll/prefetch portion of \p Config that determines instantiation
 /// (tiles stay symbolic); evaluators key their instantiation memos on it.
 std::string instantiationKey(const DerivedVariant &V, const Env &Config);
+
+/// Publishes the canonical `config.evaluated` flight-recorder event for
+/// one completed evaluation (fields: variant, stage, config, cost,
+/// cache_hit, warm, ms, lane). Shared by every Evaluator so the event
+/// schema cannot drift between the sequential and parallel paths. Call
+/// only under obs::eventsEnabled().
+void publishEvaluated(const DerivedVariant &V, const Env &Config,
+                      const std::string &Stage, const EvalOutcome &O,
+                      bool Warm = false);
 
 /// The model heuristic's initial configuration for \p Variant (stage
 /// initial values; prefetch off). Public so the Tuner can rank variants

@@ -1,6 +1,7 @@
 //===- core/Tuner.cpp - The two-phase ECO facade ---------------------------===//
 
 #include "core/Tuner.h"
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Span.h"
@@ -84,12 +85,32 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
   }
   Result.RepresentativeSizeUsed = DOpts.RepresentativeSize;
 
+  const bool Events = obs::eventsEnabled();
+  if (Events) {
+    Json F = Json::object();
+    F.set("nest", Original.Name);
+    Json P = Json::object();
+    for (const auto &[Name, Value] : Problem)
+      P.set(Name, Value);
+    F.set("problem", std::move(P));
+    F.set("representative_size", DOpts.RepresentativeSize);
+    obs::publishEvent("tune.start", std::move(F));
+  }
+
   {
     obs::SpanScope S("derive", "tune");
-    Result.Variants = deriveVariants(Original, Eval.machine(), DOpts);
+    Result.Variants = deriveVariants(Original, Eval.machine(), DOpts,
+                                     &Result.VariantsRejected);
   }
   ECO_LOG(Info) << "derived " << Result.Variants.size()
                 << " variants for " << Original.Name;
+  if (Events)
+    for (const DerivedVariant &V : Result.Variants) {
+      Json F = Json::object();
+      F.set("variant", V.Spec.Name);
+      F.set("constraints", V.Constraints.size());
+      obs::publishEvent("variant.derived", std::move(F));
+    }
 
   // Rank variants by their model-heuristic initial point (one evaluation
   // each) — the models' second pruning role. The points are independent
@@ -124,6 +145,15 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
       Ranking.push_back({VI, Cost});
       Result.Summaries[VI].Name = V.Spec.Name;
       Result.Summaries[VI].HeuristicCost = Cost;
+      if (Events) {
+        // The model-initial-point record: which configuration the models
+        // proposed for this variant and what it cost.
+        Json F = Json::object();
+        F.set("variant", V.Spec.Name);
+        F.set("config", V.configString(InitConfigs[VI]));
+        F.set("cost", Cost);
+        obs::publishEvent("variant.ranked", std::move(F));
+      }
     }
   }
   std::stable_sort(Ranking.begin(), Ranking.end(),
@@ -181,6 +211,7 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
       EvalStats After = Eval.stats();
       Sum.Points = After.Evaluations - Before.Evaluations;
       Sum.CacheHits = After.CacheHits - Before.CacheHits;
+      Sum.Infeasible = SR.Infeasible;
       Sum.Seconds = SearchTime.seconds();
     } else {
       ECO_LOG(Info) << "variant " << V.Spec.Name
@@ -204,6 +235,14 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
       Result.BestCost = SR.BestCost;
       Result.BestVariant = static_cast<int>(VI);
       Result.BestConfig = SR.BestConfig;
+      if (Events) {
+        Json F = Json::object();
+        F.set("variant", V.Spec.Name);
+        F.set("config", Sum.BestConfig);
+        F.set("cost", SR.BestCost);
+        F.set("restored", Restored);
+        obs::publishEvent("winner.updated", std::move(F));
+      }
     }
   }
 
@@ -221,14 +260,74 @@ TuneResult eco::tune(const LoopNest &Original, Evaluator &Eval,
   EvalStats EndStats = Eval.stats();
   Result.TotalPoints = EndStats.Evaluations - StartStats.Evaluations;
   Result.TotalCacheHits = EndStats.CacheHits - StartStats.CacheHits;
-  for (const VariantSummary &Sum : Result.Summaries)
-    if (Sum.Restored)
+  Result.ConfigsRejected = EndStats.Rejected - StartStats.Rejected;
+  size_t RestoredPoints = 0;
+  for (const VariantSummary &Sum : Result.Summaries) {
+    if (Sum.Restored) {
       Result.TotalPoints += Sum.Points;
+      RestoredPoints += Sum.Points;
+    }
+    Result.InfeasiblePruned += Sum.Infeasible;
+  }
   Result.TotalSeconds = Total.seconds();
   Result.Telemetry = telemetryDelta(StartTele, Eval.telemetry());
   ECO_LOG(Info) << "tune complete: " << Result.TotalPoints << " points, "
                 << Result.TotalCacheHits << " cache hits, best cost "
                 << Result.BestCost;
+
+  if (Events) {
+    // Ranked-but-not-searched variants are the model-ranking prune.
+    for (const VariantSummary &Sum : Result.Summaries)
+      if (!Sum.Searched) {
+        Json F = Json::object();
+        F.set("variant", Sum.Name);
+        F.set("heuristic_cost", Sum.HeuristicCost);
+        F.set("reason", "model-ranking");
+        obs::publishEvent("variant.pruned", std::move(F));
+      }
+    for (const StageTelemetry &Row : Result.Telemetry) {
+      Json F = Json::object();
+      F.set("variant", Row.Variant);
+      F.set("stage", Row.Stage);
+      F.set("evals", Row.Evaluations);
+      F.set("cache_hits", Row.CacheHits);
+      F.set("backend_s", Row.BackendSeconds);
+      if (Row.HasHW) {
+        F.set("loads", Row.HW.Loads);
+        F.set("stores", Row.HW.Stores);
+        F.set("l1_misses", Row.HW.l1Misses());
+        F.set("l2_misses", Row.HW.l2Misses());
+        F.set("tlb_misses", Row.HW.TlbMisses);
+        F.set("cycles", Row.HW.cycles());
+      }
+      obs::publishEvent("stage.telemetry", std::move(F));
+    }
+    // The reconciliation record: every total the report and the event
+    // audit check the stream against comes verbatim from TuneResult.
+    Json F = Json::object();
+    F.set("nest", Original.Name);
+    F.set("points", Result.TotalPoints);
+    F.set("restored_points", RestoredPoints);
+    F.set("cache_hits", Result.TotalCacheHits);
+    F.set("variants_derived", Result.Variants.size());
+    size_t Searched = 0;
+    for (const VariantSummary &Sum : Result.Summaries)
+      Searched += Sum.Searched;
+    F.set("variants_searched", Searched);
+    F.set("variants_rejected", Result.VariantsRejected);
+    F.set("configs_rejected", Result.ConfigsRejected);
+    F.set("infeasible_pruned", Result.InfeasiblePruned);
+    F.set("best_variant",
+          Result.BestVariant >= 0 ? Result.best().Spec.Name : "");
+    F.set("best_config",
+          Result.BestVariant >= 0
+              ? Result.best().configString(Result.BestConfig)
+              : "");
+    F.set("best_cost", Result.BestCost);
+    F.set("wall_s", Result.TotalSeconds);
+    F.set("cancelled", Result.Cancelled);
+    obs::publishEvent("tune.done", std::move(F));
+  }
   return Result;
 }
 

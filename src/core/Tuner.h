@@ -44,6 +44,7 @@ struct VariantSummary {
   std::string BestConfig;
   size_t Points = 0;        ///< backend evaluations (from evaluator stats)
   size_t CacheHits = 0;     ///< memo hits during this variant's search
+  size_t Infeasible = 0;    ///< candidates model constraints pruned unrun
   double Seconds = 0;       ///< wall-clock of this variant's search
 };
 
@@ -96,6 +97,14 @@ struct TuneResult {
   size_t TotalPoints = 0;    ///< backend evaluations (Section 4.3)
   size_t TotalCacheHits = 0; ///< evaluator memo hits across the tune
   double TotalSeconds = 0;
+  /// The pruning ledger (the per-tune Tables 3/4 story): derivation
+  /// plans a transform refused, candidate configs the model constraints
+  /// rejected without execution, and configs a transform refused at
+  /// evaluation time. All three are "search space the models removed";
+  /// the flight-recorder report reconciles against exactly these.
+  size_t VariantsRejected = 0; ///< derivation-time TransformError prunes
+  size_t InfeasiblePruned = 0; ///< constraint/bounds prunes, never run
+  size_t ConfigsRejected = 0;  ///< evaluator-level TransformError prunes
   /// True when TuneOptions::ShouldStop fired: the result is the best
   /// configuration found before cancellation, not a completed tune.
   bool Cancelled = false;

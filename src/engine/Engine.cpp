@@ -1,6 +1,7 @@
 //===- engine/Engine.cpp - Parallel evaluation engine ---------------------===//
 
 #include "engine/Engine.h"
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Span.h"
@@ -145,8 +146,22 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     // Illegal unroll/prefetch request for this config: infinite cost,
     // never an escaping exception (evalOne runs on lane threads).
     ECO_LOG(Warn) << "config rejected (illegal transform): " << E.what();
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.Rejected;
+    }
     if (obs::metricsEnabled())
       obs::metrics().counter("transform.rejected").inc();
+    if (obs::eventsEnabled()) {
+      // Paired 1:1 with the transform.rejected bump: the event audit
+      // reconciles config.rejected events against that counter.
+      Json F = Json::object();
+      F.set("variant", V.Spec.Name);
+      F.set("stage", Stage);
+      F.set("config", V.configString(Config));
+      F.set("reason", std::string(E.what()));
+      obs::publishEvent("config.rejected", std::move(F));
+    }
     EvalOutcome Bad;
     Bad.Cost = std::numeric_limits<double>::infinity();
     Bad.Lane = Lane;
@@ -172,6 +187,8 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     }
     if (obs::metricsEnabled())
       mirrorToMetrics(V.Spec.Name, Stage, /*CacheHit=*/true, 0, nullptr);
+    if (obs::eventsEnabled())
+      publishEvaluated(V, Config, Stage, O, Warm);
     Trace.append({0, StartMs, V.Spec.Name, Stage, V.configString(Config),
                   O.Cost, /*CacheHit=*/true, Warm, 0, Lane});
     return O;
@@ -227,6 +244,8 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
   if (obs::metricsEnabled())
     mirrorToMetrics(V.Spec.Name, Stage, /*CacheHit=*/false, O.Millis,
                     LiveHW ? &Delta : nullptr);
+  if (obs::eventsEnabled())
+    publishEvaluated(V, Config, Stage, O, Warm);
   if (SaveNow) {
     // Periodic durability for kill/resume. Saves are serialized: when
     // another lane is already writing the snapshot, skip rather than

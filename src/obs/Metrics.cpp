@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 using namespace eco;
 using namespace eco::obs;
@@ -71,6 +72,30 @@ double Histogram::maxValue() const {
   return count() ? Max.load(std::memory_order_relaxed) : 0;
 }
 
+double Histogram::quantile(double Q) const {
+  uint64_t Total = count();
+  if (!Total)
+    return 0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  // Rank of the quantile record, 1-based; Q=0 asks for the first record.
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (Rank * 1.0 < Q * static_cast<double>(Total) || Rank == 0)
+    ++Rank; // ceil, and at least 1
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I <= NumBounded; ++I) {
+    Seen += bucketCount(I);
+    if (Seen >= Rank) {
+      // Overflow bucket has no upper bound; report the observed max.
+      double V = I < NumBounded ? bucketBound(I) : maxValue();
+      return std::min(std::max(V, minValue()), maxValue());
+    }
+  }
+  // Racing record() can make Count exceed the bucket sum momentarily.
+  return maxValue();
+}
+
 Json Histogram::toJson() const {
   Json J = Json::object();
   J.set("count", count());
@@ -87,6 +112,11 @@ Json Histogram::toJson() const {
     Bs.push(bucketCount(I));
   J.set("buckets", std::move(Bs));
   J.set("overflow", bucketCount(NumBounded));
+  if (count()) {
+    J.set("p50", quantile(0.50));
+    J.set("p95", quantile(0.95));
+    J.set("p99", quantile(0.99));
+  }
   return J;
 }
 
@@ -141,6 +171,65 @@ Json MetricsRegistry::toJson() const {
   Root.set("gauges", std::move(Gs));
   Root.set("histograms", std::move(Hs));
   return Root;
+}
+
+namespace {
+
+std::string promName(const std::string &Name) {
+  std::string Out = "eco_";
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out.push_back(Ok ? C : '_');
+  }
+  return Out;
+}
+
+std::string promNumber(double V) {
+  char Buf[64];
+  // Integral values print without an exponent so counters stay readable;
+  // %.17g keeps full double precision otherwise (matches Json::dump).
+  if (V == static_cast<double>(static_cast<long long>(V)))
+    snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  else
+    snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::toPrometheus() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out;
+  for (const auto &[Name, C] : Counters) {
+    std::string P = promName(Name);
+    Out += "# TYPE " + P + " counter\n";
+    Out += P + " " + promNumber(static_cast<double>(C->value())) + "\n";
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::string P = promName(Name);
+    Out += "# TYPE " + P + " gauge\n";
+    Out += P + " " + promNumber(G->value()) + "\n";
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string P = promName(Name);
+    Out += "# TYPE " + P + " histogram\n";
+    // Prometheus buckets are cumulative: each `le` series counts every
+    // record at or below that bound, ending with the +Inf total.
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I < H->numBuckets(); ++I) {
+      Cum += H->bucketCount(I);
+      Out += P + "_bucket{le=\"" + promNumber(H->bucketBound(I)) + "\"} " +
+             promNumber(static_cast<double>(Cum)) + "\n";
+    }
+    Cum += H->bucketCount(H->numBuckets());
+    Out += P + "_bucket{le=\"+Inf\"} " +
+           promNumber(static_cast<double>(Cum)) + "\n";
+    Out += P + "_sum " + promNumber(H->sum()) + "\n";
+    Out += P + "_count " + promNumber(static_cast<double>(H->count())) +
+           "\n";
+  }
+  return Out;
 }
 
 void MetricsRegistry::resetValues() {

@@ -91,9 +91,23 @@ public:
   /// bucket.
   uint64_t bucketCount(unsigned I) const;
 
+  /// The value at quantile \p Q in [0, 1], derived exactly from the
+  /// log2 bucket counts: the rank-th record (rank = ceil(Q * count),
+  /// at least 1) is located by a cumulative walk and the containing
+  /// bucket's upper bound is returned, clamped to [minValue, maxValue].
+  ///
+  /// Error bound: the true quantile lies inside the same bucket, whose
+  /// bounds differ by exactly 2x — so the returned value overestimates
+  /// the true quantile by at most a factor of 2 (and is exact whenever
+  /// the clamp to min/max applies, e.g. single-valued data). Returns 0
+  /// when empty. Under concurrent record() the result reflects some
+  /// recent state, like every other accessor.
+  double quantile(double Q) const;
+
   /// {"count":..,"sum":..,"min":..,"max":..,"firstBound":..,
-  ///  "buckets":[..], "overflow":..} — buckets with trailing zeros
-  /// trimmed so dumps stay small.
+  ///  "buckets":[..], "overflow":.., "p50":.., "p95":.., "p99":..}
+  /// — buckets with trailing zeros trimmed so dumps stay small;
+  /// the p* fields are quantile() snapshots (present when count > 0).
   Json toJson() const;
 
   void reset();
@@ -121,6 +135,14 @@ public:
   /// Point-in-time snapshot:
   /// {"counters":{name:value}, "gauges":{...}, "histograms":{...}}.
   Json toJson() const;
+
+  /// Point-in-time snapshot in Prometheus text exposition format
+  /// (version 0.0.4): counters as `# TYPE eco_<name> counter`, gauges
+  /// as gauges, histograms as the standard cumulative-`le` bucket
+  /// series plus `_sum`/`_count`. Metric names are prefixed "eco_" and
+  /// sanitized (every character outside [a-zA-Z0-9_:] becomes '_'),
+  /// so "eval.cache_hits" scrapes as eco_eval_cache_hits.
+  std::string toPrometheus() const;
 
   /// Zeroes every metric in place (references stay valid). Used by the
   /// CLI at tune start and by tests.

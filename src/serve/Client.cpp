@@ -155,9 +155,9 @@ bool Client::ping(std::string *Error) {
   return true;
 }
 
-Json Client::stats() {
+Json Client::simpleOp(const std::string &Op) {
   Json Req = Json::object();
-  Req.set("op", "stats");
+  Req.set("op", Op);
   Json Resp;
   std::string Error;
   if (roundTrip(Req, Resp, &Error))
@@ -167,6 +167,12 @@ Json Client::stats() {
   J.set("error", Error);
   return J;
 }
+
+Json Client::stats() { return simpleOp("stats"); }
+
+Json Client::metrics() { return simpleOp("metrics"); }
+
+Json Client::jobs() { return simpleOp("jobs"); }
 
 bool Client::requestShutdown(std::string *Error) {
   Json Req = Json::object();

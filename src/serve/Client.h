@@ -54,11 +54,21 @@ public:
 
   bool ping(std::string *Error = nullptr);
   Json stats();
+  /// Prometheus text exposition of the daemon's obs metrics, wrapped in
+  /// {"ok":true,"content_type":...,"body":"..."}; "body" is empty when
+  /// the daemon runs without --metrics-file (metrics disabled).
+  Json metrics();
+  /// Live per-job state: {"ok":true,"jobs":[{id, phase, queue_wait_ms,
+  /// run_ms, evals_done, ...}]} for every queued or running job.
+  Json jobs();
   /// Asks the daemon to shut down (it drains gracefully).
   bool requestShutdown(std::string *Error = nullptr);
 
 private:
   explicit Client(int Fd) : Fd(Fd) {}
+
+  /// One no-argument request -> response ({"op":Op}).
+  Json simpleOp(const std::string &Op);
 
   int Fd = -1;
   std::string Buf; ///< bytes past the last consumed response line

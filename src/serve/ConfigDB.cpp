@@ -108,6 +108,20 @@ bool ConfigDB::save(const std::string &Path) const {
       Row.set("evaluations", E.Evaluations);
       Row.set("seconds", E.Seconds);
       Row.set("warmStart", E.WarmStart);
+      // Compact provenance blob: the tune's pruning ledger + winner
+      // lineage. Written unconditionally so every new row explains
+      // itself; absent in legacy rows, which load with zeros.
+      Json Prov = Json::object();
+      Prov.set("cacheHits", E.CacheHits);
+      Prov.set("variantsDerived", E.VariantsDerived);
+      Prov.set("variantsSearched", E.VariantsSearched);
+      Prov.set("variantsRejected", E.VariantsRejected);
+      Prov.set("infeasiblePruned", E.InfeasiblePruned);
+      Prov.set("configsRejected", E.ConfigsRejected);
+      Prov.set("wallMs", E.WallMs);
+      Prov.set("seedN", E.SeedN);
+      Prov.set("seedVariant", E.SeedVariant);
+      Row.set("provenance", std::move(Prov));
       List.push(std::move(Row));
     }
   }
@@ -145,6 +159,25 @@ size_t ConfigDB::load(const std::string &Path) {
     E.Evaluations = static_cast<uint64_t>(Row.get("evaluations").asInt());
     E.Seconds = Row.get("seconds").asNumber();
     E.WarmStart = Row.get("warmStart").asString();
+    // Legacy rows predate the provenance blob: they load with the
+    // zero/empty defaults and stay valid (audits treat 0 as "unknown").
+    const Json &Prov = Row.get("provenance");
+    if (Prov.isObject()) {
+      E.CacheHits = static_cast<uint64_t>(Prov.get("cacheHits").asInt());
+      E.VariantsDerived =
+          static_cast<uint64_t>(Prov.get("variantsDerived").asInt());
+      E.VariantsSearched =
+          static_cast<uint64_t>(Prov.get("variantsSearched").asInt());
+      E.VariantsRejected =
+          static_cast<uint64_t>(Prov.get("variantsRejected").asInt());
+      E.InfeasiblePruned =
+          static_cast<uint64_t>(Prov.get("infeasiblePruned").asInt());
+      E.ConfigsRejected =
+          static_cast<uint64_t>(Prov.get("configsRejected").asInt());
+      E.WallMs = Prov.get("wallMs").asNumber();
+      E.SeedN = Prov.get("seedN").asInt();
+      E.SeedVariant = Prov.get("seedVariant").asString();
+    }
     // The machine hash persists as fixed-width hex (same rendering as
     // the eval-cache keys); reparse it.
     const std::string &Hex = Row.get("machine").asString();

@@ -55,6 +55,20 @@ struct TunedEntry {
   uint64_t Evaluations = 0;///< backend evaluations the tune spent
   double Seconds = 0;      ///< tune wall time
   std::string WarmStart;   ///< how this tune started: "cold"/"nearest"
+
+  // Provenance: the search's own ledger of how the row was earned,
+  // persisted as a nested "provenance" object. Legacy rows load with
+  // zeros/empties; eco_check --audit-db sanity-checks the invariants
+  // (searched <= derived, a "nearest" warm start names its seed).
+  uint64_t CacheHits = 0;       ///< evaluator memo hits during the tune
+  uint64_t VariantsDerived = 0; ///< phase-1 variants the models proposed
+  uint64_t VariantsSearched = 0;///< variants that got an empirical search
+  uint64_t VariantsRejected = 0;///< derivation-time TransformError prunes
+  uint64_t InfeasiblePruned = 0;///< constraint prunes, never executed
+  uint64_t ConfigsRejected = 0; ///< evaluation-time TransformError prunes
+  double WallMs = 0;            ///< job run wall time (ms)
+  int64_t SeedN = 0;            ///< warm-seed problem size (0 = cold)
+  std::string SeedVariant;      ///< warm-seed winning variant (lineage)
 };
 
 /// Thread-safe persistent map of tuned results.

@@ -13,6 +13,8 @@
 ///    "n":96,"priority":2,"deadline_ms":60000,"force":false}
 ///   {"op":"query","kernel":"matmul","machine":"sgi","scale":16,"n":96}
 ///   {"op":"stats"}
+///   {"op":"jobs"}     — live per-job state: phase, queue wait, progress
+///   {"op":"metrics"}  — Prometheus text of the obs registry, in "body"
 ///   {"op":"shutdown"}
 ///
 /// submit blocks the connection until the job resolves (the scheduler

@@ -5,6 +5,7 @@
 #include "core/Tuner.h"
 #include "engine/Engine.h"
 #include "kernels/Kernels.h"
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Span.h"
@@ -102,10 +103,12 @@ std::shared_ptr<ServeJob> TuneService::submit(const JobSpec &Spec) {
   auto Now = Clock::now();
   std::string RejectReason;
   std::shared_ptr<ServeJob> Job;
+  size_t Depth = 0;
   {
     std::lock_guard<std::mutex> Lock(QM);
     Job = std::make_shared<ServeJob>(NextJobId++, Spec);
     Job->SubmitTime = Now;
+    Job->SubmitUs = obs::monotonicMicros();
     if (Spec.DeadlineMs > 0)
       Job->Deadline = Now + std::chrono::milliseconds(Spec.DeadlineMs);
     if (Draining)
@@ -115,6 +118,7 @@ std::shared_ptr<ServeJob> TuneService::submit(const JobSpec &Spec) {
                      std::to_string(Opts.QueueCapacity) + ")";
     else {
       Queue.emplace(std::make_pair(-Spec.Priority, NextSeq++), Job);
+      Depth = Queue.size();
       if (obs::metricsEnabled())
         obs::metrics().gauge("serve.queue_depth")
             .set(static_cast<double>(Queue.size()));
@@ -123,9 +127,22 @@ std::shared_ptr<ServeJob> TuneService::submit(const JobSpec &Spec) {
   {
     std::lock_guard<std::mutex> Lock(SM);
     ++Submitted;
+    Live[Job->Id] = Job;
   }
   if (obs::metricsEnabled())
     obs::metrics().counter("serve.submitted").inc();
+  if (obs::eventsEnabled()) {
+    Json F = Json::object();
+    F.set("id", static_cast<int64_t>(Job->Id));
+    F.set("kernel", Spec.Kernel);
+    F.set("machine", Spec.Machine);
+    F.set("n", Spec.N);
+    F.set("priority", static_cast<int64_t>(Spec.Priority));
+    F.set("queue_depth", static_cast<int64_t>(Depth));
+    if (!RejectReason.empty())
+      F.set("rejected", RejectReason);
+    obs::publishEvent("job.submitted", std::move(F));
+  }
   if (!RejectReason.empty()) {
     // Explicit backpressure: the caller learns immediately instead of
     // blocking on a queue slot that may be minutes away.
@@ -174,6 +191,56 @@ Json TuneService::statsJson() const {
   J.set("cache_hits", SharedCache->hits());
   J.set("cache_misses", SharedCache->misses());
   return J;
+}
+
+Json TuneService::jobsJson() const {
+  std::vector<std::shared_ptr<ServeJob>> Jobs;
+  {
+    std::lock_guard<std::mutex> Lock(SM);
+    for (const auto &[Id, Weak] : Live) {
+      (void)Id;
+      if (auto J = Weak.lock())
+        Jobs.push_back(std::move(J));
+    }
+  }
+  uint64_t NowUs = obs::monotonicMicros();
+  Json Arr = Json::array();
+  for (const auto &J : Jobs) {
+    if (J->done())
+      continue; // resolved between the snapshot and now
+    Json O = Json::object();
+    O.set("id", static_cast<int64_t>(J->Id));
+    O.set("kernel", J->Spec.Kernel);
+    O.set("machine", J->Spec.Machine);
+    O.set("n", J->Spec.N);
+    O.set("priority", static_cast<int64_t>(J->Spec.Priority));
+    uint64_t StartUs = J->StartUs.load(std::memory_order_relaxed);
+    O.set("phase", StartUs ? "running" : "queued");
+    // Queue wait: submission to pickup (still growing while queued).
+    uint64_t WaitEndUs = StartUs ? StartUs : NowUs;
+    O.set("queue_wait_ms",
+          static_cast<double>(WaitEndUs - J->SubmitUs) / 1e3);
+    if (StartUs) {
+      double RunMs = static_cast<double>(NowUs - StartUs) / 1e3;
+      O.set("run_ms", RunMs);
+      uint64_t Done = J->Ticks.load(std::memory_order_relaxed);
+      uint64_t Expect = J->ExpectedTicks.load(std::memory_order_relaxed);
+      O.set("evals_done", static_cast<int64_t>(Done));
+      if (Expect) {
+        O.set("evals_expected", static_cast<int64_t>(Expect));
+        // Naive ETA: remaining points at the observed per-point rate.
+        // The estimate comes from the warm seed's recorded evaluation
+        // count, so it is an upper bound more often than not.
+        if (Done > 0 && Expect > Done)
+          O.set("eta_ms", RunMs * static_cast<double>(Expect - Done) /
+                              static_cast<double>(Done));
+      }
+    }
+    Arr.push(std::move(O));
+  }
+  Json Out = Json::object();
+  Out.set("jobs", std::move(Arr));
+  return Out;
 }
 
 size_t TuneService::cancelQueued() {
@@ -247,6 +314,19 @@ void TuneService::finishJob(ServeJob &Job, JobResult R) {
     ++StatusCounts[R.Status];
     if (!R.WarmStart.empty())
       ++WarmCounts[R.WarmStart];
+    Live.erase(Job.Id);
+  }
+  if (obs::eventsEnabled()) {
+    Json F = Json::object();
+    F.set("id", static_cast<int64_t>(Job.Id));
+    F.set("status", R.Status);
+    if (!R.WarmStart.empty())
+      F.set("warm_start", R.WarmStart);
+    F.set("evaluations", static_cast<int64_t>(R.Evaluations));
+    F.set("cache_hits", static_cast<int64_t>(R.CacheHits));
+    F.set("queue_ms", R.QueueMs);
+    F.set("run_ms", R.RunMs);
+    obs::publishEvent("job.finished", std::move(F));
   }
   if (obs::metricsEnabled()) {
     obs::MetricsRegistry &Reg = obs::metrics();
@@ -267,11 +347,40 @@ void TuneService::finishJob(ServeJob &Job, JobResult R) {
 
 void TuneService::execute(ServeJob &Job) {
   auto Start = Clock::now();
+  Job.StartUs.store(obs::monotonicMicros(), std::memory_order_relaxed);
+  // Everything the tune publishes from this thread — config.evaluated,
+  // winner.updated, stage telemetry — carries this job's id, so the
+  // flight recorder separates concurrent jobs' streams.
+  obs::ScopedJobId JobScope(Job.Id);
+  // Span timeline: each job gets its own named row ("job-<id>") so the
+  // Chrome trace shows queue wait and run back to back per job, next to
+  // the engine-lane rows.
+  const int JobTid = static_cast<int>(1000 + Job.Id % 1000000);
+  obs::SpanCollector &Spans = obs::SpanCollector::global();
+  if (Spans.enabled()) {
+    Spans.setThreadName(JobTid, "job-" + std::to_string(Job.Id));
+    obs::SpanRecord Wait;
+    Wait.Name = "job.queue-wait";
+    Wait.Cat = "serve";
+    Wait.Detail = Job.Spec.summary();
+    Wait.StartUs = Job.SubmitUs;
+    Wait.DurUs = Job.StartUs.load(std::memory_order_relaxed) - Job.SubmitUs;
+    Wait.Tid = JobTid;
+    Spans.record(Wait);
+  }
+  obs::SpanScope RunSpan("job.run", "serve", Job.Spec.summary(), JobTid);
+
   if (Opts.TestGate)
     Opts.TestGate(Job.Spec);
 
   JobResult R;
   R.QueueMs = msBetween(Job.SubmitTime, Start);
+  if (obs::eventsEnabled()) {
+    Json F = Json::object();
+    F.set("id", static_cast<int64_t>(Job.Id));
+    F.set("queue_wait_ms", R.QueueMs);
+    obs::publishEvent("job.started", std::move(F));
+  }
 
   auto deadlinePassed = [&Job] {
     return Job.Spec.DeadlineMs > 0 && Clock::now() >= Job.Deadline;
@@ -300,8 +409,6 @@ void TuneService::execute(ServeJob &Job) {
   }
   uint64_t MHash = Machine.fingerprint();
 
-  obs::SpanScope Span("serve.job", "serve", Job.Spec.summary());
-
   // Exact hit: the same (kernel, machine, N) was tuned before. The
   // stored configuration comes back with zero evaluations — the
   // service's whole reason to exist.
@@ -322,6 +429,8 @@ void TuneService::execute(ServeJob &Job) {
   TuneOptions TOpts;
   TOpts.MaxVariantsToSearch = Opts.ColdVariantsToSearch;
   R.WarmStart = "cold";
+  int64_t SeedN = 0;
+  std::string SeedVariant;
   if (auto Seed = Db.nearest(Job.Spec.Kernel, MHash, Job.Spec.N)) {
     // Nearest hit: seed the search's initial point and clamp the stage
     // bounds around it; the seed also tells us which variant family won
@@ -336,10 +445,18 @@ void TuneService::execute(ServeJob &Job) {
     if (Seed->N == Job.Spec.N)
       TOpts.PreferVariant = Seed->Variant;
     R.WarmStart = "nearest";
+    SeedN = Seed->N;
+    SeedVariant = Seed->Variant;
+    // The seed's recorded evaluation count is the only ETA basis we
+    // have; jobsJson() treats it as the expected total.
+    Job.ExpectedTicks.store(Seed->Evaluations, std::memory_order_relaxed);
     ECO_LOG(Debug) << "serve: job " << Job.Id << " warm-starts from n="
                    << Seed->N;
   }
   TOpts.ShouldStop = [&Job, deadlinePassed] {
+    // Polled once per candidate evaluation: doubles as the progress
+    // counter the "jobs" verb reports.
+    Job.Ticks.fetch_add(1, std::memory_order_relaxed);
     return Job.cancelRequested() || deadlinePassed();
   };
 
@@ -393,6 +510,20 @@ void TuneService::execute(ServeJob &Job) {
   E.Evaluations = R.Evaluations;
   E.Seconds = TR.TotalSeconds;
   E.WarmStart = R.WarmStart;
+  // Provenance: how the search earned this row. Explains the entry
+  // (eco_check --audit-db sanity-checks it) and lets a later reader ask
+  // "how much did the models prune before anything ran?".
+  E.CacheHits = TR.TotalCacheHits;
+  E.VariantsDerived = TR.Variants.size();
+  for (const VariantSummary &S : TR.Summaries)
+    if (S.Searched)
+      ++E.VariantsSearched;
+  E.VariantsRejected = TR.VariantsRejected;
+  E.InfeasiblePruned = TR.InfeasiblePruned;
+  E.ConfigsRejected = TR.ConfigsRejected;
+  E.WallMs = R.RunMs;
+  E.SeedN = SeedN;
+  E.SeedVariant = SeedVariant;
   Db.put(E);
   Db.save(); // atomic rewrite; a kill never leaves a torn DB
 
@@ -628,6 +759,22 @@ Json Server::handleRequest(const Json &Req) {
   }
   if (Op == "stats") {
     Json J = Service.statsJson();
+    J.set("ok", true);
+    return J;
+  }
+  if (Op == "metrics") {
+    // Prometheus text exposition, shipped inside the JSON envelope so
+    // the wire protocol stays one-object-per-line. eco_served --op=
+    // metrics unwraps "body" for piping into a scrape file.
+    Json J = Json::object();
+    J.set("ok", true);
+    J.set("content_type", "text/plain; version=0.0.4");
+    J.set("body", obs::metricsEnabled() ? obs::metrics().toPrometheus()
+                                        : std::string());
+    return J;
+  }
+  if (Op == "jobs") {
+    Json J = Service.jobsJson();
     J.set("ok", true);
     return J;
   }

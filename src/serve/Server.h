@@ -24,7 +24,11 @@
 ///    and/or a TCP port, one thread per connection, speaking the
 ///    line-delimited JSON protocol (serve/Protocol.h). A "shutdown"
 ///    request flips a flag the daemon's main loop watches; the daemon
-///    then stops the listeners and drains the service.
+///    then stops the listeners and drains the service. The "metrics"
+///    (Prometheus text of the obs registry) and "jobs" (live per-job
+///    state) verbs answer from in-memory state without touching the
+///    scheduler's queue lock for longer than a snapshot, so a scrape
+///    mid-tune stays cheap.
 ///
 /// Serving is simulator-only by design: the simulated cost is a pure
 /// function of (kernel, machine, config), which is what makes stored
@@ -66,6 +70,19 @@ public:
   std::chrono::steady_clock::time_point SubmitTime;
   /// SubmitTime + DeadlineMs; only meaningful when Spec.DeadlineMs > 0.
   std::chrono::steady_clock::time_point Deadline;
+
+  // Live-introspection state (the "jobs" protocol verb). Written by the
+  // scheduler / the running tune, read concurrently by jobsJson().
+  /// obs::monotonicMicros() at submission (spans + events timeline).
+  uint64_t SubmitUs = 0;
+  /// obs::monotonicMicros() when a worker picked the job up (0 = queued).
+  std::atomic<uint64_t> StartUs{0};
+  /// Progress ticks: the tune's ShouldStop hook is polled once per
+  /// candidate evaluation, so this approximates evaluations done.
+  std::atomic<uint64_t> Ticks{0};
+  /// Evaluation-count estimate (the warm-seed's recorded evaluations);
+  /// 0 when there is no basis for an ETA.
+  std::atomic<uint64_t> ExpectedTicks{0};
 
   /// Requests cooperative cancellation; the running tune notices at its
   /// next evaluation and returns best-so-far.
@@ -141,6 +158,11 @@ public:
   /// Lifetime counters + queue state as a JSON object (the "stats" op).
   Json statsJson() const;
 
+  /// Live per-job state (the "jobs" op): every queued or running job
+  /// with queue wait, phase, progress ticks, and — when a warm seed
+  /// supplied an evaluation-count estimate — a naive ETA.
+  Json jobsJson() const;
+
   /// Stops accepting new jobs, waits for the queue to empty and every
   /// running job to finish, joins the workers, and saves the DB. Jobs
   /// already admitted run to completion (graceful SIGTERM semantics);
@@ -178,6 +200,9 @@ private:
   std::map<std::string, uint64_t> StatusCounts; ///< by JobResult::Status
   std::map<std::string, uint64_t> WarmCounts;   ///< exact/nearest/cold
   uint64_t Submitted = 0;
+  /// Queued + running jobs, for jobsJson(). weak_ptr: introspection
+  /// must never extend a job's lifetime past its waiter.
+  std::map<uint64_t, std::weak_ptr<ServeJob>> Live;
 };
 
 // Forward-declared here so Server.cpp owns the POSIX socket details.

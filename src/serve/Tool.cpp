@@ -2,6 +2,7 @@
 
 #include "serve/Tool.h"
 
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "serve/Client.h"
@@ -41,6 +42,7 @@ int eco::serve::serveToolMain(const std::vector<std::string> &Args) {
   ServerOptions SrvOpts;
   SrvOpts.UnixPath = "eco_serve.sock";
   std::string MetricsFile;
+  std::string EventsFile;
   bool LogLevelSet = false;
 
   for (const std::string &Arg : Args) {
@@ -58,6 +60,8 @@ int eco::serve::serveToolMain(const std::vector<std::string> &Args) {
       SvcOpts.EngineJobs = std::atoi(V);
     } else if (const char *V = valueOf(Arg, "--metrics-file=")) {
       MetricsFile = V;
+    } else if (const char *V = valueOf(Arg, "--events-file=")) {
+      EventsFile = V;
     } else if (const char *V = valueOf(Arg, "--log-level=")) {
       if (!obs::setLogLevelByName(V)) {
         std::fprintf(stderr, "error: bad --log-level=%s\n", V);
@@ -69,6 +73,7 @@ int eco::serve::serveToolMain(const std::vector<std::string> &Args) {
                    "usage: eco_served [--socket=PATH] [--tcp=PORT] "
                    "[--db=FILE] [--workers=N] [--queue=N] "
                    "[--engine-jobs=N] [--metrics-file=F] "
+                   "[--events-file=F] "
                    "[--log-level=off|error|warn|info|debug]\n");
       return 2;
     }
@@ -77,6 +82,17 @@ int eco::serve::serveToolMain(const std::vector<std::string> &Args) {
     obs::setLogLevelByName("info"); // a daemon should say what it's doing
   if (!MetricsFile.empty())
     obs::setMetricsEnabled(true);
+  if (!EventsFile.empty()) {
+    // Flight recorder: every tune's provenance stream, with per-job
+    // attribution, appended as JSONL (append mode: a restarted daemon
+    // adds a new seq=0 segment rather than clobbering history).
+    if (!obs::EventBus::global().openFile(EventsFile, /*Append=*/true)) {
+      std::fprintf(stderr, "error: cannot open events file %s\n",
+                   EventsFile.c_str());
+      return 1;
+    }
+    obs::setEventsEnabled(true);
+  }
 
   TuneService Service(SvcOpts);
   Server Srv(Service, SrvOpts);
@@ -111,6 +127,8 @@ int eco::serve::serveToolMain(const std::vector<std::string> &Args) {
   Service.drain();
   if (!MetricsFile.empty())
     obs::metrics().toJson().saveFile(MetricsFile);
+  if (!EventsFile.empty())
+    obs::EventBus::global().closeFile();
   std::printf("eco_served: drained; db saved to %s\n",
               SvcOpts.DbPath.c_str());
   return 0;
@@ -149,7 +167,8 @@ int eco::serve::submitToolMain(const std::vector<std::string> &Args) {
     } else {
       std::fprintf(stderr,
                    "usage: eco_cli submit [--socket=PATH | --host=H "
-                   "--port=P] [--op=submit|query|stats|ping|shutdown] "
+                   "--port=P] [--op=submit|query|stats|jobs|metrics|"
+                   "ping|shutdown] "
                    "[--kernel=K] [--machine=M] [--scale=S] [--n=N] "
                    "[--priority=P] [--deadline-ms=MS] [--force]\n");
       return 2;
@@ -172,6 +191,16 @@ int eco::serve::submitToolMain(const std::vector<std::string> &Args) {
     Resp = C->query(Spec);
   } else if (Op == "stats") {
     Resp = C->stats();
+  } else if (Op == "jobs") {
+    Resp = C->jobs();
+  } else if (Op == "metrics") {
+    // Print the Prometheus body raw (not the JSON envelope) so the
+    // output can be piped straight into a scrape file or promtool.
+    Resp = C->metrics();
+    if (Resp.get("ok").asBool(false)) {
+      std::printf("%s", Resp.get("body").asString().c_str());
+      return 0;
+    }
   } else if (Op == "ping") {
     bool Ok = C->ping(&Error);
     Resp = Json::object();

@@ -1,20 +1,30 @@
 //===- tests/test_obs.cpp - obs/ unit tests -------------------------------===//
 //
 // Covers the observability subsystem: metric semantics (histogram bucket
-// boundaries, concurrent updates under the engine's ThreadPool), span
-// collection and Chrome trace export, JSON escaping of hostile names, and
-// the leveled logger's zero-evaluation guarantee when disabled.
+// boundaries and quantiles, concurrent updates under the engine's
+// ThreadPool), span collection and Chrome trace export, JSON escaping of
+// hostile names, the leveled logger's zero-evaluation guarantee when
+// disabled, and the flight recorder (obs/Event.h): publication stamping,
+// drop-oldest overflow, job attribution, JSONL round-trips, concurrent
+// publishers (the "obs" ctest label runs this under TSan), and a real
+// tune whose event stream must reconcile with its TuneResult.
 //
 //===----------------------------------------------------------------------===//
 
+#include "check/EventAudit.h"
+#include "core/Tuner.h"
 #include "engine/ThreadPool.h"
+#include "kernels/Kernels.h"
+#include "obs/Event.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/Report.h"
 #include "obs/Span.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -98,6 +108,45 @@ TEST(ObsHistogram, SumMinMax) {
   EXPECT_DOUBLE_EQ(H.sum(), 6.0);
   EXPECT_DOUBLE_EQ(H.minValue(), 1.0);
   EXPECT_DOUBLE_EQ(H.maxValue(), 3.0);
+}
+
+TEST(ObsHistogram, QuantileExactAtBucketBounds) {
+  // When every sample sits exactly on a bucket bound the quantile is the
+  // bound itself — no bucket uncertainty at all.
+  obs::Histogram H(1.0, 8);
+  for (int I = 0; I < 5; ++I)
+    H.record(1.0);
+  for (int I = 0; I < 4; ++I)
+    H.record(4.0);
+  H.record(100.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.50), 1.0); // rank 5 of 10
+  EXPECT_DOUBLE_EQ(H.quantile(0.90), 4.0); // rank 9
+  // Rank 10 lands in the 100.0 sample's bucket (bound 128), clamped to
+  // the observed max.
+  EXPECT_DOUBLE_EQ(H.quantile(0.95), 100.0);
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram(1.0, 4).quantile(0.5), 0.0); // empty
+}
+
+TEST(ObsHistogram, QuantileNeverBelowTruthAtMostTwice) {
+  // Off-bound samples: the reported quantile is the enclosing log2
+  // bucket's upper bound — >= the true order statistic, <= 2x it.
+  obs::Histogram H(1e-3, 24);
+  std::vector<double> Samples;
+  for (int I = 1; I <= 200; ++I) {
+    double V = 0.017 * I * I; // spread over many buckets
+    Samples.push_back(V);
+    H.record(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  for (double Q : {0.50, 0.95, 0.99}) {
+    double Exact =
+        Samples[static_cast<size_t>(Q * (Samples.size() - 1))];
+    double Approx = H.quantile(Q);
+    EXPECT_GE(Approx, Exact) << "q=" << Q;
+    EXPECT_LE(Approx, Exact * 2.0) << "q=" << Q;
+  }
 }
 
 TEST(ObsHistogram, JsonRoundTrip) {
@@ -346,4 +395,252 @@ TEST(ObsClock, MonotonicMicrosNeverGoesBackward) {
   uint64_t A = obs::monotonicMicros();
   uint64_t B = obs::monotonicMicros();
   EXPECT_LE(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Event bus (the flight recorder)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// RAII around the process-wide bus: clear + enable on entry, disable +
+/// clear on exit, so event tests cannot leak state into each other (or
+/// into the library-default-off guarantee other tests assert).
+struct ScopedEventCapture {
+  ScopedEventCapture() {
+    obs::EventBus::global().clear();
+    obs::setEventsEnabled(true);
+  }
+  ~ScopedEventCapture() {
+    obs::setEventsEnabled(false);
+    obs::EventBus::global().clear();
+  }
+};
+
+Json fields(const char *Key, int64_t Value) {
+  Json F = Json::object();
+  F.set(Key, Value);
+  return F;
+}
+
+} // namespace
+
+TEST(ObsEventBus, DisabledBusDropsPublishes) {
+  // Library default: events off, publish is a no-op.
+  obs::EventBus &Bus = obs::EventBus::global();
+  Bus.clear();
+  ASSERT_FALSE(obs::eventsEnabled());
+  uint64_t Before = Bus.published();
+  Bus.publish("test.noop", fields("k", 1));
+  EXPECT_EQ(Bus.published(), Before);
+  EXPECT_TRUE(Bus.snapshot().empty());
+}
+
+TEST(ObsEventBus, StampsDenseSeqAndMonotonicTime) {
+  ScopedEventCapture Cap;
+  obs::EventBus &Bus = obs::EventBus::global();
+  for (int I = 0; I < 3; ++I)
+    obs::publishEvent("test.stamp", fields("i", I));
+
+  std::vector<obs::Event> Events = Bus.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Bus.published(), 3u);
+  EXPECT_EQ(Bus.typeCount("test.stamp"), 3u);
+  for (size_t I = 0; I < Events.size(); ++I) {
+    EXPECT_EQ(Events[I].Type, "test.stamp");
+    EXPECT_EQ(Events[I].Fields.get("i").asInt(), static_cast<int64_t>(I));
+    EXPECT_EQ(Events[I].Job, 0u); // not inside a serve job
+    if (I) {
+      EXPECT_EQ(Events[I].Seq, Events[I - 1].Seq + 1); // dense
+      EXPECT_GE(Events[I].TimeUs, Events[I - 1].TimeUs);
+    }
+  }
+}
+
+TEST(ObsEventBus, ScopedJobIdAttributesEvents) {
+  ScopedEventCapture Cap;
+  EXPECT_EQ(obs::currentJobId(), 0u);
+  {
+    obs::ScopedJobId Outer(7);
+    EXPECT_EQ(obs::currentJobId(), 7u);
+    obs::publishEvent("test.job", fields("k", 1));
+    {
+      obs::ScopedJobId Inner(9); // nesting restores, not resets
+      EXPECT_EQ(obs::currentJobId(), 9u);
+      obs::publishEvent("test.job", fields("k", 2));
+    }
+    EXPECT_EQ(obs::currentJobId(), 7u);
+  }
+  EXPECT_EQ(obs::currentJobId(), 0u);
+
+  std::vector<obs::Event> Events = obs::EventBus::global().snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Job, 7u);
+  EXPECT_EQ(Events[1].Job, 9u);
+}
+
+TEST(ObsEventBus, OverflowDropsOldestAndBumpsCounter) {
+  ScopedEventCapture Cap;
+  obs::EventBus &Bus = obs::EventBus::global();
+  size_t SavedCapacity = Bus.capacity();
+  bool SavedMetrics = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+  uint64_t Dropped0 = obs::metrics().counter("obs.events_dropped").value();
+
+  Bus.setCapacity(4);
+  for (int I = 0; I < 10; ++I)
+    obs::publishEvent("test.flood", fields("i", I));
+
+  // Live readers see the newest window; the oldest six are gone and
+  // accounted for, both on the bus and in the metrics counter.
+  std::vector<obs::Event> Events = Bus.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Fields.get("i").asInt(),
+              static_cast<int64_t>(6 + I));
+  EXPECT_EQ(Bus.published(), 10u);
+  EXPECT_EQ(Bus.dropped(), 6u);
+  EXPECT_EQ(Bus.typeCount("test.flood"), 10u); // counts survive rotation
+  EXPECT_EQ(obs::metrics().counter("obs.events_dropped").value(),
+            Dropped0 + 6);
+
+  Bus.setCapacity(SavedCapacity);
+  obs::setMetricsEnabled(SavedMetrics);
+}
+
+TEST(ObsEventBus, JsonlRoundTripAndRejectsMalformed) {
+  obs::Event E;
+  E.Seq = 41;
+  E.TimeUs = 123456789;
+  E.Job = 5;
+  E.Type = "config.evaluated";
+  Json F = Json::object();
+  F.set("variant", "v1\"quoted\"");
+  F.set("cost", 2690098.0);
+  E.Fields = std::move(F);
+
+  std::string Err;
+  Json Line = Json::parse(eventToJson(E).dump(), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  obs::Event Back;
+  ASSERT_TRUE(eventFromJson(Line, Back, &Err)) << Err;
+  EXPECT_EQ(Back.Seq, 41u);
+  EXPECT_EQ(Back.TimeUs, 123456789u);
+  EXPECT_EQ(Back.Job, 5u);
+  EXPECT_EQ(Back.Type, "config.evaluated");
+  EXPECT_EQ(Back.Fields.get("variant").asString(), "v1\"quoted\"");
+  EXPECT_EQ(Back.Fields.get("cost").asNumber(), 2690098.0); // bitwise
+
+  // Job = 0 is elided from the wire form and restored as 0.
+  E.Job = 0;
+  ASSERT_TRUE(eventFromJson(eventToJson(E), Back, &Err)) << Err;
+  EXPECT_EQ(Back.Job, 0u);
+
+  obs::Event Bad;
+  EXPECT_FALSE(eventFromJson(Json("not an object"), Bad, &Err));
+  EXPECT_FALSE(Err.empty());
+  Json NoType = eventToJson(E);
+  NoType.set("type", Json());
+  EXPECT_FALSE(eventFromJson(NoType, Bad, &Err));
+}
+
+TEST(ObsEventBusConcurrency, ParallelPublishersAndReaders) {
+  ScopedEventCapture Cap;
+  obs::EventBus &Bus = obs::EventBus::global();
+  constexpr int Publishers = 24, PerPublisher = 200;
+
+  // Publishers and snapshot/counter readers race on the shared bus; the
+  // "obs" ctest label replays this under ThreadSanitizer.
+  ThreadPool Pool(4);
+  std::vector<std::function<void(int)>> Tasks;
+  for (int T = 0; T < Publishers; ++T)
+    Tasks.push_back([](int) {
+      for (int I = 0; I < PerPublisher; ++I)
+        obs::publishEvent("test.race", fields("i", I));
+    });
+  for (int T = 0; T < 8; ++T)
+    Tasks.push_back([&Bus](int) {
+      for (int I = 0; I < 50; ++I) {
+        std::vector<obs::Event> Snap = Bus.snapshot();
+        for (size_t S = 1; S < Snap.size(); ++S)
+          EXPECT_GT(Snap[S].Seq, Snap[S - 1].Seq);
+        Bus.published();
+        Bus.typeCount("test.race");
+      }
+    });
+  Pool.runBatch(Tasks);
+
+  EXPECT_EQ(Bus.published(),
+            static_cast<uint64_t>(Publishers) * PerPublisher);
+  EXPECT_EQ(Bus.typeCount("test.race"),
+            static_cast<uint64_t>(Publishers) * PerPublisher);
+  std::vector<obs::Event> Events = Bus.snapshot();
+  EXPECT_EQ(Events.size() + Bus.dropped(),
+            static_cast<size_t>(Publishers) * PerPublisher);
+  for (size_t I = 1; I < Events.size(); ++I) {
+    EXPECT_EQ(Events[I].Seq, Events[I - 1].Seq + 1);
+    EXPECT_GE(Events[I].TimeUs, Events[I - 1].TimeUs);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder end to end: a real tune's stream must reconcile
+//===----------------------------------------------------------------------===//
+
+TEST(ObsFlightRecorder, TuneStreamReconcilesWithTuneResult) {
+  ScopedEventCapture Cap;
+  LoopNest MM = makeMatMul();
+  SimEvalBackend Backend(MachineDesc::sgiR10000().scaledBy(16));
+  TuneResult R = tune(MM, Backend, {{"N", 32}});
+  ASSERT_GE(R.BestVariant, 0);
+
+  std::vector<obs::Event> Events = obs::EventBus::global().snapshot();
+  ASSERT_FALSE(Events.empty());
+
+  // tune.done carries the TuneResult ledger verbatim (best_cost bitwise).
+  const obs::Event *Done = nullptr;
+  for (const obs::Event &E : Events)
+    if (E.Type == "tune.done")
+      Done = &E;
+  ASSERT_NE(Done, nullptr);
+  const Json &F = Done->Fields;
+  EXPECT_EQ(F.get("points").asInt(), static_cast<int64_t>(R.TotalPoints));
+  EXPECT_EQ(F.get("cache_hits").asInt(),
+            static_cast<int64_t>(R.TotalCacheHits));
+  EXPECT_EQ(F.get("variants_derived").asInt(),
+            static_cast<int64_t>(R.Variants.size()));
+  EXPECT_EQ(F.get("variants_rejected").asInt(),
+            static_cast<int64_t>(R.VariantsRejected));
+  EXPECT_EQ(F.get("configs_rejected").asInt(),
+            static_cast<int64_t>(R.ConfigsRejected));
+  EXPECT_EQ(F.get("infeasible_pruned").asInt(),
+            static_cast<int64_t>(R.InfeasiblePruned));
+  EXPECT_EQ(F.get("best_variant").asString(), R.best().Spec.Name);
+  EXPECT_EQ(F.get("best_cost").asNumber(), R.BestCost);
+
+  // The report's independent recount over the raw events agrees.
+  obs::FlightAnalysis A = obs::analyzeEvents(Events);
+  ASSERT_EQ(A.Tunes.size(), 1u);
+  const obs::TuneReportData &T = A.Tunes[0];
+  EXPECT_TRUE(T.reconciled())
+      << (T.Mismatches.empty() ? "" : T.Mismatches[0]);
+  EXPECT_EQ(T.Evaluated, R.TotalPoints);
+  EXPECT_EQ(T.CacheHits, R.TotalCacheHits);
+  ASSERT_FALSE(T.Winners.empty());
+  EXPECT_EQ(T.Winners.back().Cost, R.BestCost); // bitwise lineage
+
+  // Both renderers accept the analysis; the Markdown report states the
+  // reconciliation verdict.
+  std::string Md = obs::renderMarkdown(A);
+  EXPECT_NE(Md.find("Reconciliation"), std::string::npos);
+  EXPECT_NE(Md.find("OK"), std::string::npos);
+  EXPECT_NE(obs::renderHtml(A).find("<html"), std::string::npos);
+
+  // And the stream passes the invariant audit against the live result.
+  check::EventAuditOptions AO;
+  AO.HasExpectedBestCost = true;
+  AO.ExpectedBestCost = R.BestCost;
+  check::EventAuditReport Audit = check::auditEvents(Events, AO);
+  EXPECT_TRUE(Audit.ok()) << Audit.summary();
+  EXPECT_EQ(Audit.Tunes, 1u);
 }

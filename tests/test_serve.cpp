@@ -6,7 +6,10 @@
 // TuneService scheduler (exact-hit shortcut, nearest-size warm start
 // with the PR's acceptance bars, priority order, queue-full
 // backpressure, deadlines, cancellation, graceful drain), the socket
-// server + client, check/DbAudit, and a fork/exec SIGTERM drain of the
+// server + client, check/DbAudit, the live-introspection surface (the
+// "metrics" / "jobs" protocol verbs over unix and TCP, queued/running
+// phase reporting, concurrent Prometheus scrapes against a tuning
+// fleet, per-job span coverage), and a fork/exec SIGTERM drain of the
 // real eco_served daemon. Carries the "serve" ctest label and runs under
 // ThreadSanitizer via -DECO_SANITIZE=thread (ctest -L serve).
 //
@@ -15,6 +18,7 @@
 #include "check/DbAudit.h"
 #include "check/FaultInject.h"
 #include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "serve/Client.h"
 #include "serve/ConfigDB.h"
 #include "serve/Protocol.h"
@@ -826,4 +830,214 @@ TEST(ServeDaemonTest, SigtermDrainsPersistsAndExitsCleanly) {
   std::remove(Sock.c_str());
   std::remove(Db.c_str());
 #endif
+}
+
+// ---- Live introspection (metrics/jobs verbs, job spans) -----------------
+
+TEST(ServeIntrospectionTest, MetricsAndJobsVerbsOverUnixAndTcp) {
+  std::string Sock = tempPath("eco_serve_introspect.sock");
+  std::remove(Sock.c_str());
+  bool SavedMetrics = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+  obs::metrics().resetValues(); // other suites touch the global registry
+
+  TuneService Service;
+  ServerOptions Opts;
+  Opts.UnixPath = Sock;
+  Opts.TcpPort = 0; // ephemeral; both transports serve the same verbs
+  Server Srv(Service, Opts);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+  ASSERT_GT(Srv.port(), 0);
+
+  auto Unix = Client::connectUnix(Sock, &Err);
+  ASSERT_NE(Unix, nullptr) << Err;
+  auto Tcp = Client::connectTcp("127.0.0.1", Srv.port(), &Err);
+  ASSERT_NE(Tcp, nullptr) << Err;
+
+  ASSERT_TRUE(Unix->submit(smallSpec(24)).ok());
+
+  for (Client *C : {Unix.get(), Tcp.get()}) {
+    // metrics: valid Prometheus text exposition in a JSON envelope.
+    Json M = C->metrics();
+    ASSERT_TRUE(M.get("ok").asBool(false)) << M.dump();
+    EXPECT_EQ(M.get("content_type").asString(),
+              "text/plain; version=0.0.4");
+    std::string Body = M.get("body").asString();
+    EXPECT_NE(Body.find("# TYPE eco_serve_done counter"),
+              std::string::npos);
+    EXPECT_NE(Body.find("eco_serve_done 1\n"), std::string::npos);
+    EXPECT_NE(Body.find("eco_serve_wait_ms_bucket{le=\"+Inf\"} 1\n"),
+              std::string::npos);
+
+    // jobs: the daemon is idle, so a well-formed empty list.
+    Json J = C->jobs();
+    ASSERT_TRUE(J.get("ok").asBool(false)) << J.dump();
+    ASSERT_TRUE(J.get("jobs").isArray());
+    EXPECT_EQ(J.get("jobs").size(), 0u);
+  }
+
+  // With metrics disabled the verb still answers: empty exposition, not
+  // an error (the daemon ran without --metrics-file).
+  obs::setMetricsEnabled(false);
+  Json M = Tcp->metrics();
+  ASSERT_TRUE(M.get("ok").asBool(false));
+  EXPECT_TRUE(M.get("body").asString().empty());
+
+  Srv.stop();
+  Service.drain();
+  obs::metrics().resetValues();
+  obs::setMetricsEnabled(SavedMetrics);
+  std::remove(Sock.c_str());
+}
+
+TEST(ServeIntrospectionTest, JobsJsonReportsQueuedAndRunningPhases) {
+  WorkerGate Gate;
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.TestGate = [&Gate](const JobSpec &S) { Gate.enter(S); };
+  TuneService Service(Opts);
+
+  // A holds the worker inside execute(); B waits in the queue.
+  auto A = Service.submit(smallSpec(24));
+  Gate.awaitPopped(1);
+  auto B = Service.submit(smallSpec(26));
+
+  Json Snapshot = Service.jobsJson();
+  const Json &Jobs = Snapshot.get("jobs");
+  ASSERT_TRUE(Jobs.isArray());
+  ASSERT_EQ(Jobs.size(), 2u);
+  const Json *Running = nullptr, *Queued = nullptr;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const Json &J = Jobs.at(I);
+    if (J.get("phase").asString() == "running")
+      Running = &J;
+    else if (J.get("phase").asString() == "queued")
+      Queued = &J;
+  }
+  ASSERT_NE(Running, nullptr);
+  ASSERT_NE(Queued, nullptr);
+  EXPECT_EQ(Running->get("n").asInt(), 24);
+  EXPECT_EQ(Running->get("kernel").asString(), "matmul");
+  EXPECT_GE(Running->get("run_ms").asNumber(), 0.0);
+  EXPECT_GE(Running->get("evals_done").asInt(), 0);
+  EXPECT_EQ(Queued->get("n").asInt(), 26);
+  EXPECT_GE(Queued->get("queue_wait_ms").asNumber(), 0.0);
+  // A queued job has not started: no run-phase fields.
+  EXPECT_TRUE(Queued->get("run_ms").isNull());
+
+  Gate.release();
+  EXPECT_TRUE(A->wait().ok());
+  EXPECT_TRUE(B->wait().ok());
+  // Resolved jobs leave the live registry.
+  EXPECT_EQ(Service.jobsJson().get("jobs").size(), 0u);
+}
+
+TEST(ServeIntrospectionTest, ConcurrentScrapesWhileFleetTunes) {
+  // The acceptance scenario: Prometheus scrapes and jobs polls racing a
+  // fleet of real tunes through the socket server. TSan (ctest -L
+  // serve) checks the introspection path against the worker path.
+  std::string Sock = tempPath("eco_serve_scrape.sock");
+  std::remove(Sock.c_str());
+  bool SavedMetrics = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+
+  ServiceOptions SvcOpts;
+  SvcOpts.Workers = 2;
+  TuneService Service(SvcOpts);
+  ServerOptions Opts;
+  Opts.UnixPath = Sock;
+  Server Srv(Service, Opts);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  std::atomic<bool> Done{false};
+  std::atomic<int> Scrapes{0};
+  std::thread Scraper([&] {
+    auto C = Client::connectUnix(Sock);
+    ASSERT_NE(C, nullptr);
+    while (!Done.load(std::memory_order_relaxed)) {
+      Json M = C->metrics();
+      EXPECT_TRUE(M.get("ok").asBool(false));
+      Json J = C->jobs();
+      EXPECT_TRUE(J.get("ok").asBool(false));
+      EXPECT_TRUE(J.get("jobs").isArray());
+      ++Scrapes;
+    }
+  });
+
+  std::vector<std::thread> Fleet;
+  for (int T = 0; T < 2; ++T)
+    Fleet.emplace_back([&, T] {
+      auto C = Client::connectUnix(Sock);
+      ASSERT_NE(C, nullptr);
+      for (int R = 0; R < 3; ++R) {
+        JobResult Res = C->submit(smallSpec(24 + 2 * T + 8 * R));
+        EXPECT_TRUE(Res.ok()) << Res.Error;
+      }
+    });
+  for (std::thread &T : Fleet)
+    T.join();
+  Done.store(true, std::memory_order_relaxed);
+  Scraper.join();
+  EXPECT_GT(Scrapes.load(), 0);
+
+  Srv.stop();
+  Service.drain();
+  obs::metrics().resetValues();
+  obs::setMetricsEnabled(SavedMetrics);
+  std::remove(Sock.c_str());
+}
+
+TEST(ServeIntrospectionTest, JobsGetNamedSpanRowsInTheTrace) {
+  // Regression: every executed job must leave a queue-wait + run span
+  // pair on its own named trace row ("job-<id>", tid 1000 + id), so the
+  // Chrome trace separates per-job timelines from engine lanes.
+  obs::SpanCollector &Spans = obs::SpanCollector::global();
+  Spans.clear();
+  Spans.setEnabled(true);
+  TuneService Service;
+  ASSERT_TRUE(Service.run(smallSpec(24)).ok());
+  // run() resolves on Job.finish(), a moment before the worker leaves
+  // execute() and the RAII run span records; drain joins the workers.
+  Service.drain();
+  Spans.setEnabled(false);
+
+  const obs::SpanRecord *Wait = nullptr, *Run = nullptr;
+  std::vector<obs::SpanRecord> Recs = Spans.records();
+  for (const obs::SpanRecord &R : Recs) {
+    if (R.Name == "job.queue-wait")
+      Wait = &R;
+    if (R.Name == "job.run")
+      Run = &R;
+  }
+  ASSERT_NE(Wait, nullptr);
+  ASSERT_NE(Run, nullptr);
+  EXPECT_EQ(Wait->Cat, "serve");
+  EXPECT_EQ(Run->Cat, "serve");
+  EXPECT_EQ(Run->Detail, "matmul@sgi/16 n=24");
+  EXPECT_GE(Run->Tid, 1000); // off the engine-lane tid range
+  EXPECT_EQ(Wait->Tid, Run->Tid);
+  // Queue wait precedes the run and never overlaps past its start.
+  EXPECT_LE(Wait->StartUs + Wait->DurUs, Run->StartUs);
+  // The run span encloses the whole tune, so every engine-side span of
+  // this job starts no earlier than it.
+  int JobId = Run->Tid - 1000;
+  std::string Err;
+  Json Trace = Json::parse(Spans.chromeTraceJson().dump(), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  bool NamedRow = false;
+  const Json &Events = Trace.get("traceEvents");
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const Json &E = Events.at(I);
+    if (E.get("ph").asString() == "M" &&
+        E.get("name").asString() == "thread_name" &&
+        E.get("tid").asInt() == Run->Tid) {
+      EXPECT_EQ(E.get("args").get("name").asString(),
+                "job-" + std::to_string(JobId));
+      NamedRow = true;
+    }
+  }
+  EXPECT_TRUE(NamedRow) << "no thread_name metadata for tid " << Run->Tid;
+  Spans.clear();
 }
