@@ -18,10 +18,14 @@
 //   eco_check [--kernel=all|matmul|jacobi|matvec] [--seed=S] [--configs=N]
 //             [--n=SIZE] [--scale=K] [--max-ulps=U] [--max-variants=V]
 //             [--jobs=N] [--skip-native] [--skip-diff] [--skip-replay]
-//             [--skip-faults] [--fuzz=ROUNDS] [--audit-trace=FILE]
+//             [--skip-faults] [--fleet] [--fuzz=ROUNDS] [--audit-trace=FILE]
 //             [--audit-db=FILE] [--audit-events=FILE] [--tmpdir=DIR]
 //             [--log-level=off|error|warn|info|debug]
 //
+//   --fleet         extra leg: eval-worker fleet chaos sweep (a vanishing,
+//                   a frozen, and a garbage-reporting worker each paired
+//                   with an honest one) — the tune must complete with a
+//                   winner bit-identical to a fleetless run
 //   --fuzz=R        run R extra diff rounds with fresh random seeds
 //   --audit-trace=F audit an existing JSONL trace file and exit
 //   --audit-db=F    replay-audit a tuned-config database (ConfigDB JSON)
@@ -64,6 +68,7 @@ struct ToolOptions {
   bool RunDiff = true;
   bool RunReplay = true;
   bool RunFaults = true;
+  bool RunFleet = false;
   std::string AuditTrace;
   std::string AuditDb;
   std::string AuditEvents;
@@ -150,6 +155,10 @@ bool parseArg(ToolOptions &Opts, const std::string &Arg) {
     Opts.RunFaults = false;
     return true;
   }
+  if (Arg == "--fleet") {
+    Opts.RunFleet = true;
+    return true;
+  }
   return false;
 }
 
@@ -164,7 +173,7 @@ int main(int Argc, char **Argv) {
           "usage: %s [--kernel=all|matmul|jacobi|matvec] [--seed=S] "
           "[--configs=N] [--n=SIZE] [--scale=K] [--max-ulps=U] "
           "[--max-variants=V] [--jobs=N] [--skip-native] [--skip-diff] "
-          "[--skip-replay] [--skip-faults] [--fuzz[=ROUNDS]] "
+          "[--skip-replay] [--skip-faults] [--fleet] [--fuzz[=ROUNDS]] "
           "[--audit-trace=FILE] [--audit-db=FILE] [--audit-events=FILE] "
           "[--tmpdir=DIR] "
           "[--log-level=off|error|warn|info|debug]\n",
@@ -211,7 +220,8 @@ int main(int Argc, char **Argv) {
   // The replay and fault legs need a scratch directory.
   std::string TmpDir = Opts.TmpDir;
   bool MadeTmp = false;
-  if ((Opts.RunReplay || Opts.RunFaults) && TmpDir.empty()) {
+  if ((Opts.RunReplay || Opts.RunFaults || Opts.RunFleet) &&
+      TmpDir.empty()) {
     char Template[] = "/tmp/eco_check.XXXXXX";
     if (char *D = mkdtemp(Template)) {
       TmpDir = D;
@@ -239,6 +249,12 @@ int main(int Argc, char **Argv) {
 
   if (Opts.RunFaults) {
     FaultCheckReport Report = runPersistenceFaultChecks(TmpDir);
+    std::printf("%s", Report.summary().c_str());
+    AllOk = AllOk && Report.ok();
+  }
+
+  if (Opts.RunFleet) {
+    FaultCheckReport Report = runFleetFaultChecks(TmpDir);
     std::printf("%s", Report.summary().c_str());
     AllOk = AllOk && Report.ok();
   }

@@ -52,6 +52,7 @@
 #include "obs/Report.h"
 #include "obs/Span.h"
 #include "serve/Tool.h"
+#include "serve/Worker.h"
 #include "support/ParseInt.h"
 #include "support/StringUtils.h"
 
@@ -312,6 +313,9 @@ int main(int Argc, char **Argv) {
         std::vector<std::string>(Argv + 2, Argv + Argc));
   if (Argc > 1 && std::strcmp(Argv[1], "submit") == 0)
     return serve::submitToolMain(
+        std::vector<std::string>(Argv + 2, Argv + Argc));
+  if (Argc > 1 && std::strcmp(Argv[1], "worker") == 0)
+    return serve::workerToolMain(
         std::vector<std::string>(Argv + 2, Argv + Argc));
   if (Argc > 1 && std::strcmp(Argv[1], "report") == 0)
     return reportToolMain(std::vector<std::string>(Argv + 2, Argv + Argc));

@@ -8,9 +8,9 @@
 #   3. UBSan:  -DECO_SANITIZE=undefined build, labeled suites only;
 #   4. TSan:   -DECO_SANITIZE=thread build, labeled suites only.
 #
-# The labeled suites (engine|sim|obs|check|serve|fuzz) are the ones with
-# real concurrency or UB surface; running only them keeps the sanitizer
-# passes tractable on small machines. Knobs:
+# The labeled suites (engine|sim|obs|check|serve|fleet|fuzz) are the
+# ones with real concurrency or UB surface; running only them keeps the
+# sanitizer passes tractable on small machines. Knobs:
 #
 #   ECO_VERIFY_JOBS=N      build/test parallelism   (default: nproc)
 #   ECO_VERIFY_SKIP_TSAN=1   skip the TSan pass
@@ -25,7 +25,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${ECO_VERIFY_JOBS:-$(nproc)}"
-LABELS="engine|sim|obs|check|serve|fuzz"
+LABELS="engine|sim|obs|check|serve|fleet|fuzz"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
@@ -52,6 +52,35 @@ rm -f "$EV"
     --events-file="$EV" > /dev/null
 "$REPO/build/examples/eco_cli" report "$EV" > /dev/null
 "$REPO/build/examples/eco_check" --audit-events="$EV"
+
+step "fleet smoke: daemon + 2 eco_worker, SIGKILL one mid-tune"
+FSOCK="$REPO/build/verify_fleet.sock"
+FDB="$REPO/build/verify_fleet_db.json"
+rm -f "$FSOCK" "$FDB"
+"$REPO/build/examples/eco_served" --socket="$FSOCK" --db="$FDB" \
+    --log-level=off &
+DAEMON=$!
+for _ in $(seq 100); do [ -S "$FSOCK" ] && break; sleep 0.05; done
+[ -S "$FSOCK" ] || { echo "fleet smoke: daemon never bound $FSOCK"; exit 1; }
+"$REPO/build/examples/eco_worker" --socket="$FSOCK" --name=victim \
+    --poll-ms=200 >/dev/null 2>&1 &
+W1=$!
+"$REPO/build/examples/eco_worker" --socket="$FSOCK" --name=survivor \
+    --poll-ms=200 >/dev/null 2>&1 &
+W2=$!
+# SIGKILL one worker shortly after the tune starts; the dispatcher must
+# re-dispatch its batches and the submit below must still succeed.
+( sleep 0.2; kill -9 "$W1" 2>/dev/null || true ) &
+KILLER=$!
+"$REPO/build/examples/eco_cli" submit --socket="$FSOCK" --kernel=matmul \
+    --machine=sgi --scale=4 --n=64 --force --timeout-ms=120000
+wait "$KILLER" 2>/dev/null || true
+kill -9 "$W2" 2>/dev/null || true
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+wait "$W1" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+rm -f "$FSOCK" "$FDB"
 
 if [ "${ECO_VERIFY_SKIP_BENCH:-0}" != "1" ]; then
   step "bench smoke: scripts/bench.sh (quick mode)"

@@ -73,6 +73,15 @@ struct FaultCheckReport {
 /// tolerance, and engine-level recovery from a corrupt cache file.
 FaultCheckReport runPersistenceFaultChecks(const std::string &TmpDir);
 
+/// Runs the remote eval-worker fleet chaos sweep inside \p TmpDir (unix
+/// sockets live there): for each misbehaviour mode — a worker that
+/// vanishes mid-batch (the SIGKILL analogue), one that freezes holding a
+/// batch (heartbeat-eviction path), and one that reports garbage costs
+/// (strike/eviction path) — a tune served by one honest worker plus one
+/// misbehaving worker must still complete, and its winner (cost,
+/// variant, config) must be bit-identical to a fleetless baseline run.
+FaultCheckReport runFleetFaultChecks(const std::string &TmpDir);
+
 } // namespace check
 } // namespace eco
 

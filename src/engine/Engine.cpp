@@ -267,19 +267,62 @@ EvalOutcome EvalEngine::evaluate(const DerivedVariant &V, const Env &Config,
 void EvalEngine::warmMany(
     const std::vector<std::pair<const DerivedVariant *, Env>> &Points,
     const std::string &Stage) {
-  if (Pool->jobs() <= 1 || Points.size() < 2)
+  bool WantRemote =
+      Opts.RemoteWarm && (!Opts.RemoteWarmGate || Opts.RemoteWarmGate());
+  if ((Pool->jobs() <= 1 && !WantRemote) || Points.size() < 2)
     return; // sequential: the decision loop will evaluate on demand
 
   // Drop duplicates within the batch so two lanes never race to run the
   // same point (results would agree, but the work would be wasted).
   std::set<std::string> Seen;
-  std::vector<std::function<void(int)>> Tasks;
-  Tasks.reserve(Points.size());
+  std::vector<std::pair<const DerivedVariant *, const Env *>> Unique;
+  Unique.reserve(Points.size());
   for (const auto &[V, Config] : Points) {
     if (!Seen.insert(V->Spec.Name + "|" + V->configString(Config)).second)
       continue;
+    Unique.push_back({V, &Config});
+  }
+
+  if (WantRemote) {
+    // Export every not-yet-cached point in portable form and block on
+    // the fleet. Completed costs land in the shared cache; anything the
+    // fleet drops (worker death, exhausted retries) stays uncached and
+    // is evaluated locally by the decision loop — same winner, just
+    // slower, which is the graceful-degradation contract.
+    std::vector<RemotePoint> Remote;
+    Remote.reserve(Unique.size());
+    for (const auto &[V, Config] : Unique) {
+      try {
+        const Instantiation &Inst = instantiated(*V, *Config);
+        EvalKey Key = keyFor(*V, Inst, *Config);
+        if (CachePtr->lookup(Key))
+          continue; // already known — nothing to ship
+        RemotePoint P;
+        P.Variant = V->Spec.Name;
+        P.Config = envToBindings(V->Skeleton, *Config);
+        P.Key = Key;
+        Remote.push_back(std::move(P));
+      } catch (const TransformError &) {
+        // Illegal instantiation: skip silently. The decision loop's own
+        // evalOne records the rejection (counter + event) exactly once;
+        // accounting here would double-count it.
+      }
+    }
+    if (!Remote.empty()) {
+      obs::SpanScope S("warm-remote:" + Stage, "engine",
+                       std::to_string(Remote.size()) + " points");
+      Opts.RemoteWarm(Remote, Stage);
+    }
+  }
+
+  if (Pool->jobs() <= 1)
+    return; // no local lanes to warm with
+
+  std::vector<std::function<void(int)>> Tasks;
+  Tasks.reserve(Unique.size());
+  for (const auto &[V, Config] : Unique) {
     const DerivedVariant *Variant = V;
-    const Env &Bound = Config;
+    const Env &Bound = *Config;
     Tasks.push_back([this, Variant, Bound, Stage](int Lane) {
       evalOne(*Variant, Bound, Stage, Lane, /*Warm=*/true);
     });

@@ -33,7 +33,9 @@
 #include "engine/EvalCache.h"
 #include "engine/ThreadPool.h"
 #include "engine/TraceLog.h"
+#include "exec/Run.h"
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +43,18 @@
 #include <vector>
 
 namespace eco {
+
+/// One warm-batch point exported for evaluation outside this process:
+/// enough to rebuild the evaluation elsewhere (variant derivation is
+/// stable, so the variant name + the portable symbol bindings pin the
+/// exact point) plus the cache key the remote cost lands under. The
+/// simulated cost is a pure function of (nest, machine, config), so a
+/// remote evaluation is bit-identical to a local one.
+struct RemotePoint {
+  std::string Variant; ///< DerivedVariant::Spec.Name ("v1", "v2", ...)
+  ParamBindings Config; ///< non-loop symbol bindings (envToBindings form)
+  EvalKey Key;          ///< where the remote cost is inserted
+};
 
 /// Engine construction knobs (the eco_cli flags map onto these).
 struct EngineOptions {
@@ -67,6 +81,20 @@ struct EngineOptions {
   /// (EvalCache is fully thread-safe). CacheFile load/save still apply,
   /// against the shared instance.
   std::shared_ptr<EvalCache> SharedCache;
+  /// When set, warmMany() first offers each (deduplicated, not yet
+  /// cached) batch to this hook — the serve layer's remote worker
+  /// fleet. The hook blocks until the batch resolves (bounded by the
+  /// fleet's deadlines) and inserts completed costs into the engine's
+  /// cache under each point's Key; points that fail remotely are simply
+  /// left uncached and the sequential decision loop re-evaluates them
+  /// locally, so the tuned winner is bit-identical either way.
+  std::function<void(const std::vector<RemotePoint> &,
+                     const std::string &Stage)>
+      RemoteWarm;
+  /// Optional fast gate for RemoteWarm: when set and returning false,
+  /// warmMany skips building RemotePoints entirely (the fleet has no
+  /// live workers, so serializing a batch would be pure overhead).
+  std::function<bool()> RemoteWarmGate;
 };
 
 /// The parallel, memoizing, tracing Evaluator.

@@ -3,10 +3,13 @@
 #include "serve/Client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -23,8 +26,59 @@ static void setError(std::string *Error, const std::string &Msg,
     *Error += std::string(" (") + std::strerror(errno) + ")";
 }
 
+/// connect() bounded by poll(): the socket goes non-blocking for the
+/// connect, the wait happens in poll(POLLOUT), and SO_ERROR reports the
+/// final verdict. Unix-domain connects rarely block, but a TCP connect
+/// to a dead host hangs for minutes without this.
+static bool connectWithTimeout(int Fd, const sockaddr *Addr, socklen_t Len,
+                               int TimeoutMs, std::string *Error,
+                               const std::string &Target) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0) {
+    setError(Error, "cannot set non-blocking mode for " + Target);
+    return false;
+  }
+  int Rc = ::connect(Fd, Addr, Len);
+  if (Rc < 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    setError(Error, "cannot connect to " + Target);
+    return false;
+  }
+  if (Rc < 0) {
+    pollfd P{Fd, POLLOUT, 0};
+    int N;
+    do {
+      N = ::poll(&P, 1, TimeoutMs > 0 ? TimeoutMs : -1);
+    } while (N < 0 && errno == EINTR);
+    if (N == 0) {
+      setError(Error,
+               "connect to " + Target + " timed out after " +
+                   std::to_string(TimeoutMs) + " ms",
+               /*WithErrno=*/false);
+      return false;
+    }
+    if (N < 0) {
+      setError(Error, "poll failed connecting to " + Target);
+      return false;
+    }
+    int SoErr = 0;
+    socklen_t SoLen = sizeof(SoErr);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &SoLen) < 0 ||
+        SoErr != 0) {
+      errno = SoErr ? SoErr : errno;
+      setError(Error, "cannot connect to " + Target);
+      return false;
+    }
+  }
+  if (::fcntl(Fd, F_SETFL, Flags) < 0) {
+    setError(Error, "cannot restore blocking mode for " + Target);
+    return false;
+  }
+  return true;
+}
+
 std::unique_ptr<Client> Client::connectUnix(const std::string &Path,
-                                            std::string *Error) {
+                                            std::string *Error,
+                                            int ConnectTimeoutMs) {
   sockaddr_un Addr{};
   if (Path.size() >= sizeof(Addr.sun_path)) {
     setError(Error, "unix socket path too long: " + Path, false);
@@ -37,8 +91,8 @@ std::unique_ptr<Client> Client::connectUnix(const std::string &Path,
   }
   Addr.sun_family = AF_UNIX;
   std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    setError(Error, "cannot connect to " + Path);
+  if (!connectWithTimeout(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr), ConnectTimeoutMs, Error, Path)) {
     ::close(Fd);
     return nullptr;
   }
@@ -46,7 +100,8 @@ std::unique_ptr<Client> Client::connectUnix(const std::string &Path,
 }
 
 std::unique_ptr<Client> Client::connectTcp(const std::string &Host, int Port,
-                                           std::string *Error) {
+                                           std::string *Error,
+                                           int ConnectTimeoutMs) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0) {
     setError(Error, "cannot create TCP socket");
@@ -60,9 +115,9 @@ std::unique_ptr<Client> Client::connectTcp(const std::string &Host, int Port,
     ::close(Fd);
     return nullptr;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    setError(Error,
-             "cannot connect to " + Host + ":" + std::to_string(Port));
+  if (!connectWithTimeout(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr), ConnectTimeoutMs, Error,
+                          Host + ":" + std::to_string(Port))) {
     ::close(Fd);
     return nullptr;
   }
@@ -76,6 +131,13 @@ Client::~Client() {
 
 bool Client::roundTrip(const Json &Request, Json &Response,
                        std::string *Error) {
+  if (Dead) {
+    // A previous transport failure left the stream desynchronized (a
+    // half-written request, or a response we never consumed). Reusing
+    // it would pair the next reply with the wrong request; fail fast.
+    setError(Error, "client is dead: " + DeadReason, /*WithErrno=*/false);
+    return false;
+  }
   std::string Out = Request.dump() + "\n";
   size_t Off = 0;
   while (Off < Out.size()) {
@@ -83,11 +145,18 @@ bool Client::roundTrip(const Json &Request, Json &Response,
     if (N <= 0) {
       if (N < 0 && errno == EINTR)
         continue;
+      // A partial send is fatal for the connection, not just for this
+      // request: the peer saw a truncated line and anything we send
+      // next would be glued onto it.
       setError(Error, "send failed");
+      markDead(Error ? *Error : "send failed");
       return false;
     }
     Off += static_cast<size_t>(N);
   }
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(
+                      RecvTimeoutMs > 0 ? RecvTimeoutMs : 0);
   char Chunk[4096];
   for (;;) {
     size_t Pos = Buf.find('\n');
@@ -102,12 +171,39 @@ bool Client::roundTrip(const Json &Request, Json &Response,
       }
       return true;
     }
+    if (RecvTimeoutMs > 0) {
+      auto Now = std::chrono::steady_clock::now();
+      int RemainMs = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(Deadline -
+                                                                Now)
+              .count());
+      if (RemainMs <= 0) {
+        setError(Error,
+                 "timed out after " + std::to_string(RecvTimeoutMs) +
+                     " ms waiting for a response",
+                 /*WithErrno=*/false);
+        markDead(Error ? *Error : "response timeout");
+        return false;
+      }
+      pollfd P{Fd, POLLIN, 0};
+      int N = ::poll(&P, 1, RemainMs);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N == 0)
+        continue; // deadline check above fires on the next lap
+      if (N < 0) {
+        setError(Error, "poll failed waiting for a response");
+        markDead(Error ? *Error : "poll failed");
+        return false;
+      }
+    }
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N < 0 && errno == EINTR)
       continue;
     if (N <= 0) {
       setError(Error, "connection closed mid-response",
                /*WithErrno=*/N < 0);
+      markDead(Error ? *Error : "connection closed mid-response");
       return false;
     }
     Buf.append(Chunk, static_cast<size_t>(N));

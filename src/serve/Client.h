@@ -9,8 +9,20 @@
 /// socket or TCP, send one JSON line per request, read one JSON line per
 /// response. One connection handles any number of sequential requests;
 /// a submit blocks until the job resolves (use one client per concurrent
-/// submission). Used by `eco_cli submit`, the serve tests, and the
-/// throughput bench.
+/// submission). Used by `eco_cli submit`, the `eco_worker` fleet
+/// process, the serve tests, and the throughput bench.
+///
+/// Robustness contract (a hung or dead daemon must never wedge the
+/// caller):
+///
+///  * connect() and every response wait go through poll() with a
+///    timeout — connects default to 10 s, responses to 5 min (a submit
+///    legitimately blocks for a whole tune; `--timeout-ms` tightens it);
+///  * any transport failure — partial send, response timeout, the peer
+///    closing mid-response — marks the client *dead*: the stream is
+///    desynchronized (a late reply would be mis-paired with the next
+///    request), so every subsequent call fails fast with the original
+///    reason instead of reusing a half-written connection.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,19 +40,34 @@ namespace serve {
 class Client {
 public:
   /// Connects to a daemon's unix socket / TCP endpoint; nullptr +
-  /// \p Error on failure.
+  /// \p Error on failure. \p ConnectTimeoutMs bounds the connect()
+  /// itself (<= 0 waits forever — not recommended).
   static std::unique_ptr<Client> connectUnix(const std::string &Path,
-                                             std::string *Error = nullptr);
+                                             std::string *Error = nullptr,
+                                             int ConnectTimeoutMs = 10000);
   static std::unique_ptr<Client> connectTcp(const std::string &Host,
                                             int Port,
-                                            std::string *Error = nullptr);
+                                            std::string *Error = nullptr,
+                                            int ConnectTimeoutMs = 10000);
   ~Client();
 
   Client(const Client &) = delete;
   Client &operator=(const Client &) = delete;
 
-  /// Sends \p Request as one line, blocks for the response line. False +
-  /// \p Error on transport or parse failure.
+  /// Bounds every subsequent roundTrip's wait for the response line
+  /// (whole response, not per chunk). <= 0 waits forever. The default
+  /// (300000 ms) is generous because a submit blocks for a full tune;
+  /// pollers and tests should set something much tighter.
+  void setRecvTimeout(int Ms) { RecvTimeoutMs = Ms; }
+  int recvTimeout() const { return RecvTimeoutMs; }
+
+  /// False once a transport failure desynchronized the stream; every
+  /// later call fails fast with deadReason().
+  bool alive() const { return !Dead; }
+  const std::string &deadReason() const { return DeadReason; }
+
+  /// Sends \p Request as one line, blocks for the response line (up to
+  /// the recv timeout). False + \p Error on transport or parse failure.
   bool roundTrip(const Json &Request, Json &Response,
                  std::string *Error = nullptr);
 
@@ -70,8 +97,18 @@ private:
   /// One no-argument request -> response ({"op":Op}).
   Json simpleOp(const std::string &Op);
 
+  /// Marks the stream unusable; subsequent calls fail fast.
+  void markDead(const std::string &Reason) {
+    Dead = true;
+    if (DeadReason.empty())
+      DeadReason = Reason;
+  }
+
   int Fd = -1;
   std::string Buf; ///< bytes past the last consumed response line
+  int RecvTimeoutMs = 300000;
+  bool Dead = false;
+  std::string DeadReason;
 };
 
 } // namespace serve

@@ -47,7 +47,13 @@ std::optional<TunedEntry> ConfigDB::nearest(const std::string &Kernel,
     // the problem size, so 64 is as close to 128 as 128 is to 256.
     double Dist = std::fabs(std::log(static_cast<double>(E.N)) -
                             std::log(static_cast<double>(N)));
-    if (!Best || Dist < BestDist) {
+    // Equidistant seeds (N=64 vs N=256 for a query at 128) tie-break to
+    // the smaller N explicitly. Without this the winner depended on the
+    // lexicographic key order of the entries map ("128" < "32"), which
+    // made warm starts — and therefore evaluation counts — flip with
+    // unrelated DB contents.
+    if (!Best || Dist < BestDist ||
+        (Dist == BestDist && E.N < Best->N)) {
       Best = &E;
       BestDist = Dist;
     }

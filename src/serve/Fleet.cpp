@@ -1,0 +1,398 @@
+//===- serve/Fleet.cpp - Remote evaluation worker fleet -------------------===//
+
+#include "serve/Fleet.h"
+
+#include "obs/Event.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace eco;
+using namespace eco::serve;
+
+WorkerPool::WorkerPool(FleetOptions O) : Opts(O) {
+  if (Opts.MaxAttempts < 1)
+    Opts.MaxAttempts = 1;
+  if (Opts.MaxPollWaitMs < 1)
+    Opts.MaxPollWaitMs = 1;
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::publishWorkerGaugeLocked() const {
+  if (obs::metricsEnabled())
+    obs::metrics().gauge("serve.workers_live")
+        .set(static_cast<double>(Workers.size()));
+}
+
+Json WorkerPool::hello(const Json &Req) {
+  std::lock_guard<std::mutex> Lock(M);
+  Worker W;
+  W.Id = NextWorkerId++;
+  W.Name = Req.get("name").asString();
+  if (W.Name.empty())
+    W.Name = "worker-" + std::to_string(W.Id);
+  W.LastSeen = Clock::now();
+  uint64_t Id = W.Id;
+  std::string Name = W.Name;
+  Workers.emplace(Id, std::move(W));
+  ++TotalJoined;
+  publishWorkerGaugeLocked();
+  if (obs::eventsEnabled()) {
+    Json F = Json::object();
+    F.set("worker_id", Id);
+    F.set("name", Name);
+    obs::publishEvent("worker.joined", std::move(F));
+  }
+  ECO_LOG(Info) << "fleet: worker " << Id << " ('" << Name << "') joined ("
+                << Workers.size() << " live)";
+  // A fresh worker may unblock queued batches waiting for a poller.
+  WorkCV.notify_all();
+  Json J = Json::object();
+  J.set("ok", true);
+  J.set("worker_id", Id);
+  J.set("heartbeat_ms", static_cast<int64_t>(Opts.HeartbeatMs));
+  return J;
+}
+
+void WorkerPool::evictLocked(uint64_t WorkerId, const std::string &Reason) {
+  auto It = Workers.find(WorkerId);
+  if (It == Workers.end())
+    return;
+  std::string Name = It->second.Name;
+  Workers.erase(It);
+  ++TotalLost;
+  publishWorkerGaugeLocked();
+  if (obs::eventsEnabled()) {
+    Json F = Json::object();
+    F.set("worker_id", WorkerId);
+    F.set("name", Name);
+    F.set("reason", Reason);
+    obs::publishEvent("worker.lost", std::move(F));
+  }
+  ECO_LOG(Warn) << "fleet: worker " << WorkerId << " ('" << Name
+                << "') lost (" << Reason << "); " << Workers.size()
+                << " live";
+  // Its in-flight batches go back in the queue (or fail out).
+  std::vector<uint64_t> Orphans;
+  for (auto &[Id, B] : Batches)
+    if (B.State == BatchState::InFlight && B.AssignedTo == WorkerId)
+      Orphans.push_back(Id);
+  for (uint64_t Id : Orphans) {
+    auto BIt = Batches.find(Id);
+    if (BIt != Batches.end())
+      requeueLocked(BIt->second, "worker-lost");
+  }
+}
+
+void WorkerPool::requeueLocked(Batch &B, const std::string &Reason) {
+  if (obs::eventsEnabled()) {
+    Json F = Json::object();
+    F.set("batch_id", B.Id);
+    F.set("reason", Reason);
+    F.set("attempts", static_cast<int64_t>(B.Attempts));
+    obs::publishEvent("batch.redispatched", std::move(F));
+  }
+  if (B.Attempts >= Opts.MaxAttempts) {
+    // Exhausted: the points stay uncached and the engine's decision
+    // loop evaluates them locally — correctness never depends on the
+    // fleet, only throughput does.
+    ++TotalFailed;
+    ECO_LOG(Warn) << "fleet: batch " << B.Id << " failed after "
+                  << B.Attempts << " attempt(s) (" << Reason << ")";
+    finishBatchLocked(B.Id);
+    return;
+  }
+  ++TotalRetried;
+  if (obs::metricsEnabled())
+    obs::metrics().counter("serve.batches_retried").inc();
+  int Shift = std::min(B.Attempts - 1, 20);
+  int64_t BackoffMs = std::min<int64_t>(
+      static_cast<int64_t>(Opts.BackoffBaseMs) << Shift, Opts.BackoffMaxMs);
+  B.State = BatchState::Queued;
+  B.AssignedTo = 0;
+  B.NotBefore = Clock::now() + std::chrono::milliseconds(BackoffMs);
+  ECO_LOG(Info) << "fleet: batch " << B.Id << " re-queued (" << Reason
+                << ", attempt " << B.Attempts << ", backoff " << BackoffMs
+                << " ms)";
+  WorkCV.notify_all();
+}
+
+void WorkerPool::finishBatchLocked(uint64_t Id) {
+  auto It = Batches.find(Id);
+  if (It == Batches.end())
+    return;
+  auto GIt = GroupRemaining.find(It->second.Group);
+  if (GIt != GroupRemaining.end() && GIt->second > 0)
+    --GIt->second;
+  Batches.erase(It);
+  DoneCV.notify_all();
+}
+
+void WorkerPool::reapLocked(Clock::time_point Now) {
+  std::vector<uint64_t> Stale;
+  for (const auto &[Id, W] : Workers)
+    if (Now - W.LastSeen > std::chrono::milliseconds(Opts.HeartbeatTimeoutMs))
+      Stale.push_back(Id);
+  for (uint64_t Id : Stale)
+    evictLocked(Id, "heartbeat-timeout");
+
+  std::vector<uint64_t> Stragglers;
+  for (const auto &[Id, B] : Batches)
+    if (B.State == BatchState::InFlight &&
+        Now - B.DispatchedAt > std::chrono::milliseconds(Opts.BatchTimeoutMs))
+      Stragglers.push_back(Id);
+  for (uint64_t Id : Stragglers) {
+    auto It = Batches.find(Id);
+    if (It != Batches.end())
+      requeueLocked(It->second, "straggler");
+  }
+}
+
+Json WorkerPool::poll(const Json &Req) {
+  uint64_t WorkerId = static_cast<uint64_t>(Req.get("worker_id").asInt());
+  int64_t WaitMs = Req.get("wait_ms").asInt(0);
+  WaitMs = std::max<int64_t>(
+      0, std::min<int64_t>(WaitMs, Opts.MaxPollWaitMs));
+  auto Deadline = Clock::now() + std::chrono::milliseconds(WaitMs);
+
+  std::unique_lock<std::mutex> Lock(M);
+  for (;;) {
+    auto WIt = Workers.find(WorkerId);
+    if (WIt == Workers.end()) {
+      Json J = Json::object();
+      J.set("ok", false);
+      J.set("error", "unknown worker"); // evicted — the worker re-hellos
+      return J;
+    }
+    auto Now = Clock::now();
+    WIt->second.LastSeen = Now; // a blocked poller is alive by definition
+
+    if (!Stopping) {
+      for (auto &[Id, B] : Batches) {
+        (void)Id;
+        if (B.State != BatchState::Queued || B.NotBefore > Now)
+          continue;
+        ++B.Attempts;
+        B.State = BatchState::InFlight;
+        B.AssignedTo = WorkerId;
+        B.DispatchedAt = Now;
+        Json J = Json::object();
+        J.set("ok", true);
+        J.set("batch", B.Payload);
+        return J;
+      }
+    }
+
+    if (Stopping || Now >= Deadline) {
+      Json J = Json::object();
+      J.set("ok", true);
+      J.set("idle", true);
+      return J;
+    }
+    // Lap at most 50 ms so a backoff gate (NotBefore in the future)
+    // opens promptly even without a notification.
+    auto Lap = std::min(Deadline - Now,
+                        Clock::duration(std::chrono::milliseconds(50)));
+    WorkCV.wait_for(Lock, Lap);
+  }
+}
+
+Json WorkerPool::result(const Json &Req) {
+  uint64_t WorkerId = static_cast<uint64_t>(Req.get("worker_id").asInt());
+  uint64_t BatchId = static_cast<uint64_t>(Req.get("batch_id").asInt());
+  const Json &Costs = Req.get("costs");
+
+  std::lock_guard<std::mutex> Lock(M);
+  auto WIt = Workers.find(WorkerId);
+  if (WIt == Workers.end()) {
+    Json J = Json::object();
+    J.set("ok", false);
+    J.set("error", "unknown worker");
+    return J;
+  }
+  WIt->second.LastSeen = Clock::now();
+
+  auto BIt = Batches.find(BatchId);
+  if (BIt == Batches.end()) {
+    // Already resolved (a re-dispatched copy finished first, or the
+    // batch failed out). The duplicate is expected under re-dispatch —
+    // acknowledge it so the worker moves on.
+    Json J = Json::object();
+    J.set("ok", true);
+    J.set("stale", true);
+    return J;
+  }
+  Batch &B = BIt->second;
+
+  // Structural validation: one cost slot per point, each null (the
+  // worker hit an illegal transform / unknown binding — the local loop
+  // re-derives that rejection deterministically) or a finite number.
+  // Anything else is a protocol violation: never insert, strike the
+  // sender, re-dispatch the batch.
+  bool Valid = Costs.isArray() && Costs.size() == B.Points.size();
+  if (Valid)
+    for (size_t I = 0; I < Costs.size(); ++I) {
+      const Json &C = Costs.at(I);
+      if (!C.isNull() && (!C.isNumber() || !std::isfinite(C.asNumber())))
+        Valid = false;
+    }
+  if (!Valid) {
+    if (++WIt->second.Strikes >= Opts.MaxStrikes)
+      evictLocked(WorkerId, "garbage-result");
+    requeueLocked(B, "garbage-result");
+    Json J = Json::object();
+    J.set("ok", false);
+    J.set("error", "malformed result");
+    return J;
+  }
+
+  for (size_t I = 0; I < Costs.size(); ++I)
+    if (!Costs.at(I).isNull())
+      // Idempotent: the sim cost is deterministic, so a duplicate or
+      // late completion overwrites an entry with the identical value.
+      B.Cache->insert(B.Points[I].Key, Costs.at(I).asNumber());
+  ++TotalCompleted;
+  finishBatchLocked(BatchId);
+  Json J = Json::object();
+  J.set("ok", true);
+  return J;
+}
+
+Json WorkerPool::heartbeat(const Json &Req) {
+  uint64_t WorkerId = static_cast<uint64_t>(Req.get("worker_id").asInt());
+  std::lock_guard<std::mutex> Lock(M);
+  auto WIt = Workers.find(WorkerId);
+  Json J = Json::object();
+  if (WIt == Workers.end()) {
+    J.set("ok", false);
+    J.set("error", "unknown worker");
+    return J;
+  }
+  WIt->second.LastSeen = Clock::now();
+  J.set("ok", true);
+  return J;
+}
+
+void WorkerPool::disconnected(uint64_t WorkerId) {
+  std::lock_guard<std::mutex> Lock(M);
+  evictLocked(WorkerId, "disconnected");
+}
+
+size_t WorkerPool::liveWorkers() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Workers.size();
+}
+
+void WorkerPool::evalBatch(const BatchContext &Ctx,
+                           const std::vector<RemotePoint> &Points,
+                           const std::string &Stage, EvalCache &Cache) {
+  if (Points.empty())
+    return;
+
+  uint64_t Group;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping || Workers.empty())
+      return; // no fleet — the caller's local path covers everything
+
+    size_t Shards = std::min(Workers.size(), Points.size());
+    Group = NextGroupId++;
+    size_t Base = Points.size() / Shards, Extra = Points.size() % Shards;
+    size_t Off = 0;
+    auto Now = Clock::now();
+    for (size_t S = 0; S < Shards; ++S) {
+      size_t Count = Base + (S < Extra ? 1 : 0);
+      Batch B;
+      B.Id = NextBatchId++;
+      B.Points.assign(Points.begin() + Off, Points.begin() + Off + Count);
+      Off += Count;
+      B.Cache = &Cache;
+      B.Group = Group;
+      B.NotBefore = Now;
+      Json P = Json::object();
+      P.set("id", B.Id);
+      P.set("kernel", Ctx.Kernel);
+      P.set("machine", Ctx.Machine);
+      P.set("scale", static_cast<int64_t>(Ctx.Scale));
+      P.set("rep_n", Ctx.RepSize);
+      P.set("stage", Stage);
+      Json Pts = Json::array();
+      for (const RemotePoint &RP : B.Points) {
+        Json O = Json::object();
+        O.set("variant", RP.Variant);
+        Json C = Json::object();
+        for (const auto &[Name, Value] : RP.Config)
+          C.set(Name, Value);
+        O.set("config", std::move(C));
+        Pts.push(std::move(O));
+      }
+      P.set("points", std::move(Pts));
+      B.Payload = std::move(P);
+      uint64_t Id = B.Id;
+      Batches.emplace(Id, std::move(B));
+    }
+    GroupRemaining[Group] = Shards;
+    TotalDispatched += Shards;
+    ECO_LOG(Debug) << "fleet: dispatching " << Points.size()
+                   << " point(s) as " << Shards << " batch(es) across "
+                   << Workers.size() << " worker(s) [" << Stage << "]";
+  }
+  WorkCV.notify_all();
+
+  std::unique_lock<std::mutex> Lock(M);
+  for (;;) {
+    auto GIt = GroupRemaining.find(Group);
+    if (GIt == GroupRemaining.end() || GIt->second == 0)
+      break;
+    if (Stopping || Workers.empty()) {
+      // Fleet gone: fail this group's remaining batches right now so
+      // the tune falls back to local evaluation instead of waiting out
+      // timeouts that no worker will ever beat.
+      std::vector<uint64_t> Remaining;
+      for (const auto &[Id, B] : Batches)
+        if (B.Group == Group)
+          Remaining.push_back(Id);
+      for (uint64_t Id : Remaining) {
+        ++TotalFailed;
+        finishBatchLocked(Id);
+      }
+      break;
+    }
+    DoneCV.wait_for(Lock, std::chrono::milliseconds(50));
+    reapLocked(Clock::now());
+  }
+  GroupRemaining.erase(Group);
+}
+
+void WorkerPool::shutdown() {
+  std::lock_guard<std::mutex> Lock(M);
+  Stopping = true;
+  std::vector<uint64_t> Remaining;
+  for (const auto &[Id, B] : Batches) {
+    (void)B;
+    Remaining.push_back(Id);
+  }
+  for (uint64_t Id : Remaining) {
+    ++TotalFailed;
+    finishBatchLocked(Id);
+  }
+  WorkCV.notify_all();
+  DoneCV.notify_all();
+}
+
+Json WorkerPool::statsJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Json J = Json::object();
+  J.set("workers_live", static_cast<int64_t>(Workers.size()));
+  J.set("joined", TotalJoined);
+  J.set("lost", TotalLost);
+  J.set("batches_dispatched", TotalDispatched);
+  J.set("batches_retried", TotalRetried);
+  J.set("batches_failed", TotalFailed);
+  J.set("batches_completed", TotalCompleted);
+  J.set("batches_outstanding", static_cast<int64_t>(Batches.size()));
+  return J;
+}

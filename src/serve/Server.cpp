@@ -85,7 +85,8 @@ void ServeJob::finish(JobResult R) {
 
 TuneService::TuneService(ServiceOptions O)
     : Opts(std::move(O)), Db(Opts.DbPath),
-      SharedCache(std::make_shared<EvalCache>()) {
+      SharedCache(std::make_shared<EvalCache>()),
+      Pool(std::make_unique<WorkerPool>(Opts.Fleet)) {
   if (Opts.Workers < 1)
     Opts.Workers = 1;
   if (Opts.QueueCapacity < 1)
@@ -190,6 +191,7 @@ Json TuneService::statsJson() const {
   J.set("cache_entries", static_cast<int64_t>(SharedCache->size()));
   J.set("cache_hits", SharedCache->hits());
   J.set("cache_misses", SharedCache->misses());
+  J.set("fleet", Pool->statsJson());
   return J;
 }
 
@@ -276,6 +278,9 @@ void TuneService::drain() {
   for (std::thread &W : Workers)
     if (W.joinable())
       W.join();
+  // No jobs can need the fleet anymore; fail anything still outstanding
+  // so late worker polls see an empty queue.
+  Pool->shutdown();
   Db.save();
 }
 
@@ -468,6 +473,21 @@ void TuneService::execute(ServeJob &Job) {
   EngineOptions EOpts;
   EOpts.Jobs = Opts.EngineJobs;
   EOpts.SharedCache = SharedCache;
+  // Remote fleet hook: warm batches shard across registered eco_worker
+  // processes, landing their costs in the shared cache the decision
+  // loop reads. RepSize = the job's N, matching the representative size
+  // tune() derives variants with, so workers re-derive identical
+  // variants. With no live workers the gate skips everything.
+  BatchContext BC;
+  BC.Kernel = Job.Spec.Kernel;
+  BC.Machine = Job.Spec.Machine;
+  BC.Scale = Job.Spec.Scale;
+  BC.RepSize = Job.Spec.N;
+  EOpts.RemoteWarm = [this, BC](const std::vector<RemotePoint> &Points,
+                                const std::string &Stage) {
+    Pool->evalBatch(BC, Points, Stage, *SharedCache);
+  };
+  EOpts.RemoteWarmGate = [this] { return Pool->liveWorkers() > 0; };
   EvalEngine Engine(Backend, EOpts);
 
   auto TuneStart = Clock::now();
@@ -711,9 +731,14 @@ void Server::acceptLoop(Listener *L) {
 }
 
 void Server::handleConnection(int Fd) {
+  /// Cap on one request line. A client that streams data without ever
+  /// sending a newline would otherwise grow Buf without bound; the
+  /// largest legitimate request is a few hundred bytes.
+  static constexpr size_t MaxRequestBytes = 1 << 20; // 1 MiB
   std::string Buf;
   char Chunk[4096];
   bool Alive = true;
+  uint64_t ConnWorkerId = 0; ///< fleet worker registered here (0 = none)
   while (Alive) {
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N < 0 && errno == EINTR)
@@ -735,11 +760,26 @@ void Server::handleConnection(int Fd) {
         Resp.set("ok", false);
         Resp.set("error", "bad request: " + ParseError);
       } else {
-        Resp = handleRequest(Req);
+        Resp = handleRequest(Req, ConnWorkerId);
       }
       Alive = sendAll(Fd, Resp.dump() + "\n");
     }
+    if (Alive && Buf.size() > MaxRequestBytes) {
+      // Structured refusal, then close: the line is already oversized
+      // and nothing that follows could make it parseable within bounds.
+      Json Resp = Json::object();
+      Resp.set("ok", false);
+      Resp.set("error", "request too large (line exceeds " +
+                            std::to_string(MaxRequestBytes) + " bytes)");
+      sendAll(Fd, Resp.dump() + "\n");
+      break;
+    }
   }
+  // A dying connection is how a SIGKILLed worker announces itself:
+  // evict it now so its in-flight batches re-dispatch immediately
+  // instead of waiting out the heartbeat timeout.
+  if (ConnWorkerId)
+    Service.workers().disconnected(ConnWorkerId);
   // Close under the lock so stop()'s shutdown() sweep never races a
   // reused fd number.
   std::lock_guard<std::mutex> Lock(ConnMutex);
@@ -749,8 +789,26 @@ void Server::handleConnection(int Fd) {
   ::close(Fd);
 }
 
-Json Server::handleRequest(const Json &Req) {
+Json Server::handleRequest(const Json &Req, uint64_t &ConnWorkerId) {
   std::string Op = Req.get("op").asString();
+  if (Op == "worker.hello") {
+    Json J = Service.workers().hello(Req);
+    if (J.get("ok").asBool(false)) {
+      // One registration per connection: a re-hello (after eviction)
+      // supersedes the old id, which is evicted so its batches requeue.
+      uint64_t NewId = static_cast<uint64_t>(J.get("worker_id").asInt());
+      if (ConnWorkerId && ConnWorkerId != NewId)
+        Service.workers().disconnected(ConnWorkerId);
+      ConnWorkerId = NewId;
+    }
+    return J;
+  }
+  if (Op == "worker.poll")
+    return Service.workers().poll(Req);
+  if (Op == "worker.result")
+    return Service.workers().result(Req);
+  if (Op == "worker.heartbeat")
+    return Service.workers().heartbeat(Req);
   if (Op == "ping") {
     Json J = Json::object();
     J.set("ok", true);

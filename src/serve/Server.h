@@ -41,6 +41,7 @@
 
 #include "engine/EvalCache.h"
 #include "serve/ConfigDB.h"
+#include "serve/Fleet.h"
 #include "serve/Protocol.h"
 
 #include <atomic>
@@ -130,6 +131,10 @@ struct ServiceOptions {
   /// any tuning work. Tests block in it to hold workers busy, making
   /// queue-full and cancellation scenarios deterministic.
   std::function<void(const JobSpec &)> TestGate;
+  /// Remote worker fleet dispatch knobs (serve/Fleet.h). The fleet is
+  /// always constructed; with no registered workers it costs nothing
+  /// (the engine's RemoteWarmGate skips batch export entirely).
+  FleetOptions Fleet;
 };
 
 /// The tuning scheduler: bounded priority queue + worker pool + ConfigDB.
@@ -149,6 +154,10 @@ public:
   JobResult run(const JobSpec &Spec) { return submit(Spec)->wait(); }
 
   ConfigDB &db() { return Db; }
+
+  /// The remote evaluation worker fleet (wire verbs + dispatch). Warm
+  /// batches shard across its registered workers; see serve/Fleet.h.
+  WorkerPool &workers() { return *Pool; }
 
   /// Jobs admitted but not yet popped by a worker.
   size_t queueDepth() const;
@@ -182,6 +191,7 @@ private:
   ServiceOptions Opts;
   ConfigDB Db;
   std::shared_ptr<EvalCache> SharedCache;
+  std::unique_ptr<WorkerPool> Pool;
 
   mutable std::mutex QM;
   std::condition_variable QCV;    ///< workers wait: queue non-empty | stop
@@ -245,8 +255,11 @@ public:
 private:
   void acceptLoop(Listener *L);
   void handleConnection(int Fd);
-  /// One request -> one response object.
-  Json handleRequest(const Json &Request);
+  /// One request -> one response object. \p ConnWorkerId is the fleet
+  /// worker registered on this connection (0 = none): worker.hello sets
+  /// it, and handleConnection evicts it when the connection dies — the
+  /// instant-detection path for a SIGKILLed worker.
+  Json handleRequest(const Json &Request, uint64_t &ConnWorkerId);
 
   TuneService &Service;
   ServerOptions Opts;

@@ -139,6 +139,7 @@ int eco::serve::submitToolMain(const std::vector<std::string> &Args) {
   std::string Host = "127.0.0.1";
   int Port = -1;
   std::string Op = "submit";
+  int TimeoutMs = 0; // 0 = library defaults (10 s connect, 5 min recv)
   JobSpec Spec;
 
   for (const std::string &Arg : Args) {
@@ -148,6 +149,8 @@ int eco::serve::submitToolMain(const std::vector<std::string> &Args) {
       Host = V;
     } else if (const char *V = valueOf(Arg, "--port=")) {
       Port = std::atoi(V);
+    } else if (const char *V = valueOf(Arg, "--timeout-ms=")) {
+      TimeoutMs = std::atoi(V);
     } else if (const char *V = valueOf(Arg, "--op=")) {
       Op = V;
     } else if (const char *V = valueOf(Arg, "--kernel=")) {
@@ -167,7 +170,8 @@ int eco::serve::submitToolMain(const std::vector<std::string> &Args) {
     } else {
       std::fprintf(stderr,
                    "usage: eco_cli submit [--socket=PATH | --host=H "
-                   "--port=P] [--op=submit|query|stats|jobs|metrics|"
+                   "--port=P] [--timeout-ms=MS] "
+                   "[--op=submit|query|stats|jobs|metrics|"
                    "ping|shutdown] "
                    "[--kernel=K] [--machine=M] [--scale=S] [--n=N] "
                    "[--priority=P] [--deadline-ms=MS] [--force]\n");
@@ -177,12 +181,16 @@ int eco::serve::submitToolMain(const std::vector<std::string> &Args) {
 
   std::string Error;
   std::unique_ptr<Client> C =
-      Port >= 0 ? Client::connectTcp(Host, Port, &Error)
-                : Client::connectUnix(Socket, &Error);
+      Port >= 0 ? Client::connectTcp(Host, Port, &Error,
+                                     TimeoutMs > 0 ? TimeoutMs : 10000)
+                : Client::connectUnix(Socket, &Error,
+                                      TimeoutMs > 0 ? TimeoutMs : 10000);
   if (!C) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
+  if (TimeoutMs > 0)
+    C->setRecvTimeout(TimeoutMs);
 
   Json Resp;
   if (Op == "submit") {

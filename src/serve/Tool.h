@@ -42,6 +42,9 @@ int serveToolMain(const std::vector<std::string> &Args);
 
 /// `eco_cli submit [flags]`:
 ///   --socket=PATH / --host=H --port=P   how to reach the daemon
+///   --timeout-ms=MS   connect + response timeout (default: 10 s
+///                     connect, 5 min response — a submit blocks for a
+///                     whole tune)
 ///   --op=submit|query|stats|ping|shutdown (default submit)
 ///   --kernel=K --machine=M --scale=S --n=N
 ///   --priority=P --deadline-ms=MS --force

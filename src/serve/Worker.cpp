@@ -1,0 +1,295 @@
+//===- serve/Worker.cpp - Remote evaluation worker ------------------------===//
+
+#include "serve/Worker.h"
+
+#include "core/DeriveVariants.h"
+#include "core/Search.h"
+#include "obs/Log.h"
+#include "serve/Client.h"
+#include "serve/Server.h" // buildKernel / buildMachine
+#include "transform/TransformError.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+
+using namespace eco;
+using namespace eco::serve;
+
+namespace {
+
+/// Everything needed to evaluate points for one (kernel, machine, scale,
+/// rep_n): the variants derived once (derivation order is stable, so
+/// names match the daemon's) and one simulator instance reused across
+/// batches.
+struct KernelContext {
+  MachineDesc Machine;
+  std::vector<DerivedVariant> Variants;
+  std::unique_ptr<SimEvalBackend> Backend;
+};
+
+/// Evaluates every point of \p Batch into \p CostsOut (one slot per
+/// point; null = cannot evaluate — unknown variant/symbol or illegal
+/// transform, which the daemon's local loop re-derives). \p BetweenPoints
+/// runs after each point so the caller can heartbeat through long
+/// batches.
+void evaluateBatch(const Json &Batch,
+                   std::map<std::string, KernelContext> &Kernels,
+                   Json &CostsOut,
+                   const std::function<void()> &BetweenPoints) {
+  CostsOut = Json::array();
+  const Json &Points = Batch.get("points");
+
+  std::string Kernel = Batch.get("kernel").asString();
+  std::string Machine = Batch.get("machine").asString();
+  unsigned Scale = static_cast<unsigned>(Batch.get("scale").asInt(1));
+  int64_t RepN = Batch.get("rep_n").asInt();
+  std::string CtxKey = Kernel + "|" + Machine + "|" +
+                       std::to_string(Scale) + "|" + std::to_string(RepN);
+  auto It = Kernels.find(CtxKey);
+  if (It == Kernels.end()) {
+    LoopNest Nest;
+    KernelContext KC;
+    if (!buildKernel(Kernel, Nest) ||
+        !buildMachine(Machine, Scale, KC.Machine)) {
+      // Unresolvable batch: answer all-null rather than erroring, so the
+      // daemon resolves the batch once instead of re-dispatching it.
+      for (size_t I = 0; I < Points.size(); ++I)
+        CostsOut.push(Json());
+      return;
+    }
+    DeriveOptions D;
+    D.setRepresentativeSize(RepN);
+    KC.Variants = deriveVariants(Nest, KC.Machine, D);
+    KC.Backend = std::make_unique<SimEvalBackend>(KC.Machine);
+    It = Kernels.emplace(CtxKey, std::move(KC)).first;
+  }
+  KernelContext &KC = It->second;
+
+  for (size_t I = 0; I < Points.size(); ++I) {
+    const Json &P = Points.at(I);
+    const std::string &Name = P.get("variant").asString();
+    const DerivedVariant *V = nullptr;
+    for (const DerivedVariant &Cand : KC.Variants)
+      if (Cand.Spec.Name == Name) {
+        V = &Cand;
+        break;
+      }
+    if (!V) {
+      CostsOut.push(Json());
+      continue;
+    }
+    Env Config(V->Skeleton.Syms.size());
+    bool Bad = false;
+    for (const auto &[Sym, Value] : P.get("config").fields()) {
+      SymbolId Id = V->Skeleton.Syms.lookup(Sym);
+      if (Id < 0 || !Value.isNumber()) {
+        Bad = true;
+        break;
+      }
+      Config.set(Id, Value.asInt());
+    }
+    if (Bad) {
+      CostsOut.push(Json());
+      continue;
+    }
+    try {
+      LoopNest Inst = V->instantiate(Config, KC.Machine);
+      CostsOut.push(KC.Backend->evaluate(Inst, Config));
+    } catch (const TransformError &) {
+      CostsOut.push(Json()); // daemon-side loop re-derives the rejection
+    }
+    BetweenPoints();
+  }
+}
+
+const char *valueOf(const std::string &Arg, const char *Key) {
+  size_t Len = std::strlen(Key);
+  if (Arg.compare(0, Len, Key) == 0)
+    return Arg.c_str() + Len;
+  return nullptr;
+}
+
+} // namespace
+
+int eco::serve::runWorker(const WorkerOptions &Opts) {
+  std::map<std::string, KernelContext> Kernels;
+  std::unique_ptr<Client> C;
+  uint64_t WorkerId = 0;
+  int HeartbeatMs = 500;
+  long BatchesSeen = 0;
+  int Reconnects = 0;
+
+  auto stopRequested = [&Opts] {
+    return Opts.Stop && Opts.Stop->load(std::memory_order_relaxed);
+  };
+
+  auto connect = [&]() -> bool {
+    while (!stopRequested()) {
+      std::string Err;
+      C = Opts.Port >= 0
+              ? Client::connectTcp(Opts.Host, Opts.Port, &Err,
+                                   Opts.TimeoutMs)
+              : Client::connectUnix(Opts.Socket, &Err, Opts.TimeoutMs);
+      if (C) {
+        C->setRecvTimeout(Opts.TimeoutMs);
+        return true;
+      }
+      if (++Reconnects > Opts.MaxReconnects) {
+        ECO_LOG(Warn) << "worker: daemon unreachable after " << Reconnects
+                      << " attempt(s): " << Err;
+        return false;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Opts.ReconnectMs));
+    }
+    return false;
+  };
+
+  auto hello = [&]() -> bool {
+    Json Req = Json::object();
+    Req.set("op", "worker.hello");
+    Req.set("name", Opts.Name);
+    Json Resp;
+    if (!C->roundTrip(Req, Resp) || !Resp.get("ok").asBool(false))
+      return false;
+    WorkerId = static_cast<uint64_t>(Resp.get("worker_id").asInt());
+    HeartbeatMs =
+        static_cast<int>(Resp.get("heartbeat_ms").asInt(HeartbeatMs));
+    Reconnects = 0; // a completed registration resets the give-up budget
+    ECO_LOG(Info) << "worker: registered as id " << WorkerId;
+    return true;
+  };
+
+  for (;;) {
+    if (stopRequested())
+      return 0;
+    if (!C || !C->alive()) {
+      if (!connect())
+        return stopRequested() ? 0 : 1;
+      if (!hello()) {
+        C.reset();
+        continue; // retry (bounded by the reconnect budget)
+      }
+    }
+
+    Json Req = Json::object();
+    Req.set("op", "worker.poll");
+    Req.set("worker_id", WorkerId);
+    Req.set("wait_ms", static_cast<int64_t>(Opts.PollWaitMs));
+    Json Resp;
+    if (!C->roundTrip(Req, Resp)) {
+      C.reset(); // daemon restarted or died: reconnect + re-hello
+      continue;
+    }
+    if (!Resp.get("ok").asBool(false)) {
+      // Evicted (heartbeat lapse, garbage strikes): re-register on the
+      // same connection and start fresh.
+      if (!hello())
+        C.reset();
+      continue;
+    }
+    if (!Resp.has("batch"))
+      continue; // idle long-poll lap
+
+    const Json &Batch = Resp.get("batch");
+    ++BatchesSeen;
+    bool ChaosNow =
+        !Opts.Chaos.empty() && BatchesSeen > Opts.ChaosAfterBatches;
+
+    if (ChaosNow && Opts.Chaos == "vanish") {
+      // SIGKILL analogue for in-process tests: drop the connection with
+      // the batch unacknowledged and exit.
+      ECO_LOG(Warn) << "worker: chaos=vanish, dropping connection";
+      C.reset();
+      return 0;
+    }
+    if (ChaosNow && Opts.Chaos == "freeze") {
+      // Hold the batch silently; the daemon's heartbeat reaper evicts
+      // us and re-dispatches. Park until told to stop.
+      ECO_LOG(Warn) << "worker: chaos=freeze, going silent";
+      while (!stopRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return 0;
+    }
+
+    Json Costs;
+    if (ChaosNow && Opts.Chaos == "garbage") {
+      // Structurally invalid on purpose: wrong arity and a non-number.
+      Costs = Json::array();
+      Costs.push("not-a-cost");
+    } else {
+      auto LastBeat = std::chrono::steady_clock::now();
+      auto beat = [&] {
+        auto Now = std::chrono::steady_clock::now();
+        if (Now - LastBeat < std::chrono::milliseconds(
+                                 std::max(HeartbeatMs / 2, 1)))
+          return;
+        LastBeat = Now;
+        Json HReq = Json::object();
+        HReq.set("op", "worker.heartbeat");
+        HReq.set("worker_id", WorkerId);
+        Json HResp;
+        C->roundTrip(HReq, HResp); // best effort; poll also refreshes
+      };
+      evaluateBatch(Batch, Kernels, Costs, beat);
+    }
+
+    Json RReq = Json::object();
+    RReq.set("op", "worker.result");
+    RReq.set("worker_id", WorkerId);
+    RReq.set("batch_id", Batch.get("id").asInt());
+    RReq.set("costs", std::move(Costs));
+    Json RResp;
+    if (!C->roundTrip(RReq, RResp)) {
+      C.reset();
+      continue;
+    }
+    if (Opts.MaxBatches >= 0 && BatchesSeen >= Opts.MaxBatches)
+      return 0;
+  }
+}
+
+int eco::serve::workerToolMain(const std::vector<std::string> &Args) {
+  WorkerOptions Opts;
+  for (const std::string &Arg : Args) {
+    if (const char *V = valueOf(Arg, "--socket=")) {
+      Opts.Socket = V;
+    } else if (const char *V = valueOf(Arg, "--host=")) {
+      Opts.Host = V;
+    } else if (const char *V = valueOf(Arg, "--port=")) {
+      Opts.Port = std::atoi(V);
+    } else if (const char *V = valueOf(Arg, "--name=")) {
+      Opts.Name = V;
+    } else if (const char *V = valueOf(Arg, "--poll-ms=")) {
+      Opts.PollWaitMs = std::atoi(V);
+    } else if (const char *V = valueOf(Arg, "--timeout-ms=")) {
+      Opts.TimeoutMs = std::atoi(V);
+    } else if (const char *V = valueOf(Arg, "--max-batches=")) {
+      Opts.MaxBatches = std::atol(V);
+    } else if (const char *V = valueOf(Arg, "--chaos=")) {
+      Opts.Chaos = V;
+    } else if (const char *V = valueOf(Arg, "--chaos-after=")) {
+      Opts.ChaosAfterBatches = std::atol(V);
+    } else {
+      std::fprintf(stderr,
+                   "usage: eco_worker [--socket=PATH | --host=H --port=P] "
+                   "[--name=S] [--poll-ms=MS] [--timeout-ms=MS] "
+                   "[--max-batches=N] [--chaos=garbage|freeze|vanish] "
+                   "[--chaos-after=N]\n");
+      return 2;
+    }
+  }
+  if (!Opts.Chaos.empty() && Opts.Chaos != "garbage" &&
+      Opts.Chaos != "freeze" && Opts.Chaos != "vanish") {
+    std::fprintf(stderr, "error: bad --chaos=%s\n", Opts.Chaos.c_str());
+    return 2;
+  }
+  return runWorker(Opts);
+}

@@ -1,0 +1,89 @@
+//===- serve/Worker.h - Remote evaluation worker ---------------*- C++ -*-===//
+//
+// Part of the ECO reproduction of Chen, Chame & Hall, CGO 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `eco_worker` side of the fleet protocol (serve/Fleet.h): connect
+/// to the daemon, register with `worker.hello`, long-poll for batches,
+/// evaluate each point on a local simulator, and report costs with
+/// `worker.result`, heartbeating between points.
+///
+/// Determinism: the worker rebuilds the exact evaluation from the batch
+/// alone — kernel + machine by name, variants re-derived with the
+/// shipped representative size (derivation order is stable, so variant
+/// names agree across processes), the Env rebound from the portable
+/// (name, value) config. The simulated cost is a pure function of that
+/// triple, and JSON numbers round-trip doubles exactly, so a remote cost
+/// is bit-identical to the local one.
+///
+/// A point the worker cannot evaluate — unknown variant name, unknown
+/// symbol, illegal transform for that config — reports a null cost: the
+/// daemon skips the cache insert and the tune's decision loop re-derives
+/// the rejection (or evaluates locally) deterministically.
+///
+/// Chaos knobs exist for the fault-injection tests only: a worker can be
+/// told to return garbage, freeze mid-batch (heartbeat eviction path),
+/// or vanish mid-batch (the in-process analogue of SIGKILL).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECO_SERVE_WORKER_H
+#define ECO_SERVE_WORKER_H
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace eco {
+namespace serve {
+
+/// runWorker() knobs (the eco_worker flags map onto these).
+struct WorkerOptions {
+  /// Unix socket path to the daemon; used when Port < 0.
+  std::string Socket = "eco_serve.sock";
+  std::string Host = "127.0.0.1";
+  int Port = -1;
+  /// Display name reported at hello (shows up in worker.* events).
+  std::string Name = "worker";
+  /// Long-poll wait per worker.poll request.
+  int PollWaitMs = 1000;
+  /// Sleep between reconnect attempts after a transport failure.
+  int ReconnectMs = 200;
+  /// Reconnect attempts before giving up (the daemon is gone).
+  int MaxReconnects = 25;
+  /// Connect/roundTrip timeout for the worker's client.
+  int TimeoutMs = 10000;
+  /// Exit after this many batches (< 0 = run until Stop/daemon exit).
+  long MaxBatches = -1;
+  /// Cooperative stop for in-process workers (tests run runWorker on a
+  /// thread); checked between protocol round trips.
+  std::atomic<bool> *Stop = nullptr;
+  /// Fault injection: "" (none), "garbage" (malformed cost vectors),
+  /// "freeze" (receive a batch, then go silent), "vanish" (receive a
+  /// batch, then drop the connection and exit — SIGKILL analogue).
+  std::string Chaos;
+  /// Batches to serve honestly before Chaos triggers.
+  long ChaosAfterBatches = 0;
+};
+
+/// Runs the worker loop until the daemon disappears (reconnects
+/// exhausted), Stop is set, or MaxBatches is reached. Returns a process
+/// exit code (0 = clean).
+int runWorker(const WorkerOptions &Opts);
+
+/// `eco_worker [flags]` / `eco_cli worker [flags]`:
+///   --socket=PATH / --host=H --port=P   how to reach the daemon
+///   --name=S          worker name (default "worker")
+///   --poll-ms=MS      long-poll wait (default 1000)
+///   --timeout-ms=MS   connect/response timeout (default 10000)
+///   --max-batches=N   exit after N batches (default: run forever)
+///   --chaos=MODE      garbage|freeze|vanish (fault-injection tests)
+///   --chaos-after=N   honest batches before chaos (default 0)
+int workerToolMain(const std::vector<std::string> &Args);
+
+} // namespace serve
+} // namespace eco
+
+#endif // ECO_SERVE_WORKER_H

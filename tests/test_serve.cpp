@@ -30,14 +30,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -154,6 +158,38 @@ TEST(ConfigDBTest, ExactAndNearestLookups) {
   auto JacobiNear = Db.nearest("jacobi", 0x1111222233334444ULL, 112);
   ASSERT_TRUE(JacobiNear.has_value());
   EXPECT_EQ(JacobiNear->Kernel, "jacobi");
+}
+
+TEST(ConfigDBTest, NearestEdgesBelowAboveAndEquidistant) {
+  ConfigDB Db;
+  ASSERT_TRUE(Db.put(makeEntry("matmul", 64, 10.0)));
+  ASSERT_TRUE(Db.put(makeEntry("matmul", 256, 40.0)));
+
+  // A query below every seed clamps to the smallest...
+  auto Below = Db.nearest("matmul", 0x1111222233334444ULL, 8);
+  ASSERT_TRUE(Below.has_value());
+  EXPECT_EQ(Below->N, 64);
+  // ...and above every seed to the largest.
+  auto Above = Db.nearest("matmul", 0x1111222233334444ULL, 4096);
+  ASSERT_TRUE(Above.has_value());
+  EXPECT_EQ(Above->N, 256);
+
+  // 128 sits between 64 and 256 at (mathematically) equal log distance.
+  // Whether the two computed doubles tie exactly is libm's business; the
+  // contract under test is that the choice is the *deterministic*
+  // distance/tie rule, not the entry map's key order.
+  double D64 = std::fabs(std::log(64.0) - std::log(128.0));
+  double D256 = std::fabs(std::log(256.0) - std::log(128.0));
+  int64_t Want = D64 == D256 ? 64 /* exact tie: smaller N wins */
+                             : (D64 < D256 ? 64 : 256);
+  auto Tie = Db.nearest("matmul", 0x1111222233334444ULL, 128);
+  ASSERT_TRUE(Tie.has_value());
+  EXPECT_EQ(Tie->N, Want);
+  // Stable across repeated queries and unaffected by unrelated rows.
+  ASSERT_TRUE(Db.put(makeEntry("jacobi", 128, 1.0)));
+  auto Again = Db.nearest("matmul", 0x1111222233334444ULL, 128);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(Again->N, Want);
 }
 
 TEST(ConfigDBTest, PutKeepsTheBetterEntry) {
@@ -1040,4 +1076,155 @@ TEST(ServeIntrospectionTest, JobsGetNamedSpanRowsInTheTrace) {
   }
   EXPECT_TRUE(NamedRow) << "no thread_name metadata for tid " << Run->Tid;
   Spans.clear();
+}
+
+// ---- Client robustness (timeouts, dead-stream fail-fast, size cap) ------
+
+TEST(ClientRobustnessTest, RecvTimeoutFiresAgainstASilentPeerAndKillsClient) {
+  // A unix listener that accepts into its backlog but never replies —
+  // the shape of a wedged daemon. connect() succeeds; the response
+  // never comes.
+  std::string Sock = tempPath("eco_serve_silent.sock");
+  std::remove(Sock.c_str());
+  int Lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Lfd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Sock.c_str(), sizeof(Addr.sun_path) - 1);
+  ASSERT_EQ(::bind(Lfd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Lfd, 4), 0);
+
+  std::string Err;
+  auto C = Client::connectUnix(Sock, &Err, 2000);
+  ASSERT_NE(C, nullptr) << Err;
+  ASSERT_TRUE(C->alive());
+  C->setRecvTimeout(150);
+
+  // The round trip must come back (not hang), with a timeout error, and
+  // the stream is dead from then on: a late reply would be mis-paired
+  // with the next request.
+  auto T0 = std::chrono::steady_clock::now();
+  Json Req = Json::object();
+  Req.set("op", "ping");
+  Json Resp;
+  EXPECT_FALSE(C->roundTrip(Req, Resp, &Err));
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  EXPECT_LT(Ms, 5000) << "recv timeout did not bound the wait";
+  EXPECT_NE(Err.find("timed out"), std::string::npos) << Err;
+  EXPECT_FALSE(C->alive());
+  EXPECT_FALSE(C->deadReason().empty());
+
+  // Fail-fast contract: every later call errors immediately with the
+  // original reason instead of touching the desynchronized socket.
+  T0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(C->roundTrip(Req, Resp, &Err));
+  Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+           std::chrono::steady_clock::now() - T0)
+           .count();
+  EXPECT_LT(Ms, 100) << "dead client must not touch the socket";
+  EXPECT_NE(Err.find("client is dead"), std::string::npos) << Err;
+  // The convenience wrappers ride the same path.
+  JobResult R = C->submit(smallSpec());
+  EXPECT_EQ(R.Status, "failed");
+
+  ::close(Lfd);
+  std::remove(Sock.c_str());
+}
+
+TEST(ClientRobustnessTest, ConnectTimeoutRefusesQuicklyOnAMissingSocket) {
+  std::string Err;
+  auto T0 = std::chrono::steady_clock::now();
+  auto C = Client::connectUnix(tempPath("eco_serve_nosuch.sock"), &Err, 500);
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  EXPECT_EQ(C, nullptr);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_LT(Ms, 5000);
+}
+
+TEST(ServeServerTest, OversizedRequestGetsStructuredErrorAndClose) {
+  std::string Sock = tempPath("eco_serve_oversize.sock");
+  std::remove(Sock.c_str());
+  TuneService Service;
+  ServerOptions Opts;
+  Opts.UnixPath = Sock;
+  Server Srv(Service, Opts);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Sock.c_str(), sizeof(Addr.sun_path) - 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+
+  // Stream 2 MiB with no newline: an unterminated "line" must not grow
+  // the server's buffer without bound. The server answers a structured
+  // error and closes; late writes then fail (EPIPE), which is fine.
+  std::string Chunk(64 * 1024, 'x');
+  size_t Sent = 0;
+  while (Sent < (2u << 20)) {
+    ssize_t N = ::send(Fd, Chunk.data(), Chunk.size(), MSG_NOSIGNAL);
+    if (N <= 0)
+      break; // server already slammed the door
+    Sent += static_cast<size_t>(N);
+  }
+
+  std::string Line;
+  char Byte;
+  while (Line.find('\n') == std::string::npos) {
+    ssize_t N = ::recv(Fd, &Byte, 1, 0);
+    if (N <= 0)
+      break; // EOF: connection closed as promised
+    Line.push_back(Byte);
+  }
+  ASSERT_NE(Line.find('\n'), std::string::npos)
+      << "no error response before close";
+  Json Resp = Json::parse(Line, &Err);
+  ASSERT_TRUE(Err.empty()) << Err << " in: " << Line;
+  EXPECT_FALSE(Resp.get("ok").asBool(true));
+  EXPECT_NE(Resp.get("error").asString().find("request too large"),
+            std::string::npos)
+      << Resp.dump();
+  // And the connection really is gone.
+  EXPECT_EQ(::recv(Fd, &Byte, 1, 0), 0);
+
+  ::close(Fd);
+  Srv.stop();
+  Service.drain();
+  std::remove(Sock.c_str());
+}
+
+TEST(ServeServerTest, RequestsUpToTheCapStillWork) {
+  // A legal (if silly) request just under the cap parses and answers —
+  // the limit is a ceiling, not a truncation of valid traffic.
+  std::string Sock = tempPath("eco_serve_bigok.sock");
+  std::remove(Sock.c_str());
+  TuneService Service;
+  ServerOptions Opts;
+  Opts.UnixPath = Sock;
+  Server Srv(Service, Opts);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  auto C = Client::connectUnix(Sock, &Err);
+  ASSERT_NE(C, nullptr) << Err;
+  C->setRecvTimeout(10000);
+  Json Req = Json::object();
+  Req.set("op", "ping");
+  Req.set("padding", std::string(512 * 1024, 'p'));
+  Json Resp;
+  ASSERT_TRUE(C->roundTrip(Req, Resp, &Err)) << Err;
+  EXPECT_TRUE(Resp.get("ok").asBool(false));
+  EXPECT_TRUE(C->alive());
+
+  Srv.stop();
+  Service.drain();
+  std::remove(Sock.c_str());
 }
