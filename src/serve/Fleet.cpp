@@ -240,14 +240,25 @@ Json WorkerPool::result(const Json &Req) {
         Valid = false;
     }
   if (!Valid) {
+    // Re-queue only a batch still in flight on THIS worker: a
+    // superseded sender (the batch straggled and was re-dispatched to a
+    // healthy worker) just takes the strike. Order matters — the
+    // requeue can erase B outright (attempts exhausted ->
+    // finishBatchLocked), so it must precede evictLocked, whose orphan
+    // sweep then finds the batch already resolved or Queued and leaves
+    // it alone.
+    if (B.State == BatchState::InFlight && B.AssignedTo == WorkerId)
+      requeueLocked(B, "garbage-result");
     if (++WIt->second.Strikes >= Opts.MaxStrikes)
       evictLocked(WorkerId, "garbage-result");
-    requeueLocked(B, "garbage-result");
     Json J = Json::object();
     J.set("ok", false);
     J.set("error", "malformed result");
     return J;
   }
+  // A structurally valid result clears the strike count: strikes gauge
+  // persistent misbehavior, not an honest worker's lifetime total.
+  WIt->second.Strikes = 0;
 
   for (size_t I = 0; I < Costs.size(); ++I)
     if (!Costs.at(I).isNull())

@@ -32,8 +32,10 @@
 ///    caught even faster by its connection closing (Server calls
 ///    disconnected());
 ///  * garbage results: a structurally invalid worker.result strikes the
-///    worker (evicted after MaxStrikes) and re-queues the batch; costs
-///    are never inserted from a malformed report;
+///    worker (evicted after MaxStrikes consecutive garbage reports — a
+///    valid result resets the count) and re-queues the batch if it is
+///    still in flight on that worker; costs are never inserted from a
+///    malformed report;
 ///  * fleet shrinks to zero: evalBatch() fails the remaining batches
 ///    immediately and returns — the points stay uncached, so the
 ///    engine's sequential decision loop evaluates them locally and the

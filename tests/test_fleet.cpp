@@ -357,6 +357,147 @@ TEST(WorkerPoolTest, GarbageResultsStrikeThenEvict) {
   EXPECT_EQ(Stats.get("batches_outstanding").asInt(), 0);
 }
 
+// Regression: a garbage result that simultaneously exhausts the batch's
+// attempts AND the worker's strikes used to evict first — the eviction
+// sweep re-queued (and, attempts spent, erased) the batch, and the
+// handler then touched the freed Batch. Must resolve cleanly: worker
+// evicted, batch failed out exactly once, nothing double-counted.
+TEST(WorkerPoolTest, GarbageOnLastAttemptFromLastStrikeWorkerIsSafe) {
+  FleetOptions FO;
+  FO.MaxStrikes = 1;
+  FO.MaxAttempts = 1;
+  FO.BackoffBaseMs = 5;
+  WorkerPool Pool(FO);
+  uint64_t Liar = helloWorker(Pool, "liar");
+
+  EvalCache Cache;
+  std::vector<RemotePoint> Points = somePoints(1);
+  std::thread Evaluator(
+      [&] { Pool.evalBatch(someContext(), Points, "warm", Cache); });
+
+  Json B = pollForBatch(Pool, Liar);
+  ASSERT_TRUE(B.isObject());
+  Json R = sendCosts(Pool, Liar, B, {Json("not-a-cost")});
+  EXPECT_FALSE(R.get("ok").asBool(true));
+  EXPECT_EQ(R.get("error").asString(), "malformed result");
+  Evaluator.join();
+
+  EXPECT_EQ(Pool.liveWorkers(), 0u);
+  EXPECT_EQ(Cache.size(), 0u);
+  Json Stats = Pool.statsJson();
+  EXPECT_EQ(Stats.get("lost").asInt(), 1);
+  EXPECT_EQ(Stats.get("batches_retried").asInt(), 0)
+      << "attempts exhausted: the batch fails out, it is not retried";
+  EXPECT_EQ(Stats.get("batches_failed").asInt(), 1);
+  EXPECT_EQ(Stats.get("batches_outstanding").asInt(), 0);
+}
+
+// Regression: when a garbage result evicts its sender while the batch
+// still has attempts left, the batch must be re-queued exactly once —
+// not once by the handler and again by the eviction sweep.
+TEST(WorkerPoolTest, GarbageEvictionDoesNotDoubleRetry) {
+  FleetOptions FO;
+  FO.MaxStrikes = 1;
+  FO.MaxAttempts = 5;
+  FO.BackoffBaseMs = 5;
+  WorkerPool Pool(FO);
+  uint64_t Liar = helloWorker(Pool, "liar");
+
+  EvalCache Cache;
+  std::vector<RemotePoint> Points = somePoints(1);
+  std::thread Evaluator(
+      [&] { Pool.evalBatch(someContext(), Points, "warm", Cache); });
+
+  Json B = pollForBatch(Pool, Liar);
+  ASSERT_TRUE(B.isObject());
+  EXPECT_FALSE(
+      sendCosts(Pool, Liar, B, {Json("junk")}).get("ok").asBool(true));
+  Evaluator.join(); // fleet now empty -> group fails out to local
+
+  Json Stats = Pool.statsJson();
+  EXPECT_EQ(Stats.get("lost").asInt(), 1);
+  EXPECT_EQ(Stats.get("batches_retried").asInt(), 1)
+      << "one failure, one retry — handler and eviction sweep must not "
+         "both re-queue";
+  EXPECT_EQ(Stats.get("batches_outstanding").asInt(), 0);
+}
+
+// Regression: a superseded worker's garbage result (its batch already
+// straggled and was re-dispatched to a healthy worker) must only strike
+// the sender — not yank the batch back to Queued out from under the
+// healthy worker computing it.
+TEST(WorkerPoolTest, SupersededGarbageResultDoesNotRequeue) {
+  FleetOptions FO;
+  FO.BatchTimeoutMs = 100; // straggle fast
+  FO.MaxStrikes = 2;
+  FO.BackoffBaseMs = 5;
+  WorkerPool Pool(FO);
+  uint64_t Slow = helloWorker(Pool, "slow");
+  uint64_t Fast = helloWorker(Pool, "fast");
+
+  EvalCache Cache;
+  std::vector<RemotePoint> Points = somePoints(1);
+  std::thread Evaluator(
+      [&] { Pool.evalBatch(someContext(), Points, "warm", Cache); });
+
+  Json BSlow = pollForBatch(Pool, Slow);
+  ASSERT_TRUE(BSlow.isObject());
+  Json BFast = pollForBatch(Pool, Fast); // straggler re-dispatch
+  ASSERT_TRUE(BFast.isObject());
+  EXPECT_EQ(BFast.get("id").asInt(), BSlow.get("id").asInt());
+
+  // The superseded slow worker reports garbage: strike it, but leave
+  // the batch in flight on the fast worker.
+  Json R = sendCosts(Pool, Slow, BSlow, {Json("junk")});
+  EXPECT_FALSE(R.get("ok").asBool(true));
+  EXPECT_EQ(Pool.statsJson().get("batches_retried").asInt(), 1)
+      << "only the straggler re-dispatch counts, not the stale garbage";
+
+  EXPECT_TRUE(
+      sendCosts(Pool, Fast, BFast, {Json(7.5)}).get("ok").asBool(false));
+  Evaluator.join();
+
+  EXPECT_EQ(Cache.lookup(Points[0].Key).value_or(-1), 7.5);
+  EXPECT_EQ(Pool.liveWorkers(), 2u) << "one strike is not an eviction";
+  EXPECT_EQ(Pool.statsJson().get("lost").asInt(), 0);
+}
+
+// Strikes measure consecutive misbehavior: a structurally valid result
+// resets the count, so an honest-but-occasionally-glitchy worker is not
+// evicted for two malformed reports spread across its whole lifetime.
+TEST(WorkerPoolTest, ValidResultResetsStrikes) {
+  FleetOptions FO;
+  FO.MaxStrikes = 2;
+  FO.MaxAttempts = 10;
+  FO.BackoffBaseMs = 5;
+  WorkerPool Pool(FO);
+  uint64_t Wid = helloWorker(Pool, "glitchy");
+
+  EvalCache Cache;
+  for (int Round = 0; Round < 2; ++Round) {
+    std::vector<RemotePoint> Points = somePoints(1);
+    Points[0].Key.EnvHash = 100 + Round; // distinct cache entries
+    std::thread Evaluator(
+        [&] { Pool.evalBatch(someContext(), Points, "warm", Cache); });
+    // Garbage (strike), then the re-queued batch succeeds (reset).
+    // Without the reset, round 1's garbage would be strike 2 -> evict.
+    Json B = pollForBatch(Pool, Wid);
+    ASSERT_TRUE(B.isObject());
+    EXPECT_FALSE(
+        sendCosts(Pool, Wid, B, {Json("junk")}).get("ok").asBool(true));
+    Json B2 = pollForBatch(Pool, Wid);
+    ASSERT_TRUE(B2.isObject()) << "round " << Round << ": still live";
+    EXPECT_TRUE(
+        sendCosts(Pool, Wid, B2, {Json(1.5)}).get("ok").asBool(false));
+    Evaluator.join();
+  }
+
+  EXPECT_EQ(Pool.liveWorkers(), 1u)
+      << "a valid result between strikes must reset the count";
+  EXPECT_EQ(Pool.statsJson().get("lost").asInt(), 0);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
 TEST(WorkerPoolTest, ShutdownFailsOutstandingBatchesPromptly) {
   WorkerPool Pool;
   helloWorker(Pool, "idle");
