@@ -23,6 +23,12 @@
 //    hot path, so it carries its own, tighter bar: <= 0.1% of eval time
 //    when disabled.
 //
+//  * phase D — the lock-discipline checker's disabled guard. An
+//    eco::Mutex constructed while checking is off carries DebugId == 0,
+//    so lock()/unlock() pay only a branch on a const member over the
+//    raw std::mutex. Measured as the delta between the two, charged at
+//    the hot path's locks-per-evaluation; bar: <= 0.1% of eval time.
+//
 // Results are emitted as BENCH_obs_overhead.json; exit status enforces
 // both bars.
 //
@@ -37,9 +43,11 @@
 #include "obs/Metrics.h"
 #include "obs/Span.h"
 #include "support/Json.h"
+#include "support/Sync.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <mutex>
 
 using namespace eco;
 using namespace ecobench;
@@ -150,6 +158,41 @@ int main() {
               "(acceptance bar: 0.1%%)\n",
               EventGuardNs, EventsDisabledPct);
 
+  banner("phase D: lock-checker disabled guard");
+  // Checking is off in this process (no ECO_LOCK_DEBUG, no sanitizer
+  // default), so this Mutex is permanently untracked: its lock()/unlock()
+  // are std::mutex plus an always-false branch on a const member.
+  sync::setCheckMode(sync::CheckMode::Off);
+  Mutex Checked("bench.guard");
+  std::mutex Raw;
+  constexpr uint64_t LockIters = 20'000'000;
+  double RawNs = 1e9, EcoNs = 1e9;
+  for (int R = 0; R < 3; ++R) { // best-of to denoise the tiny delta
+    Timer TR;
+    for (uint64_t I = 0; I < LockIters; ++I) {
+      Raw.lock();
+      Raw.unlock();
+    }
+    RawNs = std::min(RawNs, TR.seconds() / LockIters * 1e9);
+    Timer TC;
+    for (uint64_t I = 0; I < LockIters; ++I) {
+      Checked.lock();
+      Checked.unlock();
+    }
+    EcoNs = std::min(EcoNs, TC.seconds() / LockIters * 1e9);
+  }
+  double GuardNs = EcoNs > RawNs ? EcoNs - RawNs : 0;
+  // Locks one evaluation takes when everything is quiet: the cache
+  // shard, the stats mutex, the trace log, and slack for obs; round up.
+  constexpr double LockHooksPerEval = 8;
+  double LockGuardPct = GuardNs * LockHooksPerEval / EvalNs * 100.0;
+  std::printf("raw std::mutex lock+unlock: %.2f ns; eco::Mutex "
+              "(untracked): %.2f ns\n",
+              RawNs, EcoNs);
+  std::printf("disabled checker guard: %.2f ns -> %.5f%% of one eval "
+              "(acceptance bar: 0.1%%)\n",
+              GuardNs, LockGuardPct);
+
   Out.set("offEvalsPerSec", OffRate);
   Out.set("onEvalsPerSec", OnRate);
   Out.set("enabledOverheadPct", EnabledOverheadPct);
@@ -161,7 +204,13 @@ int main() {
   Out.set("eventsGuardNs", EventGuardNs);
   Out.set("eventsDisabledOverheadPct", EventsDisabledPct);
   Out.set("eventsAcceptanceBarPct", 0.1);
-  bool Pass = DisabledOverheadPct <= 2.0 && EventsDisabledPct <= 0.1;
+  Out.set("rawMutexNs", RawNs);
+  Out.set("untrackedMutexNs", EcoNs);
+  Out.set("lockGuardNs", GuardNs);
+  Out.set("lockGuardOverheadPct", LockGuardPct);
+  Out.set("lockGuardAcceptanceBarPct", 0.1);
+  bool Pass = DisabledOverheadPct <= 2.0 && EventsDisabledPct <= 0.1 &&
+              LockGuardPct <= 0.1;
   Out.set("pass", Pass);
 
   if (!Out.saveFile("BENCH_obs_overhead.json"))

@@ -5,17 +5,25 @@
 #
 #   1. tier-1: plain build + the full ctest suite (ROADMAP.md);
 #   2. fuzz:   a bounded eco_fuzz differential sweep (fixed seed);
-#   3. UBSan:  -DECO_SANITIZE=undefined build, labeled suites only;
-#   4. TSan:   -DECO_SANITIZE=thread build, labeled suites only.
+#   3. ASan:   -DECO_SANITIZE=address build, concurrency labels only;
+#   4. UBSan:  -DECO_SANITIZE=undefined build, labeled suites only;
+#   5. TSan:   -DECO_SANITIZE=thread build, labeled suites only.
 #
-# The labeled suites (engine|sim|obs|check|serve|fleet|fuzz) are the
-# ones with real concurrency or UB surface; running only them keeps the
-# sanitizer passes tractable on small machines. Knobs:
+# The labeled suites (engine|sim|obs|check|serve|fleet|fuzz|sync) are
+# the ones with real concurrency or UB surface; running only them keeps
+# the sanitizer passes tractable on small machines. Any ECO_SANITIZE
+# build also turns the runtime lock-discipline checker on in Report
+# mode (see DESIGN.md), so the sanitizer passes double as a lock-order
+# audit of every suite they run. Knobs:
 #
 #   ECO_VERIFY_JOBS=N      build/test parallelism   (default: nproc)
 #   ECO_VERIFY_SKIP_TSAN=1   skip the TSan pass
 #   ECO_VERIFY_SKIP_UBSAN=1  skip the UBSan pass
+#   ECO_VERIFY_SKIP_ASAN=1   skip the ASan pass
 #   ECO_VERIFY_SKIP_BENCH=1  skip the bench.sh smoke sweep
+#   ECO_VERIFY_ANALYZE=1     also run scripts/analyze.sh (clang
+#                            -Wthread-safety + clang-tidy; soft-skips
+#                            when no clang toolchain is installed)
 #
 # Usage: scripts/verify.sh   (from anywhere inside the repo)
 #
@@ -25,7 +33,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${ECO_VERIFY_JOBS:-$(nproc)}"
-LABELS="engine|sim|obs|check|serve|fleet|fuzz"
+LABELS="engine|sim|obs|check|serve|fleet|fuzz|sync"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
@@ -87,6 +95,20 @@ if [ "${ECO_VERIFY_SKIP_BENCH:-0}" != "1" ]; then
   ECO_BENCH_JOBS="$JOBS" "$REPO/scripts/bench.sh"
 else
   step "bench smoke: skipped (ECO_VERIFY_SKIP_BENCH=1)"
+fi
+
+if [ "${ECO_VERIFY_ANALYZE:-0}" = "1" ]; then
+  step "static analysis: scripts/analyze.sh"
+  "$REPO/scripts/analyze.sh"
+else
+  step "static analysis: skipped (set ECO_VERIFY_ANALYZE=1 to enable)"
+fi
+
+if [ "${ECO_VERIFY_SKIP_ASAN:-0}" != "1" ]; then
+  step "ASan: labeled suites (engine|serve|fleet|check)"
+  run_suite build-asan -DECO_SANITIZE=address -- -L "engine|serve|fleet|check"
+else
+  step "ASan: skipped (ECO_VERIFY_SKIP_ASAN=1)"
 fi
 
 if [ "${ECO_VERIFY_SKIP_UBSAN:-0}" != "1" ]; then

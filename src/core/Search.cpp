@@ -11,11 +11,12 @@
 #include "support/Timer.h"
 #include "transform/TransformError.h"
 
+#include "support/Sync.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <set>
 
 using namespace eco;
@@ -36,8 +37,9 @@ double SimEvalBackend::evaluate(const LoopNest &Executable,
 /// after the lock drops (NativeKernel::run is const and reentrant —
 /// callers pass their own parameter/array storage).
 struct NativeEvalBackend::KernelCache {
-  std::mutex Mutex;
-  std::map<std::string, std::unique_ptr<NativeKernel>> BySource;
+  Mutex Mu{"exec.kernels"};
+  std::map<std::string, std::unique_ptr<NativeKernel>> BySource
+      ECO_GUARDED_BY(Mu);
 };
 
 NativeEvalBackend::NativeEvalBackend(MachineDesc M, int Repeats)
@@ -58,7 +60,7 @@ double NativeEvalBackend::evaluate(const LoopNest &Executable,
   std::string Src = emitC(Executable, "eco_kernel");
   NativeKernel *Kernel = nullptr;
   {
-    std::lock_guard<std::mutex> Lock(Kernels->Mutex);
+    MutexLock Lock(Kernels->Mu);
     auto It = Kernels->BySource.find(Src);
     if (It == Kernels->BySource.end()) {
       // Compile under the lock: serializing the (rare, expensive) cc

@@ -98,7 +98,7 @@ EvalEngine::~EvalEngine() { flush(); }
 void EvalEngine::flush() {
   if (!Opts.CacheFile.empty()) {
     obs::SpanScope S("cache.save", "io", Opts.CacheFile);
-    std::lock_guard<std::mutex> SaveLock(SaveMutex);
+    MutexLock SaveLock(SaveMutex);
     CachePtr->save(Opts.CacheFile);
   }
   Trace.flush();
@@ -108,7 +108,7 @@ const EvalEngine::Instantiation &
 EvalEngine::instantiated(const DerivedVariant &V, const Env &Config) {
   std::pair<const void *, std::string> Key{&V, instantiationKey(V, Config)};
   {
-    std::lock_guard<std::mutex> Lock(InstMutex);
+    MutexLock Lock(InstMutex);
     auto It = InstMemo.find(Key);
     if (It != InstMemo.end())
       return It->second;
@@ -119,7 +119,7 @@ EvalEngine::instantiated(const DerivedVariant &V, const Env &Config) {
   Instantiation Fresh;
   Fresh.Nest = V.instantiate(Config, Base.machine());
   Fresh.NestHash = hashNest(Fresh.Nest);
-  std::lock_guard<std::mutex> Lock(InstMutex);
+  MutexLock Lock(InstMutex);
   auto [It, Inserted] = InstMemo.emplace(std::move(Key), std::move(Fresh));
   (void)Inserted;
   return It->second;
@@ -147,7 +147,7 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     // never an escaping exception (evalOne runs on lane threads).
     ECO_LOG(Warn) << "config rejected (illegal transform): " << E.what();
     {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
+      MutexLock Lock(StatsMutex);
       ++Stats.Rejected;
     }
     if (obs::metricsEnabled())
@@ -177,7 +177,7 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     O.Cost = *Hit;
     O.CacheHit = true;
     {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
+      MutexLock Lock(StatsMutex);
       ++Stats.CacheHits;
       ++Stages[Stage].CacheHits;
       StageTelemetry &Row = VariantStages[{V.Spec.Name, Stage}];
@@ -220,7 +220,7 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
 
   bool SaveNow = false;
   {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
+    MutexLock Lock(StatsMutex);
     ++Stats.Evaluations;
     Stats.BackendSeconds += O.Millis / 1e3;
     StageStats &SS = Stages[Stage];
@@ -250,9 +250,10 @@ EvalOutcome EvalEngine::evalOne(const DerivedVariant &V, const Env &Config,
     // Periodic durability for kill/resume. Saves are serialized: when
     // another lane is already writing the snapshot, skip rather than
     // race it — this lane's insert lands in the next save or in flush().
-    std::unique_lock<std::mutex> SaveLock(SaveMutex, std::try_to_lock);
-    if (SaveLock.owns_lock())
+    if (SaveMutex.try_lock()) {
       CachePtr->save(Opts.CacheFile);
+      SaveMutex.unlock();
+    }
   }
   Trace.append({0, StartMs, V.Spec.Name, Stage, V.configString(Config),
                 O.Cost, /*CacheHit=*/false, Warm, O.Millis, Lane});
@@ -333,17 +334,17 @@ void EvalEngine::warmMany(
 }
 
 EvalStats EvalEngine::stats() const {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
+  MutexLock Lock(StatsMutex);
   return Stats;
 }
 
 std::map<std::string, EvalEngine::StageStats> EvalEngine::stageStats() const {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
+  MutexLock Lock(StatsMutex);
   return Stages;
 }
 
 std::vector<StageTelemetry> EvalEngine::telemetry() const {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
+  MutexLock Lock(StatsMutex);
   std::vector<StageTelemetry> Rows;
   Rows.reserve(VariantStages.size());
   for (const auto &[Key, Row] : VariantStages)

@@ -35,10 +35,11 @@
 #include "engine/TraceLog.h"
 #include "exec/Run.h"
 
+#include "support/Sync.h"
+
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -178,18 +179,19 @@ private:
   TraceLog Trace;
   uint64_t MachineHash = 0;
 
-  mutable std::mutex InstMutex;
+  mutable Mutex InstMutex{"engine.inst"};
   /// (variant identity, instantiationKey) -> instantiated nest. node-
   /// based so references stay stable while the map grows.
-  std::map<std::pair<const void *, std::string>, Instantiation> InstMemo;
+  std::map<std::pair<const void *, std::string>, Instantiation> InstMemo
+      ECO_GUARDED_BY(InstMutex);
 
-  mutable std::mutex StatsMutex;
-  EvalStats Stats;
-  std::map<std::string, StageStats> Stages; ///< guarded by StatsMutex
-  /// (variant, stage) -> telemetry row; guarded by StatsMutex.
+  mutable Mutex StatsMutex{"engine.stats"};
+  EvalStats Stats ECO_GUARDED_BY(StatsMutex);
+  std::map<std::string, StageStats> Stages ECO_GUARDED_BY(StatsMutex);
+  /// (variant, stage) -> telemetry row.
   std::map<std::pair<std::string, std::string>, StageTelemetry>
-      VariantStages;
-  size_t InsertsSinceSave = 0;
+      VariantStages ECO_GUARDED_BY(StatsMutex);
+  size_t InsertsSinceSave ECO_GUARDED_BY(StatsMutex) = 0;
 
   /// Serializes cache-file writes. Periodic saves from worker lanes
   /// try-lock and skip when a save is already in flight (two lanes can
@@ -197,7 +199,7 @@ private:
   /// skipped lane's insert is covered by the next save or by flush()).
   /// flush() takes the lock unconditionally so the final save never
   /// overlaps a periodic one.
-  std::mutex SaveMutex;
+  Mutex SaveMutex{"engine.save"};
 };
 
 } // namespace eco

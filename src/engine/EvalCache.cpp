@@ -32,7 +32,7 @@ const EvalCache::Shard &EvalCache::shardFor(const std::string &KeyText) const {
 std::optional<double> EvalCache::lookup(const EvalKey &Key) {
   std::string Text = Key.str();
   Shard &S = shardFor(Text);
-  std::lock_guard<std::mutex> Lock(S.M);
+  MutexLock Lock(S.M);
   auto It = S.Map.find(Text);
   if (It == S.Map.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
@@ -45,14 +45,14 @@ std::optional<double> EvalCache::lookup(const EvalKey &Key) {
 void EvalCache::insert(const EvalKey &Key, double Cost) {
   std::string Text = Key.str();
   Shard &S = shardFor(Text);
-  std::lock_guard<std::mutex> Lock(S.M);
+  MutexLock Lock(S.M);
   S.Map[Text] = Cost;
 }
 
 size_t EvalCache::size() const {
   size_t Total = 0;
   for (const Shard &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     Total += S.Map.size();
   }
   return Total;
@@ -90,7 +90,7 @@ size_t EvalCache::load(const std::string &Path,
       continue;
     }
     Shard &S = shardFor(KeyText);
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     S.Map[KeyText] = Cost.asNumber();
     ++Loaded;
   }
@@ -111,7 +111,7 @@ size_t EvalCache::load(const std::string &Path,
 bool EvalCache::save(const std::string &Path) const {
   Json Entries = Json::object();
   for (const Shard &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S.M);
+    MutexLock Lock(S.M);
     for (const auto &[KeyText, Cost] : S.Map)
       Entries.set(KeyText, Cost);
   }

@@ -24,9 +24,10 @@
 #ifndef ECO_ENGINE_EVALCACHE_H
 #define ECO_ENGINE_EVALCACHE_H
 
+#include "support/Sync.h"
+
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -88,8 +89,8 @@ public:
 private:
   static constexpr size_t NumShards = 16;
   struct Shard {
-    mutable std::mutex M;
-    std::unordered_map<std::string, double> Map;
+    mutable Mutex M{"evalcache.shard"};
+    std::unordered_map<std::string, double> Map ECO_GUARDED_BY(M);
   };
   Shard &shardFor(const std::string &KeyText);
   const Shard &shardFor(const std::string &KeyText) const;

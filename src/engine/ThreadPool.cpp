@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int Jobs) : NumJobs(std::max(Jobs, 1)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Stopping = true;
   }
   WorkReady.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 size_t ThreadPool::drainQueue(int Lane) {
   size_t Ran = 0;
-  std::unique_lock<std::mutex> Lock(M);
+  MutexLock Lock(M);
   while (Batch && NextTask < Batch->size()) {
     size_t Task = NextTask++;
     const auto &Fn = (*Batch)[Task];
@@ -46,10 +46,9 @@ void ThreadPool::workerLoop(int Lane) {
   while (true) {
     uint64_t SeenSeq;
     {
-      std::unique_lock<std::mutex> Lock(M);
-      WorkReady.wait(Lock, [this] {
-        return Stopping || (Batch && NextTask < Batch->size());
-      });
+      MutexLock Lock(M);
+      while (!Stopping && !(Batch && NextTask < Batch->size()))
+        WorkReady.wait(Lock);
       if (Stopping)
         return;
       SeenSeq = BatchSeq;
@@ -69,7 +68,7 @@ void ThreadPool::runBatch(
     return;
   }
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Batch = &Tasks;
     NextTask = 0;
     Pending = Tasks.size();
@@ -77,6 +76,7 @@ void ThreadPool::runBatch(
   }
   WorkReady.notify_all();
   drainQueue(/*Lane=*/0);
-  std::unique_lock<std::mutex> Lock(M);
-  BatchDone.wait(Lock, [this] { return Pending == 0; });
+  MutexLock Lock(M);
+  while (Pending != 0)
+    BatchDone.wait(Lock);
 }

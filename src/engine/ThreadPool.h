@@ -17,10 +17,10 @@
 #ifndef ECO_ENGINE_THREADPOOL_H
 #define ECO_ENGINE_THREADPOOL_H
 
-#include <condition_variable>
+#include "support/Sync.h"
+
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -57,14 +57,16 @@ private:
   int NumJobs;
   std::vector<std::thread> Workers;
 
-  std::mutex M;
-  std::condition_variable WorkReady;  ///< workers wait for a batch
-  std::condition_variable BatchDone;  ///< submitter waits for completion
-  const std::vector<std::function<void(int)>> *Batch = nullptr;
-  size_t NextTask = 0; ///< next unclaimed index in *Batch
-  size_t Pending = 0;  ///< tasks claimed or unclaimed, not yet finished
-  uint64_t BatchSeq = 0;
-  bool Stopping = false;
+  Mutex M{"engine.pool"};
+  CondVar WorkReady; ///< workers wait for a batch
+  CondVar BatchDone; ///< submitter waits for completion
+  const std::vector<std::function<void(int)>> *Batch ECO_GUARDED_BY(M) =
+      nullptr;
+  size_t NextTask ECO_GUARDED_BY(M) = 0; ///< next unclaimed in *Batch
+  /// Tasks claimed or unclaimed, not yet finished.
+  size_t Pending ECO_GUARDED_BY(M) = 0;
+  uint64_t BatchSeq ECO_GUARDED_BY(M) = 0;
+  bool Stopping ECO_GUARDED_BY(M) = false;
 };
 
 } // namespace eco

@@ -7,12 +7,15 @@
 using namespace eco;
 
 TraceLog::~TraceLog() {
+  // Destruction is single-owner by contract, but taking the lock keeps
+  // the guarded-member access provable for both checkers at no cost.
+  MutexLock Lock(M);
   if (Out)
     std::fclose(Out);
 }
 
 bool TraceLog::openFile(const std::string &Path, bool Append) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (Out)
     std::fclose(Out);
   Out = std::fopen(Path.c_str(), Append ? "a" : "w");
@@ -39,7 +42,7 @@ std::string eco::traceRecordJson(const TraceRecord &R) {
 void TraceLog::append(TraceRecord R) {
   if (R.TimeMs == 0)
     R.TimeMs = static_cast<double>(obs::monotonicMicros()) / 1e3;
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   R.Seq = NextSeq++;
   if (Out)
     std::fprintf(Out, "%s\n", traceRecordJson(R).c_str());
@@ -47,17 +50,17 @@ void TraceLog::append(TraceRecord R) {
 }
 
 std::vector<TraceRecord> TraceLog::records() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Records;
 }
 
 size_t TraceLog::numRecords() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Records.size();
 }
 
 void TraceLog::flush() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (Out)
     std::fflush(Out);
 }

@@ -19,9 +19,10 @@
 #ifndef ECO_ENGINE_TRACELOG_H
 #define ECO_ENGINE_TRACELOG_H
 
+#include "support/Sync.h"
+
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,10 +71,10 @@ public:
   void flush();
 
 private:
-  mutable std::mutex M;
-  std::vector<TraceRecord> Records;
-  uint64_t NextSeq = 0;
-  std::FILE *Out = nullptr;
+  mutable Mutex M{"engine.trace"};
+  std::vector<TraceRecord> Records ECO_GUARDED_BY(M);
+  uint64_t NextSeq ECO_GUARDED_BY(M) = 0;
+  std::FILE *Out ECO_GUARDED_BY(M) = nullptr;
 };
 
 /// Renders \p R as a single JSONL line (no trailing newline).

@@ -49,7 +49,7 @@ EventBus &EventBus::global() {
 }
 
 void EventBus::setCapacity(size_t N) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Capacity = N ? N : 1;
   while (Ring.size() > Capacity) {
     Ring.pop_front();
@@ -58,7 +58,7 @@ void EventBus::setCapacity(size_t N) {
 }
 
 size_t EventBus::capacity() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Capacity;
 }
 
@@ -70,7 +70,7 @@ void EventBus::publish(std::string Type, Json Fields) {
   E.Type = std::move(Type);
   E.Fields = std::move(Fields);
 
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   E.Seq = NextSeq++;
   // Stamped under the mutex so Seq order and TimeUs order agree.
   E.TimeUs = monotonicMicros();
@@ -93,28 +93,28 @@ void EventBus::publish(std::string Type, Json Fields) {
 }
 
 std::vector<Event> EventBus::snapshot() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return std::vector<Event>(Ring.begin(), Ring.end());
 }
 
 uint64_t EventBus::published() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Published;
 }
 
 uint64_t EventBus::dropped() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Dropped;
 }
 
 uint64_t EventBus::typeCount(const std::string &Type) const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   auto It = TypeCounts.find(Type);
   return It == TypeCounts.end() ? 0 : It->second;
 }
 
 bool EventBus::openFile(const std::string &Path, bool Append) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (File) {
     fclose(File);
     File = nullptr;
@@ -126,7 +126,7 @@ bool EventBus::openFile(const std::string &Path, bool Append) {
 }
 
 void EventBus::closeFile() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (File) {
     fclose(File);
     File = nullptr;
@@ -134,13 +134,13 @@ void EventBus::closeFile() {
 }
 
 void EventBus::flush() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (File)
     fflush(File);
 }
 
 void EventBus::clear() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Ring.clear();
   Published = 0;
   Dropped = 0;

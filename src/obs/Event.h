@@ -53,12 +53,12 @@
 #define ECO_OBS_EVENT_H
 
 #include "support/Json.h"
+#include "support/Sync.h"
 
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -118,14 +118,14 @@ public:
   void clear();
 
 private:
-  mutable std::mutex M;
-  std::deque<Event> Ring;
-  size_t Capacity = 4096;
-  uint64_t NextSeq = 0;
-  uint64_t Published = 0;
-  uint64_t Dropped = 0;
-  std::map<std::string, uint64_t> TypeCounts;
-  FILE *File = nullptr;
+  mutable Mutex M{"obs.events"};
+  std::deque<Event> Ring ECO_GUARDED_BY(M);
+  size_t Capacity ECO_GUARDED_BY(M) = 4096;
+  uint64_t NextSeq ECO_GUARDED_BY(M) = 0;
+  uint64_t Published ECO_GUARDED_BY(M) = 0;
+  uint64_t Dropped ECO_GUARDED_BY(M) = 0;
+  std::map<std::string, uint64_t> TypeCounts ECO_GUARDED_BY(M);
+  FILE *File ECO_GUARDED_BY(M) = nullptr;
 };
 
 /// Global kill-switch mirroring metricsEnabled(): one relaxed load.

@@ -2,12 +2,13 @@
 
 #include "obs/Log.h"
 
+#include "support/Sync.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 using namespace eco;
 using namespace eco::obs;
@@ -37,8 +38,8 @@ std::atomic<int> &levelStore() {
   return Level;
 }
 
-std::mutex &emitMutex() {
-  static std::mutex M;
+Mutex &emitMutex() {
+  static Mutex M{"obs.log.emit"};
   return M;
 }
 
@@ -109,7 +110,7 @@ LogMessage::LogMessage(LogLevel Level, const char *File, int Line)
 LogMessage::~LogMessage() {
   double Seconds = static_cast<double>(monotonicMicros()) / 1e6;
   std::string Text = Stream.str();
-  std::lock_guard<std::mutex> Lock(emitMutex());
+  MutexLock Lock(emitMutex());
   std::fprintf(stderr, "[eco %8.3fs %-5s %s:%d] %s\n", Seconds,
                levelName(Level), baseName(File), Line, Text.c_str());
 }

@@ -130,7 +130,7 @@ void Histogram::reset() {
 }
 
 Counter &MetricsRegistry::counter(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::unique_ptr<Counter> &Slot = Counters[Name];
   if (!Slot)
     Slot = std::make_unique<Counter>();
@@ -138,7 +138,7 @@ Counter &MetricsRegistry::counter(const std::string &Name) {
 }
 
 Gauge &MetricsRegistry::gauge(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::unique_ptr<Gauge> &Slot = Gauges[Name];
   if (!Slot)
     Slot = std::make_unique<Gauge>();
@@ -148,7 +148,7 @@ Gauge &MetricsRegistry::gauge(const std::string &Name) {
 Histogram &MetricsRegistry::histogram(const std::string &Name,
                                       double FirstBound,
                                       unsigned NumBuckets) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::unique_ptr<Histogram> &Slot = Histograms[Name];
   if (!Slot)
     Slot = std::make_unique<Histogram>(FirstBound, NumBuckets);
@@ -156,7 +156,7 @@ Histogram &MetricsRegistry::histogram(const std::string &Name,
 }
 
 Json MetricsRegistry::toJson() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Json Cs = Json::object();
   for (const auto &[Name, C] : Counters)
     Cs.set(Name, C->value());
@@ -199,7 +199,7 @@ std::string promNumber(double V) {
 } // namespace
 
 std::string MetricsRegistry::toPrometheus() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::string Out;
   for (const auto &[Name, C] : Counters) {
     std::string P = promName(Name);
@@ -233,7 +233,7 @@ std::string MetricsRegistry::toPrometheus() const {
 }
 
 void MetricsRegistry::resetValues() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (auto &[Name, C] : Counters)
     C->reset();
   for (auto &[Name, G] : Gauges)
@@ -243,7 +243,7 @@ void MetricsRegistry::resetValues() {
 }
 
 uint64_t MetricsRegistry::sumCounters(const std::string &Prefix) const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   uint64_t Total = 0;
   for (const auto &[Name, C] : Counters)
     if (Name.compare(0, Prefix.size(), Prefix) == 0)

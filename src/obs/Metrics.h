@@ -24,12 +24,12 @@
 #define ECO_OBS_METRICS_H
 
 #include "support/Json.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -154,10 +154,12 @@ public:
   uint64_t sumCounters(const std::string &Prefix) const;
 
 private:
-  mutable std::mutex M;
-  std::map<std::string, std::unique_ptr<Counter>> Counters;
-  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  mutable Mutex M{"obs.metrics"};
+  std::map<std::string, std::unique_ptr<Counter>> Counters
+      ECO_GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges ECO_GUARDED_BY(M);
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms
+      ECO_GUARDED_BY(M);
 };
 
 /// The process-wide registry instrumented code writes to.

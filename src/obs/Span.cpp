@@ -12,33 +12,33 @@ SpanCollector &SpanCollector::global() {
 }
 
 void SpanCollector::record(SpanRecord R) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Records.push_back(std::move(R));
 }
 
 void SpanCollector::setThreadName(int Tid, std::string Name) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   ThreadNames[Tid] = std::move(Name);
 }
 
 std::vector<SpanRecord> SpanCollector::records() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Records;
 }
 
 size_t SpanCollector::numRecords() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Records.size();
 }
 
 void SpanCollector::clear() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Records.clear();
   ThreadNames.clear();
 }
 
 Json SpanCollector::chromeTraceJson() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Json Events = Json::array();
   for (const auto &[Tid, Name] : ThreadNames) {
     Json Meta = Json::object();

@@ -24,11 +24,11 @@
 #define ECO_OBS_SPAN_H
 
 #include "support/Json.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,9 +74,9 @@ public:
 
 private:
   std::atomic<bool> On{false};
-  mutable std::mutex M;
-  std::vector<SpanRecord> Records;
-  std::map<int, std::string> ThreadNames;
+  mutable Mutex M{"obs.spans"};
+  std::vector<SpanRecord> Records ECO_GUARDED_BY(M);
+  std::map<int, std::string> ThreadNames ECO_GUARDED_BY(M);
 };
 
 /// Dense id of the calling thread (0 for the first caller — the main /

@@ -25,7 +25,7 @@ ConfigDB::ConfigDB(std::string Path) : PersistPath(std::move(Path)) {
 std::optional<TunedEntry> ConfigDB::exact(const std::string &Kernel,
                                           uint64_t MachineHash,
                                           int64_t N) const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   auto It = Entries.find(keyOf(Kernel, MachineHash, N));
   if (It == Entries.end())
     return std::nullopt;
@@ -35,7 +35,7 @@ std::optional<TunedEntry> ConfigDB::exact(const std::string &Kernel,
 std::optional<TunedEntry> ConfigDB::nearest(const std::string &Kernel,
                                             uint64_t MachineHash,
                                             int64_t N) const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   const TunedEntry *Best = nullptr;
   double BestDist = 0;
   for (const auto &[Key, E] : Entries) {
@@ -64,7 +64,7 @@ std::optional<TunedEntry> ConfigDB::nearest(const std::string &Kernel,
 }
 
 bool ConfigDB::put(const TunedEntry &E) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::string Key = keyOf(E.Kernel, E.MachineHash, E.N);
   auto It = Entries.find(Key);
   if (It != Entries.end() && It->second.BestCost < E.BestCost)
@@ -74,13 +74,13 @@ bool ConfigDB::put(const TunedEntry &E) {
 }
 
 size_t ConfigDB::size() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Entries.size();
 }
 
 void ConfigDB::forEach(
     const std::function<void(const TunedEntry &)> &Fn) const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (const auto &[Key, E] : Entries) {
     (void)Key;
     Fn(E);
@@ -96,7 +96,7 @@ bool ConfigDB::save() const {
 bool ConfigDB::save(const std::string &Path) const {
   Json List = Json::array();
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     for (const auto &[Key, E] : Entries) {
       (void)Key;
       Json Config = Json::object();
@@ -206,7 +206,7 @@ size_t ConfigDB::load(const std::string &Path) {
     E.MachineHash = Hash;
     for (const auto &[Name, Value] : Row.get("config").fields())
       E.Config.emplace_back(Name, Value.asInt());
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Entries[keyOf(E.Kernel, E.MachineHash, E.N)] = std::move(E);
     ++Loaded;
   }

@@ -32,10 +32,11 @@
 
 #include "exec/Run.h"
 
+#include "support/Sync.h"
+
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -117,8 +118,8 @@ private:
                            int64_t N);
 
   std::string PersistPath;
-  mutable std::mutex M;
-  std::map<std::string, TunedEntry> Entries;
+  mutable Mutex M{"serve.configdb"};
+  std::map<std::string, TunedEntry> Entries ECO_GUARDED_BY(M);
 };
 
 } // namespace serve

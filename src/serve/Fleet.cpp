@@ -22,13 +22,14 @@ WorkerPool::WorkerPool(FleetOptions O) : Opts(O) {
 WorkerPool::~WorkerPool() { shutdown(); }
 
 void WorkerPool::publishWorkerGaugeLocked() const {
+  M.assertHeld();
   if (obs::metricsEnabled())
     obs::metrics().gauge("serve.workers_live")
         .set(static_cast<double>(Workers.size()));
 }
 
 Json WorkerPool::hello(const Json &Req) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Worker W;
   W.Id = NextWorkerId++;
   W.Name = Req.get("name").asString();
@@ -58,6 +59,7 @@ Json WorkerPool::hello(const Json &Req) {
 }
 
 void WorkerPool::evictLocked(uint64_t WorkerId, const std::string &Reason) {
+  M.assertHeld();
   auto It = Workers.find(WorkerId);
   if (It == Workers.end())
     return;
@@ -88,6 +90,7 @@ void WorkerPool::evictLocked(uint64_t WorkerId, const std::string &Reason) {
 }
 
 void WorkerPool::requeueLocked(Batch &B, const std::string &Reason) {
+  M.assertHeld();
   if (obs::eventsEnabled()) {
     Json F = Json::object();
     F.set("batch_id", B.Id);
@@ -121,6 +124,7 @@ void WorkerPool::requeueLocked(Batch &B, const std::string &Reason) {
 }
 
 void WorkerPool::finishBatchLocked(uint64_t Id) {
+  M.assertHeld();
   auto It = Batches.find(Id);
   if (It == Batches.end())
     return;
@@ -132,6 +136,7 @@ void WorkerPool::finishBatchLocked(uint64_t Id) {
 }
 
 void WorkerPool::reapLocked(Clock::time_point Now) {
+  M.assertHeld();
   std::vector<uint64_t> Stale;
   for (const auto &[Id, W] : Workers)
     if (Now - W.LastSeen > std::chrono::milliseconds(Opts.HeartbeatTimeoutMs))
@@ -158,7 +163,7 @@ Json WorkerPool::poll(const Json &Req) {
       0, std::min<int64_t>(WaitMs, Opts.MaxPollWaitMs));
   auto Deadline = Clock::now() + std::chrono::milliseconds(WaitMs);
 
-  std::unique_lock<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (;;) {
     auto WIt = Workers.find(WorkerId);
     if (WIt == Workers.end()) {
@@ -205,7 +210,7 @@ Json WorkerPool::result(const Json &Req) {
   uint64_t BatchId = static_cast<uint64_t>(Req.get("batch_id").asInt());
   const Json &Costs = Req.get("costs");
 
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   auto WIt = Workers.find(WorkerId);
   if (WIt == Workers.end()) {
     Json J = Json::object();
@@ -274,7 +279,7 @@ Json WorkerPool::result(const Json &Req) {
 
 Json WorkerPool::heartbeat(const Json &Req) {
   uint64_t WorkerId = static_cast<uint64_t>(Req.get("worker_id").asInt());
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   auto WIt = Workers.find(WorkerId);
   Json J = Json::object();
   if (WIt == Workers.end()) {
@@ -288,12 +293,12 @@ Json WorkerPool::heartbeat(const Json &Req) {
 }
 
 void WorkerPool::disconnected(uint64_t WorkerId) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   evictLocked(WorkerId, "disconnected");
 }
 
 size_t WorkerPool::liveWorkers() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   return Workers.size();
 }
 
@@ -305,7 +310,7 @@ void WorkerPool::evalBatch(const BatchContext &Ctx,
 
   uint64_t Group;
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Stopping || Workers.empty())
       return; // no fleet — the caller's local path covers everything
 
@@ -353,7 +358,7 @@ void WorkerPool::evalBatch(const BatchContext &Ctx,
   }
   WorkCV.notify_all();
 
-  std::unique_lock<std::mutex> Lock(M);
+  MutexLock Lock(M);
   for (;;) {
     auto GIt = GroupRemaining.find(Group);
     if (GIt == GroupRemaining.end() || GIt->second == 0)
@@ -379,7 +384,7 @@ void WorkerPool::evalBatch(const BatchContext &Ctx,
 }
 
 void WorkerPool::shutdown() {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Stopping = true;
   std::vector<uint64_t> Remaining;
   for (const auto &[Id, B] : Batches) {
@@ -395,7 +400,7 @@ void WorkerPool::shutdown() {
 }
 
 Json WorkerPool::statsJson() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   Json J = Json::object();
   J.set("workers_live", static_cast<int64_t>(Workers.size()));
   J.set("joined", TotalJoined);

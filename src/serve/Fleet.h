@@ -48,13 +48,12 @@
 
 #include "engine/Engine.h"
 #include "support/Json.h"
+#include "support/Sync.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -164,41 +163,42 @@ private:
     uint64_t Group = 0;          ///< owning evalBatch call
   };
 
-  /// Requires M. Evicts \p WorkerId with \p Reason, re-queuing its
-  /// in-flight batches.
-  void evictLocked(uint64_t WorkerId, const std::string &Reason);
-  /// Requires M. Re-queues or fails \p B after a failed attempt.
-  void requeueLocked(Batch &B, const std::string &Reason);
-  /// Requires M. Heartbeat eviction + straggler re-dispatch sweep.
-  void reapLocked(Clock::time_point Now);
-  /// Requires M. Drops \p Id from Batches and wakes its evalBatch.
-  void finishBatchLocked(uint64_t Id);
-  /// Requires M. Mirrors the live-worker count into the obs gauge.
-  void publishWorkerGaugeLocked() const;
+  /// Evicts \p WorkerId with \p Reason, re-queuing its in-flight
+  /// batches.
+  void evictLocked(uint64_t WorkerId, const std::string &Reason)
+      ECO_REQUIRES(M);
+  /// Re-queues or fails \p B after a failed attempt.
+  void requeueLocked(Batch &B, const std::string &Reason) ECO_REQUIRES(M);
+  /// Heartbeat eviction + straggler re-dispatch sweep.
+  void reapLocked(Clock::time_point Now) ECO_REQUIRES(M);
+  /// Drops \p Id from Batches and wakes its evalBatch.
+  void finishBatchLocked(uint64_t Id) ECO_REQUIRES(M);
+  /// Mirrors the live-worker count into the obs gauge.
+  void publishWorkerGaugeLocked() const ECO_REQUIRES(M);
 
   FleetOptions Opts;
 
-  mutable std::mutex M;
-  std::condition_variable WorkCV; ///< pollers wait: batch available
-  std::condition_variable DoneCV; ///< evalBatch waits: batch resolved
-  bool Stopping = false;
+  mutable Mutex M{"serve.fleet"};
+  CondVar WorkCV; ///< pollers wait: batch available
+  CondVar DoneCV; ///< evalBatch waits: batch resolved
+  bool Stopping ECO_GUARDED_BY(M) = false;
 
-  std::map<uint64_t, Worker> Workers;
-  std::map<uint64_t, Batch> Batches; ///< queued + in-flight
-  uint64_t NextWorkerId = 1;
-  uint64_t NextBatchId = 1;
-  uint64_t NextGroupId = 1;
+  std::map<uint64_t, Worker> Workers ECO_GUARDED_BY(M);
+  std::map<uint64_t, Batch> Batches ECO_GUARDED_BY(M); ///< queued+in-flight
+  uint64_t NextWorkerId ECO_GUARDED_BY(M) = 1;
+  uint64_t NextBatchId ECO_GUARDED_BY(M) = 1;
+  uint64_t NextGroupId ECO_GUARDED_BY(M) = 1;
   /// Per-group count of unresolved batches; evalBatch waits for its
   /// group's count to hit zero.
-  std::map<uint64_t, size_t> GroupRemaining;
+  std::map<uint64_t, size_t> GroupRemaining ECO_GUARDED_BY(M);
 
   // Lifetime counters (also mirrored into obs metrics when enabled).
-  uint64_t TotalJoined = 0;
-  uint64_t TotalLost = 0;
-  uint64_t TotalDispatched = 0;
-  uint64_t TotalRetried = 0;
-  uint64_t TotalFailed = 0;
-  uint64_t TotalCompleted = 0;
+  uint64_t TotalJoined ECO_GUARDED_BY(M) = 0;
+  uint64_t TotalLost ECO_GUARDED_BY(M) = 0;
+  uint64_t TotalDispatched ECO_GUARDED_BY(M) = 0;
+  uint64_t TotalRetried ECO_GUARDED_BY(M) = 0;
+  uint64_t TotalFailed ECO_GUARDED_BY(M) = 0;
+  uint64_t TotalCompleted ECO_GUARDED_BY(M) = 0;
 };
 
 } // namespace serve

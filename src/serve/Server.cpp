@@ -58,19 +58,20 @@ bool eco::serve::buildMachine(const std::string &Machine, unsigned Scale,
 //===----------------------------------------------------------------------===//
 
 bool ServeJob::done() const {
-  std::lock_guard<std::mutex> Lock(const_cast<std::mutex &>(M));
+  MutexLock Lock(M);
   return Finished;
 }
 
 JobResult ServeJob::wait() {
-  std::unique_lock<std::mutex> Lock(M);
-  CV.wait(Lock, [this] { return Finished; });
+  MutexLock Lock(M);
+  while (!Finished)
+    CV.wait(Lock);
   return Result;
 }
 
 void ServeJob::finish(JobResult R) {
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Finished)
       return; // first resolution wins
     Result = std::move(R);
@@ -106,7 +107,7 @@ std::shared_ptr<ServeJob> TuneService::submit(const JobSpec &Spec) {
   std::shared_ptr<ServeJob> Job;
   size_t Depth = 0;
   {
-    std::lock_guard<std::mutex> Lock(QM);
+    MutexLock Lock(QM);
     Job = std::make_shared<ServeJob>(NextJobId++, Spec);
     Job->SubmitTime = Now;
     Job->SubmitUs = obs::monotonicMicros();
@@ -126,7 +127,7 @@ std::shared_ptr<ServeJob> TuneService::submit(const JobSpec &Spec) {
     }
   }
   {
-    std::lock_guard<std::mutex> Lock(SM);
+    MutexLock Lock(SM);
     ++Submitted;
     Live[Job->Id] = Job;
   }
@@ -158,25 +159,25 @@ std::shared_ptr<ServeJob> TuneService::submit(const JobSpec &Spec) {
 }
 
 size_t TuneService::queueDepth() const {
-  std::lock_guard<std::mutex> Lock(QM);
+  MutexLock Lock(QM);
   return Queue.size();
 }
 
 size_t TuneService::numRunning() const {
-  std::lock_guard<std::mutex> Lock(QM);
+  MutexLock Lock(QM);
   return Running;
 }
 
 Json TuneService::statsJson() const {
   Json J = Json::object();
   {
-    std::lock_guard<std::mutex> Lock(QM);
+    MutexLock Lock(QM);
     J.set("queue_depth", static_cast<int64_t>(Queue.size()));
     J.set("running", static_cast<int64_t>(Running));
     J.set("draining", Draining);
   }
   {
-    std::lock_guard<std::mutex> Lock(SM);
+    MutexLock Lock(SM);
     J.set("submitted", Submitted);
     Json Status = Json::object();
     for (const auto &[Name, Count] : StatusCounts)
@@ -198,7 +199,7 @@ Json TuneService::statsJson() const {
 Json TuneService::jobsJson() const {
   std::vector<std::shared_ptr<ServeJob>> Jobs;
   {
-    std::lock_guard<std::mutex> Lock(SM);
+    MutexLock Lock(SM);
     for (const auto &[Id, Weak] : Live) {
       (void)Id;
       if (auto J = Weak.lock())
@@ -248,7 +249,7 @@ Json TuneService::jobsJson() const {
 size_t TuneService::cancelQueued() {
   std::vector<std::shared_ptr<ServeJob>> Dropped;
   {
-    std::lock_guard<std::mutex> Lock(QM);
+    MutexLock Lock(QM);
     for (auto &[Key, Job] : Queue) {
       (void)Key;
       Dropped.push_back(Job);
@@ -270,10 +271,11 @@ size_t TuneService::cancelQueued() {
 
 void TuneService::drain() {
   {
-    std::unique_lock<std::mutex> Lock(QM);
+    MutexLock Lock(QM);
     Draining = true;
     QCV.notify_all();
-    DrainCV.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+    while (!Queue.empty() || Running != 0)
+      DrainCV.wait(Lock);
   }
   for (std::thread &W : Workers)
     if (W.joinable())
@@ -288,8 +290,9 @@ void TuneService::workerLoop() {
   for (;;) {
     std::shared_ptr<ServeJob> Job;
     {
-      std::unique_lock<std::mutex> Lock(QM);
-      QCV.wait(Lock, [this] { return Draining || !Queue.empty(); });
+      MutexLock Lock(QM);
+      while (!Draining && Queue.empty())
+        QCV.wait(Lock);
       if (Queue.empty()) {
         if (Draining)
           return;
@@ -305,7 +308,7 @@ void TuneService::workerLoop() {
     }
     execute(*Job);
     {
-      std::lock_guard<std::mutex> Lock(QM);
+      MutexLock Lock(QM);
       --Running;
       if (Queue.empty() && Running == 0)
         DrainCV.notify_all();
@@ -315,7 +318,7 @@ void TuneService::workerLoop() {
 
 void TuneService::finishJob(ServeJob &Job, JobResult R) {
   {
-    std::lock_guard<std::mutex> Lock(SM);
+    MutexLock Lock(SM);
     ++StatusCounts[R.Status];
     if (!R.WarmStart.empty())
       ++WarmCounts[R.WarmStart];
@@ -681,14 +684,14 @@ bool Server::start(std::string *Error) {
 
 void Server::stop() {
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    if (Stopping && Listeners.empty() && ConnThreads.empty())
+    MutexLock Lock(ConnMutex);
+    if (Stopping && Listeners.empty() && Conns.empty())
       return; // already stopped
     Stopping = true;
     // Unblock handlers stuck in recv(); handlers close their own fd.
-    for (int Fd : ConnFds)
-      if (Fd >= 0)
-        ::shutdown(Fd, SHUT_RDWR);
+    for (Conn &C : Conns)
+      if (C.Fd >= 0)
+        ::shutdown(C.Fd, SHUT_RDWR);
   }
   for (auto &L : Listeners)
     L->close(); // accept() returns with an error -> loops exit
@@ -698,15 +701,28 @@ void Server::stop() {
   AcceptThreads.clear();
   Listeners.clear();
   // Handlers waiting on an in-flight job resolve once workers finish it
-  // (the service is drained after stop(), not before).
-  std::vector<std::thread> Conns;
+  // (the service is drained after stop(), not before). Move the thread
+  // handles out but keep the entries alive: each handler's last act
+  // touches its own entry under ConnMutex, so entries may only be
+  // destroyed after every handler has been joined.
+  std::vector<std::thread> Threads;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    Conns.swap(ConnThreads);
+    MutexLock Lock(ConnMutex);
+    for (Conn &C : Conns)
+      if (C.T.joinable())
+        Threads.push_back(std::move(C.T));
   }
-  for (std::thread &T : Conns)
-    if (T.joinable())
-      T.join();
+  for (std::thread &T : Threads)
+    T.join();
+  {
+    MutexLock Lock(ConnMutex);
+    Conns.clear();
+  }
+}
+
+size_t Server::liveConnections() const {
+  MutexLock Lock(ConnMutex);
+  return Conns.size();
 }
 
 void Server::acceptLoop(Listener *L) {
@@ -720,17 +736,37 @@ void Server::acceptLoop(Listener *L) {
         continue;
       return; // listener closed (stop()) or fatal
     }
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    if (Stopping) {
-      ::close(Fd);
-      return;
+    // Reap connections whose handler already returned, so a long-lived
+    // daemon holds one entry per *live* connection, not one zombie
+    // thread per connection ever served. Joining a Done thread only
+    // waits out its final return, but do it outside the lock anyway.
+    std::vector<std::thread> Finished;
+    {
+      MutexLock Lock(ConnMutex);
+      if (Stopping) {
+        ::close(Fd);
+        return;
+      }
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        if (It->Done) {
+          Finished.push_back(std::move(It->T));
+          It = Conns.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      Conns.emplace_back();
+      Conn &C = Conns.back();
+      C.Fd = Fd;
+      C.T = std::thread([this, Fd, &C] { handleConnection(Fd, C); });
     }
-    ConnFds.push_back(Fd);
-    ConnThreads.emplace_back([this, Fd] { handleConnection(Fd); });
+    for (std::thread &T : Finished)
+      if (T.joinable())
+        T.join();
   }
 }
 
-void Server::handleConnection(int Fd) {
+void Server::handleConnection(int Fd, Conn &C) {
   /// Cap on one request line. A client that streams data without ever
   /// sending a newline would otherwise grow Buf without bound; the
   /// largest legitimate request is a few hundred bytes.
@@ -781,12 +817,12 @@ void Server::handleConnection(int Fd) {
   if (ConnWorkerId)
     Service.workers().disconnected(ConnWorkerId);
   // Close under the lock so stop()'s shutdown() sweep never races a
-  // reused fd number.
-  std::lock_guard<std::mutex> Lock(ConnMutex);
-  for (int &Open : ConnFds)
-    if (Open == Fd)
-      Open = -1;
+  // reused fd number. Marking Done last makes the entry reapable; after
+  // the lock drops this thread only returns, so a joiner waits ~nothing.
+  MutexLock Lock(ConnMutex);
+  C.Fd = -1;
   ::close(Fd);
+  C.Done = true;
 }
 
 Json Server::handleRequest(const Json &Req, uint64_t &ConnWorkerId) {

@@ -43,15 +43,15 @@
 #include "serve/ConfigDB.h"
 #include "serve/Fleet.h"
 #include "serve/Protocol.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -100,10 +100,11 @@ public:
   void finish(JobResult R);
 
 private:
-  std::mutex M;
-  std::condition_variable CV;
-  bool Finished = false;
-  JobResult Result;
+  /// mutable so const snapshots (done()) lock without a const_cast.
+  mutable Mutex M{"serve.job"};
+  CondVar CV;
+  bool Finished ECO_GUARDED_BY(M) = false;
+  JobResult Result ECO_GUARDED_BY(M);
   std::atomic<bool> Cancelled{false};
 };
 
@@ -193,26 +194,29 @@ private:
   std::shared_ptr<EvalCache> SharedCache;
   std::unique_ptr<WorkerPool> Pool;
 
-  mutable std::mutex QM;
-  std::condition_variable QCV;    ///< workers wait: queue non-empty | stop
-  std::condition_variable DrainCV;///< drain waits: queue empty & idle
+  mutable Mutex QM{"serve.queue"};
+  CondVar QCV;    ///< workers wait: queue non-empty | stop
+  CondVar DrainCV;///< drain waits: queue empty & idle
   /// {-Priority, Seq} -> job: begin() is the highest priority, oldest.
-  std::map<std::pair<int, uint64_t>, std::shared_ptr<ServeJob>> Queue;
-  uint64_t NextSeq = 0;
-  uint64_t NextJobId = 1;
-  size_t Running = 0;
-  bool Draining = false;
+  std::map<std::pair<int, uint64_t>, std::shared_ptr<ServeJob>> Queue
+      ECO_GUARDED_BY(QM);
+  uint64_t NextSeq ECO_GUARDED_BY(QM) = 0;
+  uint64_t NextJobId ECO_GUARDED_BY(QM) = 1;
+  size_t Running ECO_GUARDED_BY(QM) = 0;
+  bool Draining ECO_GUARDED_BY(QM) = false;
 
   std::vector<std::thread> Workers;
 
   // Lifetime accounting (also mirrored into obs metrics when enabled).
-  mutable std::mutex SM;
-  std::map<std::string, uint64_t> StatusCounts; ///< by JobResult::Status
-  std::map<std::string, uint64_t> WarmCounts;   ///< exact/nearest/cold
-  uint64_t Submitted = 0;
+  mutable Mutex SM{"serve.stats"};
+  /// By JobResult::Status.
+  std::map<std::string, uint64_t> StatusCounts ECO_GUARDED_BY(SM);
+  /// exact/nearest/cold.
+  std::map<std::string, uint64_t> WarmCounts ECO_GUARDED_BY(SM);
+  uint64_t Submitted ECO_GUARDED_BY(SM) = 0;
   /// Queued + running jobs, for jobsJson(). weak_ptr: introspection
   /// must never extend a job's lifetime past its waiter.
-  std::map<uint64_t, std::weak_ptr<ServeJob>> Live;
+  std::map<uint64_t, std::weak_ptr<ServeJob>> Live ECO_GUARDED_BY(SM);
 };
 
 // Forward-declared here so Server.cpp owns the POSIX socket details.
@@ -252,9 +256,25 @@ public:
     return ShutdownFlag.load(std::memory_order_relaxed);
   }
 
+  /// Connection entries still tracked (live handlers plus finished ones
+  /// not yet reaped by the next accept). Tests pin down that a
+  /// long-running daemon does not accumulate one zombie thread per
+  /// served connection.
+  size_t liveConnections() const ECO_EXCLUDES(ConnMutex);
+
 private:
+  /// One served connection. The handler thread owns Fd; Done flips
+  /// under ConnMutex when the handler is about to return, making the
+  /// thread joinable without blocking. std::list keeps entry addresses
+  /// stable while handlers hold references to their own entries.
+  struct Conn {
+    int Fd = -1;       ///< -1 once the handler closed it
+    bool Done = false; ///< handler finished; safe to join + erase
+    std::thread T;
+  };
+
   void acceptLoop(Listener *L);
-  void handleConnection(int Fd);
+  void handleConnection(int Fd, Conn &C);
   /// One request -> one response object. \p ConnWorkerId is the fleet
   /// worker registered on this connection (0 = none): worker.hello sets
   /// it, and handleConnection evicts it when the connection dies — the
@@ -267,10 +287,9 @@ private:
   std::vector<std::unique_ptr<Listener>> Listeners;
   std::vector<std::thread> AcceptThreads;
 
-  std::mutex ConnMutex;
-  std::vector<std::thread> ConnThreads;
-  std::vector<int> ConnFds; ///< open connection fds, for stop()
-  bool Stopping = false;
+  mutable Mutex ConnMutex{"serve.conns"};
+  std::list<Conn> Conns ECO_GUARDED_BY(ConnMutex);
+  bool Stopping ECO_GUARDED_BY(ConnMutex) = false;
 
   std::atomic<bool> ShutdownFlag{false};
 };

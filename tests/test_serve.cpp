@@ -750,6 +750,67 @@ TEST(ServeServerTest, MalformedRequestsGetExplicitErrors) {
   Service.drain();
 }
 
+// ---- Lock-discipline regressions ----------------------------------------
+
+/// done() must be callable through a const reference with no const_cast:
+/// the job's mutex is mutable by design. (Regression for the
+/// const_cast<std::mutex &> hack the annotated Sync layer replaced.)
+TEST(ServeJobTest, DoneIsConstSafeAndWaitSeesTheResult) {
+  ServeJob Job(1, JobSpec{});
+  const ServeJob &Ref = Job;
+  EXPECT_FALSE(Ref.done());
+  JobResult R;
+  R.Status = "done";
+  Job.finish(R);
+  EXPECT_TRUE(Ref.done());
+  EXPECT_EQ(Job.wait().Status, "done");
+  // First resolution wins; a late failure must not overwrite it.
+  JobResult Late;
+  Late.Status = "failed";
+  Job.finish(Late);
+  EXPECT_EQ(Job.wait().Status, "done");
+}
+
+/// A long-lived server must not keep one zombie thread per connection
+/// ever served: entries whose handler returned are reaped on the next
+/// accept. (Regression for unbounded ConnThreads/ConnFds growth.)
+TEST(ServeServerTest, ConnectionEntriesAreReaped) {
+  std::string Sock = tempPath("eco_serve_reap.sock");
+  std::remove(Sock.c_str());
+  TuneService Service;
+  ServerOptions Opts;
+  Opts.UnixPath = Sock;
+  Server Srv(Service, Opts);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  constexpr int NumConns = 12;
+  for (int I = 0; I < NumConns; ++I) {
+    auto C = Client::connectUnix(Sock, &Err);
+    ASSERT_NE(C, nullptr) << Err;
+    EXPECT_TRUE(C->ping());
+  } // the client's destructor closes the connection
+
+  // Handlers notice the close asynchronously, and each new accept reaps
+  // entries whose handler already returned — so poll with fresh probe
+  // connections until the tracked set collapses to (about) the probe.
+  size_t Tracked = NumConns;
+  for (int Tries = 0; Tries < 200 && Tracked > 3; ++Tries) {
+    {
+      auto Probe = Client::connectUnix(Sock, &Err);
+      ASSERT_NE(Probe, nullptr) << Err;
+      EXPECT_TRUE(Probe->ping());
+      Tracked = Srv.liveConnections();
+    }
+    if (Tracked > 3)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(Tracked, 3u) << "server still tracks " << Tracked
+                         << " connection entries after all clients closed";
+  Srv.stop();
+  Service.drain();
+}
+
 // ---- check/DbAudit ------------------------------------------------------
 
 TEST(DbAuditTest, TunedDatabaseAuditsCleanAndTamperingIsCaught) {
